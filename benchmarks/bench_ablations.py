@@ -1,0 +1,90 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+The paper motivates AIVRIL2's structure by contrast (§2.2): VeriAssist
+degrades with weak self-generated testbenches; AIVRIL's simultaneous
+RTL+testbench generation added complexity; the frozen testbench gives an
+unbiased standard across the functional loop. Each bench toggles one of
+these and prints the effect on functional pass rate over the bench subset.
+"""
+
+import pytest
+
+from repro.eda.toolchain import Language
+from repro.eval.runner import ExperimentRunner
+from repro.llm.profiles import CLAUDE_35_SONNET
+
+
+def _functional_pct(runner, suite):
+    result = runner.run_config(CLAUDE_35_SONNET, Language.VERILOG)
+    return result.aivril_functional_pct, result
+
+
+def test_ablation_weak_self_testbench(benchmark, bench_suite):
+    """VeriAssist's failure mode: a thin self-generated testbench.
+
+    A weak testbench makes the *functional loop* blind to defects it does
+    not cover — the pipeline reports success, the hidden golden testbench
+    disagrees. The pass rate judged by the golden TB must not improve, and
+    self-reported convergence becomes untrustworthy.
+    """
+    full_runner = ExperimentRunner(suite=bench_suite)
+    weak_runner = ExperimentRunner(
+        suite=bench_suite, testbench_quality="weak"
+    )
+
+    def sweep():
+        full_pct, _ = _functional_pct(full_runner, bench_suite)
+        weak_pct, _ = _functional_pct(weak_runner, bench_suite)
+        return full_pct, weak_pct
+
+    full_pct, weak_pct = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"# Self-testbench quality ablation ({len(bench_suite)} problems)")
+    print(f"comprehensive self-TB: pass@1_F = {full_pct:.2f}%")
+    print(f"weak self-TB (6 cases): pass@1_F = {weak_pct:.2f}%")
+    assert weak_pct <= full_pct
+
+
+def test_ablation_testbench_first(benchmark, bench_suite):
+    """AIVRIL2's testbench-first methodology vs RTL-first generation."""
+    tb_first = ExperimentRunner(suite=bench_suite, testbench_first=True)
+    rtl_first = ExperimentRunner(suite=bench_suite, testbench_first=False)
+
+    def sweep():
+        a, _ = _functional_pct(tb_first, bench_suite)
+        b, _ = _functional_pct(rtl_first, bench_suite)
+        return a, b
+
+    first_pct, last_pct = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"# Testbench-first ablation ({len(bench_suite)} problems)")
+    print(f"testbench-first (AIVRIL2): pass@1_F = {first_pct:.2f}%")
+    print(f"RTL-first (AIVRIL-style):  pass@1_F = {last_pct:.2f}%")
+    # both converge to the same fixpoint here (the synthetic model's TB is
+    # order-independent); the paper's argument is about complexity, which
+    # shows up as extra latency, not extra failures
+    assert first_pct >= last_pct
+
+
+def test_ablation_iteration_caps(benchmark, bench_suite):
+    """Loop-cap sensitivity: too few iterations leave repairs unfinished."""
+    generous = ExperimentRunner(
+        suite=bench_suite, max_syntax_iterations=6, max_functional_iterations=6
+    )
+    starved = ExperimentRunner(
+        suite=bench_suite, max_syntax_iterations=1, max_functional_iterations=1
+    )
+
+    def sweep():
+        a, _ = _functional_pct(generous, bench_suite)
+        b, _ = _functional_pct(starved, bench_suite)
+        return a, b
+
+    generous_pct, starved_pct = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    print()
+    print(f"# Iteration-cap ablation ({len(bench_suite)} problems)")
+    print(f"caps 6/6: pass@1_F = {generous_pct:.2f}%")
+    print(f"caps 1/1: pass@1_F = {starved_pct:.2f}%")
+    assert starved_pct <= generous_pct

@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the substrate: frontends, simulator, toolchain.
+
+These track the cost of the pieces everything else is built on — useful for
+spotting regressions when extending the language subsets.
+"""
+
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+from repro.evalsuite.suite import build_suite
+from repro.llm.profiles import CLAUDE_35_SONNET
+from repro.llm.synthetic import build_defect_plan
+from repro.verilog.parser import parse_verilog
+from repro.vhdl.parser import parse_vhdl
+
+COUNTER_V = """
+module counter #(parameter WIDTH = 8) (
+    input clk, input rst, input en,
+    output reg [WIDTH-1:0] count
+);
+    always @(posedge clk) begin
+        if (rst) count <= 0;
+        else if (en) count <= count + 1;
+    end
+endmodule
+"""
+
+TB_V = """
+module tb;
+    reg clk, rst, en; wire [7:0] count;
+    counter dut(.clk(clk), .rst(rst), .en(en), .count(count));
+    initial begin
+        clk = 0; rst = 1; en = 0;
+        repeat (2) begin #5 clk = 1; #5 clk = 0; end
+        rst = 0; en = 1;
+        repeat (200) begin #5 clk = 1; #5 clk = 0; end
+        if (count == 8'd200) $display("All tests passed successfully!");
+        $finish;
+    end
+endmodule
+"""
+
+COUNTER_VHD = """
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity counter is
+    port (clk : in std_logic; rst : in std_logic; en : in std_logic;
+          count : out std_logic_vector(7 downto 0));
+end entity;
+architecture rtl of counter is
+    signal cnt : unsigned(7 downto 0);
+begin
+    process(clk) begin
+        if rising_edge(clk) then
+            if rst = '1' then cnt <= (others => '0');
+            elsif en = '1' then cnt <= cnt + 1; end if;
+        end if;
+    end process;
+    count <= std_logic_vector(cnt);
+end architecture;
+"""
+
+
+def test_parse_verilog_module(benchmark):
+    unit, collector = benchmark(parse_verilog, COUNTER_V)
+    assert not collector.has_errors
+
+
+def test_parse_vhdl_entity(benchmark):
+    design, collector = benchmark(parse_vhdl, COUNTER_VHD)
+    assert not collector.has_errors
+
+
+def test_compile_verilog(benchmark):
+    toolchain = Toolchain()
+    files = [HdlFile("c.v", COUNTER_V + TB_V, Language.VERILOG)]
+    result = benchmark(toolchain.compile, files, "tb")
+    assert result.ok
+
+
+def test_simulate_200_cycles(benchmark):
+    toolchain = Toolchain()
+    files = [HdlFile("c.v", COUNTER_V + TB_V, Language.VERILOG)]
+    result = benchmark(toolchain.simulate, files, "tb")
+    assert result.ok
+    assert any("All tests passed" in l for l in result.output_lines)
+
+
+def test_build_suite_cached(benchmark):
+    suite = benchmark(build_suite)
+    assert len(suite) == 156
+
+
+def test_build_defect_plan(benchmark, full_suite):
+    plans = benchmark(
+        build_defect_plan, CLAUDE_35_SONNET, Language.VERILOG, full_suite
+    )
+    assert len(plans) == 156
+
+
+def test_golden_tb_simulation(benchmark, full_suite):
+    problem = full_suite.get("counter8")
+    toolchain = Toolchain()
+    files = [
+        HdlFile("top_module.v", problem.reference[Language.VERILOG],
+                Language.VERILOG),
+        HdlFile("tb.v", problem.golden_tb[Language.VERILOG], Language.VERILOG),
+    ]
+    result = benchmark(toolchain.simulate, files, "tb")
+    assert result.ok

@@ -1,0 +1,26 @@
+"""Extension bench: multi-sample pass@k curves (verification vs resampling).
+
+Quantifies the paper's implicit claim that one verified generation beats
+many unverified tries: an AIVRIL2 run at k = 1 is compared against the
+baseline's best-of-n pass@k.
+"""
+
+from repro.eda.toolchain import Language
+from repro.eval.sampling import render_passk_curve, run_sampling_experiment
+from repro.llm.profiles import CLAUDE_35_SONNET
+
+
+def test_passk_curves(benchmark, bench_suite):
+    def sweep():
+        return run_sampling_experiment(
+            CLAUDE_35_SONNET, Language.VERILOG, bench_suite, samples=3
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"# pass@k extension on {len(bench_suite)} problems")
+    print(render_passk_curve(result))
+    # shape: pass@k grows with k, and AIVRIL2 dominates at equal k
+    assert result.baseline_pass_at(3) >= result.baseline_pass_at(1)
+    for k in (1, 2, 3):
+        assert result.aivril_pass_at(k) >= result.baseline_pass_at(k)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Experiment benches run on a subset of the suite by default so a
+``pytest benchmarks/ --benchmark-only`` sweep stays in minutes; set
+``REPRO_BENCH_PROBLEMS=156`` (or any count) to scale up —
+``examples/reproduce_table1.py`` & friends run the genuine full-suite
+experiments and are the source of the numbers in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.evalsuite.suite import build_suite
+
+DEFAULT_BENCH_PROBLEMS = 24
+
+
+def bench_problem_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_PROBLEMS", DEFAULT_BENCH_PROBLEMS))
+
+
+@pytest.fixture(scope="session")
+def full_suite():
+    return build_suite()
+
+
+@pytest.fixture(scope="session")
+def bench_suite(full_suite):
+    count = bench_problem_count()
+    if count >= len(full_suite):
+        return full_suite
+    return full_suite.head(count)

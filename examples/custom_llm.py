@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""LLM-agnosticism demo: plugging a custom client into the pipeline.
+
+AIVRIL2's agents only require the `LLMClient` protocol (a `name` and a
+`complete(messages) -> LLMResponse`). This example writes a tiny hand-rolled
+"model" — it answers every prompt from a fixed playbook — and drives the
+full pipeline with it. Swapping in an API-backed client (OpenAI, Anthropic,
+a local server) means implementing the same two members.
+
+Usage:
+    python examples/custom_llm.py
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Aivril2Pipeline
+from repro.eda.toolchain import Language, Toolchain
+from repro.llm import protocol
+from repro.llm.interface import ChatMessage, LLMResponse
+
+SPEC = (
+    "Implement a 2-input AND gate named top_module with single-bit inputs "
+    "a and b and output y."
+)
+
+TESTBENCH = """
+module tb;
+    reg a, b; wire y;
+    integer errors;
+    top_module dut(.a(a), .b(b), .y(y));
+    initial begin
+        errors = 0;
+        a = 0; b = 0; #5;
+        if (y !== 1'b0) begin
+            $display("Test Case 1 Failed: y should be 0"); errors = errors + 1;
+        end
+        a = 1; b = 1; #5;
+        if (y !== 1'b1) begin
+            $display("Test Case 2 Failed: y should be 1"); errors = errors + 1;
+        end
+        if (errors == 0) $display("All tests passed successfully!");
+        $finish;
+    end
+endmodule
+"""
+
+#: first RTL attempt has a deliberate syntax error; the fix is clean
+RTL_WITH_TYPO = "module top_module(input a, input b, output y);\n" \
+    "    assign y = a & b\n" \
+    "endmodule\n"
+RTL_FIXED = "module top_module(input a, input b, output y);\n" \
+    "    assign y = a & b;\n" \
+    "endmodule\n"
+
+
+class PlaybookLLM:
+    """A minimal LLMClient: answers by task type, like a very stubborn intern."""
+
+    name = "playbook-llm"
+
+    def __init__(self):
+        self.fix_requests = 0
+
+    def complete(self, messages: list[ChatMessage]) -> LLMResponse:
+        prompt = messages[-1].content
+        task = protocol.detect_task(prompt)
+        if task == protocol.TASK_TESTBENCH:
+            return LLMResponse(text=TESTBENCH, latency_seconds=1.0)
+        if task == protocol.TASK_RTL:
+            return LLMResponse(text=RTL_WITH_TYPO, latency_seconds=2.0)
+        if task == protocol.TASK_FIX_SYNTAX:
+            self.fix_requests += 1
+            return LLMResponse(text=RTL_FIXED, latency_seconds=1.5)
+        if task in (protocol.TASK_ANALYZE_COMPILE, protocol.TASK_ANALYZE_SIM):
+            return LLMResponse(
+                text="There is a missing semicolon after the assignment.",
+                latency_seconds=0.5,
+            )
+        return LLMResponse(text=RTL_FIXED, latency_seconds=1.0)
+
+
+def main() -> None:
+    llm = PlaybookLLM()
+    pipeline = Aivril2Pipeline(
+        llm, Toolchain(), PipelineConfig(language=Language.VERILOG)
+    )
+    result = pipeline.run(SPEC)
+    print(
+        f"converged={result.converged} after "
+        f"{result.syntax_iterations} syntax round(s); the custom client "
+        f"received {llm.fix_requests} fix request(s)."
+    )
+    print("\nWhat the Review Agent told the Code Agent:")
+    for step in result.transcript.by_agent("CodeAgent"):
+        if "missing semicolon" in step.content:
+            print("  ...", step.content.splitlines()[0][:70])
+            break
+    print("\nFinal RTL:")
+    print(result.rtl)
+
+
+if __name__ == "__main__":
+    main()

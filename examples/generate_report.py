@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Generate a Markdown reproduction report (all tables + figure + detail).
+
+Usage:
+    python examples/generate_report.py [--out report.md] [--quick]
+"""
+
+import argparse
+import time
+
+from repro.eval.report import render_report, write_report
+from repro.eval.runner import ExperimentRunner
+from repro.evalsuite.suite import build_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="report.md")
+    parser.add_argument("--quick", action="store_true",
+                        help="36-problem subset")
+    args = parser.parse_args()
+
+    suite = build_suite()
+    if args.quick:
+        suite = suite.head(36)
+    runner = ExperimentRunner(suite=suite)
+    started = time.time()
+    results = runner.run_all()
+    elapsed = time.time() - started
+
+    write_report(
+        results,
+        args.out,
+        problem_count=len(suite),
+        wall_seconds=elapsed,
+    )
+    print(f"wrote {args.out} ({len(suite)} problems, {elapsed:.0f}s sweep)")
+    print()
+    print(render_report(results, problem_count=len(suite),
+                        wall_seconds=elapsed)[:800] + "…")
+
+
+if __name__ == "__main__":
+    main()

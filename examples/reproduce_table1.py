@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1: pass-rate summary for 3 models x 2 languages.
+
+Runs the paper's full evaluation protocol — a zero-shot baseline and a full
+AIVRIL2 pipeline run for every problem of the 156-problem suite, under each
+simulated model, in Verilog and VHDL — then renders the table.
+
+Usage:
+    python examples/reproduce_table1.py            # full suite (~4 minutes)
+    python examples/reproduce_table1.py --quick    # first 36 problems
+"""
+
+import argparse
+import time
+
+from repro.eval.runner import ExperimentRunner
+from repro.eval.tables import render_table1
+from repro.evalsuite.suite import build_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run on a 36-problem subset (rates then deviate from Table 1 "
+        "because the defect plan is calibrated for the full suite)",
+    )
+    args = parser.parse_args()
+
+    suite = build_suite()
+    if args.quick:
+        suite = suite.head(36)
+    runner = ExperimentRunner(suite=suite)
+    started = time.time()
+    results = runner.run_all()
+    elapsed = time.time() - started
+
+    print(f"# Table 1 (paper: Table 1), {len(suite)} problems, "
+          f"{elapsed:.0f}s wall clock\n")
+    print(render_table1(results))
+    print(
+        "\nPaper reference values: AIVRIL2 pass@1_F of 77 (Verilog) and 66 "
+        "(VHDL) with Claude 3.5 Sonnet; average dF 38.28 (Verilog) and "
+        ">> 69.44 (VHDL)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a complete reproduction of AIVRIL2 (DATE 2025).
+
+*EDA-Aware RTL Generation with Large Language Models*: a self-verifying,
+LLM-agnostic, language-agnostic multi-agent framework that iteratively
+corrects syntax and functional errors in LLM-generated RTL through real
+EDA-tool feedback — plus every substrate it needs, implemented from scratch
+in pure Python (Verilog + VHDL frontends, an event-driven simulator, a
+156-problem dual-language benchmark suite, calibrated synthetic LLMs, and
+the full evaluation harness for the paper's tables and figures).
+
+Entry points:
+
+- :func:`repro.evalsuite.build_suite` — the benchmark suite;
+- :class:`repro.core.Aivril2Pipeline` — the two-loop agentic pipeline;
+- :class:`repro.llm.SyntheticDesignLLM` / :func:`repro.llm.profile_for` —
+  the simulated models (swap in any ``LLMClient``);
+- :class:`repro.eval.ExperimentRunner` — the Table 1/2 + Figure 3 sweeps;
+- ``python -m repro`` — the command-line interface.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,35 @@
+"""The AIVRIL2 multi-agent system.
+
+Three specialized, ReAct-style agents cooperate around the EDA toolchain:
+
+* :class:`CodeAgent` — the only source of code: generates the testbench
+  first, then the RTL, and applies corrective prompts; keeps a version
+  history with rollback.
+* :class:`ReviewAgent` — drives the Syntax Optimization loop: compiles,
+  parses the compile log (error codes, line numbers, snippets), and builds
+  actionable corrective prompts.
+* :class:`VerificationAgent` — drives the Functional Optimization loop:
+  simulates against the frozen testbench, parses failing test cases, and
+  builds corrective prompts.
+
+All LLM traffic flows through the :class:`~repro.llm.interface.LLMClient`
+protocol, keeping the framework LLM-agnostic, and all EDA feedback is plain
+log text, keeping it tool-agnostic.
+"""
+
+from repro.agents.base import Agent, AgentStep, Transcript
+from repro.agents.code_agent import CodeAgent, CodeVersion
+from repro.agents.review_agent import ReviewAgent, ReviewOutcome
+from repro.agents.verification_agent import VerificationAgent, VerifyOutcome
+
+__all__ = [
+    "Agent",
+    "AgentStep",
+    "Transcript",
+    "CodeAgent",
+    "CodeVersion",
+    "ReviewAgent",
+    "ReviewOutcome",
+    "VerificationAgent",
+    "VerifyOutcome",
+]

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — enumerate benchmark problems (optionally one family);
+* ``show`` — print a problem's spec, reference, or golden testbench;
+* ``run`` — run the AIVRIL2 pipeline on one problem with a simulated model;
+* ``sweep`` — run the paper's experiments and print Table 1/2 or Figure 3;
+* ``validate`` — check suite integrity (reference passes, mutations behave).
+
+Everything the CLI does is also available as a library API; the CLI exists
+so the artifacts can be regenerated without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Aivril2Pipeline
+from repro.eda.toolchain import Language, Toolchain
+from repro.eval.figures import render_figure3
+from repro.eval.runner import ExperimentRunner
+from repro.eval.tables import render_table1, render_table2
+from repro.evalsuite.suite import build_suite
+from repro.evalsuite.validate import run_golden_tb, validate_problem
+from repro.llm.profiles import PROFILES, profile_for
+from repro.llm.synthetic import SyntheticDesignLLM
+
+
+def _language(text: str) -> Language:
+    try:
+        return Language(text.lower())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown language {text!r}; choose 'verilog' or 'vhdl'"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AIVRIL2 reproduction: EDA-aware RTL generation harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list benchmark problems")
+    list_cmd.add_argument("--family", help="restrict to one family")
+
+    show = sub.add_parser("show", help="print one problem's artifacts")
+    show.add_argument("problem")
+    show.add_argument(
+        "--what",
+        choices=["spec", "reference", "testbench"],
+        default="spec",
+    )
+    show.add_argument("--language", type=_language, default=Language.VERILOG)
+
+    run = sub.add_parser("run", help="run the pipeline on one problem")
+    run.add_argument("problem")
+    run.add_argument(
+        "--model",
+        default="claude-3.5-sonnet",
+        help="simulated model: " + ", ".join(p.name for p in PROFILES),
+    )
+    run.add_argument("--language", type=_language, default=Language.VERILOG)
+    run.add_argument(
+        "--transcript", action="store_true", help="print the agent transcript"
+    )
+
+    sweep = sub.add_parser("sweep", help="run the paper's experiments")
+    sweep.add_argument(
+        "--artifact",
+        choices=["table1", "table2", "figure3"],
+        default="table1",
+    )
+    sweep.add_argument(
+        "--limit", type=int, default=0,
+        help="restrict to the first N problems (0 = full suite)",
+    )
+
+    validate = sub.add_parser("validate", help="check suite integrity")
+    validate.add_argument("--limit", type=int, default=0)
+    validate.add_argument("--language", type=_language, default=None)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list(args, out) -> int:
+    suite = build_suite()
+    families = suite.families
+    for family, problems in families.items():
+        if args.family and family != args.family:
+            continue
+        out.write(f"{family} ({len(problems)} problems)\n")
+        for problem in problems:
+            kind = "seq " if problem.clocked else "comb"
+            out.write(f"  {problem.pid:<24} [{kind}] {problem.prompt[:60]}\n")
+    if args.family and args.family not in families:
+        out.write(f"unknown family {args.family!r}; "
+                  f"known: {', '.join(sorted(families))}\n")
+        return 1
+    return 0
+
+
+def _cmd_show(args, out) -> int:
+    suite = build_suite()
+    try:
+        problem = suite.get(args.problem)
+    except KeyError as exc:
+        out.write(f"{exc}\n")
+        return 1
+    if args.what == "spec":
+        out.write(problem.prompt + "\n")
+    elif args.what == "reference":
+        out.write(problem.reference[args.language])
+    else:
+        out.write(problem.golden_tb[args.language])
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    suite = build_suite()
+    try:
+        problem = suite.get(args.problem)
+        profile = profile_for(args.model)
+    except KeyError as exc:
+        out.write(f"{exc}\n")
+        return 1
+    llm = SyntheticDesignLLM(profile, suite)
+    toolchain = Toolchain()
+    pipeline = Aivril2Pipeline(
+        llm, toolchain, PipelineConfig(language=args.language)
+    )
+    result = pipeline.run(problem.prompt)
+    if args.transcript:
+        out.write(result.transcript.render() + "\n\n")
+    passed, _ = run_golden_tb(problem, args.language, result.rtl, toolchain)
+    out.write(
+        f"problem={problem.pid} model={profile.name} "
+        f"language={args.language.value}\n"
+        f"syntax_ok={result.syntax_ok} functional_ok={result.functional_ok} "
+        f"golden_tb={'PASS' if passed else 'FAIL'}\n"
+        f"iterations: syntax={result.syntax_iterations} "
+        f"functional={result.functional_iterations}\n"
+        f"modeled latency: {result.latency.total:.2f}s "
+        f"(gen {result.latency.generation_llm:.2f}, "
+        f"syntax {result.latency.syntax_loop:.2f}, "
+        f"functional {result.latency.functional_loop:.2f})\n"
+    )
+    return 0 if passed else 2
+
+
+def _cmd_sweep(args, out) -> int:
+    suite = build_suite()
+    if args.limit:
+        suite = suite.head(args.limit)
+    runner = ExperimentRunner(suite=suite)
+    if args.artifact == "table2":
+        results = runner.run_all(languages=(Language.VERILOG,))
+        out.write(render_table2(results) + "\n")
+    else:
+        results = runner.run_all()
+        if args.artifact == "table1":
+            out.write(render_table1(results) + "\n")
+        else:
+            out.write(render_figure3(results) + "\n")
+    return 0
+
+
+def _cmd_validate(args, out) -> int:
+    suite = build_suite()
+    problems = suite.problems[: args.limit] if args.limit else suite.problems
+    languages = [args.language] if args.language else list(Language)
+    toolchain = Toolchain()
+    failures = 0
+    for problem in problems:
+        for language in languages:
+            report = validate_problem(problem, language, toolchain)
+            if not report.ok:
+                failures += 1
+                out.write(f"FAIL {problem.pid} [{language.value}]\n")
+                for issue in report.issues:
+                    out.write("  " + issue.splitlines()[0] + "\n")
+    out.write(
+        f"validated {len(problems)} problem(s) x {len(languages)} "
+        f"language(s): {failures} failure(s)\n"
+    )
+    return 0 if failures == 0 else 1
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

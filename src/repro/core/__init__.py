@@ -1,0 +1,21 @@
+"""AIVRIL2 core: the two-loop pipeline and its results.
+
+The pipeline wires the three agents (:mod:`repro.agents`) around the EDA
+toolchain (:mod:`repro.eda`): testbench-first generation, the Syntax
+Optimization loop (Review Agent), then the Functional Optimization loop
+(Verification Agent) against the frozen testbench. A plain single-shot
+baseline runner reproduces the paper's baseline rows.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Aivril2Pipeline, run_baseline
+from repro.core.result import BaselineResult, LatencyBreakdown, PipelineResult
+
+__all__ = [
+    "PipelineConfig",
+    "Aivril2Pipeline",
+    "run_baseline",
+    "BaselineResult",
+    "LatencyBreakdown",
+    "PipelineResult",
+]

@@ -1,0 +1,41 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eda.toolchain import Language
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the AIVRIL2 pipeline.
+
+    Defaults reflect the paper's setup; the ablation benchmarks toggle
+    ``testbench_first`` and ``freeze_testbench`` to measure the design
+    choices §2.2 argues for (testbench-first methodology; unbiased frozen
+    testbench across the functional loop).
+    """
+
+    language: Language = Language.VERILOG
+    #: iteration caps for the two optimization loops
+    max_syntax_iterations: int = 6
+    max_functional_iterations: int = 6
+    #: generate the testbench before the RTL (AIVRIL2) instead of after
+    #: (AIVRIL-style simultaneous generation)
+    testbench_first: bool = True
+    #: keep the same testbench across all functional iterations
+    freeze_testbench: bool = True
+    #: stop a loop early when the Code Agent returns byte-identical code —
+    #: a stuck model will never converge, so further rounds only burn time
+    stop_on_no_progress: bool = True
+    #: name the generated design must use (VerilogEval convention)
+    top_name: str = "top_module"
+    #: testbench module/entity name
+    tb_name: str = "tb"
+
+    def __post_init__(self) -> None:
+        if self.max_syntax_iterations < 1:
+            raise ValueError("max_syntax_iterations must be >= 1")
+        if self.max_functional_iterations < 1:
+            raise ValueError("max_functional_iterations must be >= 1")

@@ -1,0 +1,250 @@
+"""The AIVRIL2 pipeline: testbench-first generation plus two EDA-aware loops.
+
+Control flow (Fig. 1/Fig. 2 of the paper):
+
+1. The Code Agent checks the prompt is implementable (asking the user for
+   detail when it is not), writes the testbench, then the initial RTL.
+2. **Syntax Optimization loop** — Review Agent compiles RTL + testbench;
+   each failing compile becomes a corrective prompt the Code Agent answers
+   with a new RTL revision, until the compile is clean or the iteration cap
+   is hit.
+3. **Functional Optimization loop** — Verification Agent simulates the
+   frozen testbench; each failing run becomes a corrective prompt, until
+   all test cases pass or the cap is hit.
+
+The pipeline never judges functional success itself — that is the suite's
+(hidden) golden testbench's job in the evaluation harness — it reports what
+its own testbench observed, as the paper's tool does.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.agents.base import StepKind, Transcript
+from repro.agents.code_agent import CodeAgent
+from repro.agents.review_agent import ReviewAgent
+from repro.agents.verification_agent import VerificationAgent
+from repro.core.config import PipelineConfig
+from repro.core.result import (
+    BaselineResult,
+    LatencyBreakdown,
+    PipelineResult,
+    TokenUsage,
+)
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+from repro.llm import protocol
+from repro.llm.interface import LLMClient, LLMError
+
+
+class PipelineAborted(RuntimeError):
+    """The pipeline could not even produce initial code (LLM failure)."""
+
+
+class Aivril2Pipeline:
+    """Orchestrates the three agents for one design task."""
+
+    def __init__(
+        self,
+        llm: LLMClient,
+        toolchain: Toolchain | None = None,
+        config: PipelineConfig | None = None,
+        *,
+        clarify=None,
+    ):
+        self.llm = llm
+        self.toolchain = toolchain or Toolchain()
+        self.config = config or PipelineConfig()
+        self.clarify = clarify
+
+    # ------------------------------------------------------------------
+
+    def run(self, spec: str) -> PipelineResult:
+        """Execute the full two-loop flow for one specification."""
+        started = _time.perf_counter()
+        config = self.config
+        transcript = Transcript()
+        code_agent = CodeAgent(
+            self.llm, config.language, transcript, clarify=self.clarify
+        )
+        review_agent = ReviewAgent(
+            self.llm, self.toolchain, config.language, transcript
+        )
+        verification_agent = VerificationAgent(
+            self.llm, self.toolchain, config.language, transcript
+        )
+        latency = LatencyBreakdown()
+
+        spec = code_agent.ensure_specification(spec)
+        try:
+            if config.testbench_first:
+                testbench = code_agent.generate_testbench(spec)
+                rtl = code_agent.generate_rtl(spec, testbench)
+            else:
+                # AIVRIL-style: RTL first, testbench written afterwards
+                rtl = code_agent.generate_rtl(spec, testbench="")
+                testbench = code_agent.generate_testbench(spec)
+        except LLMError as exc:
+            # without initial code there is nothing to optimize
+            raise PipelineAborted(
+                f"the LLM failed before producing initial code: {exc}"
+            ) from exc
+        latency.generation_llm += code_agent.take_latency()
+
+        # ---------------- Syntax Optimization loop ----------------
+        syntax_ok = False
+        syntax_iterations = 0
+        try:
+            syntax_ok, syntax_iterations, rtl = self._syntax_loop(
+                spec, rtl, testbench, code_agent, review_agent, latency
+            )
+        except LLMError as exc:
+            transcript.record(
+                "ReviewAgent",
+                StepKind.OBSERVATION,
+                f"LLM failure during the syntax loop; stopping with the "
+                f"last code revision: {exc}",
+            )
+
+        # ---------------- Functional Optimization loop ----------------
+        functional_ok = False
+        functional_iterations = 0
+        if syntax_ok:
+            try:
+                functional_ok, functional_iterations, rtl, testbench = (
+                    self._functional_loop(
+                        spec, rtl, testbench, code_agent,
+                        verification_agent, latency,
+                    )
+                )
+            except LLMError as exc:
+                transcript.record(
+                    "VerificationAgent",
+                    StepKind.OBSERVATION,
+                    f"LLM failure during the functional loop; stopping with "
+                    f"the last code revision: {exc}",
+                )
+
+        agents = (code_agent, review_agent, verification_agent)
+        tokens = TokenUsage(
+            prompt_tokens=sum(a.prompt_tokens for a in agents),
+            completion_tokens=sum(a.completion_tokens for a in agents),
+            llm_calls=sum(a.llm_calls for a in agents),
+        )
+        return PipelineResult(
+            spec=spec,
+            rtl=rtl,
+            testbench=testbench,
+            syntax_ok=syntax_ok,
+            functional_ok=functional_ok,
+            syntax_iterations=syntax_iterations,
+            functional_iterations=functional_iterations,
+            latency=latency,
+            wall_seconds=_time.perf_counter() - started,
+            transcript=transcript,
+            versions=list(code_agent.versions),
+            tokens=tokens,
+        )
+
+    def _syntax_loop(
+        self, spec, rtl, testbench, code_agent, review_agent, latency
+    ) -> tuple[bool, int, str]:
+        """Run the Syntax Optimization loop; returns (ok, iterations, rtl)."""
+        config = self.config
+        syntax_ok = False
+        syntax_iterations = 0
+        for _ in range(config.max_syntax_iterations):
+            outcome = review_agent.review(self._files(rtl, testbench), config.tb_name)
+            latency.syntax_tool += outcome.tool_seconds
+            latency.syntax_llm += outcome.llm_seconds
+            if outcome.ok:
+                syntax_ok = True
+                break
+            syntax_iterations += 1
+            previous_rtl = rtl
+            rtl = code_agent.revise_rtl(
+                spec, outcome.corrective_prompt, kind="syntax"
+            )
+            latency.syntax_llm += code_agent.take_latency()
+            if config.stop_on_no_progress and rtl == previous_rtl:
+                code_agent.observe(
+                    "The revision is identical to the previous code; the "
+                    "syntax loop cannot make further progress."
+                )
+                break
+        else:
+            # cap hit: one final check so the report reflects the last code
+            outcome = review_agent.review(self._files(rtl, testbench), config.tb_name)
+            latency.syntax_tool += outcome.tool_seconds
+            latency.syntax_llm += outcome.llm_seconds
+            syntax_ok = outcome.ok
+        return syntax_ok, syntax_iterations, rtl
+
+    def _functional_loop(
+        self, spec, rtl, testbench, code_agent, verification_agent, latency
+    ) -> tuple[bool, int, str, str]:
+        """Run the Functional Optimization loop.
+
+        Returns (ok, iterations, rtl, testbench) — the testbench only
+        changes in the non-frozen ablation mode.
+        """
+        config = self.config
+        functional_ok = False
+        functional_iterations = 0
+        for _ in range(config.max_functional_iterations):
+            outcome = verification_agent.verify(
+                self._files(rtl, testbench), config.tb_name
+            )
+            latency.functional_tool += outcome.tool_seconds
+            latency.functional_llm += outcome.llm_seconds
+            if outcome.ok:
+                functional_ok = True
+                break
+            functional_iterations += 1
+            if not config.freeze_testbench:
+                # ablation: regenerate the testbench each round (the
+                # unstable-standard failure mode the paper warns about)
+                testbench = code_agent.generate_testbench(spec)
+                latency.functional_llm += code_agent.take_latency()
+            previous_rtl = rtl
+            rtl = code_agent.revise_rtl(
+                spec, outcome.corrective_prompt, kind="functional"
+            )
+            latency.functional_llm += code_agent.take_latency()
+            if config.stop_on_no_progress and rtl == previous_rtl:
+                code_agent.observe(
+                    "The revision is identical to the previous code; "
+                    "the functional loop cannot make further progress."
+                )
+                break
+        else:
+            outcome = verification_agent.verify(
+                self._files(rtl, testbench), config.tb_name
+            )
+            latency.functional_tool += outcome.tool_seconds
+            latency.functional_llm += outcome.llm_seconds
+            functional_ok = outcome.ok
+        return functional_ok, functional_iterations, rtl, testbench
+
+    def _files(self, rtl: str, testbench: str) -> list[HdlFile]:
+        ext = self.config.language.file_extension
+        return [
+            HdlFile(f"{self.config.top_name}{ext}", rtl, self.config.language),
+            HdlFile(f"{self.config.tb_name}{ext}", testbench, self.config.language),
+        ]
+
+
+def run_baseline(
+    llm: LLMClient, spec: str, language: Language
+) -> BaselineResult:
+    """The paper's baseline: one zero-shot RTL generation, no loops."""
+    started = _time.perf_counter()
+    transcript = Transcript()
+    code_agent = CodeAgent(llm, language, transcript)
+    rtl = code_agent.generate_rtl(spec, testbench="")
+    return BaselineResult(
+        spec=spec,
+        rtl=rtl,
+        latency_seconds=code_agent.llm_seconds,
+        wall_seconds=_time.perf_counter() - started,
+    )

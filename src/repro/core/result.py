@@ -1,0 +1,99 @@
+"""Run results and latency accounting.
+
+The latency breakdown mirrors Figure 3 of the paper: a generation component
+plus one component per optimization loop, each split into LLM time and EDA
+tool time. All numbers come from the deterministic latency model (LLM call
+latencies from the capability profiles, tool latencies from the toolchain's
+workload model), with wall-clock kept alongside for transparency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.base import Transcript
+from repro.agents.code_agent import CodeVersion
+
+
+@dataclass
+class LatencyBreakdown:
+    """Modeled seconds spent per pipeline stage."""
+
+    generation_llm: float = 0.0  # testbench + initial RTL calls
+    syntax_llm: float = 0.0
+    syntax_tool: float = 0.0
+    functional_llm: float = 0.0
+    functional_tool: float = 0.0
+
+    @property
+    def syntax_loop(self) -> float:
+        return self.syntax_llm + self.syntax_tool
+
+    @property
+    def functional_loop(self) -> float:
+        return self.functional_llm + self.functional_tool
+
+    @property
+    def total(self) -> float:
+        return self.generation_llm + self.syntax_loop + self.functional_loop
+
+    def add(self, other: "LatencyBreakdown") -> None:
+        self.generation_llm += other.generation_llm
+        self.syntax_llm += other.syntax_llm
+        self.syntax_tool += other.syntax_tool
+        self.functional_llm += other.functional_llm
+        self.functional_tool += other.functional_tool
+
+    def scaled(self, factor: float) -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            generation_llm=self.generation_llm * factor,
+            syntax_llm=self.syntax_llm * factor,
+            syntax_tool=self.syntax_tool * factor,
+            functional_llm=self.functional_llm * factor,
+            functional_tool=self.functional_tool * factor,
+        )
+
+
+@dataclass
+class TokenUsage:
+    """LLM token accounting per agent, for cost reporting with real clients."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    llm_calls: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass
+class PipelineResult:
+    """Everything one AIVRIL2 run produced."""
+
+    spec: str
+    rtl: str
+    testbench: str
+    syntax_ok: bool
+    functional_ok: bool  # judged by the (self-generated) frozen testbench
+    syntax_iterations: int  # corrective rounds issued by the Review Agent
+    functional_iterations: int  # corrective rounds issued by the Verifier
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    wall_seconds: float = 0.0
+    transcript: Transcript = field(default_factory=Transcript)
+    versions: list[CodeVersion] = field(default_factory=list)
+    tokens: TokenUsage = field(default_factory=TokenUsage)
+
+    @property
+    def converged(self) -> bool:
+        return self.syntax_ok and self.functional_ok
+
+
+@dataclass
+class BaselineResult:
+    """One zero-shot generation (no optimization loops)."""
+
+    spec: str
+    rtl: str
+    latency_seconds: float = 0.0
+    wall_seconds: float = 0.0

@@ -1,0 +1,30 @@
+"""Language-neutral design descriptions and paired HDL generation.
+
+Every benchmark problem is described once — ports, a Python reference model,
+a natural-language spec — and realized twice (Verilog and VHDL): reference
+implementation, golden testbench, and a defect catalog (syntax and functional
+mutations) for the synthetic LLM. This mirrors how the paper evaluates the
+same 156 VerilogEval-Human tasks in both languages.
+"""
+
+from repro.designs.model import (
+    CombModel,
+    DesignSpec,
+    PortSpec,
+    SeqModel,
+)
+from repro.designs.vectors import comb_vectors, seq_stimulus
+from repro.designs.tbgen import make_testbench
+from repro.designs.mutations import Mutation, apply_mutation
+
+__all__ = [
+    "CombModel",
+    "DesignSpec",
+    "PortSpec",
+    "SeqModel",
+    "comb_vectors",
+    "seq_stimulus",
+    "make_testbench",
+    "Mutation",
+    "apply_mutation",
+]

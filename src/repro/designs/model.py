@@ -1,0 +1,150 @@
+"""Design specifications and Python reference models.
+
+A :class:`DesignSpec` captures the interface of one benchmark problem; the
+reference model (:class:`CombModel` or :class:`SeqModel`) captures its exact
+behaviour in plain Python. Testbenches for both languages are generated from
+the model's predictions, so Verilog and VHDL judge the same input/output
+contract — the property that makes the paper's cross-language comparison
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: the module/entity name every problem uses, as VerilogEval fixes `top_module`
+TOP_NAME = "top_module"
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """One port of the design under test."""
+
+    name: str
+    width: int
+    direction: str  # "in" | "out"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out"):
+            raise ValueError(f"bad direction {self.direction!r} for {self.name}")
+        if self.width <= 0:
+            raise ValueError(f"bad width {self.width} for {self.name}")
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Interface of one problem: data ports plus clock/reset convention.
+
+    Sequential designs implicitly carry ``clk`` and, when ``has_reset`` is
+    set, a synchronous active-high ``rst`` as their first ports; the data
+    ports listed here exclude both.
+    """
+
+    name: str
+    ports: tuple[PortSpec, ...]
+    clocked: bool = False
+    has_reset: bool = True  # only meaningful when clocked
+
+    @property
+    def inputs(self) -> tuple[PortSpec, ...]:
+        return tuple(p for p in self.ports if p.direction == "in")
+
+    @property
+    def outputs(self) -> tuple[PortSpec, ...]:
+        return tuple(p for p in self.ports if p.direction == "out")
+
+    @property
+    def input_bits(self) -> int:
+        return sum(p.width for p in self.inputs)
+
+    def port(self, name: str) -> PortSpec:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"no port {name!r} in design {self.name!r}")
+
+
+@dataclass
+class CombModel:
+    """Reference model of a combinational design.
+
+    ``fn`` maps an input-name→int dict to an output-name→int dict. Values are
+    plain unsigned ints; the caller masks to port width.
+    """
+
+    fn: Callable[[dict[str, int]], dict[str, int]]
+
+    def evaluate(self, spec: DesignSpec, inputs: dict[str, int]) -> dict[str, int]:
+        outputs = self.fn(dict(inputs))
+        return {
+            p.name: outputs[p.name] & ((1 << p.width) - 1) for p in spec.outputs
+        }
+
+
+@dataclass
+class SeqModel:
+    """Reference model of a synchronous design.
+
+    * ``reset`` returns the post-reset state (any hashable value).
+    * ``step(state, inputs)`` returns ``(next_state, outputs)`` — the outputs
+      observed *after* the clock edge, with the cycle's inputs still applied
+      (Moore outputs depend on next_state only; registered-Mealy outputs may
+      also use the held inputs).
+    """
+
+    reset: Callable[[], object]
+    step: Callable[[object, dict[str, int]], tuple[object, dict[str, int]]]
+
+    def run(
+        self, spec: DesignSpec, stimulus: list[dict[str, int]]
+    ) -> list[dict[str, int]]:
+        """Expected outputs for each cycle of the stimulus."""
+        state = self.reset()
+        expected: list[dict[str, int]] = []
+        for inputs in stimulus:
+            state, outputs = self.step(state, dict(inputs))
+            expected.append(
+                {
+                    p.name: outputs[p.name] & ((1 << p.width) - 1)
+                    for p in spec.outputs
+                }
+            )
+        return expected
+
+
+def mask(value: int, width: int) -> int:
+    """Truncate an int to *width* bits (two's-complement wrap for negatives)."""
+    return value & ((1 << width) - 1)
+
+
+@dataclass
+class ProblemDefinition:
+    """Everything the suite needs to realize one benchmark problem.
+
+    Produced by the family generators in :mod:`repro.evalsuite.generators`;
+    consumed by the suite builder, which attaches generated testbenches and
+    validates the defect catalogs.
+    """
+
+    pid: str
+    family: str
+    spec: DesignSpec
+    prompt: str  # the natural-language task given to the Code Agent
+    reference_verilog: str
+    reference_vhdl: str
+    model: CombModel | SeqModel
+    #: defect catalogs per language; see repro.designs.mutations
+    syntax_mutations_verilog: list = field(default_factory=list)
+    syntax_mutations_vhdl: list = field(default_factory=list)
+    functional_mutations_verilog: list = field(default_factory=list)
+    functional_mutations_vhdl: list = field(default_factory=list)
+    #: extra stimulus cycles/vectors beyond the default policy (sequential:
+    #: directed cycles inserted right after reset; combinational: appended)
+    extra_vectors: list[dict[str, int]] = field(default_factory=list)
+    #: for sequential problems: length of the random stimulus tail
+    random_cycles: int = 24
+    #: expected outputs immediately after reset (checked as "Test Case 0"
+    #: before any stimulus) — catches wrong-reset-value defects that the
+    #: first stimulus edge would otherwise overwrite
+    reset_outputs: dict[str, int] | None = None

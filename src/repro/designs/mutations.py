@@ -1,0 +1,96 @@
+"""Defect catalogs: syntax and functional mutations of reference sources.
+
+The synthetic LLM expresses model-dependent *capability* by injecting defects
+from these catalogs into the reference implementation. A mutation is a
+single-occurrence textual substitution with an intent label:
+
+* **syntax** mutations must make the source fail compilation (the Review
+  Agent's territory);
+* **functional** mutations must compile cleanly but fail the golden
+  testbench (the Verification Agent's territory).
+
+The suite validator (`repro.evalsuite.validate`) enforces both properties
+for every catalog entry in both languages, so experiments never depend on a
+mutation that the loops could not possibly observe.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class MutationError(ValueError):
+    """A mutation's anchor is missing or ambiguous in the reference source."""
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One reversible defect: replace `find` (unique) with `replace`."""
+
+    kind: str  # "syntax" | "functional"
+    description: str  # human-readable defect description (shows up in tests)
+    find: str
+    replace: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("syntax", "functional"):
+            raise ValueError(f"bad mutation kind {self.kind!r}")
+        if self.find == self.replace:
+            raise ValueError(f"mutation {self.description!r} changes nothing")
+
+
+def _flex_pattern(find: str) -> re.Pattern:
+    """Whitespace-tolerant pattern: any whitespace run matches any other.
+
+    Multi-line anchors would otherwise be hostage to the exact indentation
+    the skeleton emitters produce.
+    """
+    parts = [re.escape(tok) for tok in re.split(r"\s+", find.strip()) if tok]
+    return re.compile(r"\s+".join(parts))
+
+
+def apply_mutation(source: str, mutation: Mutation) -> str:
+    """Apply one mutation; raises :class:`MutationError` on bad anchors.
+
+    Exact-match replacement is preferred; when the anchor spans reformatted
+    lines, a whitespace-tolerant match is attempted. Either way the anchor
+    must be unique in the source.
+    """
+    count = source.count(mutation.find)
+    if count == 1:
+        return source.replace(mutation.find, mutation.replace, 1)
+    if count > 1:
+        raise MutationError(
+            f"anchor {mutation.find!r} is ambiguous ({count} occurrences) for "
+            f"mutation {mutation.description!r}"
+        )
+    pattern = _flex_pattern(mutation.find)
+    matches = list(pattern.finditer(source))
+    if not matches:
+        raise MutationError(
+            f"anchor {mutation.find!r} not found for mutation "
+            f"{mutation.description!r}"
+        )
+    if len(matches) > 1:
+        raise MutationError(
+            f"anchor {mutation.find!r} is ambiguous ({len(matches)} loose "
+            f"matches) for mutation {mutation.description!r}"
+        )
+    start, end = matches[0].span()
+    return source[:start] + mutation.replace + source[end:]
+
+
+def apply_mutations(source: str, mutations: list[Mutation]) -> str:
+    """Apply several mutations in order (later anchors see earlier edits)."""
+    for mutation in mutations:
+        source = apply_mutation(source, mutation)
+    return source
+
+
+def syntax(description: str, find: str, replace: str) -> Mutation:
+    return Mutation("syntax", description, find, replace)
+
+
+def functional(description: str, find: str, replace: str) -> Mutation:
+    return Mutation("functional", description, find, replace)

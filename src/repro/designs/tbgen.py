@@ -1,0 +1,330 @@
+"""Golden-testbench generation for both languages.
+
+Given a :class:`~repro.designs.model.DesignSpec`, a reference model, and the
+stimulus from :mod:`repro.designs.vectors`, :func:`make_testbench` emits a
+self-checking testbench whose failure messages follow the paper's format
+("Test Case N Failed: <signal> should be <value>") and whose success message
+is the exact string the Verification Agent looks for ("All tests passed
+successfully!"). The same stimulus and expectations are rendered into both
+languages, so a functional defect is detected identically in each flow.
+"""
+
+from __future__ import annotations
+
+from repro.designs.model import (
+    CombModel,
+    DesignSpec,
+    SeqModel,
+    TOP_NAME,
+)
+from repro.designs.vectors import comb_vectors, seq_stimulus
+from repro.eda.toolchain import Language
+
+PASS_MESSAGE = "All tests passed successfully!"
+TB_NAME = "tb"
+
+#: settle time between driving combinational inputs and checking outputs (ns)
+SETTLE_NS = 5
+#: half clock period for sequential testbenches (ns)
+HALF_PERIOD_NS = 5
+#: reset cycles applied before stimulus
+RESET_CYCLES = 2
+
+
+def verilog_literal(value: int, width: int) -> str:
+    return f"{width}'d{value & ((1 << width) - 1)}"
+
+
+def vhdl_literal(value: int, width: int) -> str:
+    value &= (1 << width) - 1
+    if width == 1:
+        return f"'{value}'"
+    return '"' + format(value, f"0{width}b") + '"'
+
+
+def make_testbench(
+    spec: DesignSpec,
+    model: CombModel | SeqModel,
+    language: Language,
+    pid: str,
+    *,
+    extra_vectors: list[dict[str, int]] | None = None,
+    random_cycles: int = 24,
+    reset_outputs: dict[str, int] | None = None,
+    max_cases: int | None = None,
+) -> str:
+    """Emit the golden testbench text for one problem in one language.
+
+    ``max_cases`` truncates the stimulus — used by the weak-self-testbench
+    ablation (the VeriAssist failure mode the paper discusses), never by the
+    golden suite.
+    """
+    if spec.clocked:
+        if not isinstance(model, SeqModel):
+            raise TypeError(f"{pid}: clocked design requires a SeqModel")
+        stimulus = seq_stimulus(spec, pid, random_cycles=random_cycles)
+        if extra_vectors:
+            stimulus = list(extra_vectors) + stimulus
+        if max_cases is not None:
+            stimulus = stimulus[:max_cases]
+        expected = model.run(spec, stimulus)
+        if language is Language.VERILOG:
+            return _verilog_seq_tb(spec, stimulus, expected, reset_outputs)
+        return _vhdl_seq_tb(spec, stimulus, expected, reset_outputs)
+    if not isinstance(model, CombModel):
+        raise TypeError(f"{pid}: combinational design requires a CombModel")
+    vectors = comb_vectors(spec, pid)
+    if extra_vectors:
+        vectors = vectors + list(extra_vectors)
+    if max_cases is not None:
+        vectors = vectors[:max_cases]
+    expectations = [model.evaluate(spec, v) for v in vectors]
+    if language is Language.VERILOG:
+        return _verilog_comb_tb(spec, vectors, expectations)
+    return _vhdl_comb_tb(spec, vectors, expectations)
+
+
+# --------------------------------------------------------------------------
+# Verilog
+# --------------------------------------------------------------------------
+
+
+def _v_decl(port, kind: str) -> str:
+    if port.width == 1:
+        return f"    {kind} {port.name};"
+    return f"    {kind} [{port.width - 1}:0] {port.name};"
+
+
+def _v_connections(spec: DesignSpec) -> str:
+    names = []
+    if spec.clocked:
+        names.append("clk")
+        if spec.has_reset:
+            names.append("rst")
+    names.extend(p.name for p in spec.ports)
+    return ", ".join(f".{n}({n})" for n in names)
+
+
+def _v_header(spec: DesignSpec) -> list[str]:
+    lines = ["module tb;"]
+    if spec.clocked:
+        lines.append("    reg clk;")
+        if spec.has_reset:
+            lines.append("    reg rst;")
+    for port in spec.inputs:
+        lines.append(_v_decl(port, "reg"))
+    for port in spec.outputs:
+        lines.append(_v_decl(port, "wire"))
+    lines.append("    integer errors;")
+    lines.append("")
+    lines.append(f"    {TOP_NAME} dut({_v_connections(spec)});")
+    lines.append("")
+    return lines
+
+
+def _v_checks(spec: DesignSpec, case_no: int, expected: dict[str, int],
+              suffix: str = "") -> list[str]:
+    lines = []
+    for port in spec.outputs:
+        want = expected[port.name]
+        literal = verilog_literal(want, port.width)
+        message = (
+            f"Test Case {case_no} Failed: {port.name} should be {want}{suffix}"
+        )
+        lines.append(f"        if ({port.name} !== {literal}) begin")
+        lines.append(
+            f'            $display("{message}, got %0d", {port.name});'
+        )
+        lines.append("            errors = errors + 1;")
+        lines.append("        end")
+    return lines
+
+
+def _v_footer() -> list[str]:
+    return [
+        "        if (errors == 0)",
+        f'            $display("{PASS_MESSAGE}");',
+        "        else",
+        '            $display("%0d test case(s) failed.", errors);',
+        "        $finish;",
+        "    end",
+        "endmodule",
+    ]
+
+
+def _verilog_comb_tb(spec, vectors, expectations) -> str:
+    lines = _v_header(spec)
+    lines.append("    initial begin")
+    lines.append("        errors = 0;")
+    for case_no, (vector, expected) in enumerate(
+        zip(vectors, expectations), start=1
+    ):
+        drives = " ".join(
+            f"{p.name} = {verilog_literal(vector[p.name], p.width)};"
+            for p in spec.inputs
+        )
+        if drives:
+            lines.append(f"        {drives}")
+        lines.append(f"        #{SETTLE_NS};")
+        lines.extend(_v_checks(spec, case_no, expected))
+    lines.extend(_v_footer())
+    return "\n".join(lines) + "\n"
+
+
+def _verilog_seq_tb(spec, stimulus, expected, reset_outputs=None) -> str:
+    lines = _v_header(spec)
+    lines.append("    initial begin")
+    lines.append("        errors = 0;")
+    lines.append("        clk = 0;")
+    if spec.has_reset:
+        lines.append("        rst = 1;")
+    zero_drive = " ".join(
+        f"{p.name} = {verilog_literal(0, p.width)};" for p in spec.inputs
+    )
+    if zero_drive:
+        lines.append(f"        {zero_drive}")
+    for _ in range(RESET_CYCLES):
+        lines.append(
+            f"        #{HALF_PERIOD_NS} clk = 1; #{HALF_PERIOD_NS} clk = 0;"
+        )
+    if spec.has_reset:
+        lines.append("        rst = 0;")
+    if reset_outputs is not None:
+        lines.extend(
+            _v_checks(spec, 0, reset_outputs, suffix=" right after reset")
+        )
+    for case_no, (vector, want) in enumerate(zip(stimulus, expected), start=1):
+        drives = " ".join(
+            f"{p.name} = {verilog_literal(vector[p.name], p.width)};"
+            for p in spec.inputs
+        )
+        if drives:
+            lines.append(f"        {drives}")
+        lines.append(
+            f"        #{HALF_PERIOD_NS} clk = 1; #{HALF_PERIOD_NS} clk = 0;"
+        )
+        lines.extend(
+            _v_checks(spec, case_no, want, suffix=f" at cycle {case_no}")
+        )
+    lines.extend(_v_footer())
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------
+# VHDL
+# --------------------------------------------------------------------------
+
+
+def _vhdl_type(width: int) -> str:
+    if width == 1:
+        return "std_logic"
+    return f"std_logic_vector({width - 1} downto 0)"
+
+
+def _vhdl_header(spec: DesignSpec) -> list[str]:
+    lines = [
+        "library ieee;",
+        "use ieee.std_logic_1164.all;",
+        "use ieee.numeric_std.all;",
+        "",
+        "entity tb is",
+        "end entity;",
+        "",
+        "architecture test of tb is",
+    ]
+    if spec.clocked:
+        lines.append("    signal clk : std_logic := '0';")
+        if spec.has_reset:
+            lines.append("    signal rst : std_logic := '0';")
+    for port in spec.ports:
+        lines.append(f"    signal {port.name} : {_vhdl_type(port.width)};")
+    lines.append("begin")
+    names = []
+    if spec.clocked:
+        names.append("clk")
+        if spec.has_reset:
+            names.append("rst")
+    names.extend(p.name for p in spec.ports)
+    connections = ", ".join(f"{n} => {n}" for n in names)
+    lines.append(f"    dut: entity work.{TOP_NAME} port map ({connections});")
+    lines.append("")
+    lines.append("    stim: process")
+    lines.append("        variable errors : integer := 0;")
+    lines.append("    begin")
+    return lines
+
+
+def _vhdl_checks(spec: DesignSpec, case_no: int, expected: dict[str, int],
+                 suffix: str = "") -> list[str]:
+    lines = []
+    for port in spec.outputs:
+        want = expected[port.name]
+        literal = vhdl_literal(want, port.width)
+        message = (
+            f"Test Case {case_no} Failed: {port.name} should be {want}{suffix}"
+        )
+        lines.append(f"        if {port.name} /= {literal} then")
+        lines.append(f'            report "{message}" severity error;')
+        lines.append("            errors := errors + 1;")
+        lines.append("        end if;")
+    return lines
+
+
+def _vhdl_footer() -> list[str]:
+    return [
+        "        if errors = 0 then",
+        f'            report "{PASS_MESSAGE}";',
+        "        else",
+        '            report "Some test cases failed." severity error;',
+        "        end if;",
+        "        wait;",
+        "    end process;",
+        "end architecture;",
+    ]
+
+
+def _vhdl_comb_tb(spec, vectors, expectations) -> str:
+    lines = _vhdl_header(spec)
+    for case_no, (vector, expected) in enumerate(
+        zip(vectors, expectations), start=1
+    ):
+        for port in spec.inputs:
+            literal = vhdl_literal(vector[port.name], port.width)
+            lines.append(f"        {port.name} <= {literal};")
+        lines.append(f"        wait for {SETTLE_NS} ns;")
+        lines.extend(_vhdl_checks(spec, case_no, expected))
+    lines.extend(_vhdl_footer())
+    return "\n".join(lines) + "\n"
+
+
+def _vhdl_seq_tb(spec, stimulus, expected, reset_outputs=None) -> str:
+    lines = _vhdl_header(spec)
+    lines.append("        clk <= '0';")
+    if spec.has_reset:
+        lines.append("        rst <= '1';")
+    for port in spec.inputs:
+        lines.append(f"        {port.name} <= {vhdl_literal(0, port.width)};")
+    for _ in range(RESET_CYCLES):
+        lines.append(
+            f"        wait for {HALF_PERIOD_NS} ns; clk <= '1'; "
+            f"wait for {HALF_PERIOD_NS} ns; clk <= '0';"
+        )
+    if spec.has_reset:
+        lines.append("        rst <= '0';")
+    if reset_outputs is not None:
+        lines.extend(
+            _vhdl_checks(spec, 0, reset_outputs, suffix=" right after reset")
+        )
+    for case_no, (vector, want) in enumerate(zip(stimulus, expected), start=1):
+        for port in spec.inputs:
+            literal = vhdl_literal(vector[port.name], port.width)
+            lines.append(f"        {port.name} <= {literal};")
+        lines.append(
+            f"        wait for {HALF_PERIOD_NS} ns; clk <= '1'; "
+            f"wait for {HALF_PERIOD_NS} ns; clk <= '0';"
+        )
+        lines.extend(
+            _vhdl_checks(spec, case_no, want, suffix=f" at cycle {case_no}")
+        )
+    lines.extend(_vhdl_footer())
+    return "\n".join(lines) + "\n"

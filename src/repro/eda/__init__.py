@@ -1,0 +1,24 @@
+"""EDA toolchain facade: compile and simulate HDL through one interface.
+
+Stands in for the Vivado Design Suite of the paper. The agents interact with
+it exactly the way AIVRIL2's agents interact with Vivado: they submit source
+text, get back a *compile log* (syntax/semantic diagnostics rendered in
+``xvlog``/``xvhdl`` style) or a *simulation log* (``xsim`` style with test
+case pass/fail lines), and parse those logs to build corrective prompts.
+"""
+
+from repro.eda.toolchain import (
+    CompileResult,
+    HdlFile,
+    Language,
+    SimResult,
+    Toolchain,
+)
+
+__all__ = [
+    "CompileResult",
+    "HdlFile",
+    "Language",
+    "SimResult",
+    "Toolchain",
+]

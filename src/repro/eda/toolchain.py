@@ -1,0 +1,276 @@
+"""The toolchain: compile (analyze + elaborate) and simulate HDL sources.
+
+Design goals:
+
+* **One call, one log.** ``compile()`` returns everything a Review Agent
+  needs; ``simulate()`` returns everything a Verification Agent needs. The
+  logs are plain text in Vivado's format; structured diagnostics ride along
+  for tests and metrics.
+* **Never raise on bad input.** Defective code (that is the whole point of
+  the paper) produces failing results with populated logs.
+* **Deterministic latency model.** Real EDA runtimes are part of the paper's
+  Figure 3; each result carries a modeled ``tool_seconds`` derived from the
+  workload (file sizes, simulation activity) so latency accounting is
+  reproducible, alongside the true wall-clock for transparency.
+"""
+
+from __future__ import annotations
+
+import enum
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.hdl.diagnostics import Diagnostic, DiagnosticCollector, render_vivado_log
+from repro.hdl.source import SourceFile
+from repro.sim.elab_verilog import elaborate_verilog
+from repro.sim.elab_vhdl import elaborate_vhdl
+from repro.sim.kernel import SimulationError, Simulator
+from repro.verilog.analyzer import VerilogAnalyzer
+from repro.verilog.parser import parse_verilog
+from repro.vhdl.analyzer import VhdlAnalyzer
+from repro.vhdl.parser import parse_vhdl
+
+
+class Language(enum.Enum):
+    """Target RTL language; AIVRIL2 is orthogonal to this choice."""
+
+    VERILOG = "verilog"
+    VHDL = "vhdl"
+
+    @property
+    def file_extension(self) -> str:
+        return ".v" if self is Language.VERILOG else ".vhd"
+
+    @property
+    def compiler(self) -> str:
+        return "xvlog" if self is Language.VERILOG else "xvhdl"
+
+
+@dataclass(frozen=True)
+class HdlFile:
+    """One named HDL source file submitted to the toolchain."""
+
+    name: str
+    text: str
+    language: Language
+
+
+@dataclass
+class CompileResult:
+    """Outcome of analysis + elaboration."""
+
+    ok: bool
+    log: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    tool_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.is_error)
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulation run."""
+
+    ok: bool  # compiled and ran to completion (regardless of test verdicts)
+    log: str
+    output_lines: list[str] = field(default_factory=list)
+    compile_result: CompileResult | None = None
+    end_time: int = 0
+    finished_cleanly: bool = False
+    runtime_error: str = ""
+    tool_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+
+class Toolchain:
+    """Compiles and simulates HDL, mimicking the Vivado xvlog/xvhdl/xsim flow."""
+
+    #: modeled seconds per compile invocation (fixed tool startup cost)
+    COMPILE_BASE_SECONDS = 0.4
+    #: modeled seconds per KiB of source analyzed
+    COMPILE_PER_KIB_SECONDS = 0.015
+    #: modeled seconds per simulation launch
+    SIM_BASE_SECONDS = 0.6
+    #: modeled seconds per 1000 process activations
+    SIM_PER_KACT_SECONDS = 0.02
+
+    def __init__(self, *, max_sim_time: int = 200_000):
+        self.max_sim_time = max_sim_time
+
+    # ------------------------------------------------------------------
+    # compile
+    # ------------------------------------------------------------------
+
+    def compile(self, files: list[HdlFile], top: str) -> CompileResult:
+        """Analyze and elaborate; diagnostics render into one compile log."""
+        started = _time.perf_counter()
+        collector = DiagnosticCollector()
+        language = files[0].language if files else Language.VERILOG
+        design = self._build_design(files, top, collector)
+        wall = _time.perf_counter() - started
+        total_kib = sum(len(f.text) for f in files) / 1024.0
+        modeled = self.COMPILE_BASE_SECONDS + self.COMPILE_PER_KIB_SECONDS * total_kib
+        log = render_vivado_log(
+            collector.diagnostics, tool=language.compiler, top=top
+        )
+        return CompileResult(
+            ok=not collector.has_errors and design is not None,
+            log=log,
+            diagnostics=list(collector.diagnostics),
+            tool_seconds=modeled,
+            wall_seconds=wall,
+        )
+
+    def _build_design(
+        self, files: list[HdlFile], top: str, collector: DiagnosticCollector
+    ):
+        """Shared frontend pipeline; returns the elaborated design or None."""
+        if not files:
+            collector.error("VRFC 1-100", "no source files supplied")
+            return None
+        languages = {f.language for f in files}
+        if len(languages) > 1:
+            collector.error(
+                "VRFC 1-101",
+                "mixed-language elaboration of one top is not supported; "
+                "submit a single-language file set per run",
+            )
+            return None
+        language = files[0].language
+        if language is Language.VERILOG:
+            return self._build_verilog(files, top, collector)
+        return self._build_vhdl(files, top, collector)
+
+    def _build_verilog(self, files, top, collector):
+        modules = {}
+        sources: dict[str, SourceFile] = {}
+        units = []
+        for hdl_file in files:
+            source = SourceFile(hdl_file.name, hdl_file.text)
+            unit, _ = parse_verilog(
+                hdl_file.text, name=hdl_file.name, collector=collector
+            )
+            units.append((unit, source))
+            for module in unit.modules:
+                modules[module.name] = module
+                sources[module.name] = source
+        for unit, source in units:
+            analyzer = VerilogAnalyzer(source, collector, library=modules)
+            analyzer.library = {
+                k: v for k, v in modules.items()
+                if k not in {m.name for m in unit.modules}
+            }
+            analyzer.analyze(unit)
+        if collector.has_errors:
+            return None
+        top_source = sources.get(top, SourceFile(files[0].name, files[0].text))
+        design, _ = elaborate_verilog(modules, top, top_source, collector)
+        return design
+
+    def _build_vhdl(self, files, top, collector):
+        entities = {}
+        architectures = {}
+        sources: dict[str, SourceFile] = {}
+        design_files = []
+        for hdl_file in files:
+            source = SourceFile(hdl_file.name, hdl_file.text)
+            design_file, _ = parse_vhdl(
+                hdl_file.text, name=hdl_file.name, collector=collector
+            )
+            design_files.append((design_file, source))
+            for entity in design_file.entities:
+                entities[entity.name] = entity
+                sources[entity.name] = source
+            for arch in design_file.architectures:
+                architectures[arch.entity] = arch
+        for design_file, source in design_files:
+            local = {e.name for e in design_file.entities}
+            analyzer = VhdlAnalyzer(
+                source,
+                collector,
+                library={k: v for k, v in entities.items() if k not in local},
+            )
+            analyzer.analyze(design_file)
+        if collector.has_errors:
+            return None
+        top = top.lower()
+        top_source = sources.get(top, SourceFile(files[0].name, files[0].text))
+        from repro.vhdl.ast import DesignFile
+        from repro.hdl.source import SourceSpan
+
+        merged = DesignFile(
+            span=SourceSpan(0, 0),
+            entities=tuple(entities.values()),
+            architectures=tuple(architectures.values()),
+        )
+        design, _ = elaborate_vhdl(merged, top, top_source, collector)
+        return design
+
+    # ------------------------------------------------------------------
+    # simulate
+    # ------------------------------------------------------------------
+
+    def simulate(self, files: list[HdlFile], top: str) -> SimResult:
+        """Compile then run the simulation; returns the xsim-style log."""
+        started = _time.perf_counter()
+        compile_result = self.compile(files, top)
+        if not compile_result.ok:
+            wall = _time.perf_counter() - started
+            log = compile_result.log + "\nERROR: [XSIM 43-3225] Simulation not run: compilation failed"
+            return SimResult(
+                ok=False,
+                log=log,
+                compile_result=compile_result,
+                tool_seconds=compile_result.tool_seconds,
+                wall_seconds=wall,
+            )
+        collector = DiagnosticCollector()
+        design = self._build_design(files, top, collector)
+        if design is None:  # pragma: no cover - compile above succeeded
+            return SimResult(ok=False, log=compile_result.log,
+                             compile_result=compile_result)
+        simulator = Simulator(design, max_time=self.max_sim_time)
+        runtime_error = ""
+        try:
+            stats = simulator.run()
+        except SimulationError as exc:
+            runtime_error = str(exc)
+            stats = simulator.stats
+        wall = _time.perf_counter() - started
+        modeled = (
+            compile_result.tool_seconds
+            + self.SIM_BASE_SECONDS
+            + self.SIM_PER_KACT_SECONDS * stats.process_activations / 1000.0
+        )
+        log = self._render_sim_log(
+            top, simulator.output, stats, runtime_error
+        )
+        return SimResult(
+            ok=not runtime_error,
+            log=log,
+            output_lines=list(simulator.output),
+            compile_result=compile_result,
+            end_time=stats.end_time,
+            finished_cleanly=stats.finished_cleanly,
+            runtime_error=runtime_error,
+            tool_seconds=modeled,
+            wall_seconds=wall,
+        )
+
+    @staticmethod
+    def _render_sim_log(top: str, output: list[str], stats, runtime_error: str) -> str:
+        lines = [
+            f"INFO: [XSIM 4-301] Starting simulation of '{top}'",
+            "run all",
+        ]
+        lines.extend(output)
+        if runtime_error:
+            lines.append(f"ERROR: [XSIM 43-3861] {runtime_error}")
+        else:
+            lines.append(
+                f"INFO: [XSIM 4-302] Simulation completed at time {stats.end_time} ns"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Evaluation harness: pass@k, experiment runner, table/figure renderers.
+
+Regenerates every quantitative artifact of the paper:
+
+* **Table 1** — baseline vs AIVRIL2 pass@1 (syntax and functional) for all
+  three models in both languages, with the Δ_F improvement column;
+* **Table 2** — comparison with published state-of-the-art numbers
+  (literature rows are data, AIVRIL2 rows are measured);
+* **Figure 3** — the average latency breakdown across the optimization
+  loops, from the deterministic latency model.
+"""
+
+from repro.eval.passk import pass_at_k
+from repro.eval.runner import ConfigResult, ExperimentRunner, ProblemRecord
+from repro.eval.tables import render_table1, render_table2
+from repro.eval.figures import render_figure3
+
+__all__ = [
+    "pass_at_k",
+    "ConfigResult",
+    "ExperimentRunner",
+    "ProblemRecord",
+    "render_table1",
+    "render_table2",
+    "render_figure3",
+]

@@ -1,0 +1,69 @@
+"""Figure 3 renderer: average latency breakdown across optimization loops.
+
+Renders a text bar chart (the harness runs in terminals) with the same
+series the paper plots: per configuration, the baseline latency next to the
+AIVRIL2 latency split into generation, Syntax-Optimization-loop, and
+Functional-Optimization-loop components. EDA tool execution time is included
+in the loop components, as the paper's caption specifies.
+"""
+
+from __future__ import annotations
+
+from repro.eval.runner import ConfigResult
+
+_BAR_SCALE_CHARS_PER_SECOND = 1.6
+
+
+def _bar(seconds: float, symbol: str) -> str:
+    return symbol * max(1, round(seconds * _BAR_SCALE_CHARS_PER_SECOND)) if (
+        seconds > 0.05
+    ) else ""
+
+
+def render_figure3(results: list[ConfigResult]) -> str:
+    """One panel per configuration: baseline bar and stacked AIVRIL2 bar."""
+    lines = [
+        "Average latency breakdown across optimization loops",
+        "(g = generation, s = syntax loop incl. EDA, f = functional loop "
+        "incl. EDA)",
+        "",
+    ]
+    for result in results:
+        label = f"{result.model_display} / {result.language.value}"
+        baseline = result.baseline_latency_avg
+        breakdown = result.aivril_latency_avg
+        lines.append(f"{label}")
+        lines.append(
+            f"  baseline {baseline:6.2f}s |{_bar(baseline, '=')}"
+        )
+        stacked = (
+            _bar(breakdown.generation_llm, "g")
+            + _bar(breakdown.syntax_loop, "s")
+            + _bar(breakdown.functional_loop, "f")
+        )
+        lines.append(
+            f"  AIVRIL2  {breakdown.total:6.2f}s |{stacked}"
+        )
+        lines.append(
+            f"           gen {breakdown.generation_llm:.2f}s, "
+            f"syntax {breakdown.syntax_loop:.2f}s "
+            f"(llm {breakdown.syntax_llm:.2f} + eda {breakdown.syntax_tool:.2f}), "
+            f"functional {breakdown.functional_loop:.2f}s "
+            f"(llm {breakdown.functional_llm:.2f} + eda "
+            f"{breakdown.functional_tool:.2f})"
+        )
+        ratio = breakdown.total / baseline if baseline else float("inf")
+        lines.append(
+            f"           overhead {ratio:.1f}x | mean cycles: syntax "
+            f"{result.mean_syntax_iterations:.2f}, functional "
+            f"{result.mean_functional_iterations:.2f}"
+        )
+        lines.append("")
+    worst = max(
+        (r.aivril_latency_avg.total for r in results), default=0.0
+    )
+    lines.append(
+        f"Worst-case average AIVRIL2 latency: {worst:.2f}s "
+        "(paper: <= 42 s, worst at 39.29 s for Llama3-70B VHDL)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""The unbiased pass@k estimator of Chen et al. (2021), used by the paper.
+
+For one problem with *n* samples of which *c* are correct::
+
+    pass@k = 1 - C(n - c, k) / C(n, k)
+
+The suite-level metric is the mean over problems. With n = k = 1 (the
+paper's setting) this reduces to the plain success fraction, but the full
+estimator is provided for completeness and reuse.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased estimate of P(at least one of k samples passes).
+
+    Raises ``ValueError`` on inconsistent counts (c > n, k > n, negatives).
+    """
+    if n <= 0:
+        raise ValueError(f"need at least one sample, got n={n}")
+    if not 0 <= c <= n:
+        raise ValueError(f"correct count c={c} out of range 0..{n}")
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range 1..{n}")
+    if n - c < k:
+        return 1.0
+    # the numerically stable product form of 1 - C(n-c, k) / C(n, k)
+    value = 1.0
+    for i in range(n - c + 1, n + 1):
+        value *= 1.0 - k / i
+    return 1.0 - value
+
+
+def mean_pass_at_k(counts: Iterable[tuple[int, int]], k: int) -> float:
+    """Suite-level pass@k: mean of per-problem estimates.
+
+    ``counts`` yields (n, c) pairs, one per problem.
+    """
+    values = [pass_at_k(n, c, k) for n, c in counts]
+    if not values:
+        raise ValueError("no problems supplied")
+    return sum(values) / len(values)

@@ -1,0 +1,72 @@
+"""Markdown experiment report generation.
+
+Bundles a sweep's results — Table 1, Table 2, Figure 3, run metadata, and
+per-configuration detail — into one Markdown document, so a reproduction run
+can be archived or attached to a PR without hand-editing. This is how the
+EXPERIMENTS.md-style artifacts can be regenerated from scratch.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.eda.toolchain import Language
+from repro.eval.figures import render_figure3
+from repro.eval.runner import ConfigResult
+from repro.eval.tables import render_table1, render_table2
+
+
+def _code_block(text: str) -> str:
+    return "```\n" + text.rstrip() + "\n```"
+
+
+def render_report(
+    results: list[ConfigResult],
+    *,
+    title: str = "AIVRIL2 reproduction report",
+    problem_count: int | None = None,
+    wall_seconds: float | None = None,
+) -> str:
+    """The full Markdown report for one sweep."""
+    out = io.StringIO()
+    out.write(f"# {title}\n\n")
+    if problem_count is not None:
+        out.write(f"* problems per configuration: **{problem_count}**\n")
+    out.write(f"* configurations: **{len(results)}**\n")
+    if wall_seconds is not None:
+        out.write(f"* sweep wall clock: **{wall_seconds:.0f} s**\n")
+    out.write("\n## Table 1 — pass-rate summary\n\n")
+    out.write(_code_block(render_table1(results)))
+    verilog_results = [r for r in results if r.language is Language.VERILOG]
+    if verilog_results:
+        out.write("\n\n## Table 2 — state-of-the-art comparison (Verilog)\n\n")
+        out.write(_code_block(render_table2(results)))
+    out.write("\n\n## Figure 3 — latency breakdown\n\n")
+    out.write(_code_block(render_figure3(results)))
+    out.write("\n\n## Per-configuration detail\n\n")
+    out.write(
+        "| Model | Language | base S | base F | AIVRIL2 S | AIVRIL2 F | "
+        "dF% | syn cycles | fun cycles | avg latency (s) |\n"
+    )
+    out.write("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+    for result in results:
+        delta = result.delta_functional_pct
+        out.write(
+            f"| {result.model_display} | {result.language.value} "
+            f"| {result.baseline_syntax_pct:.2f} "
+            f"| {result.baseline_functional_pct:.2f} "
+            f"| {result.aivril_syntax_pct:.2f} "
+            f"| {result.aivril_functional_pct:.2f} "
+            f"| {'N/A' if delta is None else f'{delta:.2f}'} "
+            f"| {result.mean_syntax_iterations:.2f} "
+            f"| {result.mean_functional_iterations:.2f} "
+            f"| {result.aivril_latency_avg.total:.2f} |\n"
+        )
+    out.write("\n")
+    return out.getvalue()
+
+
+def write_report(results: list[ConfigResult], path: str, **kwargs) -> None:
+    """Render and save the report."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(render_report(results, **kwargs))

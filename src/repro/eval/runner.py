@@ -1,0 +1,243 @@
+"""The experiment runner: sweeps (model × language × framework) over the suite.
+
+For each configuration it measures, per problem:
+
+* **baseline** — one zero-shot generation; syntax pass = the RTL compiles on
+  its own, functional pass = the RTL passes the suite's golden testbench;
+* **AIVRIL2** — a full two-loop pipeline run; the same two judgments are
+  applied to the *final* RTL, plus loop-iteration counts and the modeled
+  latency breakdown.
+
+Functional correctness is always judged by the suite's hidden golden
+testbench (the VerilogEval protocol), never by the pipeline's own testbench.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Aivril2Pipeline, run_baseline
+from repro.core.result import LatencyBreakdown
+from repro.designs.model import TOP_NAME
+from repro.designs.tbgen import PASS_MESSAGE
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+from repro.evalsuite.suite import Suite, build_suite
+from repro.llm.profiles import CapabilityProfile, PROFILES
+from repro.llm.synthetic import SyntheticDesignLLM
+
+
+@dataclass
+class ProblemRecord:
+    """Measurements for one problem under one configuration."""
+
+    pid: str
+    baseline_syntax_ok: bool = False
+    baseline_functional_ok: bool = False
+    baseline_latency: float = 0.0
+    aivril_syntax_ok: bool = False
+    aivril_functional_ok: bool = False
+    aivril_latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    syntax_iterations: int = 0
+    functional_iterations: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class ConfigResult:
+    """Aggregated results for one (model, language) configuration."""
+
+    model: str
+    model_display: str
+    language: Language
+    records: list[ProblemRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def _pct(self, predicate) -> float:
+        if not self.records:
+            return 0.0
+        return 100.0 * sum(1 for r in self.records if predicate(r)) / self.total
+
+    @property
+    def baseline_syntax_pct(self) -> float:
+        return self._pct(lambda r: r.baseline_syntax_ok)
+
+    @property
+    def baseline_functional_pct(self) -> float:
+        return self._pct(lambda r: r.baseline_functional_ok)
+
+    @property
+    def aivril_syntax_pct(self) -> float:
+        return self._pct(lambda r: r.aivril_syntax_ok)
+
+    @property
+    def aivril_functional_pct(self) -> float:
+        return self._pct(lambda r: r.aivril_functional_ok)
+
+    @property
+    def delta_functional_pct(self) -> float | None:
+        """Δ_F of Table 1: relative improvement over the baseline (percent).
+
+        ``None`` when the baseline never passed (the paper prints N/A for
+        Llama3-70B VHDL).
+        """
+        base = self.baseline_functional_pct
+        if base == 0.0:
+            return None
+        return 100.0 * (self.aivril_functional_pct - base) / base
+
+    @property
+    def baseline_latency_avg(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.baseline_latency for r in self.records) / self.total
+
+    @property
+    def aivril_latency_avg(self) -> LatencyBreakdown:
+        total = LatencyBreakdown()
+        for record in self.records:
+            total.add(record.aivril_latency)
+        return total.scaled(1.0 / self.total) if self.records else total
+
+    @property
+    def mean_syntax_iterations(self) -> float:
+        """Average syntax-loop cycles *to converge* (the paper's metric).
+
+        Only runs that entered the loop and ended syntax-clean count;
+        non-converging runs have no convergence cycle count.
+        """
+        entered = [
+            r for r in self.records
+            if r.syntax_iterations > 0 and r.aivril_syntax_ok
+        ]
+        if not entered:
+            return 0.0
+        return sum(r.syntax_iterations for r in entered) / len(entered)
+
+    @property
+    def mean_functional_iterations(self) -> float:
+        """Average functional-loop cycles to converge (see above)."""
+        entered = [
+            r for r in self.records
+            if r.functional_iterations > 0 and r.aivril_functional_ok
+        ]
+        if not entered:
+            return 0.0
+        return sum(r.functional_iterations for r in entered) / len(entered)
+
+
+class ExperimentRunner:
+    """Runs the paper's evaluation protocol."""
+
+    def __init__(
+        self,
+        suite: Suite | None = None,
+        *,
+        max_syntax_iterations: int = 6,
+        max_functional_iterations: int = 6,
+        testbench_first: bool = True,
+        freeze_testbench: bool = True,
+        testbench_quality: str = "full",
+    ):
+        self.suite = suite or build_suite()
+        self.max_syntax_iterations = max_syntax_iterations
+        self.max_functional_iterations = max_functional_iterations
+        self.testbench_first = testbench_first
+        self.freeze_testbench = freeze_testbench
+        self.testbench_quality = testbench_quality
+
+    # ------------------------------------------------------------------
+
+    def run_config(
+        self, profile: CapabilityProfile, language: Language
+    ) -> ConfigResult:
+        """Baseline + AIVRIL2 sweep for one model/language pair."""
+        toolchain = Toolchain()
+        llm = SyntheticDesignLLM(
+            profile, self.suite, testbench_quality=self.testbench_quality
+        )
+        pipeline = Aivril2Pipeline(
+            llm,
+            toolchain,
+            PipelineConfig(
+                language=language,
+                max_syntax_iterations=self.max_syntax_iterations,
+                max_functional_iterations=self.max_functional_iterations,
+                testbench_first=self.testbench_first,
+                freeze_testbench=self.freeze_testbench,
+            ),
+        )
+        result = ConfigResult(
+            model=profile.name,
+            model_display=profile.display_name,
+            language=language,
+        )
+        for problem in self.suite:
+            started = _time.perf_counter()
+            record = ProblemRecord(pid=problem.pid)
+
+            baseline = run_baseline(llm, problem.prompt, language)
+            record.baseline_latency = baseline.latency_seconds
+            record.baseline_syntax_ok = self._compiles(
+                baseline.rtl, language, toolchain
+            )
+            record.baseline_functional_ok = self._passes_golden(
+                problem, baseline.rtl, language, toolchain
+            )
+
+            run = pipeline.run(problem.prompt)
+            record.aivril_latency = run.latency
+            record.syntax_iterations = run.syntax_iterations
+            record.functional_iterations = run.functional_iterations
+            record.aivril_syntax_ok = self._compiles(
+                run.rtl, language, toolchain
+            )
+            record.aivril_functional_ok = self._passes_golden(
+                problem, run.rtl, language, toolchain
+            )
+            record.wall_seconds = _time.perf_counter() - started
+            result.records.append(record)
+        return result
+
+    def run_all(
+        self,
+        profiles: list[CapabilityProfile] | None = None,
+        languages: tuple[Language, ...] = (Language.VERILOG, Language.VHDL),
+    ) -> list[ConfigResult]:
+        """The full Table 1 sweep (3 models × 2 languages by default)."""
+        profiles = profiles if profiles is not None else PROFILES
+        results = []
+        for profile in profiles:
+            for language in languages:
+                results.append(self.run_config(profile, language))
+        return results
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _compiles(rtl: str, language: Language, toolchain: Toolchain) -> bool:
+        """pass@1_S judgment: the generated design unit compiles on its own."""
+        files = [HdlFile(f"{TOP_NAME}{language.file_extension}", rtl, language)]
+        return toolchain.compile(files, TOP_NAME).ok
+
+    @staticmethod
+    def _passes_golden(
+        problem, rtl: str, language: Language, toolchain: Toolchain
+    ) -> bool:
+        """pass@1_F judgment: the suite's golden testbench passes."""
+        files = [
+            HdlFile(f"{TOP_NAME}{language.file_extension}", rtl, language),
+            HdlFile(
+                f"tb{language.file_extension}",
+                problem.golden_tb[language],
+                language,
+            ),
+        ]
+        result = toolchain.simulate(files, "tb")
+        return result.ok and any(
+            PASS_MESSAGE in line for line in result.output_lines
+        )

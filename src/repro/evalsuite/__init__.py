@@ -1,0 +1,13 @@
+"""The 156-problem benchmark suite (VerilogEval-Human analog, dual-language).
+
+Problems are produced by family generators (:mod:`repro.evalsuite.generators`)
+from language-neutral definitions, realized into Verilog and VHDL reference
+implementations plus golden testbenches, and validated for integrity: every
+reference passes its golden testbench, every syntax mutation breaks the
+compile, every functional mutation compiles but fails the testbench.
+"""
+
+from repro.evalsuite.problem import Problem
+from repro.evalsuite.suite import Suite, build_suite
+
+__all__ = ["Problem", "Suite", "build_suite"]

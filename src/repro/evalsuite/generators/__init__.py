@@ -1,0 +1,49 @@
+"""Problem-family generators.
+
+Each module exposes a ``generate() -> list[ProblemDefinition]`` function; the
+registry below fixes the family order (and therefore problem numbering)
+used by the suite builder.
+"""
+
+from repro.evalsuite.generators import (
+    accum,
+    arith,
+    codes,
+    counters,
+    decode,
+    edges,
+    fsm,
+    gates,
+    mux,
+    registers,
+    shift_comb,
+    shiftreg,
+    structural,
+    vector_ops,
+)
+
+#: family modules in canonical order
+FAMILY_MODULES = [
+    gates,
+    vector_ops,
+    mux,
+    decode,
+    arith,
+    shift_comb,
+    codes,
+    registers,
+    counters,
+    shiftreg,
+    edges,
+    fsm,
+    accum,
+    structural,
+]
+
+
+def all_definitions():
+    """Every problem definition in canonical order."""
+    definitions = []
+    for module in FAMILY_MODULES:
+        definitions.extend(module.generate())
+    return definitions

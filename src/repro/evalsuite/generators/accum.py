@@ -1,0 +1,276 @@
+"""Family: accumulation datapaths (running sums, max trackers, histories)."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import ports, seq_problem
+from repro.evalsuite.hdl_helpers import v_clocked_always, vh_clocked_process
+
+FAMILY = "accum"
+
+
+def generate():
+    problems = []
+    problems.append(
+        seq_problem(
+            pid="accumulator8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit accumulator: on each rising edge where "
+                "en is high, add the 4-bit input d to the running 8-bit "
+                "total (wrapping); rst clears the total."
+            ),
+            port_specs=ports(
+                ("d", 4, "in"), ("en", 1, "in"), ("total", 8, "out")
+            ),
+            v_reg_outputs={"total"},
+            v_body=v_clocked_always(
+                "if (en) total <= total + {4'b0000, d};",
+                reset_body="total <= 8'd0;",
+            ),
+            vh_decls="    signal acc : unsigned(7 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "if en = '1' then\n"
+                    "acc <= acc + resize(unsigned(d), 8);\n"
+                    "end if;",
+                    reset_body="acc <= (others => '0');",
+                )
+                + "\n    total <= std_logic_vector(acc);"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                (s + (i["d"] if i["en"] else 0)) & 0xFF,
+                {"total": (s + (i["d"] if i["en"] else 0)) & 0xFF},
+            ),
+            v_functional=[
+                functional(
+                    "adds twice the input",
+                    "total + {4'b0000, d}",
+                    "total + {3'b000, d, 1'b0}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "enable ignored",
+                    "if en = '1' then\n                acc <= acc + "
+                    "resize(unsigned(d), 8);\n            end if;",
+                    "acc <= acc + resize(unsigned(d), 8);",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="running_max4",
+            family=FAMILY,
+            prompt=(
+                "Track the maximum 4-bit value seen so far: on each rising "
+                "edge, if d exceeds the stored maximum, replace it; rst "
+                "clears the maximum to 0."
+            ),
+            port_specs=ports(("d", 4, "in"), ("max_val", 4, "out")),
+            v_reg_outputs={"max_val"},
+            v_body=v_clocked_always(
+                "if (d > max_val) max_val <= d;",
+                reset_body="max_val <= 4'd0;",
+            ),
+            vh_decls="    signal best : unsigned(3 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "if unsigned(d) > best then\n"
+                    "best <= unsigned(d);\n"
+                    "end if;",
+                    reset_body="best <= (others => '0');",
+                )
+                + "\n    max_val <= std_logic_vector(best);"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                max(s, i["d"]),
+                {"max_val": max(s, i["d"])},
+            ),
+            v_functional=[
+                functional(
+                    "tracks the minimum instead",
+                    "if (d > max_val) max_val <= d;",
+                    "if (d < max_val) max_val <= d;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "tracks the minimum instead",
+                    "if unsigned(d) > best then",
+                    "if unsigned(d) < best then",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="ones_counter",
+            family=FAMILY,
+            prompt=(
+                "Count cycles where the input bit is high: an 8-bit "
+                "counter increments on each rising edge where d is 1 "
+                "(wrapping); rst clears it."
+            ),
+            port_specs=ports(("d", 1, "in"), ("count", 8, "out")),
+            v_reg_outputs={"count"},
+            v_body=v_clocked_always(
+                "if (d) count <= count + 8'd1;",
+                reset_body="count <= 8'd0;",
+            ),
+            vh_decls="    signal cnt : unsigned(7 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "if d = '1' then\ncnt <= cnt + 1;\nend if;",
+                    reset_body="cnt <= (others => '0');",
+                )
+                + "\n    count <= std_logic_vector(cnt);"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                (s + i["d"]) & 0xFF,
+                {"count": (s + i["d"]) & 0xFF},
+            ),
+            v_functional=[
+                functional(
+                    "counts zero cycles instead",
+                    "if (d) count",
+                    "if (!d) count",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "counts zero cycles instead",
+                    "if d = '1' then",
+                    "if d = '0' then",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="parity_accum",
+            family=FAMILY,
+            prompt=(
+                "Maintain the running parity of a serial bit stream: "
+                "parity flips on each rising edge where d is 1; rst "
+                "clears it to 0 (even)."
+            ),
+            port_specs=ports(("d", 1, "in"), ("parity", 1, "out")),
+            v_reg_outputs={"parity"},
+            v_body=v_clocked_always(
+                "parity <= parity ^ d;",
+                reset_body="parity <= 1'b0;",
+            ),
+            vh_body=vh_clocked_process(
+                "parity <= parity xor d;",
+                reset_body="parity <= '0';",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (s ^ i["d"], {"parity": s ^ i["d"]}),
+            v_functional=[
+                functional(
+                    "latches d instead of accumulating",
+                    "parity <= parity ^ d;",
+                    "parity <= d;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "latches d instead of accumulating",
+                    "parity <= parity xor d;",
+                    "parity <= d;",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="running_min4",
+            family=FAMILY,
+            prompt=(
+                "Track the minimum 4-bit value seen since reset: on each "
+                "rising edge, if d is below the stored minimum, replace "
+                "it; rst sets the minimum to 15."
+            ),
+            port_specs=ports(("d", 4, "in"), ("min_val", 4, "out")),
+            v_reg_outputs={"min_val"},
+            v_body=v_clocked_always(
+                "if (d < min_val) min_val <= d;",
+                reset_body="min_val <= 4'd15;",
+            ),
+            vh_decls="    signal best : unsigned(3 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "if unsigned(d) < best then\n"
+                    "best <= unsigned(d);\n"
+                    "end if;",
+                    reset_body="best <= (others => '1');",
+                )
+                + "\n    min_val <= std_logic_vector(best);"
+            ),
+            reset=lambda: 15,
+            step=lambda s, i: (
+                min(s, i["d"]),
+                {"min_val": min(s, i["d"])},
+            ),
+            v_functional=[
+                functional(
+                    "tracks the maximum instead",
+                    "if (d < min_val) min_val <= d;",
+                    "if (d > min_val) min_val <= d;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "tracks the maximum instead",
+                    "if unsigned(d) < best then",
+                    "if unsigned(d) > best then",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="history4",
+            family=FAMILY,
+            prompt=(
+                "Record the last four values of a serial input: q[0] is "
+                "the most recent bit of d, q[3] the oldest; rst clears "
+                "the history."
+            ),
+            port_specs=ports(("d", 1, "in"), ("q", 4, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "q <= {q[2:0], d};",
+                reset_body="q <= 4'd0;",
+            ),
+            vh_body=vh_clocked_process(
+                "q <= q(2 downto 0) & d;",
+                reset_body="q <= \"0000\";",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                ((s << 1) | i["d"]) & 0xF,
+                {"q": ((s << 1) | i["d"]) & 0xF},
+            ),
+            v_functional=[
+                functional(
+                    "newest bit enters at the MSB",
+                    "{q[2:0], d}",
+                    "{d, q[3:1]}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "newest bit enters at the MSB",
+                    "q(2 downto 0) & d",
+                    "d & q(3 downto 1)",
+                ),
+            ],
+        )
+    )
+    return problems

@@ -1,0 +1,605 @@
+"""Family: combinational arithmetic (adders, comparators, ALU, multiplier)."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import comb_problem, ports
+
+FAMILY = "arith"
+
+
+def generate():
+    problems = []
+    problems.append(
+        comb_problem(
+            pid="half_adder",
+            family=FAMILY,
+            prompt=(
+                "Implement a half adder: sum = a XOR b and carry = a AND b."
+            ),
+            port_specs=ports(
+                ("a", 1, "in"), ("b", 1, "in"),
+                ("sum", 1, "out"), ("carry", 1, "out"),
+            ),
+            v_body=(
+                "    assign sum = a ^ b;\n"
+                "    assign carry = a & b;"
+            ),
+            vh_body=(
+                "    sum <= a xor b;\n"
+                "    carry <= a and b;"
+            ),
+            fn=lambda i: {"sum": i["a"] ^ i["b"], "carry": i["a"] & i["b"]},
+            v_functional=[
+                functional("sum uses OR", "sum = a ^ b", "sum = a | b"),
+                functional("carry uses OR", "carry = a & b", "carry = a | b"),
+            ],
+            vh_functional=[
+                functional("sum uses OR", "sum <= a xor b", "sum <= a or b"),
+                functional("carry uses OR", "carry <= a and b", "carry <= a or b"),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="full_adder",
+            family=FAMILY,
+            prompt=(
+                "Implement a full adder: sum = a XOR b XOR cin; "
+                "cout = majority(a, b, cin)."
+            ),
+            port_specs=ports(
+                ("a", 1, "in"), ("b", 1, "in"), ("cin", 1, "in"),
+                ("sum", 1, "out"), ("cout", 1, "out"),
+            ),
+            v_body=(
+                "    assign sum = a ^ b ^ cin;\n"
+                "    assign cout = (a & b) | (a & cin) | (b & cin);"
+            ),
+            vh_body=(
+                "    sum <= a xor b xor cin;\n"
+                "    cout <= (a and b) or (a and cin) or (b and cin);"
+            ),
+            fn=lambda i: {
+                "sum": (i["a"] + i["b"] + i["cin"]) & 1,
+                "cout": (i["a"] + i["b"] + i["cin"]) >> 1,
+            },
+            v_functional=[
+                functional(
+                    "carry-in ignored in sum", "a ^ b ^ cin;", "a ^ b;"
+                ),
+                functional(
+                    "cout missing the b&cin term",
+                    "(a & b) | (a & cin) | (b & cin)",
+                    "(a & b) | (a & cin)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "carry-in ignored in sum",
+                    "a xor b xor cin;",
+                    "a xor b;",
+                ),
+                functional(
+                    "cout missing the b&cin term",
+                    "(a and b) or (a and cin) or (b and cin)",
+                    "(a and b) or (a and cin)",
+                ),
+            ],
+        )
+    )
+    for width in (4, 8):
+        problems.append(
+            comb_problem(
+                pid=f"adder{width}",
+                family=FAMILY,
+                prompt=(
+                    f"Implement a {width}-bit unsigned adder with carry out: "
+                    "{cout, sum} = a + b."
+                ),
+                port_specs=ports(
+                    ("a", width, "in"), ("b", width, "in"),
+                    ("sum", width, "out"), ("cout", 1, "out"),
+                ),
+                v_body="    assign {cout, sum} = a + b;",
+                vh_decls=(
+                    f"    signal tmp : unsigned({width} downto 0);"
+                ),
+                vh_body=(
+                    f"    tmp <= resize(unsigned(a), {width + 1})"
+                    f" + resize(unsigned(b), {width + 1});\n"
+                    f"    sum <= std_logic_vector(tmp({width - 1} downto 0));\n"
+                    f"    cout <= tmp({width});"
+                ),
+                fn=lambda i, w=width: {
+                    "sum": (i["a"] + i["b"]) & ((1 << w) - 1),
+                    "cout": (i["a"] + i["b"]) >> w,
+                },
+                v_functional=[
+                    functional(
+                        "subtracts instead of adding",
+                        "a + b;",
+                        "a - b;",
+                    ),
+                    functional(
+                        "carry out dropped (stuck at 0)",
+                        "{cout, sum} = a + b",
+                        "{cout, sum} = {1'b0, a + b}",
+                    ),
+                ],
+                vh_functional=[
+                    functional(
+                        "subtracts instead of adding",
+                        f" + resize(unsigned(b), {width + 1});",
+                        f" - resize(unsigned(b), {width + 1});",
+                    ),
+                ],
+            )
+        )
+    problems.append(
+        comb_problem(
+            pid="adder4_cin",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit unsigned adder with carry in and carry "
+                "out: {cout, sum} = a + b + cin."
+            ),
+            port_specs=ports(
+                ("a", 4, "in"), ("b", 4, "in"), ("cin", 1, "in"),
+                ("sum", 4, "out"), ("cout", 1, "out"),
+            ),
+            v_body="    assign {cout, sum} = a + b + cin;",
+            vh_decls="    signal tmp : unsigned(4 downto 0);",
+            vh_body=(
+                "    tmp <= resize(unsigned(a), 5) + resize(unsigned(b), 5)"
+                " + resize(unsigned(cin), 5);\n"
+                "    sum <= std_logic_vector(tmp(3 downto 0));\n"
+                "    cout <= tmp(4);"
+            ),
+            fn=lambda i: {
+                "sum": (i["a"] + i["b"] + i["cin"]) & 0xF,
+                "cout": (i["a"] + i["b"] + i["cin"]) >> 4,
+            },
+            v_functional=[
+                functional("carry in ignored", " + cin;", ";"),
+            ],
+            vh_functional=[
+                functional(
+                    "carry in ignored",
+                    " + resize(unsigned(cin), 5);",
+                    ";",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="subtractor4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit subtractor: diff = a - b (wrap on "
+                "underflow) and borrow = 1 when b > a."
+            ),
+            port_specs=ports(
+                ("a", 4, "in"), ("b", 4, "in"),
+                ("diff", 4, "out"), ("borrow", 1, "out"),
+            ),
+            v_body=(
+                "    assign diff = a - b;\n"
+                "    assign borrow = (b > a);"
+            ),
+            vh_decls="",
+            vh_body=(
+                "    diff <= std_logic_vector(unsigned(a) - unsigned(b));\n"
+                "    borrow <= '1' when unsigned(b) > unsigned(a) else '0';"
+            ),
+            fn=lambda i: {
+                "diff": (i["a"] - i["b"]) & 0xF,
+                "borrow": 1 if i["b"] > i["a"] else 0,
+            },
+            v_functional=[
+                functional("operands swapped", "diff = a - b", "diff = b - a"),
+                functional("borrow comparison inverted", "(b > a)", "(b < a)"),
+            ],
+            vh_functional=[
+                functional(
+                    "operands swapped",
+                    "unsigned(a) - unsigned(b)",
+                    "unsigned(b) - unsigned(a)",
+                ),
+                functional(
+                    "borrow comparison inverted",
+                    "unsigned(b) > unsigned(a)",
+                    "unsigned(b) < unsigned(a)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="addsub8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit adder/subtractor: when mode is 0, "
+                "y = a + b; when mode is 1, y = a - b (results wrap)."
+            ),
+            port_specs=ports(
+                ("a", 8, "in"), ("b", 8, "in"), ("mode", 1, "in"),
+                ("y", 8, "out"),
+            ),
+            v_body="    assign y = mode ? (a - b) : (a + b);",
+            vh_body=(
+                "    y <= std_logic_vector(unsigned(a) - unsigned(b)) "
+                "when mode = '1'\n"
+                "         else std_logic_vector(unsigned(a) + unsigned(b));"
+            ),
+            fn=lambda i: {
+                "y": ((i["a"] - i["b"]) if i["mode"] else (i["a"] + i["b"])) & 0xFF
+            },
+            v_functional=[
+                functional(
+                    "mode polarity inverted",
+                    "mode ? (a - b) : (a + b)",
+                    "mode ? (a + b) : (a - b)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "mode polarity inverted",
+                    "when mode = '1'",
+                    "when mode = '0'",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="incrementer4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit incrementer: y = a + 1, wrapping from 15 "
+                "back to 0."
+            ),
+            port_specs=ports(("a", 4, "in"), ("y", 4, "out")),
+            v_body="    assign y = a + 4'd1;",
+            vh_body="    y <= std_logic_vector(unsigned(a) + 1);",
+            fn=lambda i: {"y": (i["a"] + 1) & 0xF},
+            v_functional=[
+                functional("adds two", "a + 4'd1", "a + 4'd2"),
+            ],
+            vh_functional=[
+                functional("adds two", "unsigned(a) + 1", "unsigned(a) + 2"),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="incrementer8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit incrementer: y = a + 1, wrapping from "
+                "255 back to 0."
+            ),
+            port_specs=ports(("a", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = a + 8'd1;",
+            vh_body="    y <= std_logic_vector(unsigned(a) + 1);",
+            fn=lambda i: {"y": (i["a"] + 1) & 0xFF},
+            v_functional=[
+                functional("decrements instead", "a + 8'd1", "a - 8'd1"),
+            ],
+            vh_functional=[
+                functional(
+                    "decrements instead", "unsigned(a) + 1", "unsigned(a) - 1"
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="decrementer4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit decrementer: y = a - 1, wrapping from 0 "
+                "back to 15."
+            ),
+            port_specs=ports(("a", 4, "in"), ("y", 4, "out")),
+            v_body="    assign y = a - 4'd1;",
+            vh_body="    y <= std_logic_vector(unsigned(a) - 1);",
+            fn=lambda i: {"y": (i["a"] - 1) & 0xF},
+            v_functional=[
+                functional("increments instead", "a - 4'd1", "a + 4'd1"),
+            ],
+            vh_functional=[
+                functional(
+                    "increments instead", "unsigned(a) - 1", "unsigned(a) + 1"
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="comparator8_eq",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit equality comparator: eq is 1 exactly "
+                "when a equals b."
+            ),
+            port_specs=ports(("a", 8, "in"), ("b", 8, "in"), ("eq", 1, "out")),
+            v_body="    assign eq = (a == b);",
+            vh_body="    eq <= '1' when a = b else '0';",
+            fn=lambda i: {"eq": 1 if i["a"] == i["b"] else 0},
+            v_functional=[
+                functional(
+                    "compares only the low nibbles",
+                    "(a == b)",
+                    "(a[3:0] == b[3:0])",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "compares only the low nibbles",
+                    "when a = b",
+                    "when a(3 downto 0) = b(3 downto 0)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="comparator4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit unsigned comparator with three outputs: "
+                "eq (a = b), lt (a < b), gt (a > b)."
+            ),
+            port_specs=ports(
+                ("a", 4, "in"), ("b", 4, "in"),
+                ("eq", 1, "out"), ("lt", 1, "out"), ("gt", 1, "out"),
+            ),
+            v_body=(
+                "    assign eq = (a == b);\n"
+                "    assign lt = (a < b);\n"
+                "    assign gt = (a > b);"
+            ),
+            vh_body=(
+                "    eq <= '1' when a = b else '0';\n"
+                "    lt <= '1' when unsigned(a) < unsigned(b) else '0';\n"
+                "    gt <= '1' when unsigned(a) > unsigned(b) else '0';"
+            ),
+            fn=lambda i: {
+                "eq": 1 if i["a"] == i["b"] else 0,
+                "lt": 1 if i["a"] < i["b"] else 0,
+                "gt": 1 if i["a"] > i["b"] else 0,
+            },
+            v_functional=[
+                functional("lt and gt swapped",
+                           "assign lt = (a < b);\n    assign gt = (a > b);",
+                           "assign lt = (a > b);\n    assign gt = (a < b);"),
+                functional("eq is not-equal", "(a == b)", "(a != b)"),
+            ],
+            vh_functional=[
+                functional(
+                    "lt and gt swapped",
+                    "lt <= '1' when unsigned(a) < unsigned(b) else '0';\n"
+                    "    gt <= '1' when unsigned(a) > unsigned(b) else '0';",
+                    "lt <= '1' when unsigned(a) > unsigned(b) else '0';\n"
+                    "    gt <= '1' when unsigned(a) < unsigned(b) else '0';",
+                ),
+                functional("eq is not-equal", "when a = b", "when a /= b"),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="min2",
+            family=FAMILY,
+            prompt=(
+                "Output the minimum of two 8-bit unsigned inputs: "
+                "y = min(a, b)."
+            ),
+            port_specs=ports(("a", 8, "in"), ("b", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = (a < b) ? a : b;",
+            vh_body="    y <= a when unsigned(a) < unsigned(b) else b;",
+            fn=lambda i: {"y": min(i["a"], i["b"])},
+            v_functional=[
+                functional("computes the maximum", "(a < b) ? a : b",
+                           "(a < b) ? b : a"),
+            ],
+            vh_functional=[
+                functional(
+                    "computes the maximum",
+                    "a when unsigned(a) < unsigned(b) else b",
+                    "b when unsigned(a) < unsigned(b) else a",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="max2",
+            family=FAMILY,
+            prompt=(
+                "Output the maximum of two 8-bit unsigned inputs: "
+                "y = max(a, b)."
+            ),
+            port_specs=ports(("a", 8, "in"), ("b", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = (a > b) ? a : b;",
+            vh_body="    y <= a when unsigned(a) > unsigned(b) else b;",
+            fn=lambda i: {"y": max(i["a"], i["b"])},
+            v_functional=[
+                functional("computes the minimum", "(a > b) ? a : b",
+                           "(a > b) ? b : a"),
+            ],
+            vh_functional=[
+                functional(
+                    "computes the minimum",
+                    "a when unsigned(a) > unsigned(b) else b",
+                    "b when unsigned(a) > unsigned(b) else a",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="abs4",
+            family=FAMILY,
+            prompt=(
+                "Compute the absolute value of a 4-bit two's-complement "
+                "input: y = |a| (y = a when a >= 0, else y = -a; note "
+                "|-8| wraps to 8 = 4'b1000)."
+            ),
+            port_specs=ports(("a", 4, "in"), ("y", 4, "out")),
+            v_body="    assign y = a[3] ? (4'd0 - a) : a;",
+            vh_body=(
+                "    y <= std_logic_vector(0 - unsigned(a)) when a(3) = '1'"
+                " else a;"
+            ),
+            fn=lambda i: {
+                "y": i["a"] if i["a"] < 8 else (16 - i["a"]) & 0xF
+            },
+            v_functional=[
+                functional(
+                    "sign test on the wrong bit",
+                    "a[3] ? (4'd0 - a) : a",
+                    "a[0] ? (4'd0 - a) : a",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "sign test on the wrong bit",
+                    "when a(3) = '1'",
+                    "when a(0) = '1'",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="alu4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit ALU with a 2-bit op select: op 00 -> "
+                "y = a + b, op 01 -> y = a - b, op 10 -> y = a AND b, "
+                "op 11 -> y = a OR b (arithmetic wraps)."
+            ),
+            port_specs=ports(
+                ("a", 4, "in"), ("b", 4, "in"), ("op", 2, "in"), ("y", 4, "out")
+            ),
+            v_body=(
+                "    reg [3:0] y_r;\n"
+                "    always @(*) begin\n"
+                "        case (op)\n"
+                "            2'b00: y_r = a + b;\n"
+                "            2'b01: y_r = a - b;\n"
+                "            2'b10: y_r = a & b;\n"
+                "            default: y_r = a | b;\n"
+                "        endcase\n"
+                "    end\n"
+                "    assign y = y_r;"
+            ),
+            vh_body=(
+                "    process(a, b, op)\n"
+                "    begin\n"
+                "        case op is\n"
+                '            when "00" =>\n'
+                "                y <= std_logic_vector(unsigned(a) + unsigned(b));\n"
+                '            when "01" =>\n'
+                "                y <= std_logic_vector(unsigned(a) - unsigned(b));\n"
+                '            when "10" =>\n'
+                "                y <= a and b;\n"
+                "            when others =>\n"
+                "                y <= a or b;\n"
+                "        end case;\n"
+                "    end process;"
+            ),
+            fn=lambda i: {
+                "y": [
+                    (i["a"] + i["b"]) & 0xF,
+                    (i["a"] - i["b"]) & 0xF,
+                    i["a"] & i["b"],
+                    i["a"] | i["b"],
+                ][i["op"]]
+            },
+            v_functional=[
+                functional(
+                    "AND op computes XOR",
+                    "2'b10: y_r = a & b;",
+                    "2'b10: y_r = a ^ b;",
+                ),
+                functional(
+                    "add and subtract swapped",
+                    "2'b00: y_r = a + b;\n            2'b01: y_r = a - b;",
+                    "2'b00: y_r = a - b;\n            2'b01: y_r = a + b;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "AND op computes XOR",
+                    "y <= a and b;",
+                    "y <= a xor b;",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="mult4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4x4 unsigned multiplier: p = a * b "
+                "(p is 8 bits)."
+            ),
+            port_specs=ports(("a", 4, "in"), ("b", 4, "in"), ("p", 8, "out")),
+            v_body="    assign p = a * b;",
+            vh_body="    p <= std_logic_vector(unsigned(a) * unsigned(b));",
+            fn=lambda i: {"p": i["a"] * i["b"]},
+            v_functional=[
+                functional("adds instead of multiplying", "a * b", "a + b"),
+            ],
+            vh_functional=[
+                functional(
+                    "adds instead of multiplying",
+                    "unsigned(a) * unsigned(b)",
+                    "unsigned(a) + unsigned(b)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="satadd4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit saturating unsigned adder: y = a + b, "
+                "but clamp the result at 15 instead of wrapping."
+            ),
+            port_specs=ports(("a", 4, "in"), ("b", 4, "in"), ("y", 4, "out")),
+            v_body=(
+                "    wire [4:0] raw;\n"
+                "    assign raw = a + b;\n"
+                "    assign y = raw[4] ? 4'b1111 : raw[3:0];"
+            ),
+            vh_decls="    signal raw : unsigned(4 downto 0);",
+            vh_body=(
+                "    raw <= resize(unsigned(a), 5) + resize(unsigned(b), 5);\n"
+                '    y <= "1111" when raw(4) = \'1\''
+                " else std_logic_vector(raw(3 downto 0));"
+            ),
+            fn=lambda i: {"y": min(i["a"] + i["b"], 15)},
+            v_functional=[
+                functional(
+                    "wraps instead of saturating",
+                    "raw[4] ? 4'b1111 : raw[3:0]",
+                    "raw[3:0]",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "saturates to 0 instead of 15",
+                    '"1111" when raw(4)',
+                    '"0000" when raw(4)',
+                ),
+            ],
+        )
+    )
+    return problems

@@ -1,0 +1,265 @@
+"""Family: code converters (Gray, BCD, parity framing)."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import comb_problem, ports
+
+FAMILY = "codes"
+
+
+def generate():
+    problems = []
+    problems.append(
+        comb_problem(
+            pid="bin2gray4",
+            family=FAMILY,
+            prompt=(
+                "Convert a 4-bit binary input to Gray code: "
+                "g = b XOR (b >> 1)."
+            ),
+            port_specs=ports(("b", 4, "in"), ("g", 4, "out")),
+            v_body="    assign g = b ^ (b >> 1);",
+            vh_body=(
+                "    g <= b xor ('0' & b(3 downto 1));"
+            ),
+            fn=lambda i: {"g": i["b"] ^ (i["b"] >> 1)},
+            v_functional=[
+                functional("shift amount wrong", "(b >> 1)", "(b >> 2)"),
+            ],
+            vh_functional=[
+                functional(
+                    "shift amount wrong",
+                    "('0' & b(3 downto 1))",
+                    '("00" & b(3 downto 2))',
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="gray2bin4",
+            family=FAMILY,
+            prompt=(
+                "Convert a 4-bit Gray-code input to binary: b[3] = g[3], "
+                "and b[i] = b[i+1] XOR g[i] for the remaining bits."
+            ),
+            port_specs=ports(("g", 4, "in"), ("b", 4, "out")),
+            v_body=(
+                "    assign b[3] = g[3];\n"
+                "    assign b[2] = g[3] ^ g[2];\n"
+                "    assign b[1] = g[3] ^ g[2] ^ g[1];\n"
+                "    assign b[0] = g[3] ^ g[2] ^ g[1] ^ g[0];"
+            ),
+            vh_body=(
+                "    b(3) <= g(3);\n"
+                "    b(2) <= g(3) xor g(2);\n"
+                "    b(1) <= g(3) xor g(2) xor g(1);\n"
+                "    b(0) <= g(3) xor g(2) xor g(1) xor g(0);"
+            ),
+            fn=lambda i: {
+                "b": (lambda g: (
+                    (g >> 3 & 1) << 3
+                    | ((g >> 3 ^ g >> 2) & 1) << 2
+                    | ((g >> 3 ^ g >> 2 ^ g >> 1) & 1) << 1
+                    | ((g >> 3 ^ g >> 2 ^ g >> 1 ^ g) & 1)
+                ))(i["g"])
+            },
+            v_functional=[
+                functional(
+                    "bit 1 chain drops g[2]",
+                    "assign b[1] = g[3] ^ g[2] ^ g[1];",
+                    "assign b[1] = g[3] ^ g[1];",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "bit 1 chain drops g(2)",
+                    "b(1) <= g(3) xor g(2) xor g(1);",
+                    "b(1) <= g(3) xor g(1);",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="bcd_valid",
+            family=FAMILY,
+            prompt=(
+                "Check whether a 4-bit input is a valid BCD digit: y = 1 "
+                "when d <= 9, else 0."
+            ),
+            port_specs=ports(("d", 4, "in"), ("y", 1, "out")),
+            v_body="    assign y = (d <= 4'd9);",
+            vh_body="    y <= '1' when unsigned(d) <= 9 else '0';",
+            fn=lambda i: {"y": 1 if i["d"] <= 9 else 0},
+            v_functional=[
+                functional("strict comparison excludes 9", "(d <= 4'd9)", "(d < 4'd9)"),
+            ],
+            vh_functional=[
+                functional(
+                    "strict comparison excludes 9",
+                    "unsigned(d) <= 9",
+                    "unsigned(d) < 9",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="bcd_incr",
+            family=FAMILY,
+            prompt=(
+                "Increment a BCD digit: y = d + 1 for d in 0..8, and y = 0 "
+                "when d = 9 (inputs above 9 also wrap to 0)."
+            ),
+            port_specs=ports(("d", 4, "in"), ("y", 4, "out")),
+            v_body=(
+                "    assign y = (d >= 4'd9) ? 4'd0 : (d + 4'd1);"
+            ),
+            vh_body=(
+                '    y <= "0000" when unsigned(d) >= 9'
+                " else std_logic_vector(unsigned(d) + 1);"
+            ),
+            fn=lambda i: {"y": 0 if i["d"] >= 9 else i["d"] + 1},
+            v_functional=[
+                functional(
+                    "wraps at 10 instead of 9",
+                    "(d >= 4'd9)",
+                    "(d >= 4'd10)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "wraps at 10 instead of 9",
+                    "unsigned(d) >= 9",
+                    "unsigned(d) >= 10",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="onehot2bin4",
+            family=FAMILY,
+            prompt=(
+                "Convert a 4-bit one-hot input to its 2-bit binary index "
+                "(inputs are guaranteed one-hot; for other inputs, OR the "
+                "indices of all set bits)."
+            ),
+            port_specs=ports(("d", 4, "in"), ("y", 2, "out")),
+            v_body=(
+                "    assign y[1] = d[2] | d[3];\n"
+                "    assign y[0] = d[1] | d[3];"
+            ),
+            vh_body=(
+                "    y(1) <= d(2) or d(3);\n"
+                "    y(0) <= d(1) or d(3);"
+            ),
+            fn=lambda i: {
+                "y": (2 if (i["d"] & 0b1100) else 0)
+                | (1 if (i["d"] & 0b1010) else 0)
+            },
+            v_functional=[
+                functional(
+                    "low index bit watches the wrong lane",
+                    "y[0] = d[1] | d[3]",
+                    "y[0] = d[2] | d[3]",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "low index bit watches the wrong lane",
+                    "y(0) <= d(1) or d(3);",
+                    "y(0) <= d(2) or d(3);",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="bin2gray5",
+            family=FAMILY,
+            prompt=(
+                "Convert a 5-bit binary input to Gray code: "
+                "g = b XOR (b >> 1)."
+            ),
+            port_specs=ports(("b", 5, "in"), ("g", 5, "out")),
+            v_body="    assign g = b ^ (b >> 1);",
+            vh_body="    g <= b xor ('0' & b(4 downto 1));",
+            fn=lambda i: {"g": i["b"] ^ (i["b"] >> 1)},
+            v_functional=[
+                functional(
+                    "shifts left in the mix",
+                    "b ^ (b >> 1)",
+                    "b ^ (b << 1)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "shifts left in the mix",
+                    "b xor ('0' & b(4 downto 1))",
+                    "b xor (b(3 downto 0) & '0')",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="parity_frame",
+            family=FAMILY,
+            prompt=(
+                "Append an even-parity bit to a 7-bit payload: y[7:1] = d "
+                "and y[0] = XOR of all payload bits, so y always has even "
+                "parity."
+            ),
+            port_specs=ports(("d", 7, "in"), ("y", 8, "out")),
+            v_body="    assign y = {d, ^d};",
+            vh_body=(
+                "    y <= d & (d(6) xor d(5) xor d(4) xor d(3) xor d(2)"
+                " xor d(1) xor d(0));"
+            ),
+            fn=lambda i: {
+                "y": (i["d"] << 1) | (bin(i["d"]).count("1") & 1)
+            },
+            v_functional=[
+                functional("odd parity emitted", "{d, ^d}", "{d, ~^d}"),
+            ],
+            vh_functional=[
+                functional(
+                    "payload bit 0 left out of the parity",
+                    " xor d(0));",
+                    ");",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="parity_check",
+            family=FAMILY,
+            prompt=(
+                "Check an 8-bit even-parity frame: error = 1 when the XOR "
+                "of all eight bits of f is 1 (odd number of set bits)."
+            ),
+            port_specs=ports(("f", 8, "in"), ("error", 1, "out")),
+            v_body="    assign error = ^f;",
+            vh_body=(
+                "    error <= f(7) xor f(6) xor f(5) xor f(4) xor f(3)"
+                " xor f(2) xor f(1) xor f(0);"
+            ),
+            fn=lambda i: {"error": bin(i["f"]).count("1") & 1},
+            v_functional=[
+                functional("polarity inverted", "assign error = ^f;",
+                           "assign error = ~^f;"),
+            ],
+            vh_functional=[
+                functional(
+                    "frame bit 0 left out",
+                    " xor f(0);",
+                    ";",
+                ),
+            ],
+        )
+    )
+    return problems

@@ -1,0 +1,497 @@
+"""Family: counters (binary, modulo, up/down, loadable, ring, Johnson)."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import ports, seq_problem
+from repro.evalsuite.hdl_helpers import v_clocked_always, vh_clocked_process
+
+FAMILY = "counters"
+
+
+def _vh_unsigned_counter_decls(width: int) -> str:
+    return f"    signal cnt : unsigned({width - 1} downto 0);"
+
+
+def generate():
+    problems = []
+    for width in (4, 8):
+        problems.append(
+            seq_problem(
+                pid=f"counter{width}",
+                family=FAMILY,
+                prompt=(
+                    f"Implement a {width}-bit binary up-counter with "
+                    "synchronous reset and enable: count increments on "
+                    "rising edges where en is high, wraps at the maximum, "
+                    "and clears when rst is high."
+                ),
+                port_specs=ports(("en", 1, "in"), ("count", width, "out")),
+                v_reg_outputs={"count"},
+                v_body=v_clocked_always(
+                    f"if (en) count <= count + {width}'d1;",
+                    reset_body=f"count <= {width}'d0;",
+                ),
+                vh_decls=_vh_unsigned_counter_decls(width),
+                vh_body=(
+                    vh_clocked_process(
+                        "if en = '1' then\ncnt <= cnt + 1;\nend if;",
+                        reset_body="cnt <= (others => '0');",
+                    )
+                    + "\n    count <= std_logic_vector(cnt);"
+                ),
+                reset=lambda: 0,
+                step=lambda s, i, w=width: (
+                    (s + i["en"]) & ((1 << w) - 1),
+                    {"count": (s + i["en"]) & ((1 << w) - 1)},
+                ),
+                v_functional=[
+                    functional(
+                        "counts by two",
+                        f"count + {width}'d1",
+                        f"count + {width}'d2",
+                    ),
+                    functional(
+                        "enable ignored",
+                        f"if (en) count <= count + {width}'d1;",
+                        f"count <= count + {width}'d1;",
+                    ),
+                ],
+                vh_functional=[
+                    functional("counts by two", "cnt + 1", "cnt + 2"),
+                    functional(
+                        "enable polarity inverted",
+                        "if en = '1' then",
+                        "if en = '0' then",
+                    ),
+                ],
+            )
+        )
+    problems.append(
+        seq_problem(
+            pid="downcounter4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit down-counter with synchronous reset "
+                "(reset loads 15) and enable: count decrements on enabled "
+                "rising edges and wraps from 0 back to 15."
+            ),
+            port_specs=ports(("en", 1, "in"), ("count", 4, "out")),
+            v_reg_outputs={"count"},
+            v_body=v_clocked_always(
+                "if (en) count <= count - 4'd1;",
+                reset_body="count <= 4'd15;",
+            ),
+            vh_decls=_vh_unsigned_counter_decls(4),
+            vh_body=(
+                vh_clocked_process(
+                    "if en = '1' then\ncnt <= cnt - 1;\nend if;",
+                    reset_body="cnt <= (others => '1');",
+                )
+                + "\n    count <= std_logic_vector(cnt);"
+            ),
+            reset=lambda: 15,
+            step=lambda s, i: (
+                (s - i["en"]) & 0xF,
+                {"count": (s - i["en"]) & 0xF},
+            ),
+            v_functional=[
+                functional("counts up instead", "count - 4'd1", "count + 4'd1"),
+                functional("reset loads 0", "count <= 4'd15;", "count <= 4'd0;"),
+            ],
+            vh_functional=[
+                functional("counts up instead", "cnt - 1", "cnt + 1"),
+                functional(
+                    "reset loads 0",
+                    "cnt <= (others => '1');",
+                    "cnt <= (others => '0');",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="updown4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit up/down counter: on enabled rising "
+                "edges it counts up when up is 1 and down when up is 0; "
+                "rst clears it."
+            ),
+            port_specs=ports(
+                ("en", 1, "in"), ("up", 1, "in"), ("count", 4, "out")
+            ),
+            v_reg_outputs={"count"},
+            v_body=v_clocked_always(
+                "if (en) begin\n"
+                "if (up) count <= count + 4'd1;\n"
+                "else count <= count - 4'd1;\n"
+                "end",
+                reset_body="count <= 4'd0;",
+            ),
+            vh_decls=_vh_unsigned_counter_decls(4),
+            vh_body=(
+                vh_clocked_process(
+                    "if en = '1' then\n"
+                    "if up = '1' then\n"
+                    "cnt <= cnt + 1;\n"
+                    "else\n"
+                    "cnt <= cnt - 1;\n"
+                    "end if;\n"
+                    "end if;",
+                    reset_body="cnt <= (others => '0');",
+                )
+                + "\n    count <= std_logic_vector(cnt);"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                (s + (1 if i["up"] else -1) * i["en"]) & 0xF,
+                {"count": (s + (1 if i["up"] else -1) * i["en"]) & 0xF},
+            ),
+            v_functional=[
+                functional(
+                    "direction inverted",
+                    "if (up) count <= count + 4'd1;",
+                    "if (!up) count <= count + 4'd1;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "direction inverted",
+                    "if up = '1' then",
+                    "if up = '0' then",
+                ),
+            ],
+        )
+    )
+    for modulo in (6, 10):
+        problems.append(
+            seq_problem(
+                pid=f"mod{modulo}_counter",
+                family=FAMILY,
+                prompt=(
+                    f"Implement a modulo-{modulo} counter (0 to {modulo - 1}): "
+                    "it increments on enabled rising edges and wraps from "
+                    f"{modulo - 1} back to 0; rst clears it."
+                ),
+                port_specs=ports(("en", 1, "in"), ("count", 4, "out")),
+                v_reg_outputs={"count"},
+                v_body=v_clocked_always(
+                    "if (en) begin\n"
+                    f"if (count == 4'd{modulo - 1}) count <= 4'd0;\n"
+                    "else count <= count + 4'd1;\n"
+                    "end",
+                    reset_body="count <= 4'd0;",
+                ),
+                vh_decls=_vh_unsigned_counter_decls(4),
+                vh_body=(
+                    vh_clocked_process(
+                        "if en = '1' then\n"
+                        f"if cnt = {modulo - 1} then\n"
+                        "cnt <= (others => '0');\n"
+                        "else\n"
+                        "cnt <= cnt + 1;\n"
+                        "end if;\n"
+                        "end if;",
+                        reset_body="cnt <= (others => '0');",
+                    )
+                    + "\n    count <= std_logic_vector(cnt);"
+                ),
+                reset=lambda: 0,
+                step=lambda s, i, m=modulo: (
+                    ((s + 1) % m if s < m else 0) if i["en"] else s,
+                    {"count": (((s + 1) % m if s < m else 0) if i["en"] else s)},
+                ),
+                v_functional=[
+                    functional(
+                        "wraps one count late",
+                        f"(count == 4'd{modulo - 1})",
+                        f"(count == 4'd{modulo})",
+                    ),
+                ],
+                vh_functional=[
+                    functional(
+                        "wraps one count late",
+                        f"if cnt = {modulo - 1} then",
+                        f"if cnt = {modulo} then",
+                    ),
+                ],
+            )
+        )
+    problems.append(
+        seq_problem(
+            pid="counter2",
+            family=FAMILY,
+            prompt=(
+                "Implement a free-running 2-bit counter: it increments on "
+                "every rising edge (wrapping 3 -> 0); rst clears it."
+            ),
+            port_specs=ports(("count", 2, "out")),
+            v_reg_outputs={"count"},
+            v_body=v_clocked_always(
+                "count <= count + 2'd1;",
+                reset_body="count <= 2'd0;",
+            ),
+            vh_decls="    signal cnt : unsigned(1 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "cnt <= cnt + 1;",
+                    reset_body="cnt <= (others => '0');",
+                )
+                + "\n    count <= std_logic_vector(cnt);"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: ((s + 1) & 3, {"count": (s + 1) & 3}),
+            v_functional=[
+                functional("counts by two", "count + 2'd1", "count + 2'd2"),
+            ],
+            vh_functional=[
+                functional("counts by two", "cnt + 1", "cnt + 2"),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="counter_carry",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit counter with a carry flag: count "
+                "increments on enabled rising edges; carry is 1 exactly "
+                "when count is at its maximum (15) and en is high, i.e. "
+                "the next enabled edge wraps; rst clears the counter."
+            ),
+            port_specs=ports(
+                ("en", 1, "in"), ("count", 4, "out"), ("carry", 1, "out")
+            ),
+            v_reg_outputs={"count"},
+            v_body=(
+                v_clocked_always(
+                    "if (en) count <= count + 4'd1;",
+                    reset_body="count <= 4'd0;",
+                )
+                + "\n    assign carry = en & (count == 4'd15);"
+            ),
+            vh_decls="    signal cnt : unsigned(3 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "if en = '1' then\ncnt <= cnt + 1;\nend if;",
+                    reset_body="cnt <= (others => '0');",
+                )
+                + "\n    count <= std_logic_vector(cnt);"
+                + "\n    carry <= '1' when en = '1' and cnt = 15 else '0';"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                (s + i["en"]) & 0xF,
+                {"count": (s + i["en"]) & 0xF,
+                 "carry": 1 if (i["en"] and (s + i["en"]) & 0xF == 15) else 0},
+            ),
+            extra_cycles=[{"en": 1}] * 18,
+            v_functional=[
+                functional(
+                    "carry fires one count early",
+                    "(count == 4'd15)",
+                    "(count == 4'd14)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "carry fires one count early",
+                    "and cnt = 15 else",
+                    "and cnt = 14 else",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="counter_load",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit counter with parallel load: when load "
+                "is high at a rising edge, count takes d; otherwise count "
+                "increments (load has priority); rst clears it."
+            ),
+            port_specs=ports(
+                ("d", 4, "in"), ("load", 1, "in"), ("count", 4, "out")
+            ),
+            v_reg_outputs={"count"},
+            v_body=v_clocked_always(
+                "if (load) count <= d;\n"
+                "else count <= count + 4'd1;",
+                reset_body="count <= 4'd0;",
+            ),
+            vh_decls=_vh_unsigned_counter_decls(4),
+            vh_body=(
+                vh_clocked_process(
+                    "if load = '1' then\n"
+                    "cnt <= unsigned(d);\n"
+                    "else\n"
+                    "cnt <= cnt + 1;\n"
+                    "end if;",
+                    reset_body="cnt <= (others => '0');",
+                )
+                + "\n    count <= std_logic_vector(cnt);"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                i["d"] if i["load"] else (s + 1) & 0xF,
+                {"count": i["d"] if i["load"] else (s + 1) & 0xF},
+            ),
+            v_functional=[
+                functional(
+                    "load inverts the data",
+                    "if (load) count <= d;",
+                    "if (load) count <= ~d;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "load inverts the data",
+                    "cnt <= unsigned(d);",
+                    "cnt <= unsigned(not d);",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="ring4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit ring counter: reset loads 0001; on each "
+                "enabled rising edge the single hot bit rotates left "
+                "(0001 -> 0010 -> 0100 -> 1000 -> 0001)."
+            ),
+            port_specs=ports(("en", 1, "in"), ("q", 4, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (en) q <= {q[2:0], q[3]};",
+                reset_body="q <= 4'b0001;",
+            ),
+            vh_body=vh_clocked_process(
+                "if en = '1' then\nq <= q(2 downto 0) & q(3);\nend if;",
+                reset_body="q <= \"0001\";",
+            ),
+            reset=lambda: 1,
+            step=lambda s, i: (
+                (((s << 1) | (s >> 3)) & 0xF) if i["en"] else s,
+                {"q": (((s << 1) | (s >> 3)) & 0xF) if i["en"] else s},
+            ),
+            v_functional=[
+                functional(
+                    "rotates right instead",
+                    "{q[2:0], q[3]}",
+                    "{q[0], q[3:1]}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "rotates right instead",
+                    "q(2 downto 0) & q(3)",
+                    "q(0) & q(3 downto 1)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="johnson4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit Johnson (twisted-ring) counter: reset "
+                "clears it; on each enabled rising edge it shifts left and "
+                "feeds the complement of the MSB into the LSB."
+            ),
+            port_specs=ports(("en", 1, "in"), ("q", 4, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (en) q <= {q[2:0], ~q[3]};",
+                reset_body="q <= 4'b0000;",
+            ),
+            vh_body=vh_clocked_process(
+                "if en = '1' then\nq <= q(2 downto 0) & (not q(3));\nend if;",
+                reset_body="q <= \"0000\";",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                (((s << 1) & 0xE) | ((s >> 3) ^ 1)) if i["en"] else s,
+                {"q": (((s << 1) & 0xE) | ((s >> 3) ^ 1)) if i["en"] else s},
+            ),
+            v_functional=[
+                functional(
+                    "plain ring (no complement)",
+                    "{q[2:0], ~q[3]}",
+                    "{q[2:0], q[3]}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "plain ring (no complement)",
+                    "q(2 downto 0) & (not q(3))",
+                    "q(2 downto 0) & q(3)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="satcounter3",
+            family=FAMILY,
+            prompt=(
+                "Implement a 3-bit saturating counter: on enabled rising "
+                "edges it increments when up is 1 (stopping at 7) and "
+                "decrements when up is 0 (stopping at 0); rst clears it."
+            ),
+            port_specs=ports(
+                ("en", 1, "in"), ("up", 1, "in"), ("count", 3, "out")
+            ),
+            v_reg_outputs={"count"},
+            v_body=v_clocked_always(
+                "if (en) begin\n"
+                "if (up && count != 3'd7) count <= count + 3'd1;\n"
+                "else if (!up && count != 3'd0) count <= count - 3'd1;\n"
+                "end",
+                reset_body="count <= 3'd0;",
+            ),
+            vh_decls="    signal cnt : unsigned(2 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "if en = '1' then\n"
+                    "if up = '1' and cnt /= 7 then\n"
+                    "cnt <= cnt + 1;\n"
+                    "elsif up = '0' and cnt /= 0 then\n"
+                    "cnt <= cnt - 1;\n"
+                    "end if;\n"
+                    "end if;",
+                    reset_body="cnt <= (others => '0');",
+                )
+                + "\n    count <= std_logic_vector(cnt);"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                (min(s + 1, 7) if i["up"] else max(s - 1, 0)) if i["en"] else s,
+                {"count": (min(s + 1, 7) if i["up"] else max(s - 1, 0))
+                 if i["en"] else s},
+            ),
+            # drive the counter into saturation at both ends
+            extra_cycles=(
+                [{"en": 1, "up": 1}] * 10 + [{"en": 1, "up": 0}] * 10
+            ),
+            v_functional=[
+                functional(
+                    "wraps at the top instead of saturating",
+                    "if (up && count != 3'd7) count <= count + 3'd1;",
+                    "if (up) count <= count + 3'd1;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "wraps at the top instead of saturating",
+                    "if up = '1' and cnt /= 7 then",
+                    "if up = '1' then",
+                ),
+            ],
+        )
+    )
+    return problems

@@ -1,0 +1,465 @@
+"""Family: decoders, encoders, and priority encoders."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import comb_problem, ports
+
+FAMILY = "decode"
+
+
+def generate():
+    problems = []
+    problems.append(
+        comb_problem(
+            pid="dec2to4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 2-to-4 one-hot decoder: output y has exactly "
+                "bit number sel set, all other bits clear."
+            ),
+            port_specs=ports(("sel", 2, "in"), ("y", 4, "out")),
+            v_body="    assign y = 4'b0001 << sel;",
+            vh_body=(
+                "    with sel select\n"
+                '        y <= "0001" when "00",\n'
+                '             "0010" when "01",\n'
+                '             "0100" when "10",\n'
+                '             "1000" when others;'
+            ),
+            fn=lambda i: {"y": 1 << i["sel"]},
+            v_functional=[
+                functional(
+                    "one-cold instead of one-hot",
+                    "4'b0001 << sel",
+                    "~(4'b0001 << sel)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "codes 01 and 10 swapped",
+                    '"0010" when "01",\n             "0100" when "10",',
+                    '"0100" when "01",\n             "0010" when "10",',
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="dec2to4_en",
+            family=FAMILY,
+            prompt=(
+                "Implement a 2-to-4 one-hot decoder with enable: when en is "
+                "1, y has bit sel set; when en is 0, y is all zeros."
+            ),
+            port_specs=ports(("sel", 2, "in"), ("en", 1, "in"), ("y", 4, "out")),
+            v_body="    assign y = en ? (4'b0001 << sel) : 4'b0000;",
+            vh_body=(
+                "    process(sel, en)\n"
+                "    begin\n"
+                "        if en = '1' then\n"
+                '            y <= "0000";\n'
+                "            y(to_integer(unsigned(sel))) <= '1';\n"
+                "        else\n"
+                '            y <= "0000";\n'
+                "        end if;\n"
+                "    end process;"
+            ),
+            fn=lambda i: {"y": (1 << i["sel"]) if i["en"] else 0},
+            v_functional=[
+                functional(
+                    "enable polarity inverted",
+                    "en ? (4'b0001 << sel) : 4'b0000",
+                    "en ? 4'b0000 : (4'b0001 << sel)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "enable polarity inverted",
+                    "if en = '1' then",
+                    "if en = '0' then",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="dec3to8",
+            family=FAMILY,
+            prompt=(
+                "Implement a 3-to-8 one-hot decoder: output y (8 bits) has "
+                "exactly bit number sel set."
+            ),
+            port_specs=ports(("sel", 3, "in"), ("y", 8, "out")),
+            v_body="    assign y = 8'b00000001 << sel;",
+            vh_body=(
+                "    process(sel)\n"
+                "    begin\n"
+                '        y <= "00000000";\n'
+                "        y(to_integer(unsigned(sel))) <= '1';\n"
+                "    end process;"
+            ),
+            fn=lambda i: {"y": 1 << i["sel"]},
+            v_functional=[
+                functional(
+                    "decodes sel+1 (shift by one extra)",
+                    "8'b00000001 << sel",
+                    "8'b00000010 << sel",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "drives '0' on the selected lane",
+                    "y(to_integer(unsigned(sel))) <= '1';",
+                    "y(to_integer(unsigned(sel))) <= '0';",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="enc4to2",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-to-2 binary encoder for one-hot inputs: "
+                "y is the index of the single set bit of d "
+                "(d is guaranteed one-hot; for non-one-hot inputs the "
+                "highest set bit wins, and zero input gives y = 0)."
+            ),
+            port_specs=ports(("d", 4, "in"), ("y", 2, "out")),
+            v_body=(
+                "    assign y = d[3] ? 2'd3 :\n"
+                "               d[2] ? 2'd2 :\n"
+                "               d[1] ? 2'd1 : 2'd0;"
+            ),
+            vh_body=(
+                '    y <= "11" when d(3) = \'1\' else\n'
+                '         "10" when d(2) = \'1\' else\n'
+                '         "01" when d(1) = \'1\' else\n'
+                '         "00";'
+            ),
+            fn=lambda i: {
+                "y": 3 if i["d"] & 8 else 2 if i["d"] & 4 else 1 if i["d"] & 2 else 0
+            },
+            v_functional=[
+                functional(
+                    "indices 2 and 3 swapped",
+                    "d[3] ? 2'd3 :\n               d[2] ? 2'd2 :",
+                    "d[3] ? 2'd2 :\n               d[2] ? 2'd3 :",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "indices 2 and 3 swapped",
+                    '"11" when d(3) = \'1\' else\n         "10" when d(2)',
+                    '"10" when d(3) = \'1\' else\n         "11" when d(2)',
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="prienc4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit priority encoder: y is the index of the "
+                "highest set bit of d, and valid is 1 when any bit of d is "
+                "set (y = 0 when d = 0)."
+            ),
+            port_specs=ports(
+                ("d", 4, "in"), ("y", 2, "out"), ("valid", 1, "out")
+            ),
+            v_body=(
+                "    assign y = d[3] ? 2'd3 :\n"
+                "               d[2] ? 2'd2 :\n"
+                "               d[1] ? 2'd1 : 2'd0;\n"
+                "    assign valid = |d;"
+            ),
+            vh_body=(
+                '    y <= "11" when d(3) = \'1\' else\n'
+                '         "10" when d(2) = \'1\' else\n'
+                '         "01" when d(1) = \'1\' else\n'
+                '         "00";\n'
+                "    valid <= d(3) or d(2) or d(1) or d(0);"
+            ),
+            fn=lambda i: {
+                "y": 3 if i["d"] & 8 else 2 if i["d"] & 4 else 1 if i["d"] & 2 else 0,
+                "valid": 1 if i["d"] else 0,
+            },
+            v_functional=[
+                functional(
+                    "priority runs low-to-high",
+                    "d[3] ? 2'd3 :\n               d[2] ? 2'd2 :\n"
+                    "               d[1] ? 2'd1 : 2'd0",
+                    "d[1] ? 2'd1 :\n               d[2] ? 2'd2 :\n"
+                    "               d[3] ? 2'd3 : 2'd0",
+                ),
+                functional("valid stuck high", "assign valid = |d;",
+                           "assign valid = 1'b1;"),
+            ],
+            vh_functional=[
+                functional(
+                    "valid ignores bit 0",
+                    "valid <= d(3) or d(2) or d(1) or d(0);",
+                    "valid <= d(3) or d(2) or d(1);",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="prienc8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit priority encoder: y (3 bits) is the "
+                "index of the highest set bit of d; y = 0 when d = 0."
+            ),
+            port_specs=ports(("d", 8, "in"), ("y", 3, "out")),
+            v_body=(
+                "    reg [2:0] y_r;\n"
+                "    integer i;\n"
+                "    always @(*) begin\n"
+                "        y_r = 3'd0;\n"
+                "        for (i = 0; i < 8; i = i + 1)\n"
+                "            if (d[i]) y_r = i[2:0];\n"
+                "    end\n"
+                "    assign y = y_r;"
+            ),
+            vh_body=(
+                "    process(d)\n"
+                "        variable idx : unsigned(2 downto 0);\n"
+                "    begin\n"
+                '        idx := "000";\n'
+                "        for i in 0 to 7 loop\n"
+                "            if d(i) = '1' then\n"
+                "                idx := to_unsigned(i, 3);\n"
+                "            end if;\n"
+                "        end loop;\n"
+                "        y <= std_logic_vector(idx);\n"
+                "    end process;"
+            ),
+            fn=lambda i: {"y": i["d"].bit_length() - 1 if i["d"] else 0},
+            v_functional=[
+                functional(
+                    "loop misses the top bit",
+                    "for (i = 0; i < 8; i = i + 1)",
+                    "for (i = 0; i < 7; i = i + 1)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "loop misses the top bit",
+                    "for i in 0 to 7 loop",
+                    "for i in 0 to 6 loop",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="onehot_check",
+            family=FAMILY,
+            prompt=(
+                "Check whether a 4-bit input is one-hot: output y is 1 when "
+                "exactly one bit of d is set, else 0."
+            ),
+            port_specs=ports(("d", 4, "in"), ("y", 1, "out")),
+            v_body=(
+                "    wire [2:0] count;\n"
+                "    assign count = d[0] + d[1] + d[2] + d[3];\n"
+                "    assign y = (count == 3'd1);"
+            ),
+            vh_body=(
+                "    process(d)\n"
+                "        variable cnt : unsigned(2 downto 0);\n"
+                "    begin\n"
+                '        cnt := "000";\n'
+                "        for i in 0 to 3 loop\n"
+                "            if d(i) = '1' then\n"
+                "                cnt := cnt + 1;\n"
+                "            end if;\n"
+                "        end loop;\n"
+                "        if cnt = 1 then\n"
+                "            y <= '1';\n"
+                "        else\n"
+                "            y <= '0';\n"
+                "        end if;\n"
+                "    end process;"
+            ),
+            fn=lambda i: {"y": 1 if bin(i["d"]).count("1") == 1 else 0},
+            v_functional=[
+                functional(
+                    "accepts zero or one bits",
+                    "(count == 3'd1)",
+                    "(count <= 3'd1)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "accepts zero or one bits",
+                    "if cnt = 1 then",
+                    "if cnt <= 1 then",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="dec4to16",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-to-16 one-hot decoder: the 16-bit output y "
+                "has exactly bit number sel set."
+            ),
+            port_specs=ports(("sel", 4, "in"), ("y", 16, "out")),
+            v_body="    assign y = 16'd1 << sel;",
+            vh_body=(
+                "    process(sel)\n"
+                "    begin\n"
+                "        y <= (others => '0');\n"
+                "        y(to_integer(unsigned(sel))) <= '1';\n"
+                "    end process;"
+            ),
+            fn=lambda i: {"y": 1 << i["sel"]},
+            v_functional=[
+                functional(
+                    "decodes sel+1",
+                    "16'd1 << sel",
+                    "16'd2 << sel",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "inactive lanes driven high",
+                    "y <= (others => '0');",
+                    "y <= (others => '1');",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="thermometer4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit thermometer decoder: for a 3-bit input "
+                "n (0..4 meaningful), the n lowest bits of y are 1 and the "
+                "rest 0 (n >= 4 gives all ones)."
+            ),
+            port_specs=ports(("n", 3, "in"), ("y", 4, "out")),
+            v_body=(
+                "    assign y = (n >= 3'd4) ? 4'b1111 :\n"
+                "               ((4'b0001 << n) - 4'd1);"
+            ),
+            vh_body=(
+                "    process(n)\n"
+                "    begin\n"
+                '        y <= "0000";\n'
+                "        for i in 0 to 3 loop\n"
+                "            if i < to_integer(unsigned(n)) then\n"
+                "                y(i) <= '1';\n"
+                "            end if;\n"
+                "        end loop;\n"
+                "    end process;"
+            ),
+            fn=lambda i: {"y": (1 << min(i["n"], 4)) - 1},
+            v_functional=[
+                functional(
+                    "one level short",
+                    "((4'b0001 << n) - 4'd1)",
+                    "((4'b0001 << n) >> 1)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "one level short",
+                    "if i < to_integer(unsigned(n)) then",
+                    "if i + 1 < to_integer(unsigned(n)) then",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="seven_seg",
+            family=FAMILY,
+            prompt=(
+                "Implement a hexadecimal seven-segment decoder: map the "
+                "4-bit input digit to segments seg[6:0] = gfedcba, active "
+                "high, using the standard hex segment patterns "
+                "(0 -> 0111111, 1 -> 0000110, ..., F -> 1110001)."
+            ),
+            port_specs=ports(("digit", 4, "in"), ("seg", 7, "out")),
+            v_body=(
+                "    reg [6:0] seg_r;\n"
+                "    always @(*) begin\n"
+                "        case (digit)\n"
+                "            4'h0: seg_r = 7'b0111111;\n"
+                "            4'h1: seg_r = 7'b0000110;\n"
+                "            4'h2: seg_r = 7'b1011011;\n"
+                "            4'h3: seg_r = 7'b1001111;\n"
+                "            4'h4: seg_r = 7'b1100110;\n"
+                "            4'h5: seg_r = 7'b1101101;\n"
+                "            4'h6: seg_r = 7'b1111101;\n"
+                "            4'h7: seg_r = 7'b0000111;\n"
+                "            4'h8: seg_r = 7'b1111111;\n"
+                "            4'h9: seg_r = 7'b1101111;\n"
+                "            4'hA: seg_r = 7'b1110111;\n"
+                "            4'hB: seg_r = 7'b1111100;\n"
+                "            4'hC: seg_r = 7'b0111001;\n"
+                "            4'hD: seg_r = 7'b1011110;\n"
+                "            4'hE: seg_r = 7'b1111001;\n"
+                "            default: seg_r = 7'b1110001;\n"
+                "        endcase\n"
+                "    end\n"
+                "    assign seg = seg_r;"
+            ),
+            vh_body=(
+                "    with digit select\n"
+                '        seg <= "0111111" when "0000",\n'
+                '               "0000110" when "0001",\n'
+                '               "1011011" when "0010",\n'
+                '               "1001111" when "0011",\n'
+                '               "1100110" when "0100",\n'
+                '               "1101101" when "0101",\n'
+                '               "1111101" when "0110",\n'
+                '               "0000111" when "0111",\n'
+                '               "1111111" when "1000",\n'
+                '               "1101111" when "1001",\n'
+                '               "1110111" when "1010",\n'
+                '               "1111100" when "1011",\n'
+                '               "0111001" when "1100",\n'
+                '               "1011110" when "1101",\n'
+                '               "1111001" when "1110",\n'
+                '               "1110001" when others;'
+            ),
+            fn=lambda i: {
+                "seg": [
+                    0b0111111, 0b0000110, 0b1011011, 0b1001111,
+                    0b1100110, 0b1101101, 0b1111101, 0b0000111,
+                    0b1111111, 0b1101111, 0b1110111, 0b1111100,
+                    0b0111001, 0b1011110, 0b1111001, 0b1110001,
+                ][i["digit"]]
+            },
+            v_functional=[
+                functional(
+                    "wrong pattern for digit 2",
+                    "4'h2: seg_r = 7'b1011011;",
+                    "4'h2: seg_r = 7'b1011010;",
+                ),
+                functional(
+                    "patterns for 6 and 7 swapped",
+                    "4'h6: seg_r = 7'b1111101;\n            4'h7: seg_r = 7'b0000111;",
+                    "4'h6: seg_r = 7'b0000111;\n            4'h7: seg_r = 7'b1111101;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "wrong pattern for digit 2",
+                    '"1011011" when "0010",',
+                    '"1011010" when "0010",',
+                ),
+            ],
+        )
+    )
+    return problems

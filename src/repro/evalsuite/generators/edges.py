@@ -1,0 +1,388 @@
+"""Family: edge detection, synchronizers, pulse shaping."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import ports, seq_problem
+from repro.evalsuite.hdl_helpers import v_clocked_always, vh_clocked_process
+
+FAMILY = "edges"
+
+
+def _debounce_step(s, i):
+    """Python model of the 3-cycle debouncer (state = (run, last, state))."""
+    run, last, state = s
+    d = i["d"]
+    if d == last:
+        new_run = run + 1 if run != 2 else run
+        new_state = d if run >= 2 else state
+    else:
+        new_run = 0
+        new_state = state
+    return (new_run, d, new_state), {"q": new_state}
+
+
+def generate():
+    problems = []
+    problems.append(
+        seq_problem(
+            pid="edge_rise",
+            family=FAMILY,
+            prompt=(
+                "Detect rising edges of a slow input: pulse is 1 for "
+                "exactly one cycle when d was 0 on the previous cycle and "
+                "is 1 now (registered output; rst clears the history)."
+            ),
+            port_specs=ports(("d", 1, "in"), ("pulse", 1, "out")),
+            v_reg_outputs={"pulse"},
+            v_body=(
+                "    reg prev;\n"
+                + v_clocked_always(
+                    "prev <= d;\npulse <= d & ~prev;",
+                    reset_body="prev <= 1'b0;\npulse <= 1'b0;",
+                )
+            ),
+            vh_decls="    signal prev : std_logic;",
+            vh_body=vh_clocked_process(
+                "prev <= d;\npulse <= d and (not prev);",
+                reset_body="prev <= '0';\npulse <= '0';",
+            ),
+            reset=lambda: (0, 0),
+            step=lambda s, i: (
+                (i["d"], i["d"] & (s[0] ^ 1)),
+                {"pulse": i["d"] & (s[0] ^ 1)},
+            ),
+            v_functional=[
+                functional(
+                    "detects falling edges instead",
+                    "pulse <= d & ~prev;",
+                    "pulse <= ~d & prev;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "detects falling edges instead",
+                    "pulse <= d and (not prev);",
+                    "pulse <= (not d) and prev;",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="edge_fall",
+            family=FAMILY,
+            prompt=(
+                "Detect falling edges of an input: pulse is 1 for exactly "
+                "one cycle when d was 1 on the previous cycle and is 0 now."
+            ),
+            port_specs=ports(("d", 1, "in"), ("pulse", 1, "out")),
+            v_reg_outputs={"pulse"},
+            v_body=(
+                "    reg prev;\n"
+                + v_clocked_always(
+                    "prev <= d;\npulse <= ~d & prev;",
+                    reset_body="prev <= 1'b0;\npulse <= 1'b0;",
+                )
+            ),
+            vh_decls="    signal prev : std_logic;",
+            vh_body=vh_clocked_process(
+                "prev <= d;\npulse <= (not d) and prev;",
+                reset_body="prev <= '0';\npulse <= '0';",
+            ),
+            reset=lambda: (0, 0),
+            step=lambda s, i: (
+                (i["d"], (i["d"] ^ 1) & s[0]),
+                {"pulse": (i["d"] ^ 1) & s[0]},
+            ),
+            v_functional=[
+                functional(
+                    "detects rising edges instead",
+                    "pulse <= ~d & prev;",
+                    "pulse <= d & ~prev;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "detects rising edges instead",
+                    "pulse <= (not d) and prev;",
+                    "pulse <= d and (not prev);",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="edge_any",
+            family=FAMILY,
+            prompt=(
+                "Detect any edge of an input: pulse is 1 for one cycle "
+                "whenever d differs from its value on the previous cycle."
+            ),
+            port_specs=ports(("d", 1, "in"), ("pulse", 1, "out")),
+            v_reg_outputs={"pulse"},
+            v_body=(
+                "    reg prev;\n"
+                + v_clocked_always(
+                    "prev <= d;\npulse <= d ^ prev;",
+                    reset_body="prev <= 1'b0;\npulse <= 1'b0;",
+                )
+            ),
+            vh_decls="    signal prev : std_logic;",
+            vh_body=vh_clocked_process(
+                "prev <= d;\npulse <= d xor prev;",
+                reset_body="prev <= '0';\npulse <= '0';",
+            ),
+            reset=lambda: (0, 0),
+            step=lambda s, i: (
+                (i["d"], i["d"] ^ s[0]),
+                {"pulse": i["d"] ^ s[0]},
+            ),
+            v_functional=[
+                functional(
+                    "level detector (XNOR) instead of edge",
+                    "pulse <= d ^ prev;",
+                    "pulse <= ~(d ^ prev);",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "level detector (XNOR) instead of edge",
+                    "pulse <= d xor prev;",
+                    "pulse <= d xnor prev;",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="sync2ff",
+            family=FAMILY,
+            prompt=(
+                "Implement a two-stage synchronizer: q is the asynchronous "
+                "input d passed through two flip-flops in series (so q is "
+                "d delayed by two cycles); rst clears both stages."
+            ),
+            port_specs=ports(("d", 1, "in"), ("q", 1, "out")),
+            v_reg_outputs={"q"},
+            v_body=(
+                "    reg meta;\n"
+                + v_clocked_always(
+                    "meta <= d;\nq <= meta;",
+                    reset_body="meta <= 1'b0;\nq <= 1'b0;",
+                )
+            ),
+            vh_decls="    signal meta : std_logic;",
+            vh_body=vh_clocked_process(
+                "meta <= d;\nq <= meta;",
+                reset_body="meta <= '0';\nq <= '0';",
+            ),
+            reset=lambda: (0, 0),
+            step=lambda s, i: (
+                (i["d"], s[0]),
+                {"q": s[0]},
+            ),
+            v_functional=[
+                functional(
+                    "single stage only",
+                    "meta <= d;\n            q <= meta;",
+                    "meta <= d;\n            q <= d;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "single stage only",
+                    "meta <= d;\n            q <= meta;",
+                    "meta <= d;\n            q <= d;",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="toggle_on_press",
+            family=FAMILY,
+            prompt=(
+                "Toggle an output on each rising edge of a button input: "
+                "q flips state on every cycle where btn was 0 and is now "
+                "1; rst clears q."
+            ),
+            port_specs=ports(("btn", 1, "in"), ("q", 1, "out")),
+            v_reg_outputs={"q"},
+            v_body=(
+                "    reg prev;\n"
+                + v_clocked_always(
+                    "prev <= btn;\nif (btn & ~prev) q <= ~q;",
+                    reset_body="prev <= 1'b0;\nq <= 1'b0;",
+                )
+            ),
+            vh_decls="    signal prev : std_logic;",
+            vh_body=vh_clocked_process(
+                "prev <= btn;\n"
+                "if btn = '1' and prev = '0' then\n"
+                "q <= not q;\n"
+                "end if;",
+                reset_body="prev <= '0';\nq <= '0';",
+            ),
+            reset=lambda: (0, 0),
+            step=lambda s, i: (
+                (i["btn"], s[1] ^ (i["btn"] & (s[0] ^ 1))),
+                {"q": s[1] ^ (i["btn"] & (s[0] ^ 1))},
+            ),
+            v_functional=[
+                functional(
+                    "toggles on level, not edge",
+                    "if (btn & ~prev) q <= ~q;",
+                    "if (btn) q <= ~q;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "toggles on level, not edge",
+                    "if btn = '1' and prev = '0' then",
+                    "if btn = '1' then",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="debounce3",
+            family=FAMILY,
+            prompt=(
+                "Implement a 3-cycle debouncer: the output q changes to "
+                "the value of d only after d has held that value for three "
+                "consecutive rising edges; otherwise q keeps its previous "
+                "value; rst clears everything."
+            ),
+            port_specs=ports(("d", 1, "in"), ("q", 1, "out")),
+            v_body=(
+                "    reg [1:0] run;\n"
+                "    reg last;\n"
+                "    reg state;\n"
+                + v_clocked_always(
+                    "if (d == last) begin\n"
+                    "if (run != 2'd2) run <= run + 2'd1;\n"
+                    "if (run >= 2'd2) state <= d;\n"
+                    "end else begin\n"
+                    "run <= 2'd0;\n"
+                    "end\n"
+                    "last <= d;",
+                    reset_body="run <= 2'd0;\nlast <= 1'b0;\nstate <= 1'b0;",
+                )
+                + "\n    assign q = state;"
+            ),
+            vh_decls=(
+                "    signal run : unsigned(1 downto 0);\n"
+                "    signal last : std_logic;\n"
+                "    signal state : std_logic;"
+            ),
+            vh_body=(
+                vh_clocked_process(
+                    "if d = last then\n"
+                    "if run /= 2 then\n"
+                    "run <= run + 1;\n"
+                    "end if;\n"
+                    "if run >= 2 then\n"
+                    "state <= d;\n"
+                    "end if;\n"
+                    "else\n"
+                    "run <= \"00\";\n"
+                    "end if;\n"
+                    "last <= d;",
+                    reset_body="run <= \"00\";\nlast <= '0';\nstate <= '0';",
+                )
+                + "\n    q <= state;"
+            ),
+            reset=lambda: (0, 0, 0),  # (run, last, state)
+            step=lambda s, i: _debounce_step(s, i),
+            v_functional=[
+                functional(
+                    "accepts after two stable cycles",
+                    "if (run >= 2'd2) state <= d;",
+                    "if (run >= 2'd1) state <= d;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "accepts after two stable cycles",
+                    "if run >= 2 then",
+                    "if run >= 1 then",
+                ),
+            ],
+            random_cycles=40,
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="stretch4",
+            family=FAMILY,
+            prompt=(
+                "Stretch single-cycle pulses to four cycles: whenever d is "
+                "1, the output stays 1 for that cycle and the following "
+                "three cycles (retriggerable); rst clears it."
+            ),
+            port_specs=ports(("d", 1, "in"), ("q", 1, "out")),
+            v_body=(
+                "    reg [1:0] remain;\n"
+                + v_clocked_always(
+                    "if (d) remain <= 2'd3;\n"
+                    "else if (remain != 2'd0) remain <= remain - 2'd1;",
+                    reset_body="remain <= 2'd0;",
+                )
+                + "\n    reg held;\n"
+                + v_clocked_always(
+                    "held <= d | (remain != 2'd0);",
+                    reset_body="held <= 1'b0;",
+                )
+                + "\n    assign q = held;"
+            ),
+            vh_decls=(
+                "    signal remain : unsigned(1 downto 0);\n"
+                "    signal held : std_logic;"
+            ),
+            vh_body=(
+                vh_clocked_process(
+                    "if d = '1' then\n"
+                    "remain <= \"11\";\n"
+                    "elsif remain /= 0 then\n"
+                    "remain <= remain - 1;\n"
+                    "end if;",
+                    reset_body="remain <= \"00\";",
+                )
+                + "\n"
+                + vh_clocked_process(
+                    "if d = '1' or remain /= 0 then\n"
+                    "held <= '1';\n"
+                    "else\n"
+                    "held <= '0';\n"
+                    "end if;",
+                    reset_body="held <= '0';",
+                )
+                + "\n    q <= held;"
+            ),
+            reset=lambda: (0, 0),
+            step=lambda s, i: (
+                (
+                    3 if i["d"] else max(s[0] - 1, 0),
+                    1 if (i["d"] or s[0] != 0) else 0,
+                ),
+                {"q": 1 if (i["d"] or s[0] != 0) else 0},
+            ),
+            v_functional=[
+                functional(
+                    "stretches to two cycles only",
+                    "if (d) remain <= 2'd3;",
+                    "if (d) remain <= 2'd1;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "stretches to two cycles only",
+                    "remain <= \"11\";",
+                    "remain <= \"01\";",
+                ),
+            ],
+        )
+    )
+    return problems

@@ -1,0 +1,391 @@
+"""Family: finite-state machines.
+
+Sequence detectors are generated mechanically from the pattern (a Moore FSM
+whose states encode the longest matched prefix, with overlap), exactly the
+kind of task the paper's Fig. 2 walks through. A few hand-built machines
+(traffic light, 2-way arbiter) round out the family.
+"""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import ports, seq_problem
+from repro.evalsuite.hdl_helpers import v_clocked_always, vh_clocked_process
+
+FAMILY = "fsm"
+
+
+def _prefix_automaton(pattern: str) -> list[tuple[int, int]]:
+    """KMP-style next-state table: state = matched prefix length.
+
+    Returns, for each state 0..len-1, the next state on input 0 and 1.
+    Reaching len(pattern) signals a detection; the automaton then continues
+    from the longest proper suffix (overlapping detection).
+    """
+
+    def advance(prefix: str, bit: str) -> int:
+        candidate = prefix + bit
+        while candidate:
+            if pattern.startswith(candidate):
+                return len(candidate)
+            candidate = candidate[1:]
+        return 0
+
+    table = []
+    for length in range(len(pattern)):
+        prefix = pattern[:length]
+        table.append((advance(prefix, "0"), advance(prefix, "1")))
+    return table
+
+
+def _detector(pattern: str) -> "ProblemDefinition":
+    from repro.designs.model import ProblemDefinition  # noqa: F401 (doc type)
+
+    n = len(pattern)
+    state_bits = max(1, (n + 1 - 1).bit_length())
+    table = _prefix_automaton(pattern)
+    # transitions out of the accepting state: as if from the longest proper
+    # suffix of the pattern that is also a prefix
+    def accept_next(bit: str) -> int:
+        suffix = pattern[1:]
+        candidate = suffix + bit
+        while candidate:
+            if pattern.startswith(candidate) and len(candidate) <= n:
+                if len(candidate) == n:
+                    return n
+                return len(candidate)
+            candidate = candidate[1:]
+        return 0
+
+    full_table = table + [(accept_next("0"), accept_next("1"))]
+
+    # Verilog case body
+    v_cases = []
+    for state, (n0, n1) in enumerate(full_table):
+        v_cases.append(
+            f"{state_bits}'d{state}: state <= d ? "
+            f"{state_bits}'d{n1} : {state_bits}'d{n0};"
+        )
+    v_case_text = "\n".join(v_cases)
+    v_body = (
+        f"    reg [{state_bits - 1}:0] state;\n"
+        + v_clocked_always(
+            "case (state)\n" + v_case_text + "\ndefault: state <= "
+            f"{state_bits}'d0;\nendcase",
+            reset_body=f"state <= {state_bits}'d0;",
+        )
+        + f"\n    assign found = (state == {state_bits}'d{n});"
+    )
+
+    vh_cases = []
+    for state, (n0, n1) in enumerate(full_table):
+        vh_cases.append(
+            f"when {state} =>\n"
+            f"if d = '1' then\nstate <= {n1};\nelse\nstate <= {n0};\nend if;"
+        )
+    vh_case_text = "\n".join(vh_cases)
+    vh_body = (
+        vh_clocked_process(
+            "case state is\n" + vh_case_text + "\nwhen others =>\nstate <= 0;"
+            "\nend case;",
+            reset_body="state <= 0;",
+        )
+        + f"\n    found <= '1' when state = {n} else '0';"
+    )
+
+    def step(s, i, table=tuple(full_table)):
+        next_state = table[s][1] if i["d"] else table[s][0]
+        return next_state, {"found": 1 if next_state == n else 0}
+
+    pid = f"fsm_detect{pattern}"
+    return seq_problem(
+        pid=pid,
+        family=FAMILY,
+        prompt=(
+            f"Implement a Moore FSM that detects the serial bit pattern "
+            f"{pattern} on input d (MSB first, overlapping occurrences "
+            "count): output found is 1 in the cycle after the final "
+            "pattern bit arrives; rst returns the FSM to its idle state."
+        ),
+        port_specs=ports(("d", 1, "in"), ("found", 1, "out")),
+        v_body=v_body,
+        vh_decls="    signal state : integer range 0 to 15;",
+        vh_body=vh_body,
+        reset=lambda: 0,
+        step=step,
+        v_functional=[
+            functional(
+                "accepting state compared one too low",
+                f"(state == {state_bits}'d{n})",
+                f"(state == {state_bits}'d{n - 1})",
+            ),
+        ],
+        vh_functional=[
+            functional(
+                "accepting state compared one too low",
+                f"when state = {n} else",
+                f"when state = {n - 1} else",
+            ),
+        ],
+        random_cycles=40,
+    )
+
+
+def generate():
+    problems = [
+        _detector("101"),
+        _detector("110"),
+        _detector("1001"),
+        _detector("0110"),
+        _detector("111"),
+        _detector("010"),
+        _detector("1011"),
+        _detector("0011"),
+        _detector("100"),
+        _detector("11010"),
+    ]
+    problems.append(_traffic_light())
+    problems.append(_arbiter2())
+    problems.append(_two_phase())
+    problems.append(_start_stop())
+    return problems
+
+
+def _traffic_light():
+    # green 4 cycles -> yellow 2 cycles -> red 4 cycles -> green ...
+    GREEN, YELLOW, RED = 0, 1, 2
+
+    def step(s, i):
+        state, timer = s
+        timer += 1
+        if state == GREEN and timer == 4:
+            state, timer = YELLOW, 0
+        elif state == YELLOW and timer == 2:
+            state, timer = RED, 0
+        elif state == RED and timer == 4:
+            state, timer = GREEN, 0
+        lights = {GREEN: 0b001, YELLOW: 0b010, RED: 0b100}[state]
+        return (state, timer), {"lights": lights}
+
+    return seq_problem(
+        pid="fsm_traffic",
+        family=FAMILY,
+        prompt=(
+            "Implement a traffic-light controller cycling green (4 "
+            "cycles), yellow (2 cycles), red (4 cycles) forever. Output "
+            "lights is one-hot: bit0 green, bit1 yellow, bit2 red. rst "
+            "restarts in green with the timer cleared."
+        ),
+        port_specs=ports(("lights", 3, "out")),
+        v_body=(
+            "    reg [1:0] state;\n"
+            "    reg [2:0] timer;\n"
+            + v_clocked_always(
+                "timer <= timer + 3'd1;\n"
+                "case (state)\n"
+                "2'd0: if (timer == 3'd3) begin state <= 2'd1; timer <= 3'd0; end\n"
+                "2'd1: if (timer == 3'd1) begin state <= 2'd2; timer <= 3'd0; end\n"
+                "default: if (timer == 3'd3) begin state <= 2'd0; timer <= 3'd0; end\n"
+                "endcase",
+                reset_body="state <= 2'd0;\ntimer <= 3'd0;",
+            )
+            + "\n    assign lights = (state == 2'd0) ? 3'b001 :\n"
+            "                    (state == 2'd1) ? 3'b010 : 3'b100;"
+        ),
+        vh_decls=(
+            "    signal state : integer range 0 to 2;\n"
+            "    signal timer : unsigned(2 downto 0);"
+        ),
+        vh_body=(
+            vh_clocked_process(
+                "timer <= timer + 1;\n"
+                "case state is\n"
+                "when 0 =>\n"
+                "if timer = 3 then\nstate <= 1;\ntimer <= \"000\";\nend if;\n"
+                "when 1 =>\n"
+                "if timer = 1 then\nstate <= 2;\ntimer <= \"000\";\nend if;\n"
+                "when others =>\n"
+                "if timer = 3 then\nstate <= 0;\ntimer <= \"000\";\nend if;\n"
+                "end case;",
+                reset_body="state <= 0;\ntimer <= \"000\";",
+            )
+            + '\n    lights <= "001" when state = 0 else\n'
+            '              "010" when state = 1 else\n'
+            '              "100";'
+        ),
+        reset=lambda: (0, 0),
+        step=step,
+        v_functional=[
+            functional(
+                "yellow lasts 4 cycles",
+                "2'd1: if (timer == 3'd1)",
+                "2'd1: if (timer == 3'd3)",
+            ),
+        ],
+        vh_functional=[
+            functional(
+                "yellow lasts 4 cycles",
+                "if timer = 1 then\n                state <= 2;",
+                "if timer = 3 then\n                state <= 2;",
+            ),
+        ],
+        random_cycles=30,
+    )
+
+
+def _arbiter2():
+    def step(s, i):
+        # fixed priority: req0 wins; grants are registered
+        g0 = 1 if i["req0"] else 0
+        g1 = 1 if (i["req1"] and not i["req0"]) else 0
+        return s, {"gnt0": g0, "gnt1": g1}
+
+    return seq_problem(
+        pid="fsm_arbiter2",
+        family=FAMILY,
+        prompt=(
+            "Implement a registered fixed-priority 2-way arbiter: on each "
+            "rising edge, grant gnt0 when req0 is high; grant gnt1 only "
+            "when req1 is high and req0 is low; grants are mutually "
+            "exclusive and registered; rst clears both grants."
+        ),
+        port_specs=ports(
+            ("req0", 1, "in"), ("req1", 1, "in"),
+            ("gnt0", 1, "out"), ("gnt1", 1, "out"),
+        ),
+        v_reg_outputs={"gnt0", "gnt1"},
+        v_body=v_clocked_always(
+            "gnt0 <= req0;\ngnt1 <= req1 & ~req0;",
+            reset_body="gnt0 <= 1'b0;\ngnt1 <= 1'b0;",
+        ),
+        vh_body=vh_clocked_process(
+            "gnt0 <= req0;\ngnt1 <= req1 and (not req0);",
+            reset_body="gnt0 <= '0';\ngnt1 <= '0';",
+        ),
+        reset=lambda: 0,
+        step=step,
+        v_functional=[
+            functional(
+                "grants not mutually exclusive",
+                "gnt1 <= req1 & ~req0;",
+                "gnt1 <= req1;",
+            ),
+        ],
+        vh_functional=[
+            functional(
+                "grants not mutually exclusive",
+                "gnt1 <= req1 and (not req0);",
+                "gnt1 <= req1;",
+            ),
+        ],
+    )
+
+
+def _two_phase():
+    def step(s, i):
+        nxt = s ^ 1 if i["go"] else s
+        return nxt, {"phase_a": 1 if nxt == 0 else 0,
+                     "phase_b": 1 if nxt == 1 else 0}
+
+    return seq_problem(
+        pid="fsm_twophase",
+        family=FAMILY,
+        prompt=(
+            "Implement a two-phase generator: a 1-bit state toggles on "
+            "rising edges where go is high; phase_a is high in state 0 "
+            "and phase_b in state 1 (exactly one is high each cycle); "
+            "rst returns to state 0."
+        ),
+        port_specs=ports(
+            ("go", 1, "in"), ("phase_a", 1, "out"), ("phase_b", 1, "out")
+        ),
+        v_body=(
+            "    reg state;\n"
+            + v_clocked_always(
+                "if (go) state <= ~state;",
+                reset_body="state <= 1'b0;",
+            )
+            + "\n    assign phase_a = ~state;\n    assign phase_b = state;"
+        ),
+        vh_decls="    signal state : std_logic;",
+        vh_body=(
+            vh_clocked_process(
+                "if go = '1' then\nstate <= not state;\nend if;",
+                reset_body="state <= '0';",
+            )
+            + "\n    phase_a <= not state;\n    phase_b <= state;"
+        ),
+        reset=lambda: 0,
+        step=step,
+        v_functional=[
+            functional(
+                "phases overlap (both track state)",
+                "assign phase_a = ~state;",
+                "assign phase_a = state;",
+            ),
+        ],
+        vh_functional=[
+            functional(
+                "phases overlap (both track state)",
+                "phase_a <= not state;",
+                "phase_a <= state;",
+            ),
+        ],
+    )
+
+
+def _start_stop():
+    def step(s, i):
+        if i["stop"]:
+            running = 0
+        elif i["start"]:
+            running = 1
+        else:
+            running = s
+        return running, {"running": running}
+
+    return seq_problem(
+        pid="fsm_startstop",
+        family=FAMILY,
+        prompt=(
+            "Implement a start/stop controller: output running goes high "
+            "on a rising edge where start is 1 and low where stop is 1 "
+            "(stop wins if both are high); otherwise it holds; rst clears "
+            "running."
+        ),
+        port_specs=ports(
+            ("start", 1, "in"), ("stop", 1, "in"), ("running", 1, "out")
+        ),
+        v_reg_outputs={"running"},
+        v_body=v_clocked_always(
+            "if (stop) running <= 1'b0;\n"
+            "else if (start) running <= 1'b1;",
+            reset_body="running <= 1'b0;",
+        ),
+        vh_body=vh_clocked_process(
+            "if stop = '1' then\n"
+            "running <= '0';\n"
+            "elsif start = '1' then\n"
+            "running <= '1';\n"
+            "end if;",
+            reset_body="running <= '0';",
+        ),
+        reset=lambda: 0,
+        step=step,
+        v_functional=[
+            functional(
+                "start wins over stop (priority swapped)",
+                "if (stop) running <= 1'b0;\n        else if (start) running <= 1'b1;",
+                "if (start) running <= 1'b1;\n        else if (stop) running <= 1'b0;",
+            ),
+        ],
+        vh_functional=[
+            functional(
+                "start wins over stop (priority swapped)",
+                "if stop = '1' then\n            running <= '0';\n"
+                "            elsif start = '1' then\n            running <= '1';",
+                "if start = '1' then\n            running <= '1';\n"
+                "            elsif stop = '1' then\n            running <= '0';",
+            ),
+        ],
+    )

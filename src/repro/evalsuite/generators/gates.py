@@ -1,0 +1,352 @@
+"""Family: basic logic gates (1-bit combinational).
+
+Mirrors VerilogEval-Human's gate tasks (andgate, norgate, xnorgate, ...).
+Mechanized over a gate table: each entry supplies the expression in both
+languages, the Python model, and an operator-swap functional defect.
+"""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import comb_problem, ports
+
+FAMILY = "gates"
+
+
+def _two_input(pid, prompt, v_expr, vh_expr, fn, v_swap, vh_swap):
+    return comb_problem(
+        pid=pid,
+        family=FAMILY,
+        prompt=prompt,
+        port_specs=ports(("a", 1, "in"), ("b", 1, "in"), ("y", 1, "out")),
+        v_body=f"    assign y = {v_expr};",
+        vh_body=f"    y <= {vh_expr};",
+        fn=lambda i: {"y": fn(i["a"], i["b"])},
+        v_functional=[
+            functional(f"wrong gate: {v_swap[2]}", v_swap[0], v_swap[1]),
+            functional(
+                "duplicated operand: second input ignored",
+                v_expr,
+                v_expr.replace("b", "a"),
+            ),
+        ],
+        vh_functional=[
+            functional(f"wrong gate: {vh_swap[2]}", vh_swap[0], vh_swap[1]),
+            functional(
+                "duplicated operand: second input ignored",
+                vh_expr,
+                vh_expr.replace("b", "a"),
+            ),
+        ],
+    )
+
+
+def _three_input(pid, prompt, v_expr, vh_expr, fn, v_swap, vh_swap):
+    return comb_problem(
+        pid=pid,
+        family=FAMILY,
+        prompt=prompt,
+        port_specs=ports(
+            ("a", 1, "in"), ("b", 1, "in"), ("c", 1, "in"), ("y", 1, "out")
+        ),
+        v_body=f"    assign y = {v_expr};",
+        vh_body=f"    y <= {vh_expr};",
+        fn=lambda i: {"y": fn(i["a"], i["b"], i["c"])},
+        v_functional=[
+            functional(f"wrong gate: {v_swap[2]}", v_swap[0], v_swap[1]),
+            functional(
+                "third input ignored",
+                v_expr,
+                v_expr.replace("c", "a"),
+            ),
+        ],
+        vh_functional=[
+            functional(f"wrong gate: {vh_swap[2]}", vh_swap[0], vh_swap[1]),
+            functional(
+                "third input ignored",
+                vh_expr,
+                vh_expr.replace("c", "a"),
+            ),
+        ],
+    )
+
+
+def generate():
+    problems = []
+    problems.append(
+        comb_problem(
+            pid="gates_buf",
+            family=FAMILY,
+            prompt=(
+                "Build a circuit with one input a and one output y that "
+                "behaves like a wire: y must always equal a."
+            ),
+            port_specs=ports(("a", 1, "in"), ("y", 1, "out")),
+            v_body="    assign y = a;",
+            vh_body="    y <= a;",
+            fn=lambda i: {"y": i["a"]},
+            v_functional=[
+                functional("inverted output", "assign y = a;", "assign y = ~a;")
+            ],
+            vh_functional=[
+                functional("inverted output", "y <= a;", "y <= not a;")
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="gates_not",
+            family=FAMILY,
+            prompt=(
+                "Implement a NOT gate (inverter): output y is the logical "
+                "complement of input a."
+            ),
+            port_specs=ports(("a", 1, "in"), ("y", 1, "out")),
+            v_body="    assign y = ~a;",
+            vh_body="    y <= not a;",
+            fn=lambda i: {"y": i["a"] ^ 1},
+            v_functional=[
+                functional("missing inversion", "assign y = ~a;", "assign y = a;")
+            ],
+            vh_functional=[
+                functional("missing inversion", "y <= not a;", "y <= a;")
+            ],
+        )
+    )
+    problems.append(
+        _two_input(
+            "gates_and",
+            "Implement a 2-input AND gate: y = a AND b.",
+            "a & b", "a and b",
+            lambda a, b: a & b,
+            ("a & b", "a | b", "AND replaced by OR"),
+            ("a and b", "a or b", "AND replaced by OR"),
+        )
+    )
+    problems.append(
+        _two_input(
+            "gates_or",
+            "Implement a 2-input OR gate with inputs a, b and output y = a OR b.",
+            "a | b", "a or b",
+            lambda a, b: a | b,
+            ("a | b", "a & b", "OR replaced by AND"),
+            ("a or b", "a and b", "OR replaced by AND"),
+        )
+    )
+    problems.append(
+        _two_input(
+            "gates_xor",
+            "Implement a 2-input XOR gate: y = a XOR b.",
+            "a ^ b", "a xor b",
+            lambda a, b: a ^ b,
+            ("a ^ b", "a | b", "XOR replaced by OR"),
+            ("a xor b", "a or b", "XOR replaced by OR"),
+        )
+    )
+    problems.append(
+        _two_input(
+            "gates_nand",
+            "Implement a 2-input NAND gate: y = NOT(a AND b).",
+            "~(a & b)", "a nand b",
+            lambda a, b: (a & b) ^ 1,
+            ("~(a & b)", "(a & b)", "missing output inversion"),
+            ("a nand b", "a and b", "missing output inversion"),
+        )
+    )
+    problems.append(
+        _two_input(
+            "gates_nor",
+            "Implement a 2-input NOR gate: y = NOT(a OR b).",
+            "~(a | b)", "a nor b",
+            lambda a, b: (a | b) ^ 1,
+            ("~(a | b)", "(a | b)", "missing output inversion"),
+            ("a nor b", "a or b", "missing output inversion"),
+        )
+    )
+    problems.append(
+        _two_input(
+            "gates_xnor",
+            "Implement a 2-input XNOR gate: y = NOT(a XOR b).",
+            "~(a ^ b)", "a xnor b",
+            lambda a, b: (a ^ b) ^ 1,
+            ("~(a ^ b)", "(a ^ b)", "missing output inversion"),
+            ("a xnor b", "a xor b", "missing output inversion"),
+        )
+    )
+    problems.append(
+        _two_input(
+            "gates_andnot",
+            "Implement y = a AND (NOT b): the output is high only when a is "
+            "high and b is low.",
+            "a & ~b", "a and (not b)",
+            lambda a, b: a & (b ^ 1),
+            ("a & ~b", "a & b", "missing inversion on b"),
+            ("a and (not b)", "a and b", "missing inversion on b"),
+        )
+    )
+    problems.append(
+        _two_input(
+            "gates_ornot",
+            "Implement y = a OR (NOT b): the output is low only when a is "
+            "low and b is high.",
+            "a | ~b", "a or (not b)",
+            lambda a, b: a | (b ^ 1),
+            ("a | ~b", "a | b", "missing inversion on b"),
+            ("a or (not b)", "a or b", "missing inversion on b"),
+        )
+    )
+    problems.append(
+        _three_input(
+            "gates_and3",
+            "Implement a 3-input AND gate: y = a AND b AND c.",
+            "a & b & c", "a and b and c",
+            lambda a, b, c: a & b & c,
+            ("a & b & c", "a & b | c", "last AND replaced by OR"),
+            ("a and b and c", "a and b or c", "last AND replaced by OR"),
+        )
+    )
+    problems.append(
+        _three_input(
+            "gates_or3",
+            "Implement a 3-input OR gate: y = a OR b OR c.",
+            "a | b | c", "a or b or c",
+            lambda a, b, c: a | b | c,
+            ("a | b | c", "a | b & c", "last OR replaced by AND"),
+            ("a or b or c", "a or b and c", "last OR replaced by AND"),
+        )
+    )
+    problems.append(
+        _three_input(
+            "gates_xor3",
+            "Implement a 3-input XOR (odd parity): y = a XOR b XOR c.",
+            "a ^ b ^ c", "a xor b xor c",
+            lambda a, b, c: a ^ b ^ c,
+            ("a ^ b ^ c", "a ^ b ^ ~c", "extra inversion on c"),
+            ("a xor b xor c", "a xor b xor (not c)", "extra inversion on c"),
+        )
+    )
+    problems.append(
+        _three_input(
+            "gates_majority",
+            "Implement a 3-input majority gate: y is high when at least two "
+            "of a, b, c are high.",
+            "(a & b) | (a & c) | (b & c)",
+            "(a and b) or (a and c) or (b and c)",
+            lambda a, b, c: 1 if a + b + c >= 2 else 0,
+            (
+                "(a & b) | (a & c) | (b & c)",
+                "(a & b) | (a & c) | (b | c)",
+                "last minterm uses OR",
+            ),
+            (
+                "(a and b) or (a and c) or (b and c)",
+                "(a and b) or (a and c) or (b or c)",
+                "last minterm uses OR",
+            ),
+        )
+    )
+    problems.append(
+        _three_input(
+            "gates_nand3",
+            "Implement a 3-input NAND gate: y = NOT(a AND b AND c).",
+            "~(a & b & c)", "not (a and b and c)",
+            lambda a, b, c: (a & b & c) ^ 1,
+            ("~(a & b & c)", "(a & b & c)", "missing output inversion"),
+            ("not (a and b and c)", "(a and b and c)", "missing output inversion"),
+        )
+    )
+    problems.append(
+        _three_input(
+            "gates_nor3",
+            "Implement a 3-input NOR gate: y = NOT(a OR b OR c).",
+            "~(a | b | c)", "not (a or b or c)",
+            lambda a, b, c: (a | b | c) ^ 1,
+            ("~(a | b | c)", "(a | b | c)", "missing output inversion"),
+            ("not (a or b or c)", "(a or b or c)", "missing output inversion"),
+        )
+    )
+    problems.append(
+        _three_input(
+            "gates_xnor3",
+            "Implement a 3-input XNOR (even parity): y = NOT(a XOR b XOR c).",
+            "~(a ^ b ^ c)", "not (a xor b xor c)",
+            lambda a, b, c: (a ^ b ^ c) ^ 1,
+            ("~(a ^ b ^ c)", "(a ^ b ^ c)", "missing output inversion"),
+            ("not (a xor b xor c)", "(a xor b xor c)", "missing output inversion"),
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="gates_and4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-input AND gate with inputs a, b, c, d and "
+                "output y."
+            ),
+            port_specs=ports(
+                ("a", 1, "in"), ("b", 1, "in"), ("c", 1, "in"),
+                ("d", 1, "in"), ("y", 1, "out"),
+            ),
+            v_body="    assign y = a & b & c & d;",
+            vh_body="    y <= a and b and c and d;",
+            fn=lambda i: {"y": i["a"] & i["b"] & i["c"] & i["d"]},
+            v_functional=[
+                functional(
+                    "last input ORed in",
+                    "a & b & c & d",
+                    "a & b & c | d",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "last input ORed in",
+                    "a and b and c and d",
+                    "a and b and c or d",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="gates_aoi22",
+            family=FAMILY,
+            prompt=(
+                "Implement an AND-OR-INVERT (AOI22) cell with inputs a, b, "
+                "c, d and output y: y = NOT((a AND b) OR (c AND d))."
+            ),
+            port_specs=ports(
+                ("a", 1, "in"), ("b", 1, "in"), ("c", 1, "in"),
+                ("d", 1, "in"), ("y", 1, "out"),
+            ),
+            v_body="    assign y = ~((a & b) | (c & d));",
+            vh_body="    y <= not ((a and b) or (c and d));",
+            fn=lambda i: {
+                "y": ((i["a"] & i["b"]) | (i["c"] & i["d"])) ^ 1
+            },
+            v_functional=[
+                functional(
+                    "missing final inversion",
+                    "~((a & b) | (c & d))",
+                    "((a & b) | (c & d))",
+                ),
+                functional(
+                    "second AND term replaced by OR",
+                    "(c & d)",
+                    "(c | d)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "missing final inversion",
+                    "not ((a and b) or (c and d))",
+                    "((a and b) or (c and d))",
+                ),
+                functional(
+                    "second AND term replaced by OR",
+                    "(c and d)",
+                    "(c or d)",
+                ),
+            ],
+        )
+    )
+    return problems

@@ -1,0 +1,322 @@
+"""Family: multiplexers and demultiplexers."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import comb_problem, ports
+
+FAMILY = "mux"
+
+
+def generate():
+    problems = []
+    problems.append(
+        comb_problem(
+            pid="mux2_1bit",
+            family=FAMILY,
+            prompt=(
+                "Implement a 2-to-1 multiplexer for single bits: when sel is "
+                "0 output a, when sel is 1 output b."
+            ),
+            port_specs=ports(
+                ("a", 1, "in"), ("b", 1, "in"), ("sel", 1, "in"), ("y", 1, "out")
+            ),
+            v_body="    assign y = sel ? b : a;",
+            vh_body="    y <= b when sel = '1' else a;",
+            fn=lambda i: {"y": i["b"] if i["sel"] else i["a"]},
+            v_functional=[
+                functional("selection inverted", "sel ? b : a", "sel ? a : b"),
+            ],
+            vh_functional=[
+                functional(
+                    "selection inverted",
+                    "b when sel = '1' else a",
+                    "a when sel = '1' else b",
+                ),
+            ],
+        )
+    )
+    for width in (4, 8):
+        problems.append(
+            comb_problem(
+                pid=f"mux2_{width}bit",
+                family=FAMILY,
+                prompt=(
+                    f"Implement a {width}-bit wide 2-to-1 multiplexer: when "
+                    "sel is 0 output a, when sel is 1 output b."
+                ),
+                port_specs=ports(
+                    ("a", width, "in"), ("b", width, "in"),
+                    ("sel", 1, "in"), ("y", width, "out"),
+                ),
+                v_body="    assign y = sel ? b : a;",
+                vh_body="    y <= b when sel = '1' else a;",
+                fn=lambda i: {"y": i["b"] if i["sel"] else i["a"]},
+                v_functional=[
+                    functional("selection inverted", "sel ? b : a", "sel ? a : b"),
+                ],
+                vh_functional=[
+                    functional(
+                        "selection inverted",
+                        "b when sel = '1' else a",
+                        "a when sel = '1' else b",
+                    ),
+                ],
+            )
+        )
+    problems.append(
+        comb_problem(
+            pid="mux4_2bit",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-to-1 multiplexer with 2-bit data inputs "
+                "a, b, c, d selected by the 2-bit sel: 00->a, 01->b, "
+                "10->c, 11->d."
+            ),
+            port_specs=ports(
+                ("a", 2, "in"), ("b", 2, "in"), ("c", 2, "in"), ("d", 2, "in"),
+                ("sel", 2, "in"), ("y", 2, "out"),
+            ),
+            v_body=(
+                "    reg [1:0] y_r;\n"
+                "    always @(*) begin\n"
+                "        case (sel)\n"
+                "            2'b00: y_r = a;\n"
+                "            2'b01: y_r = b;\n"
+                "            2'b10: y_r = c;\n"
+                "            default: y_r = d;\n"
+                "        endcase\n"
+                "    end\n"
+                "    assign y = y_r;"
+            ),
+            vh_body=(
+                "    with sel select\n"
+                '        y <= a when "00",\n'
+                '             b when "01",\n'
+                '             c when "10",\n'
+                "             d when others;"
+            ),
+            fn=lambda i: {
+                "y": [i["a"], i["b"], i["c"], i["d"]][i["sel"]]
+            },
+            v_functional=[
+                functional(
+                    "inputs b and c swapped in the selection",
+                    "2'b01: y_r = b;\n            2'b10: y_r = c;",
+                    "2'b01: y_r = c;\n            2'b10: y_r = b;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "inputs b and c swapped in the selection",
+                    'b when "01",\n             c when "10",',
+                    'c when "01",\n             b when "10",',
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="mux8_1bit",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-to-1 multiplexer: output y equals bit "
+                "sel of the 8-bit data input d (sel is 3 bits)."
+            ),
+            port_specs=ports(
+                ("d", 8, "in"), ("sel", 3, "in"), ("y", 1, "out")
+            ),
+            v_body="    assign y = d[sel];",
+            vh_body="    y <= d(to_integer(unsigned(sel)));",
+            fn=lambda i: {"y": (i["d"] >> i["sel"]) & 1},
+            v_functional=[
+                functional(
+                    "uses only the low select bit",
+                    "d[sel]",
+                    "d[sel[0]]",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "uses only the low two select bits",
+                    "d(to_integer(unsigned(sel)))",
+                    "d(to_integer(unsigned(sel(1 downto 0))))",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="demux4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 1-to-4 demultiplexer: route the input bit d to "
+                "output bit y[sel] (sel is 2 bits); all other bits of y are 0."
+            ),
+            port_specs=ports(
+                ("d", 1, "in"), ("sel", 2, "in"), ("y", 4, "out")
+            ),
+            v_body=(
+                "    assign y = d << sel;"
+            ),
+            vh_body=(
+                "    process(d, sel)\n"
+                "    begin\n"
+                '        y <= "0000";\n'
+                "        y(to_integer(unsigned(sel))) <= d;\n"
+                "    end process;"
+            ),
+            fn=lambda i: {"y": i["d"] << i["sel"]},
+            v_functional=[
+                functional(
+                    "routes the inverted input",
+                    "assign y = d << sel;",
+                    "assign y = ~d << sel;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "inactive outputs driven high",
+                    '        y <= "0000";',
+                    '        y <= "1111";',
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="mux_priority",
+            family=FAMILY,
+            prompt=(
+                "Implement a priority selector: if hi_en is 1 output hi, "
+                "else if lo_en is 1 output lo, otherwise output zero "
+                "(all data is 4 bits wide)."
+            ),
+            port_specs=ports(
+                ("hi", 4, "in"), ("lo", 4, "in"),
+                ("hi_en", 1, "in"), ("lo_en", 1, "in"), ("y", 4, "out"),
+            ),
+            v_body=(
+                "    assign y = hi_en ? hi : (lo_en ? lo : 4'b0000);"
+            ),
+            vh_body=(
+                "    y <= hi when hi_en = '1' else\n"
+                "         lo when lo_en = '1' else\n"
+                '         "0000";'
+            ),
+            fn=lambda i: {
+                "y": i["hi"] if i["hi_en"] else (i["lo"] if i["lo_en"] else 0)
+            },
+            v_functional=[
+                functional(
+                    "priority order reversed",
+                    "hi_en ? hi : (lo_en ? lo : 4'b0000)",
+                    "lo_en ? lo : (hi_en ? hi : 4'b0000)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "priority order reversed",
+                    "hi when hi_en = '1' else\n         lo when lo_en = '1' else",
+                    "lo when lo_en = '1' else\n         hi when hi_en = '1' else",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="mux4_1bit",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-to-1 multiplexer for single bits using a "
+                "2-bit select: 00->a, 01->b, 10->c, 11->d."
+            ),
+            port_specs=ports(
+                ("a", 1, "in"), ("b", 1, "in"), ("c", 1, "in"), ("d", 1, "in"),
+                ("sel", 2, "in"), ("y", 1, "out"),
+            ),
+            v_body=(
+                "    assign y = sel[1] ? (sel[0] ? d : c)\n"
+                "                      : (sel[0] ? b : a);"
+            ),
+            vh_body=(
+                '    y <= a when sel = "00" else\n'
+                '         b when sel = "01" else\n'
+                '         c when sel = "10" else\n'
+                "         d;"
+            ),
+            fn=lambda i: {"y": [i["a"], i["b"], i["c"], i["d"]][i["sel"]]},
+            v_functional=[
+                functional(
+                    "select bits swapped",
+                    "sel[1] ? (sel[0] ? d : c)\n                      : (sel[0] ? b : a)",
+                    "sel[0] ? (sel[1] ? d : c)\n                      : (sel[1] ? b : a)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "codes 01 and 10 swapped",
+                    'b when sel = "01" else\n         c when sel = "10" else',
+                    'c when sel = "01" else\n         b when sel = "10" else',
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="mux16_1bit",
+            family=FAMILY,
+            prompt=(
+                "Implement a 16-to-1 multiplexer: y equals bit sel of the "
+                "16-bit data input d (sel is 4 bits)."
+            ),
+            port_specs=ports(
+                ("d", 16, "in"), ("sel", 4, "in"), ("y", 1, "out")
+            ),
+            v_body="    assign y = d[sel];",
+            vh_body="    y <= d(to_integer(unsigned(sel)));",
+            fn=lambda i: {"y": (i["d"] >> i["sel"]) & 1},
+            v_functional=[
+                functional(
+                    "uses only three select bits",
+                    "d[sel]",
+                    "d[sel[2:0]]",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "uses only three select bits",
+                    "d(to_integer(unsigned(sel)))",
+                    "d(to_integer(unsigned(sel(2 downto 0))))",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="mux2_bus_invert",
+            family=FAMILY,
+            prompt=(
+                "Implement a conditional inverter: when inv is 1 output the "
+                "bitwise complement of the 4-bit input a, otherwise output "
+                "a unchanged."
+            ),
+            port_specs=ports(
+                ("a", 4, "in"), ("inv", 1, "in"), ("y", 4, "out")
+            ),
+            v_body="    assign y = inv ? ~a : a;",
+            vh_body="    y <= not a when inv = '1' else a;",
+            fn=lambda i: {"y": (i["a"] ^ 0xF) if i["inv"] else i["a"]},
+            v_functional=[
+                functional("condition inverted", "inv ? ~a : a", "inv ? a : ~a"),
+            ],
+            vh_functional=[
+                functional(
+                    "condition inverted",
+                    "not a when inv = '1' else a",
+                    "a when inv = '1' else not a",
+                ),
+            ],
+        )
+    )
+    return problems

@@ -1,0 +1,388 @@
+"""Family: flip-flops and registers (synchronous, active-high sync reset)."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import ports, seq_problem
+from repro.evalsuite.hdl_helpers import v_clocked_always, vh_clocked_process
+
+FAMILY = "registers"
+
+
+def generate():
+    problems = []
+    problems.append(
+        seq_problem(
+            pid="dff",
+            family=FAMILY,
+            prompt=(
+                "Implement a D flip-flop with synchronous active-high "
+                "reset: on each rising clock edge, q takes the value of d; "
+                "when rst is high at the edge, q is cleared to 0."
+            ),
+            port_specs=ports(("d", 1, "in"), ("q", 1, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always("q <= d;", reset_body="q <= 1'b0;"),
+            vh_body=vh_clocked_process("q <= d;", reset_body="q <= '0';"),
+            reset=lambda: 0,
+            step=lambda s, i: (i["d"], {"q": i["d"]}),
+            reset_outputs={"q": 0},
+            v_functional=[
+                functional("captures inverted data", "q <= d;", "q <= ~d;"),
+                functional("reset loads 1", "q <= 1'b0;", "q <= 1'b1;"),
+            ],
+            vh_functional=[
+                functional("captures inverted data", "q <= d;", "q <= not d;"),
+                functional("reset loads 1", "q <= '0';", "q <= '1';"),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="dff_en",
+            family=FAMILY,
+            prompt=(
+                "Implement a D flip-flop with enable and synchronous "
+                "reset: q loads d on a rising edge only when en is high; "
+                "otherwise q holds; rst clears q."
+            ),
+            port_specs=ports(("d", 1, "in"), ("en", 1, "in"), ("q", 1, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (en) q <= d;", reset_body="q <= 1'b0;"
+            ),
+            vh_body=vh_clocked_process(
+                "if en = '1' then\nq <= d;\nend if;", reset_body="q <= '0';"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                i["d"] if i["en"] else s,
+                {"q": i["d"] if i["en"] else s},
+            ),
+            v_functional=[
+                functional(
+                    "enable ignored (always loads)",
+                    "if (en) q <= d;",
+                    "q <= d;",
+                ),
+                functional(
+                    "enable polarity inverted",
+                    "if (en) q <= d;",
+                    "if (!en) q <= d;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "enable polarity inverted",
+                    "if en = '1' then",
+                    "if en = '0' then",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="tff",
+            family=FAMILY,
+            prompt=(
+                "Implement a T flip-flop with synchronous reset: q toggles "
+                "on each rising edge where t is high, holds otherwise, and "
+                "clears when rst is high."
+            ),
+            port_specs=ports(("t", 1, "in"), ("q", 1, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (t) q <= ~q;", reset_body="q <= 1'b0;"
+            ),
+            vh_body=vh_clocked_process(
+                "if t = '1' then\nq <= not q;\nend if;",
+                reset_body="q <= '0';",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                s ^ i["t"],
+                {"q": s ^ i["t"]},
+            ),
+            v_functional=[
+                functional(
+                    "toggles every cycle (t ignored)",
+                    "if (t) q <= ~q;",
+                    "q <= ~q;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "toggle input inverted",
+                    "if t = '1' then",
+                    "if t = '0' then",
+                ),
+            ],
+        )
+    )
+    # VHDL reads an 'out' port q internally? Avoid: use an internal signal.
+    # (handled above by our toolchain, but keep references idiomatic)
+    problems.append(
+        seq_problem(
+            pid="register8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit register with synchronous reset: on "
+                "each rising edge q loads d; rst clears q to 0."
+            ),
+            port_specs=ports(("d", 8, "in"), ("q", 8, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always("q <= d;", reset_body="q <= 8'd0;"),
+            vh_body=vh_clocked_process(
+                "q <= d;", reset_body="q <= (others => '0');"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (i["d"], {"q": i["d"]}),
+            v_functional=[
+                functional("low nibble dropped", "q <= d;", "q <= d & 8'hF0;"),
+            ],
+            vh_functional=[
+                functional(
+                    "low nibble dropped",
+                    "q <= d;",
+                    'q <= d and "11110000";',
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="register8_en",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit register with load enable and "
+                "synchronous reset: q loads d on rising edges where en is "
+                "high, holds otherwise."
+            ),
+            port_specs=ports(
+                ("d", 8, "in"), ("en", 1, "in"), ("q", 8, "out")
+            ),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (en) q <= d;", reset_body="q <= 8'd0;"
+            ),
+            vh_body=vh_clocked_process(
+                "if en = '1' then\nq <= d;\nend if;",
+                reset_body="q <= (others => '0');",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                i["d"] if i["en"] else s,
+                {"q": i["d"] if i["en"] else s},
+            ),
+            v_functional=[
+                functional(
+                    "enable ignored (always loads)",
+                    "if (en) q <= d;",
+                    "q <= d;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "enable ignored (always loads)",
+                    "if en = '1' then\nq <= d;\nend if;",
+                    "q <= d;",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="register4_clear_set",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit register with priority controls: on a "
+                "rising edge, clear (to 0) wins over set (to 15), which "
+                "wins over load-from-d; with no control asserted q holds. "
+                "rst also clears q."
+            ),
+            port_specs=ports(
+                ("d", 4, "in"), ("clear", 1, "in"), ("set_all", 1, "in"),
+                ("load", 1, "in"), ("q", 4, "out"),
+            ),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (clear) q <= 4'd0;\n"
+                "else if (set_all) q <= 4'b1111;\n"
+                "else if (load) q <= d;",
+                reset_body="q <= 4'd0;",
+            ),
+            vh_body=vh_clocked_process(
+                "if clear = '1' then\n"
+                "q <= \"0000\";\n"
+                "elsif set_all = '1' then\n"
+                "q <= \"1111\";\n"
+                "elsif load = '1' then\n"
+                "q <= d;\n"
+                "end if;",
+                reset_body="q <= (others => '0');",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                0 if i["clear"] else 15 if i["set_all"] else
+                i["d"] if i["load"] else s,
+                {"q": 0 if i["clear"] else 15 if i["set_all"] else
+                 i["d"] if i["load"] else s},
+            ),
+            v_functional=[
+                functional(
+                    "set wins over clear (priority swapped)",
+                    "if (clear) q <= 4'd0;\n        else if (set_all) q <= 4'b1111;",
+                    "if (set_all) q <= 4'b1111;\n        else if (clear) q <= 4'd0;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "set wins over clear (priority swapped)",
+                    "if clear = '1' then\n            q <= \"0000\";\n"
+                    "            elsif set_all = '1' then\n            q <= \"1111\";",
+                    "if set_all = '1' then\n            q <= \"1111\";\n"
+                    "            elsif clear = '1' then\n            q <= \"0000\";",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="dff_set",
+            family=FAMILY,
+            prompt=(
+                "Implement a D flip-flop with synchronous set: when set is "
+                "high at a rising edge, q becomes 1 (set wins over d); "
+                "otherwise q takes d; rst clears q."
+            ),
+            port_specs=ports(("d", 1, "in"), ("set_q", 1, "in"), ("q", 1, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (set_q) q <= 1'b1;\nelse q <= d;",
+                reset_body="q <= 1'b0;",
+            ),
+            vh_body=vh_clocked_process(
+                "if set_q = '1' then\nq <= '1';\nelse\nq <= d;\nend if;",
+                reset_body="q <= '0';",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                1 if i["set_q"] else i["d"],
+                {"q": 1 if i["set_q"] else i["d"]},
+            ),
+            v_functional=[
+                functional(
+                    "set drives 0",
+                    "if (set_q) q <= 1'b1;",
+                    "if (set_q) q <= 1'b0;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "set drives 0",
+                    "if set_q = '1' then\n                q <= '1';",
+                    "if set_q = '1' then\n                q <= '0';",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="swap_pair",
+            family=FAMILY,
+            prompt=(
+                "Implement a swapping register pair: two 4-bit registers "
+                "r0 (output q0) and r1 (output q1); when swap is high at a "
+                "rising edge they exchange values, otherwise r0 loads d "
+                "and r1 holds; rst clears both."
+            ),
+            port_specs=ports(
+                ("d", 4, "in"), ("swap", 1, "in"),
+                ("q0", 4, "out"), ("q1", 4, "out"),
+            ),
+            v_reg_outputs={"q0", "q1"},
+            v_body=v_clocked_always(
+                "if (swap) begin\n"
+                "q0 <= q1;\n"
+                "q1 <= q0;\n"
+                "end else begin\n"
+                "q0 <= d;\n"
+                "end",
+                reset_body="q0 <= 4'd0;\nq1 <= 4'd0;",
+            ),
+            vh_body=vh_clocked_process(
+                "if swap = '1' then\n"
+                "q0 <= q1;\n"
+                "q1 <= q0;\n"
+                "else\n"
+                "q0 <= d;\n"
+                "end if;",
+                reset_body="q0 <= (others => '0');\nq1 <= (others => '0');",
+            ),
+            reset=lambda: (0, 0),
+            step=lambda s, i: (
+                (s[1], s[0]) if i["swap"] else (i["d"], s[1]),
+                {"q0": s[1] if i["swap"] else i["d"],
+                 "q1": s[0] if i["swap"] else s[1]},
+            ),
+            v_functional=[
+                functional(
+                    "swap copies one way only",
+                    "q0 <= q1;\n            q1 <= q0;",
+                    "q0 <= q1;\n            q1 <= q1;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "swap copies one way only",
+                    "q0 <= q1;\n                q1 <= q0;",
+                    "q0 <= q1;\n                q1 <= q1;",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="pipeline2",
+            family=FAMILY,
+            prompt=(
+                "Implement a two-stage pipeline register: q is the 4-bit "
+                "input d delayed by exactly two clock cycles; rst clears "
+                "both stages."
+            ),
+            port_specs=ports(("d", 4, "in"), ("q", 4, "out")),
+            v_reg_outputs={"q"},
+            v_body=(
+                "    reg [3:0] stage1;\n"
+                + v_clocked_always(
+                    "stage1 <= d;\nq <= stage1;",
+                    reset_body="stage1 <= 4'd0;\nq <= 4'd0;",
+                )
+            ),
+            vh_decls="    signal stage1 : std_logic_vector(3 downto 0);",
+            vh_body=vh_clocked_process(
+                "stage1 <= d;\nq <= stage1;",
+                reset_body="stage1 <= (others => '0');\nq <= (others => '0');",
+            ),
+            reset=lambda: (0, 0),
+            step=lambda s, i: (
+                (i["d"], s[0]),
+                {"q": s[0]},
+            ),
+            v_functional=[
+                functional(
+                    "only one stage of delay",
+                    "stage1 <= d;\n            q <= stage1;",
+                    "stage1 <= d;\n            q <= d;",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "only one stage of delay",
+                    "stage1 <= d;\n            q <= stage1;",
+                    "stage1 <= d;\n            q <= d;",
+                ),
+            ],
+        )
+    )
+    return problems

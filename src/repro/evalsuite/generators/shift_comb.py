@@ -1,0 +1,261 @@
+"""Family: combinational shifters and rotators."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import comb_problem, ports
+
+FAMILY = "shift_comb"
+
+
+def generate():
+    problems = []
+    problems.append(
+        comb_problem(
+            pid="shl1_fixed",
+            family=FAMILY,
+            prompt=(
+                "Shift an 8-bit input left by one position: y = a << 1, "
+                "with 0 shifted into the LSB."
+            ),
+            port_specs=ports(("a", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = a << 1;",
+            vh_body="    y <= a(6 downto 0) & '0';",
+            fn=lambda i: {"y": (i["a"] << 1) & 0xFF},
+            v_functional=[
+                functional("shifts right instead", "a << 1", "a >> 1"),
+            ],
+            vh_functional=[
+                functional(
+                    "shifts right instead",
+                    "a(6 downto 0) & '0'",
+                    "'0' & a(7 downto 1)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="shr1_fixed",
+            family=FAMILY,
+            prompt=(
+                "Shift an 8-bit input right by one position: y = a >> 1, "
+                "with 0 shifted into the MSB."
+            ),
+            port_specs=ports(("a", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = a >> 1;",
+            vh_body="    y <= '0' & a(7 downto 1);",
+            fn=lambda i: {"y": i["a"] >> 1},
+            v_functional=[
+                functional("shifts left instead", "a >> 1", "a << 1"),
+            ],
+            vh_functional=[
+                functional(
+                    "shifts left instead",
+                    "'0' & a(7 downto 1)",
+                    "a(6 downto 0) & '0'",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="barrel_shl8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit barrel shifter (left): y = a << amt "
+                "where amt is a 3-bit shift amount; zeros fill the LSBs."
+            ),
+            port_specs=ports(("a", 8, "in"), ("amt", 3, "in"), ("y", 8, "out")),
+            v_body="    assign y = a << amt;",
+            vh_body=(
+                "    y <= std_logic_vector("
+                "shift_left(unsigned(a), to_integer(unsigned(amt))));"
+            ),
+            fn=lambda i: {"y": (i["a"] << i["amt"]) & 0xFF},
+            v_functional=[
+                functional("shifts right instead", "a << amt", "a >> amt"),
+            ],
+            vh_functional=[
+                functional(
+                    "shifts right instead",
+                    "shift_left(unsigned(a)",
+                    "shift_right(unsigned(a)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="barrel_shr8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit barrel shifter (right, logical): "
+                "y = a >> amt where amt is a 3-bit shift amount."
+            ),
+            port_specs=ports(("a", 8, "in"), ("amt", 3, "in"), ("y", 8, "out")),
+            v_body="    assign y = a >> amt;",
+            vh_body=(
+                "    y <= std_logic_vector("
+                "shift_right(unsigned(a), to_integer(unsigned(amt))));"
+            ),
+            fn=lambda i: {"y": i["a"] >> i["amt"]},
+            v_functional=[
+                functional("shifts left instead", "a >> amt", "a << amt"),
+            ],
+            vh_functional=[
+                functional(
+                    "shifts left instead",
+                    "shift_right(unsigned(a)",
+                    "shift_left(unsigned(a)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="rotl8",
+            family=FAMILY,
+            prompt=(
+                "Rotate an 8-bit input left by a 3-bit amount: bits shifted "
+                "out of the MSB re-enter at the LSB."
+            ),
+            port_specs=ports(("a", 8, "in"), ("amt", 3, "in"), ("y", 8, "out")),
+            v_body=(
+                "    wire [15:0] doubled;\n"
+                "    assign doubled = {a, a} << amt;\n"
+                "    assign y = doubled[15:8];"
+            ),
+            vh_body=(
+                "    y <= std_logic_vector("
+                "rotate_left(unsigned(a), to_integer(unsigned(amt))));"
+            ),
+            fn=lambda i: {
+                "y": ((i["a"] << i["amt"]) | (i["a"] >> (8 - i["amt"]))) & 0xFF
+                if i["amt"] else i["a"]
+            },
+            v_functional=[
+                functional(
+                    "takes the low half (rotation direction wrong)",
+                    "doubled[15:8]",
+                    "doubled[7:0]",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "rotates right instead",
+                    "rotate_left(unsigned(a)",
+                    "rotate_right(unsigned(a)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="rotr8",
+            family=FAMILY,
+            prompt=(
+                "Rotate an 8-bit input right by a 3-bit amount: bits "
+                "shifted out of the LSB re-enter at the MSB."
+            ),
+            port_specs=ports(("a", 8, "in"), ("amt", 3, "in"), ("y", 8, "out")),
+            v_body=(
+                "    wire [15:0] doubled;\n"
+                "    assign doubled = {a, a} >> amt;\n"
+                "    assign y = doubled[7:0];"
+            ),
+            vh_body=(
+                "    y <= std_logic_vector("
+                "rotate_right(unsigned(a), to_integer(unsigned(amt))));"
+            ),
+            fn=lambda i: {
+                "y": ((i["a"] >> i["amt"]) | (i["a"] << (8 - i["amt"]))) & 0xFF
+                if i["amt"] else i["a"]
+            },
+            v_functional=[
+                functional(
+                    "takes the high half (rotation direction wrong)",
+                    "doubled[7:0]",
+                    "doubled[15:8]",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "rotates left instead",
+                    "rotate_right(unsigned(a)",
+                    "rotate_left(unsigned(a)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="shl2_fill1",
+            family=FAMILY,
+            prompt=(
+                "Shift an 8-bit input left by two positions, filling the "
+                "two vacated LSBs with ones: y = (a << 2) | 2'b11."
+            ),
+            port_specs=ports(("a", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = {a[5:0], 2'b11};",
+            vh_body="    y <= a(5 downto 0) & \"11\";",
+            fn=lambda i: {"y": ((i["a"] << 2) | 3) & 0xFF},
+            v_functional=[
+                functional("fills with zeros", "{a[5:0], 2'b11}", "{a[5:0], 2'b00}"),
+            ],
+            vh_functional=[
+                functional(
+                    "fills with zeros",
+                    "a(5 downto 0) & \"11\"",
+                    "a(5 downto 0) & \"00\"",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="asr8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit arithmetic right shift by a 3-bit "
+                "amount: y = a >>> amt, replicating the sign bit a[7]."
+            ),
+            port_specs=ports(("a", 8, "in"), ("amt", 3, "in"), ("y", 8, "out")),
+            v_body=(
+                "    wire signed [7:0] sa;\n"
+                "    assign sa = a;\n"
+                "    assign y = sa >>> amt;"
+            ),
+            vh_body=(
+                "    process(a, amt)\n"
+                "        variable v : std_logic_vector(7 downto 0);\n"
+                "    begin\n"
+                "        v := a;\n"
+                "        for i in 0 to 7 loop\n"
+                "            if i < to_integer(unsigned(amt)) then\n"
+                "                v := v(7) & v(7 downto 1);\n"
+                "            end if;\n"
+                "        end loop;\n"
+                "        y <= v;\n"
+                "    end process;"
+            ),
+            fn=lambda i: {
+                "y": ((i["a"] | (0xFF00 if i["a"] & 0x80 else 0)) >> i["amt"]) & 0xFF
+            },
+            v_functional=[
+                functional(
+                    "logical instead of arithmetic shift",
+                    "sa >>> amt",
+                    "sa >> amt",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "fills with zero instead of the sign bit",
+                    "v := v(7) & v(7 downto 1);",
+                    "v := '0' & v(7 downto 1);",
+                ),
+            ],
+        )
+    )
+    return problems

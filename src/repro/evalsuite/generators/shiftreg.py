@@ -1,0 +1,449 @@
+"""Family: shift registers (SIPO, PISO, bidirectional, LFSR, shift_ena)."""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import ports, seq_problem
+from repro.evalsuite.hdl_helpers import v_clocked_always, vh_clocked_process
+
+FAMILY = "shiftreg"
+
+
+def generate():
+    problems = []
+    problems.append(
+        seq_problem(
+            pid="sipo8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit serial-in parallel-out shift register: "
+                "on each rising edge the register shifts left by one and "
+                "the serial input sin enters at the LSB; rst clears it."
+            ),
+            port_specs=ports(("sin", 1, "in"), ("q", 8, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "q <= {q[6:0], sin};",
+                reset_body="q <= 8'd0;",
+            ),
+            vh_body=vh_clocked_process(
+                "q <= q(6 downto 0) & sin;",
+                reset_body="q <= (others => '0');",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                ((s << 1) | i["sin"]) & 0xFF,
+                {"q": ((s << 1) | i["sin"]) & 0xFF},
+            ),
+            v_functional=[
+                functional(
+                    "shifts right instead",
+                    "{q[6:0], sin}",
+                    "{sin, q[7:1]}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "shifts right instead",
+                    "q(6 downto 0) & sin",
+                    "sin & q(7 downto 1)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="siso4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-stage serial-in serial-out delay line: "
+                "sout is sin delayed by exactly four clock cycles; rst "
+                "clears the pipeline."
+            ),
+            port_specs=ports(("sin", 1, "in"), ("sout", 1, "out")),
+            v_body=(
+                "    reg [3:0] sr;\n"
+                + v_clocked_always(
+                    "sr <= {sr[2:0], sin};",
+                    reset_body="sr <= 4'd0;",
+                )
+                + "\n    assign sout = sr[3];"
+            ),
+            vh_decls="    signal sr : std_logic_vector(3 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "sr <= sr(2 downto 0) & sin;",
+                    reset_body="sr <= (others => '0');",
+                )
+                + "\n    sout <= sr(3);"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                ((s << 1) | i["sin"]) & 0xF,
+                {"sout": (((s << 1) | i["sin"]) >> 3) & 1},
+            ),
+            v_functional=[
+                functional("taps one stage early", "sout = sr[3]", "sout = sr[2]"),
+            ],
+            vh_functional=[
+                functional(
+                    "taps one stage early",
+                    "sout <= sr(3);",
+                    "sout <= sr(2);",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="piso8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit parallel-in serial-out register: when "
+                "load is high at a rising edge the register takes d; "
+                "otherwise it shifts left, emitting the MSB on sout and "
+                "filling the LSB with 0. sout always shows the register "
+                "MSB; rst clears the register."
+            ),
+            port_specs=ports(
+                ("d", 8, "in"), ("load", 1, "in"), ("sout", 1, "out")
+            ),
+            v_body=(
+                "    reg [7:0] sr;\n"
+                + v_clocked_always(
+                    "if (load) sr <= d;\n"
+                    "else sr <= {sr[6:0], 1'b0};",
+                    reset_body="sr <= 8'd0;",
+                )
+                + "\n    assign sout = sr[7];"
+            ),
+            vh_decls="    signal sr : std_logic_vector(7 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "if load = '1' then\n"
+                    "sr <= d;\n"
+                    "else\n"
+                    "sr <= sr(6 downto 0) & '0';\n"
+                    "end if;",
+                    reset_body="sr <= (others => '0');",
+                )
+                + "\n    sout <= sr(7);"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                i["d"] if i["load"] else (s << 1) & 0xFF,
+                {"sout": ((i["d"] if i["load"] else (s << 1) & 0xFF) >> 7) & 1},
+            ),
+            # load a zero pattern, then shift long enough for fill bits to
+            # reach the serial output
+            extra_cycles=(
+                [{"d": 0, "load": 1}] + [{"d": 0, "load": 0}] * 10
+                + [{"d": 0xA5, "load": 1}] + [{"d": 0, "load": 0}] * 10
+            ),
+            v_functional=[
+                functional(
+                    "fills with one instead of zero",
+                    "{sr[6:0], 1'b0}",
+                    "{sr[6:0], 1'b1}",
+                ),
+                functional("taps the LSB", "sout = sr[7]", "sout = sr[0]"),
+            ],
+            vh_functional=[
+                functional(
+                    "taps the LSB",
+                    "sout <= sr(7);",
+                    "sout <= sr(0);",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="shift_lr4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit bidirectional shift register: on "
+                "enabled rising edges it shifts left (LSB filled with sin) "
+                "when dir is 0 and right (MSB filled with sin) when dir "
+                "is 1; rst clears it."
+            ),
+            port_specs=ports(
+                ("sin", 1, "in"), ("dir", 1, "in"), ("en", 1, "in"),
+                ("q", 4, "out"),
+            ),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (en) begin\n"
+                "if (dir) q <= {sin, q[3:1]};\n"
+                "else q <= {q[2:0], sin};\n"
+                "end",
+                reset_body="q <= 4'd0;",
+            ),
+            vh_body=vh_clocked_process(
+                "if en = '1' then\n"
+                "if dir = '1' then\n"
+                "q <= sin & q(3 downto 1);\n"
+                "else\n"
+                "q <= q(2 downto 0) & sin;\n"
+                "end if;\n"
+                "end if;",
+                reset_body="q <= \"0000\";",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                (
+                    ((i["sin"] << 3) | (s >> 1)) if i["dir"]
+                    else (((s << 1) | i["sin"]) & 0xF)
+                ) if i["en"] else s,
+                {"q": (
+                    ((i["sin"] << 3) | (s >> 1)) if i["dir"]
+                    else (((s << 1) | i["sin"]) & 0xF)
+                ) if i["en"] else s},
+            ),
+            v_functional=[
+                functional(
+                    "direction control inverted",
+                    "if (dir) q <= {sin, q[3:1]};",
+                    "if (!dir) q <= {sin, q[3:1]};",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "direction control inverted",
+                    "if dir = '1' then",
+                    "if dir = '0' then",
+                ),
+            ],
+        )
+    )
+    # LFSR x^4 + x^3 + 1, Fibonacci form, taps 3 and 2 (0-indexed bits)
+    def lfsr4_next(s: int) -> int:
+        feedback = ((s >> 3) ^ (s >> 2)) & 1
+        return ((s << 1) | feedback) & 0xF
+
+    problems.append(
+        seq_problem(
+            pid="lfsr4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit Fibonacci LFSR for x^4 + x^3 + 1: reset "
+                "loads 0001; on each rising edge the register shifts left "
+                "and the new LSB is q[3] XOR q[2]."
+            ),
+            port_specs=ports(("q", 4, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "q <= {q[2:0], q[3] ^ q[2]};",
+                reset_body="q <= 4'b0001;",
+            ),
+            vh_body=vh_clocked_process(
+                "q <= q(2 downto 0) & (q(3) xor q(2));",
+                reset_body="q <= \"0001\";",
+            ),
+            reset=lambda: 1,
+            step=lambda s, i: (lfsr4_next(s), {"q": lfsr4_next(s)}),
+            v_functional=[
+                functional(
+                    "wrong tap (q[1] instead of q[2])",
+                    "q[3] ^ q[2]",
+                    "q[3] ^ q[1]",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "wrong tap (q(1) instead of q(2))",
+                    "q(3) xor q(2)",
+                    "q(3) xor q(1)",
+                ),
+            ],
+        )
+    )
+
+    def lfsr8_next(s: int) -> int:
+        feedback = ((s >> 7) ^ (s >> 5) ^ (s >> 4) ^ (s >> 3)) & 1
+        return ((s << 1) | feedback) & 0xFF
+
+    problems.append(
+        seq_problem(
+            pid="lfsr8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit Fibonacci LFSR with taps at bits 7, 5, "
+                "4, 3: reset loads 00000001; each rising edge shifts left "
+                "with the XOR of the taps entering at the LSB."
+            ),
+            port_specs=ports(("q", 8, "out")),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "q <= {q[6:0], q[7] ^ q[5] ^ q[4] ^ q[3]};",
+                reset_body="q <= 8'b00000001;",
+            ),
+            vh_body=vh_clocked_process(
+                "q <= q(6 downto 0) & (q(7) xor q(5) xor q(4) xor q(3));",
+                reset_body="q <= \"00000001\";",
+            ),
+            reset=lambda: 1,
+            step=lambda s, i: (lfsr8_next(s), {"q": lfsr8_next(s)}),
+            v_functional=[
+                functional(
+                    "tap 3 dropped",
+                    "q[7] ^ q[5] ^ q[4] ^ q[3]",
+                    "q[7] ^ q[5] ^ q[4]",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "tap 3 dropped",
+                    "q(7) xor q(5) xor q(4) xor q(3)",
+                    "q(7) xor q(5) xor q(4)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="rotreg4",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit rotating register with parallel load: "
+                "load takes priority and stores d; otherwise on enabled "
+                "rising edges the register rotates left by one; rst "
+                "clears it."
+            ),
+            port_specs=ports(
+                ("d", 4, "in"), ("load", 1, "in"), ("en", 1, "in"),
+                ("q", 4, "out"),
+            ),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (load) q <= d;\n"
+                "else if (en) q <= {q[2:0], q[3]};",
+                reset_body="q <= 4'd0;",
+            ),
+            vh_body=vh_clocked_process(
+                "if load = '1' then\n"
+                "q <= d;\n"
+                "elsif en = '1' then\n"
+                "q <= q(2 downto 0) & q(3);\n"
+                "end if;",
+                reset_body="q <= \"0000\";",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                i["d"] if i["load"]
+                else (((s << 1) | (s >> 3)) & 0xF if i["en"] else s),
+                {"q": i["d"] if i["load"]
+                 else (((s << 1) | (s >> 3)) & 0xF if i["en"] else s)},
+            ),
+            v_functional=[
+                functional(
+                    "rotate drops the wrapped bit (shift instead)",
+                    "{q[2:0], q[3]}",
+                    "{q[2:0], 1'b0}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "rotate drops the wrapped bit (shift instead)",
+                    "q(2 downto 0) & q(3)",
+                    "q(2 downto 0) & '0'",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        seq_problem(
+            pid="sipo4_en",
+            family=FAMILY,
+            prompt=(
+                "Implement a 4-bit serial-in parallel-out shift register "
+                "with enable: it shifts left (sin entering at the LSB) "
+                "only on rising edges where en is high; rst clears it."
+            ),
+            port_specs=ports(
+                ("sin", 1, "in"), ("en", 1, "in"), ("q", 4, "out")
+            ),
+            v_reg_outputs={"q"},
+            v_body=v_clocked_always(
+                "if (en) q <= {q[2:0], sin};",
+                reset_body="q <= 4'd0;",
+            ),
+            vh_body=vh_clocked_process(
+                "if en = '1' then\nq <= q(2 downto 0) & sin;\nend if;",
+                reset_body="q <= \"0000\";",
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                (((s << 1) | i["sin"]) & 0xF) if i["en"] else s,
+                {"q": (((s << 1) | i["sin"]) & 0xF) if i["en"] else s},
+            ),
+            v_functional=[
+                functional(
+                    "shifts even when disabled",
+                    "if (en) q <= {q[2:0], sin};",
+                    "q <= {q[2:0], sin};",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "shifts even when disabled",
+                    "if en = '1' then\n                q <= q(2 downto 0) & sin;"
+                    "\n            end if;",
+                    "q <= q(2 downto 0) & sin;",
+                ),
+            ],
+        )
+    )
+    # the paper's Fig. 2 example: shift_ena pulses for exactly 4 cycles
+    problems.append(
+        seq_problem(
+            pid="shift_ena_pulse",
+            family=FAMILY,
+            prompt=(
+                "Build the shift-enable controller from a shift-and-"
+                "compare datapath: after rst is released, assert shift_ena "
+                "for exactly the first 4 clock cycles, then keep it 0 "
+                "until the next reset (this mirrors the AIVRIL2 paper's "
+                "worked example)."
+            ),
+            port_specs=ports(("shift_ena", 1, "out")),
+            v_body=(
+                "    reg [2:0] cycles;\n"
+                + v_clocked_always(
+                    "if (cycles != 3'd4) cycles <= cycles + 3'd1;",
+                    reset_body="cycles <= 3'd0;",
+                )
+                + "\n    assign shift_ena = (cycles < 3'd4);"
+            ),
+            vh_decls="    signal cycles : unsigned(2 downto 0);",
+            vh_body=(
+                vh_clocked_process(
+                    "if cycles /= 4 then\ncycles <= cycles + 1;\nend if;",
+                    reset_body="cycles <= (others => '0');",
+                )
+                + "\n    shift_ena <= '1' when cycles < 4 else '0';"
+            ),
+            reset=lambda: 0,
+            step=lambda s, i: (
+                s + 1 if s != 4 else s,
+                {"shift_ena": 1 if (s + 1 if s != 4 else s) < 4 else 0},
+            ),
+            v_functional=[
+                functional(
+                    "enabled for 5 cycles instead of 4 "
+                    "(the paper's Fig. 2 defect)",
+                    "(cycles < 3'd4)",
+                    "(cycles <= 3'd4)",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "enabled for 5 cycles instead of 4 "
+                    "(the paper's Fig. 2 defect)",
+                    "when cycles < 4",
+                    "when cycles <= 4",
+                ),
+            ],
+        )
+    )
+    return problems

@@ -1,0 +1,460 @@
+"""Family: vector (multi-bit) combinational operations.
+
+Bitwise operations on vectors, reductions, bit reversal, nibble swap,
+popcount, parity — the vector-manipulation slice of VerilogEval-Human
+(vector100r, popcount255-style tasks at laptop-friendly widths).
+"""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional
+from repro.evalsuite.generators.common import comb_problem, ports
+
+FAMILY = "vector_ops"
+
+
+def _bitwise(pid, width, prompt, v_op, vh_op, fn, v_alt, vh_alt):
+    v_expr = f"a {v_op} b"
+    vh_expr = f"a {vh_op} b"
+    return comb_problem(
+        pid=pid,
+        family=FAMILY,
+        prompt=prompt,
+        port_specs=ports(("a", width, "in"), ("b", width, "in"), ("y", width, "out")),
+        v_body=f"    assign y = {v_expr};",
+        vh_body=f"    y <= {vh_expr};",
+        fn=lambda i: {"y": fn(i["a"], i["b"])},
+        v_functional=[
+            functional(f"wrong bitwise operator", v_expr, f"a {v_alt} b"),
+            functional("second operand ignored", f"{v_expr};", f"a {v_op} a;"),
+        ],
+        vh_functional=[
+            functional(f"wrong bitwise operator", vh_expr, f"a {vh_alt} b"),
+            functional("second operand ignored", f"{vh_expr};", f"a {vh_op} a;"),
+        ],
+    )
+
+
+def generate():
+    problems = []
+    problems.append(
+        comb_problem(
+            pid="vec_xnor8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit bitwise XNOR: y[i] = NOT(a[i] XOR b[i]) "
+                "for every bit position i."
+            ),
+            port_specs=ports(("a", 8, "in"), ("b", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = ~(a ^ b);",
+            vh_body="    y <= a xnor b;",
+            fn=lambda i: {"y": (i["a"] ^ i["b"]) ^ 0xFF},
+            v_functional=[
+                functional("missing inversion (XOR)", "~(a ^ b)", "(a ^ b)"),
+            ],
+            vh_functional=[
+                functional("missing inversion (XOR)", "a xnor b", "a xor b"),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_nand6",
+            family=FAMILY,
+            prompt=(
+                "Implement a 6-bit bitwise NAND: y[i] = NOT(a[i] AND b[i])."
+            ),
+            port_specs=ports(("a", 6, "in"), ("b", 6, "in"), ("y", 6, "out")),
+            v_body="    assign y = ~(a & b);",
+            vh_body="    y <= a nand b;",
+            fn=lambda i: {"y": (i["a"] & i["b"]) ^ 0x3F},
+            v_functional=[
+                functional("missing inversion (AND)", "~(a & b)", "(a & b)"),
+            ],
+            vh_functional=[
+                functional("missing inversion (AND)", "a nand b", "a and b"),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_nor6",
+            family=FAMILY,
+            prompt=(
+                "Implement a 6-bit bitwise NOR: y[i] = NOT(a[i] OR b[i])."
+            ),
+            port_specs=ports(("a", 6, "in"), ("b", 6, "in"), ("y", 6, "out")),
+            v_body="    assign y = ~(a | b);",
+            vh_body="    y <= a nor b;",
+            fn=lambda i: {"y": (i["a"] | i["b"]) ^ 0x3F},
+            v_functional=[
+                functional("missing inversion (OR)", "~(a | b)", "(a | b)"),
+            ],
+            vh_functional=[
+                functional("missing inversion (OR)", "a nor b", "a or b"),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_andnot8",
+            family=FAMILY,
+            prompt=(
+                "Implement an 8-bit bit-clear operation: y = a AND (NOT b) "
+                "— each bit of b clears the corresponding bit of a."
+            ),
+            port_specs=ports(("a", 8, "in"), ("b", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = a & ~b;",
+            vh_body="    y <= a and (not b);",
+            fn=lambda i: {"y": i["a"] & (i["b"] ^ 0xFF)},
+            v_functional=[
+                functional("mask not inverted", "a & ~b", "a & b"),
+            ],
+            vh_functional=[
+                functional("mask not inverted", "a and (not b)", "a and b"),
+            ],
+        )
+    )
+    for width in (4, 8):
+        problems.append(
+            _bitwise(
+                f"vec_and{width}", width,
+                f"Implement a {width}-bit bitwise AND: y[i] = a[i] AND b[i] "
+                f"for every bit position i.",
+                "&", "and", lambda a, b: a & b, "|", "or",
+            )
+        )
+        problems.append(
+            _bitwise(
+                f"vec_or{width}", width,
+                f"Implement a {width}-bit bitwise OR: y[i] = a[i] OR b[i] "
+                f"for every bit position i.",
+                "|", "or", lambda a, b: a | b, "&", "and",
+            )
+        )
+        problems.append(
+            _bitwise(
+                f"vec_xor{width}", width,
+                f"Implement a {width}-bit bitwise XOR: y[i] = a[i] XOR b[i] "
+                f"for every bit position i.",
+                "^", "xor", lambda a, b: a ^ b, "|", "or",
+            )
+        )
+    problems.append(
+        comb_problem(
+            pid="vec_not8",
+            family=FAMILY,
+            prompt="Implement an 8-bit bitwise inverter: y = NOT a.",
+            port_specs=ports(("a", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = ~a;",
+            vh_body="    y <= not a;",
+            fn=lambda i: {"y": i["a"] ^ 0xFF},
+            v_functional=[
+                functional("missing inversion", "assign y = ~a;", "assign y = a;")
+            ],
+            vh_functional=[
+                functional("missing inversion", "y <= not a;", "y <= a;")
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_reverse8",
+            family=FAMILY,
+            prompt=(
+                "Reverse the bit order of an 8-bit input: y[7] = a[0], "
+                "y[6] = a[1], ..., y[0] = a[7]."
+            ),
+            port_specs=ports(("a", 8, "in"), ("y", 8, "out")),
+            v_body=(
+                "    assign y = {a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]};"
+            ),
+            vh_body=(
+                "    y <= a(0) & a(1) & a(2) & a(3) & a(4) & a(5) & a(6) & a(7);"
+            ),
+            fn=lambda i: {
+                "y": int(format(i["a"], "08b")[::-1], 2)
+            },
+            v_functional=[
+                functional(
+                    "two lanes swapped in the reversal",
+                    "{a[0], a[1], a[2]",
+                    "{a[1], a[0], a[2]",
+                ),
+                functional(
+                    "not reversed at all",
+                    "{a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]}",
+                    "{a[7], a[6], a[5], a[4], a[3], a[2], a[1], a[0]}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "two lanes swapped in the reversal",
+                    "a(0) & a(1) & a(2)",
+                    "a(1) & a(0) & a(2)",
+                ),
+                functional(
+                    "not reversed at all",
+                    "a(0) & a(1) & a(2) & a(3) & a(4) & a(5) & a(6) & a(7)",
+                    "a(7) & a(6) & a(5) & a(4) & a(3) & a(2) & a(1) & a(0)",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_swap_nibbles",
+            family=FAMILY,
+            prompt=(
+                "Swap the two nibbles of an 8-bit input: y[7:4] = a[3:0] and "
+                "y[3:0] = a[7:4]."
+            ),
+            port_specs=ports(("a", 8, "in"), ("y", 8, "out")),
+            v_body="    assign y = {a[3:0], a[7:4]};",
+            vh_body="    y <= a(3 downto 0) & a(7 downto 4);",
+            fn=lambda i: {
+                "y": ((i["a"] & 0x0F) << 4) | ((i["a"] >> 4) & 0x0F)
+            },
+            v_functional=[
+                functional(
+                    "nibbles not swapped",
+                    "{a[3:0], a[7:4]}",
+                    "{a[7:4], a[3:0]}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "nibbles not swapped",
+                    "a(3 downto 0) & a(7 downto 4)",
+                    "a(7 downto 4) & a(3 downto 0)",
+                ),
+            ],
+        )
+    )
+    for op, v_red, fn in (
+        ("and", "&", lambda a: 1 if a == 0x3F else 0),
+        ("or", "|", lambda a: 0 if a == 0 else 1),
+        ("xor", "^", lambda a: bin(a).count("1") & 1),
+    ):
+        vh_terms = f" {op} ".join(f"a({i})" for i in range(6))
+        v_expr = f"{v_red}a"
+        problems.append(
+            comb_problem(
+                pid=f"vec_reduce_{op}",
+                family=FAMILY,
+                prompt=(
+                    f"Compute the {op.upper()}-reduction of a 6-bit input: "
+                    f"y = a[5] {op.upper()} a[4] {op.upper()} ... {op.upper()} a[0]."
+                ),
+                port_specs=ports(("a", 6, "in"), ("y", 1, "out")),
+                v_body=f"    assign y = {v_expr};",
+                vh_body=f"    y <= {vh_terms};",
+                fn=lambda i, fn=fn: {"y": fn(i["a"])},
+                v_functional=[
+                    functional(
+                        "reduction over the wrong bits (bit 5 dropped)",
+                        f"assign y = {v_expr};",
+                        f"assign y = {v_red}a[4:0];",
+                    ),
+                ],
+                vh_functional=[
+                    functional(
+                        "reduction over the wrong bits (bit 5 dropped)",
+                        f"a(5)",
+                        f"a(4)",
+                    ),
+                ],
+            )
+        )
+    problems.append(
+        comb_problem(
+            pid="vec_popcount8",
+            family=FAMILY,
+            prompt=(
+                "Count the number of set bits ('population count') of an "
+                "8-bit input a; output the count on the 4-bit output y."
+            ),
+            port_specs=ports(("a", 8, "in"), ("y", 4, "out")),
+            v_body=(
+                "    assign y = a[0] + a[1] + a[2] + a[3]"
+                " + a[4] + a[5] + a[6] + a[7];"
+            ),
+            vh_decls=(""),
+            vh_body=(
+                "    process(a)\n"
+                "        variable cnt : unsigned(3 downto 0);\n"
+                "    begin\n"
+                "        cnt := (others => '0');\n"
+                "        for i in 0 to 7 loop\n"
+                "            if a(i) = '1' then\n"
+                "                cnt := cnt + 1;\n"
+                "            end if;\n"
+                "        end loop;\n"
+                "        y <= std_logic_vector(cnt);\n"
+                "    end process;"
+            ),
+            fn=lambda i: {"y": bin(i["a"]).count("1")},
+            v_functional=[
+                functional(
+                    "bit 7 not counted",
+                    " + a[7];",
+                    ";",
+                ),
+                functional(
+                    "bit 0 counted twice instead of bit 1",
+                    "a[0] + a[1]",
+                    "a[0] + a[0]",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "bit 7 not counted (loop bound off by one)",
+                    "for i in 0 to 7 loop",
+                    "for i in 0 to 6 loop",
+                ),
+                functional(
+                    "counts zeros instead of ones",
+                    "if a(i) = '1' then",
+                    "if a(i) = '0' then",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_parity8",
+            family=FAMILY,
+            prompt=(
+                "Compute the even-parity bit of an 8-bit input: y is the XOR "
+                "of all eight bits of a."
+            ),
+            port_specs=ports(("a", 8, "in"), ("y", 1, "out")),
+            v_body="    assign y = ^a;",
+            vh_body=(
+                "    y <= a(7) xor a(6) xor a(5) xor a(4) xor a(3) xor a(2)"
+                " xor a(1) xor a(0);"
+            ),
+            fn=lambda i: {"y": bin(i["a"]).count("1") & 1},
+            v_functional=[
+                functional("inverted parity", "assign y = ^a;", "assign y = ~^a;"),
+            ],
+            vh_functional=[
+                functional(
+                    "bit 0 excluded from the parity",
+                    " xor a(0);",
+                    ";",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_zext",
+            family=FAMILY,
+            prompt=(
+                "Zero-extend a 4-bit input to 8 bits: y[3:0] = a and "
+                "y[7:4] = 0."
+            ),
+            port_specs=ports(("a", 4, "in"), ("y", 8, "out")),
+            v_body="    assign y = {4'b0000, a};",
+            vh_body='    y <= "0000" & a;',
+            fn=lambda i: {"y": i["a"]},
+            v_functional=[
+                functional(
+                    "extends with ones instead of zeros",
+                    "{4'b0000, a}",
+                    "{4'b1111, a}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "extends with ones instead of zeros",
+                    '"0000" & a',
+                    '"1111" & a',
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_sext",
+            family=FAMILY,
+            prompt=(
+                "Sign-extend a 4-bit two's-complement input to 8 bits: "
+                "y[3:0] = a and y[7:4] replicates a[3]."
+            ),
+            port_specs=ports(("a", 4, "in"), ("y", 8, "out")),
+            v_body="    assign y = {{4{a[3]}}, a};",
+            vh_body=(
+                "    y <= a(3) & a(3) & a(3) & a(3) & a;"
+            ),
+            fn=lambda i: {
+                "y": i["a"] | (0xF0 if i["a"] & 0x8 else 0)
+            },
+            v_functional=[
+                functional(
+                    "replicates the wrong bit (a[0])",
+                    "{{4{a[3]}}, a}",
+                    "{{4{a[0]}}, a}",
+                ),
+            ],
+            vh_functional=[
+                functional(
+                    "replicates the wrong bit (a(0))",
+                    "a(3) & a(3) & a(3) & a(3) & a",
+                    "a(0) & a(0) & a(0) & a(0) & a",
+                ),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_concat",
+            family=FAMILY,
+            prompt=(
+                "Concatenate two 4-bit inputs into an 8-bit output: "
+                "y = {a, b} with a in the upper nibble."
+            ),
+            port_specs=ports(("a", 4, "in"), ("b", 4, "in"), ("y", 8, "out")),
+            v_body="    assign y = {a, b};",
+            vh_body="    y <= a & b;",
+            fn=lambda i: {"y": (i["a"] << 4) | i["b"]},
+            v_functional=[
+                functional("operands swapped", "{a, b}", "{b, a}"),
+            ],
+            vh_functional=[
+                functional("operands swapped", "y <= a & b;", "y <= b & a;"),
+            ],
+        )
+    )
+    problems.append(
+        comb_problem(
+            pid="vec_split",
+            family=FAMILY,
+            prompt=(
+                "Split an 8-bit input into nibbles: hi = a[7:4] and "
+                "lo = a[3:0]."
+            ),
+            port_specs=ports(("a", 8, "in"), ("hi", 4, "out"), ("lo", 4, "out")),
+            v_body=(
+                "    assign hi = a[7:4];\n"
+                "    assign lo = a[3:0];"
+            ),
+            vh_body=(
+                "    hi <= a(7 downto 4);\n"
+                "    lo <= a(3 downto 0);"
+            ),
+            fn=lambda i: {"hi": i["a"] >> 4, "lo": i["a"] & 0xF},
+            v_functional=[
+                functional("hi takes the low nibble", "hi = a[7:4]", "hi = a[3:0]"),
+            ],
+            vh_functional=[
+                functional(
+                    "hi takes the low nibble",
+                    "hi <= a(7 downto 4)",
+                    "hi <= a(3 downto 0)",
+                ),
+            ],
+        )
+    )
+    return problems

@@ -1,0 +1,138 @@
+"""Shared HDL skeleton emitters used by the problem-family generators.
+
+These build the boilerplate of reference implementations — module/entity
+headers with the standard clock/reset convention — so family generators only
+supply the interesting body text, once per language.
+"""
+
+from __future__ import annotations
+
+from repro.designs.model import DesignSpec, TOP_NAME
+
+
+def v_port_decl(name: str, width: int, direction: str, *, reg: bool = False) -> str:
+    kind = {"in": "input", "out": "output"}[direction]
+    reg_text = " reg" if reg else ""
+    if width == 1:
+        return f"{kind}{reg_text} {name}"
+    return f"{kind}{reg_text} [{width - 1}:0] {name}"
+
+
+def v_module(
+    spec: DesignSpec,
+    body: str,
+    *,
+    reg_outputs: set[str] | None = None,
+) -> str:
+    """Verilog module skeleton: header from the spec, body supplied."""
+    reg_outputs = reg_outputs or set()
+    decls = []
+    if spec.clocked:
+        decls.append("input clk")
+        if spec.has_reset:
+            decls.append("input rst")
+    for port in spec.ports:
+        decls.append(
+            v_port_decl(
+                port.name,
+                port.width,
+                port.direction,
+                reg=port.name in reg_outputs,
+            )
+        )
+    header = f"module {TOP_NAME}(\n    " + ",\n    ".join(decls) + "\n);"
+    return f"{header}\n{body.rstrip()}\nendmodule\n"
+
+
+def vh_type(width: int, kind: str = "std_logic_vector") -> str:
+    if width == 1:
+        return "std_logic"
+    return f"{kind}({width - 1} downto 0)"
+
+
+def vh_entity(
+    spec: DesignSpec,
+    arch_decls: str,
+    arch_body: str,
+) -> str:
+    """VHDL entity+architecture skeleton: header from the spec, body supplied."""
+    ports = []
+    if spec.clocked:
+        ports.append("clk : in std_logic")
+        if spec.has_reset:
+            ports.append("rst : in std_logic")
+    for port in spec.ports:
+        direction = {"in": "in", "out": "out"}[port.direction]
+        ports.append(f"{port.name} : {direction} {vh_type(port.width)}")
+    port_text = ";\n        ".join(ports)
+    decls = arch_decls.rstrip()
+    decls_block = f"\n{decls}" if decls else ""
+    return (
+        "library ieee;\n"
+        "use ieee.std_logic_1164.all;\n"
+        "use ieee.numeric_std.all;\n"
+        "\n"
+        f"entity {TOP_NAME} is\n"
+        "    port (\n"
+        f"        {port_text}\n"
+        "    );\n"
+        "end entity;\n"
+        "\n"
+        f"architecture rtl of {TOP_NAME} is{decls_block}\n"
+        "begin\n"
+        f"{arch_body.rstrip()}\n"
+        "end architecture;\n"
+    )
+
+
+def v_clocked_always(body: str, *, reset_body: str = "", has_reset: bool = True) -> str:
+    """A standard synchronous-process skeleton in Verilog."""
+    if has_reset and reset_body:
+        return (
+            "    always @(posedge clk) begin\n"
+            "        if (rst) begin\n"
+            f"{_indent(reset_body, 12)}\n"
+            "        end else begin\n"
+            f"{_indent(body, 12)}\n"
+            "        end\n"
+            "    end"
+        )
+    return (
+        "    always @(posedge clk) begin\n"
+        f"{_indent(body, 8)}\n"
+        "    end"
+    )
+
+
+def vh_clocked_process(
+    body: str, *, reset_body: str = "", has_reset: bool = True,
+    sensitivity: str = "clk",
+) -> str:
+    """A standard synchronous-process skeleton in VHDL."""
+    if has_reset and reset_body:
+        inner = (
+            "        if rising_edge(clk) then\n"
+            "            if rst = '1' then\n"
+            f"{_indent(reset_body, 16)}\n"
+            "            else\n"
+            f"{_indent(body, 16)}\n"
+            "            end if;\n"
+            "        end if;"
+        )
+    else:
+        inner = (
+            "        if rising_edge(clk) then\n"
+            f"{_indent(body, 12)}\n"
+            "        end if;"
+        )
+    return (
+        f"    process({sensitivity})\n"
+        "    begin\n"
+        f"{inner}\n"
+        "    end process;"
+    )
+
+
+def _indent(text: str, spaces: int) -> str:
+    pad = " " * spaces
+    return "\n".join(pad + line.strip() for line in text.strip().splitlines())

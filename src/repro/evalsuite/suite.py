@@ -1,0 +1,77 @@
+"""Suite assembly.
+
+``build_suite()`` realizes every family generator's definitions into
+:class:`~repro.evalsuite.problem.Problem` objects, in a canonical order, and
+checks the global invariants (count, unique ids). The full suite has
+exactly 156 problems — the size of VerilogEval-Human, which the paper uses
+for both its Verilog and VHDL experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.evalsuite.generators import all_definitions
+from repro.evalsuite.problem import Problem
+
+#: the benchmark count of VerilogEval-Human
+EXPECTED_PROBLEM_COUNT = 156
+
+
+@dataclass
+class Suite:
+    """An ordered collection of realized problems."""
+
+    problems: list[Problem] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.problems)
+
+    def __iter__(self):
+        return iter(self.problems)
+
+    def get(self, pid: str) -> Problem:
+        for problem in self.problems:
+            if problem.pid == pid:
+                return problem
+        raise KeyError(f"no problem {pid!r} in the suite")
+
+    @property
+    def families(self) -> dict[str, list[Problem]]:
+        grouped: dict[str, list[Problem]] = {}
+        for problem in self.problems:
+            grouped.setdefault(problem.family, []).append(problem)
+        return grouped
+
+    def subset(self, pids: list[str]) -> "Suite":
+        return Suite(problems=[self.get(pid) for pid in pids])
+
+    def head(self, count: int) -> "Suite":
+        return Suite(problems=self.problems[:count])
+
+
+@lru_cache(maxsize=1)
+def _cached_suite() -> Suite:
+    definitions = all_definitions()
+    problems = [Problem.realize(d) for d in definitions]
+    pids = [p.pid for p in problems]
+    duplicates = {pid for pid in pids if pids.count(pid) > 1}
+    if duplicates:
+        raise RuntimeError(f"duplicate problem ids: {sorted(duplicates)}")
+    return Suite(problems=problems)
+
+
+def build_suite(*, strict_count: bool = True) -> Suite:
+    """Build (and cache) the full suite.
+
+    With ``strict_count`` the builder insists on exactly 156 problems so an
+    accidentally dropped family cannot silently shrink the evaluation.
+    """
+    suite = _cached_suite()
+    if strict_count and len(suite) != EXPECTED_PROBLEM_COUNT:
+        raise RuntimeError(
+            f"suite has {len(suite)} problems; expected "
+            f"{EXPECTED_PROBLEM_COUNT} (VerilogEval-Human size)"
+        )
+    return suite

@@ -1,0 +1,130 @@
+"""Suite integrity validation.
+
+For each problem and language this module can verify the three contracts
+the experiments rely on:
+
+1. the reference implementation compiles cleanly and **passes** its golden
+   testbench;
+2. every *syntax* mutation produces a compile **error**;
+3. every *functional* mutation compiles **cleanly** but **fails** the golden
+   testbench.
+
+Running all of it over 156 problems × 2 languages takes a little while, so
+the full sweep lives in the test suite / CI; :func:`validate_problem` is the
+unit of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.designs.model import TOP_NAME
+from repro.designs.mutations import MutationError, apply_mutation
+from repro.designs.tbgen import PASS_MESSAGE
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+from repro.evalsuite.problem import Problem
+
+
+@dataclass
+class ValidationReport:
+    """Findings for one problem in one language."""
+
+    pid: str
+    language: Language
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+
+def _files(problem: Problem, language: Language, rtl: str) -> list[HdlFile]:
+    ext = language.file_extension
+    return [
+        HdlFile(f"{TOP_NAME}{ext}", rtl, language),
+        HdlFile(f"tb{ext}", problem.golden_tb[language], language),
+    ]
+
+
+def run_golden_tb(
+    problem: Problem, language: Language, rtl: str, toolchain: Toolchain
+) -> tuple[bool, str]:
+    """Simulate *rtl* against the problem's golden TB; returns (passed, log)."""
+    result = toolchain.simulate(_files(problem, language, rtl), "tb")
+    passed = result.ok and any(
+        PASS_MESSAGE in line for line in result.output_lines
+    )
+    return passed, result.log
+
+
+def validate_problem(
+    problem: Problem,
+    language: Language,
+    toolchain: Toolchain | None = None,
+) -> ValidationReport:
+    """Check all three contracts for one problem/language pair."""
+    toolchain = toolchain or Toolchain()
+    report = ValidationReport(pid=problem.pid, language=language)
+    reference = problem.reference[language]
+
+    compile_result = toolchain.compile(
+        _files(problem, language, reference), "tb"
+    )
+    if not compile_result.ok:
+        report.issues.append(
+            "reference fails to compile:\n" + compile_result.log
+        )
+        return report
+    passed, log = run_golden_tb(problem, language, reference, toolchain)
+    if not passed:
+        report.issues.append("reference fails its golden testbench:\n" + log)
+        return report
+
+    for mutation in problem.syntax_mutations[language]:
+        try:
+            mutated = apply_mutation(reference, mutation)
+        except MutationError as exc:
+            report.issues.append(f"syntax mutation anchor problem: {exc}")
+            continue
+        result = toolchain.compile(_files(problem, language, mutated), "tb")
+        if result.ok:
+            report.issues.append(
+                f"syntax mutation {mutation.description!r} compiles cleanly "
+                "(it must produce a compile error)"
+            )
+
+    for mutation in problem.functional_mutations[language]:
+        try:
+            mutated = apply_mutation(reference, mutation)
+        except MutationError as exc:
+            report.issues.append(f"functional mutation anchor problem: {exc}")
+            continue
+        result = toolchain.compile(_files(problem, language, mutated), "tb")
+        if not result.ok:
+            report.issues.append(
+                f"functional mutation {mutation.description!r} does not "
+                "compile (it must only change behaviour):\n" + result.log
+            )
+            continue
+        passed, __ = run_golden_tb(problem, language, mutated, toolchain)
+        if passed:
+            report.issues.append(
+                f"functional mutation {mutation.description!r} passes the "
+                "golden testbench (it must be detectable)"
+            )
+    return report
+
+
+def validate_suite(
+    problems,
+    languages=(Language.VERILOG, Language.VHDL),
+) -> list[ValidationReport]:
+    """Validate many problems; returns only reports with issues."""
+    toolchain = Toolchain()
+    failures = []
+    for problem in problems:
+        for language in languages:
+            report = validate_problem(problem, language, toolchain)
+            if not report.ok:
+                failures.append(report)
+    return failures

@@ -1,0 +1,28 @@
+"""Shared HDL infrastructure: source management, diagnostics, token machinery.
+
+Both language frontends (:mod:`repro.verilog` and :mod:`repro.vhdl`) are built
+on the primitives in this package, so diagnostics, source locations, and error
+log rendering behave identically for Verilog and VHDL — a prerequisite for the
+paper's language-agnostic claim.
+"""
+
+from repro.hdl.source import SourceFile, SourceLocation, SourceSpan
+from repro.hdl.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+    render_vivado_log,
+)
+from repro.hdl.tokens import Token, TokenKind
+
+__all__ = [
+    "SourceFile",
+    "SourceLocation",
+    "SourceSpan",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "Severity",
+    "render_vivado_log",
+    "Token",
+    "TokenKind",
+]

@@ -1,0 +1,97 @@
+"""Source file abstraction with line/column bookkeeping.
+
+A :class:`SourceFile` owns the full text of one HDL file and provides O(log n)
+offset-to-line/column translation. Locations and spans are value objects used
+throughout lexing, parsing, semantic analysis, and diagnostic rendering.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A position in a source file (1-based line and column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open [start, end) character range within one file."""
+
+    start_offset: int
+    end_offset: int
+
+    def __post_init__(self) -> None:
+        if self.end_offset < self.start_offset:
+            raise ValueError(
+                f"span end {self.end_offset} precedes start {self.start_offset}"
+            )
+
+    @property
+    def length(self) -> int:
+        return self.end_offset - self.start_offset
+
+    def merge(self, other: "SourceSpan") -> "SourceSpan":
+        """Smallest span covering both operands."""
+        return SourceSpan(
+            min(self.start_offset, other.start_offset),
+            max(self.end_offset, other.end_offset),
+        )
+
+
+@dataclass
+class SourceFile:
+    """An HDL source file plus derived line-offset index."""
+
+    name: str
+    text: str
+    _line_starts: list[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        starts = [0]
+        for index, char in enumerate(self.text):
+            if char == "\n":
+                starts.append(index + 1)
+        self._line_starts = starts
+
+    @property
+    def line_count(self) -> int:
+        return len(self._line_starts)
+
+    def location(self, offset: int) -> SourceLocation:
+        """Translate a character offset into a 1-based line/column pair."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        offset = min(offset, len(self.text))
+        line_index = bisect.bisect_right(self._line_starts, offset) - 1
+        column = offset - self._line_starts[line_index] + 1
+        return SourceLocation(line=line_index + 1, column=column)
+
+    def line_text(self, line: int) -> str:
+        """Return the text of a 1-based line number, without the newline."""
+        if not 1 <= line <= self.line_count:
+            raise ValueError(f"line {line} out of range 1..{self.line_count}")
+        start = self._line_starts[line - 1]
+        if line == self.line_count:
+            end = len(self.text)
+        else:
+            end = self._line_starts[line] - 1
+        return self.text[start:end]
+
+    def snippet(self, span: SourceSpan, context: int = 0) -> str:
+        """Return the source lines covered by *span* plus *context* lines around."""
+        first = max(1, self.location(span.start_offset).line - context)
+        last_offset = max(span.start_offset, span.end_offset - 1)
+        last = min(self.line_count, self.location(last_offset).line + context)
+        return "\n".join(self.line_text(n) for n in range(first, last + 1))
+
+    def span_text(self, span: SourceSpan) -> str:
+        return self.text[span.start_offset : span.end_offset]

@@ -1,0 +1,31 @@
+"""The LLM layer: client protocol, capability profiles, synthetic models.
+
+AIVRIL2 is LLM-agnostic: the agents speak to any :class:`LLMClient` purely
+through chat messages. This package provides the protocol, a scripted mock
+for unit tests, and the :class:`SyntheticDesignLLM` — a deterministic stand-
+in whose per-model :class:`CapabilityProfile` is calibrated to the paper's
+measured behaviour (baseline pass rates, repair efficacy, convergence cycle
+counts, latency), so the full agentic pipeline can be exercised end-to-end
+without network access. A real API-backed client can be dropped in by
+implementing the same protocol.
+"""
+
+from repro.llm.interface import ChatMessage, LLMClient, LLMResponse
+from repro.llm.mock import ScriptedLLM
+from repro.llm.profiles import (
+    CapabilityProfile,
+    PROFILES,
+    profile_for,
+)
+from repro.llm.synthetic import SyntheticDesignLLM
+
+__all__ = [
+    "ChatMessage",
+    "LLMClient",
+    "LLMResponse",
+    "ScriptedLLM",
+    "CapabilityProfile",
+    "PROFILES",
+    "profile_for",
+    "SyntheticDesignLLM",
+]

@@ -1,0 +1,56 @@
+"""LLM client protocol and message types.
+
+Deliberately tiny: a list of chat messages in, a text response plus latency
+out. The agents never import anything but this module from the LLM layer,
+which is what makes the framework LLM-agnostic — swap in an API-backed
+client without touching the agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One chat turn."""
+
+    role: str  # "system" | "user" | "assistant"
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ("system", "user", "assistant"):
+            raise ValueError(f"bad chat role {self.role!r}")
+
+
+@dataclass
+class LLMResponse:
+    """The model's reply plus accounting the latency model needs."""
+
+    text: str
+    model: str = ""
+    latency_seconds: float = 0.0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+
+class LLMError(RuntimeError):
+    """The client could not produce a response."""
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Anything that can answer a chat conversation."""
+
+    #: model identifier, used in reports ("claude-3.5-sonnet", ...)
+    name: str
+
+    def complete(self, messages: list[ChatMessage]) -> LLMResponse:
+        """Answer the conversation; may raise :class:`LLMError`."""
+        ...
+
+
+def estimate_tokens(text: str) -> int:
+    """Cheap token estimate (≈4 chars/token) for accounting purposes."""
+    return max(1, len(text) // 4)

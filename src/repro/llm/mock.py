@@ -1,0 +1,40 @@
+"""Scripted LLM for unit tests.
+
+Replays a fixed list of responses, optionally asserting on the prompts it
+receives. Keeps agent tests deterministic and independent of the synthetic
+model's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.llm.interface import ChatMessage, LLMError, LLMResponse
+
+
+@dataclass
+class ScriptedLLM:
+    """Returns canned responses in order; records every conversation."""
+
+    responses: list[str]
+    name: str = "scripted"
+    latency_seconds: float = 0.5
+    #: optional per-call inspection hook (index, messages) -> None
+    on_call: Callable[[int, list[ChatMessage]], None] | None = None
+    calls: list[list[ChatMessage]] = field(default_factory=list)
+
+    def complete(self, messages: list[ChatMessage]) -> LLMResponse:
+        index = len(self.calls)
+        self.calls.append(list(messages))
+        if self.on_call is not None:
+            self.on_call(index, messages)
+        if index >= len(self.responses):
+            raise LLMError(
+                f"scripted LLM exhausted after {len(self.responses)} responses"
+            )
+        return LLMResponse(
+            text=self.responses[index],
+            model=self.name,
+            latency_seconds=self.latency_seconds,
+        )

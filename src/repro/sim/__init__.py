@@ -1,0 +1,26 @@
+"""Event-driven HDL simulation kernel shared by the Verilog and VHDL flows.
+
+The kernel follows the classic stratified-event-queue model: within one
+simulation time step, active events run first, then nonblocking-assignment
+(NBA) updates, then the clock advances to the next scheduled time. Both
+language elaborators lower their ASTs onto the same runtime primitives
+(:class:`~repro.sim.runtime.Signal`, :class:`~repro.sim.runtime.Process`), so
+one kernel simulates both languages — the mixed-language capability the paper
+gets from Vivado.
+"""
+
+from repro.sim.values import Logic, X, logic
+from repro.sim.kernel import Simulator, SimulationError, SimulationFinished
+from repro.sim.runtime import Signal, Process, Design
+
+__all__ = [
+    "Logic",
+    "X",
+    "logic",
+    "Simulator",
+    "SimulationError",
+    "SimulationFinished",
+    "Signal",
+    "Process",
+    "Design",
+]

@@ -1,0 +1,170 @@
+"""Runtime model: signals, processes, and elaborated designs.
+
+The elaborators (one per language) lower their ASTs into this shared model:
+
+* a :class:`Signal` is a named, fixed-width four-state storage element;
+* a :class:`Process` is a Python generator that executes statements and
+  *yields* scheduling commands (:class:`~repro.sim.kernel.Delay`,
+  :class:`~repro.sim.kernel.WaitChange`) back to the kernel;
+* a :class:`Design` is the flat post-elaboration collection of both.
+
+Processes never touch signal values directly — all reads go through
+:meth:`Signal.value` and all writes through the kernel, which is what gives
+the kernel its chance to run delta cycles and wake sensitive processes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable
+
+from repro.sim.values import Logic
+
+
+class Edge(enum.Enum):
+    """Sensitivity kind for one signal within a process trigger list."""
+
+    ANY = "any"
+    POS = "posedge"
+    NEG = "negedge"
+
+
+class Signal:
+    """A named storage element. Value updates flow through the kernel only."""
+
+    __slots__ = ("name", "width", "_value", "waiters", "trace")
+
+    def __init__(self, name: str, width: int, initial: Logic | None = None):
+        self.name = name
+        self.width = width
+        self._value = initial.resize(width) if initial is not None else Logic.unknown(width)
+        #: processes whose trigger list includes this signal
+        self.waiters: list["Process"] = []
+        #: optional list of (time, value) pairs appended by the kernel when tracing
+        self.trace: list[tuple[int, Logic]] | None = None
+
+    @property
+    def value(self) -> Logic:
+        return self._value
+
+    def _set(self, value: Logic) -> bool:
+        """Install a new value; returns True when the stored value changed.
+
+        Internal to the kernel — processes must write via the kernel so that
+        sensitivity wake-up and NBA staging happen correctly.
+        """
+        new = value.resize(self.width)
+        if new == self._value:
+            return False
+        self._value = new
+        return True
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name}={self._value})"
+
+
+#: A process body: a generator yielding kernel scheduling commands.
+ProcessBody = Generator
+
+
+@dataclass
+class Sensitivity:
+    """One (signal, edge) entry of a process's static sensitivity list."""
+
+    signal: Signal
+    edge: Edge = Edge.ANY
+
+    def matches(self, old: Logic, new: Logic) -> bool:
+        if self.edge is Edge.ANY:
+            return True
+        old_char = old.bit_char(0)
+        new_char = new.bit_char(0)
+        if self.edge is Edge.POS:
+            return (old_char != "1" and new_char == "1") or (
+                old_char == "0" and new_char == "x"
+            )
+        return (old_char != "0" and new_char == "0") or (
+            old_char == "1" and new_char == "x"
+        )
+
+
+class Process:
+    """One concurrent thread of execution (always/initial block or VHDL process).
+
+    The *factory* receives the kernel when the simulation starts, so the same
+    elaborated design can be simulated several times with fresh state.
+    """
+
+    __slots__ = ("name", "factory", "generator", "waiting_on", "done")
+
+    def __init__(self, name: str, factory: Callable[["object"], ProcessBody]):
+        self.name = name
+        self.factory = factory
+        self.generator: ProcessBody | None = None
+        #: sensitivity entries the process is currently blocked on
+        self.waiting_on: list[Sensitivity] = []
+        self.done = False
+
+    def start(self, kernel) -> ProcessBody:
+        self.generator = self.factory(kernel)
+        self.done = False
+        self.waiting_on = []
+        return self.generator
+
+    def __repr__(self) -> str:
+        return f"Process({self.name})"
+
+
+@dataclass
+class Design:
+    """A fully elaborated design: flat signals and processes, ready to simulate."""
+
+    name: str = "design"
+    signals: dict[str, Signal] = field(default_factory=dict)
+    processes: list[Process] = field(default_factory=list)
+
+    def add_signal(self, signal: Signal) -> Signal:
+        if signal.name in self.signals:
+            raise ValueError(f"duplicate signal name {signal.name!r}")
+        self.signals[signal.name] = signal
+        return signal
+
+    def new_signal(self, name: str, width: int, initial: Logic | None = None) -> Signal:
+        return self.add_signal(Signal(name, width, initial))
+
+    def add_process(self, process: Process) -> Process:
+        self.processes.append(process)
+        return process
+
+    def signal(self, name: str) -> Signal:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise KeyError(
+                f"no signal {name!r} in design {self.name!r}; "
+                f"known: {sorted(self.signals)}"
+            ) from None
+
+    def merge(self, other: "Design", prefix: str = "") -> None:
+        """Absorb another design's elements, optionally prefixing names."""
+        for name, signal in other.signals.items():
+            signal.name = prefix + name
+            self.add_signal(signal)
+        for process in other.processes:
+            process.name = prefix + process.name
+            self.add_process(process)
+
+
+def sensitivities(
+    entries: Iterable[tuple[Signal, Edge]] | Iterable[Signal],
+) -> list[Sensitivity]:
+    """Normalize a trigger list into :class:`Sensitivity` records."""
+    result = []
+    for entry in entries:
+        if isinstance(entry, Signal):
+            result.append(Sensitivity(entry))
+        else:
+            signal, edge = entry
+            result.append(Sensitivity(signal, edge))
+    return result

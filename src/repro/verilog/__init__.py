@@ -1,0 +1,22 @@
+"""Verilog-2001 frontend: lexer, AST, parser, and semantic analyzer.
+
+The supported subset covers everything the VerilogEval-Human-style suite and
+its testbenches need: modules with ANSI ports, parameters, nets/regs/integers,
+continuous assignments, always/initial blocks (if/case/casez/for/repeat/
+while/forever, delays, event controls), module instantiation, and the
+``$display`` family of system tasks. Everything outside the subset produces a
+real diagnostic rather than a crash, because the Review Agent's job is to
+read diagnostics.
+"""
+
+from repro.verilog.lexer import VerilogLexer, lex_verilog
+from repro.verilog.parser import VerilogParser, parse_verilog
+from repro.verilog.analyzer import analyze_verilog
+
+__all__ = [
+    "VerilogLexer",
+    "lex_verilog",
+    "VerilogParser",
+    "parse_verilog",
+    "analyze_verilog",
+]

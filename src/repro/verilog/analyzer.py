@@ -1,0 +1,471 @@
+"""Verilog semantic analysis.
+
+Runs after parsing and before elaboration. Produces the class of diagnostics
+a real RTL frontend reports at analysis time: undeclared identifiers,
+duplicate declarations, illegal assignment targets (procedural assignment to
+a net, continuous assignment to a reg, writing an input port), unknown
+modules/ports in instantiations, and unknown system tasks.
+
+These are exactly the errors the paper's *Syntax Optimization* loop feeds
+back to the Code Agent, so message wording includes the identifier and the
+construct involved — enough signal for a corrective prompt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdl.diagnostics import DiagnosticCollector
+from repro.hdl.source import SourceFile
+from repro.verilog import ast
+
+_CODE_SEMANTIC = "VRFC 10-2989"
+_CODE_UNDECLARED = "VRFC 10-2865"
+_CODE_PORT = "VRFC 10-3216"
+_CODE_TASK = "VRFC 10-2515"
+
+#: system tasks/functions the simulator implements
+KNOWN_SYSTEM_TASKS = frozenset(
+    {
+        "$display",
+        "$write",
+        "$finish",
+        "$stop",
+        "$monitor",
+        "$strobe",
+        "$error",
+        "$fatal",
+    }
+)
+KNOWN_SYSTEM_FUNCTIONS = frozenset({"$time", "$signed", "$unsigned", "$random", "$clog2"})
+
+
+@dataclass
+class SymbolInfo:
+    """What the analyzer knows about one declared name."""
+
+    name: str
+    kind: str  # port-input | port-output | port-inout | wire | reg | integer | parameter
+    is_reg: bool
+    node: ast.Node
+
+    @property
+    def is_input(self) -> bool:
+        return self.kind == "port-input"
+
+    @property
+    def is_parameter(self) -> bool:
+        return self.kind == "parameter"
+
+
+@dataclass
+class ModuleSymbols:
+    """Per-module symbol table built during analysis (reused by elaboration)."""
+
+    module: ast.Module
+    symbols: dict[str, SymbolInfo] = field(default_factory=dict)
+    port_order: list[str] = field(default_factory=list)
+
+    def lookup(self, name: str) -> SymbolInfo | None:
+        return self.symbols.get(name)
+
+
+class VerilogAnalyzer:
+    """Checks one source unit (plus an optional external module library)."""
+
+    def __init__(
+        self,
+        source: SourceFile,
+        collector: DiagnosticCollector,
+        library: dict[str, ast.Module] | None = None,
+    ):
+        self.source = source
+        self.collector = collector
+        self.library = dict(library or {})
+
+    def analyze(self, unit: ast.SourceUnit) -> dict[str, ModuleSymbols]:
+        modules = dict(self.library)
+        tables: dict[str, ModuleSymbols] = {}
+        for module in unit.modules:
+            if module.name in modules:
+                self.collector.error(
+                    _CODE_SEMANTIC,
+                    f"duplicate module definition '{module.name}'",
+                    source=self.source,
+                    span=module.span,
+                )
+            modules[module.name] = module
+        for module in unit.modules:
+            tables[module.name] = self._analyze_module(module, modules)
+        return tables
+
+    # ------------------------------------------------------------------
+
+    def _analyze_module(
+        self, module: ast.Module, modules: dict[str, ast.Module]
+    ) -> ModuleSymbols:
+        table = ModuleSymbols(module=module)
+        self._collect_symbols(module, table)
+        for item in module.items:
+            self._check_item(item, table, modules)
+        return table
+
+    def _declare(self, table: ModuleSymbols, info: SymbolInfo) -> None:
+        existing = table.symbols.get(info.name)
+        if existing is not None:
+            # non-ANSI style legitimately re-declares a header port name with
+            # its direction/reg-ness; merge instead of complaining.
+            if existing.kind == "port-unresolved" and info.kind.startswith("port-"):
+                table.symbols[info.name] = info
+                return
+            if info.kind == "reg" and existing.kind.startswith("port-"):
+                existing.is_reg = True
+                return
+            self.collector.error(
+                _CODE_SEMANTIC,
+                f"'{info.name}' is already declared in module "
+                f"'{table.module.name}'",
+                source=self.source,
+                span=info.node.span,
+            )
+            return
+        table.symbols[info.name] = info
+
+    def _collect_symbols(self, module: ast.Module, table: ModuleSymbols) -> None:
+        for port in module.ports:
+            table.port_order.append(port.name)
+            table.symbols[port.name] = SymbolInfo(
+                name=port.name,
+                kind=f"port-{port.direction}",
+                is_reg=port.is_reg,
+                node=port,
+            )
+        for item in module.items:
+            if isinstance(item, ast.PortDecl):
+                if item.name not in {p.name for p in module.ports}:
+                    self.collector.error(
+                        _CODE_PORT,
+                        f"'{item.name}' is declared as a port but does not "
+                        f"appear in the port list of module '{module.name}'",
+                        source=self.source,
+                        span=item.span,
+                    )
+                    continue
+                self._declare(
+                    table,
+                    SymbolInfo(
+                        name=item.name,
+                        kind=f"port-{item.direction}",
+                        is_reg=item.is_reg,
+                        node=item,
+                    ),
+                )
+            elif isinstance(item, ast.NetDecl):
+                self._declare(
+                    table,
+                    SymbolInfo(
+                        name=item.name,
+                        kind=item.kind,
+                        is_reg=item.kind in ("reg", "integer"),
+                        node=item,
+                    ),
+                )
+            elif isinstance(item, ast.ParamDecl):
+                self._declare(
+                    table,
+                    SymbolInfo(
+                        name=item.name, kind="parameter", is_reg=False, node=item
+                    ),
+                )
+        for name, info in table.symbols.items():
+            if info.kind == "port-unresolved":
+                self.collector.error(
+                    _CODE_PORT,
+                    f"port '{name}' of module '{module.name}' has no "
+                    "direction declaration",
+                    source=self.source,
+                    span=info.node.span,
+                )
+
+    # ------------------------------------------------------------------
+
+    def _check_item(
+        self,
+        item: ast.ModuleItem,
+        table: ModuleSymbols,
+        modules: dict[str, ast.Module],
+    ) -> None:
+        if isinstance(item, ast.NetDecl) and item.init is not None:
+            self._check_expr(item.init, table)
+        elif isinstance(item, ast.ParamDecl):
+            self._check_expr(item.value, table)
+        elif isinstance(item, ast.ContinuousAssign):
+            self._check_lvalue(item.target, table, procedural=False)
+            self._check_expr(item.value, table)
+        elif isinstance(item, ast.AlwaysBlock):
+            if item.sensitivity is not None and not item.sensitivity.star:
+                for sens in item.sensitivity.items:
+                    self._check_expr(sens.signal, table)
+            self._check_stmt(item.body, table)
+        elif isinstance(item, ast.InitialBlock):
+            self._check_stmt(item.body, table)
+        elif isinstance(item, ast.Instantiation):
+            self._check_instantiation(item, table, modules)
+
+    def _check_instantiation(
+        self,
+        inst: ast.Instantiation,
+        table: ModuleSymbols,
+        modules: dict[str, ast.Module],
+    ) -> None:
+        target = modules.get(inst.module)
+        if target is None:
+            self.collector.error(
+                _CODE_SEMANTIC,
+                f"unknown module '{inst.module}' instantiated as "
+                f"'{inst.instance}'",
+                source=self.source,
+                span=inst.span,
+            )
+            return
+        port_names = target.port_names()
+        positional = [c for c in inst.connections if c.port is None]
+        named = [c for c in inst.connections if c.port is not None]
+        if positional and named:
+            self.collector.error(
+                _CODE_PORT,
+                f"instance '{inst.instance}' mixes positional and named "
+                "port connections",
+                source=self.source,
+                span=inst.span,
+            )
+        if positional and len(positional) > len(port_names):
+            self.collector.error(
+                _CODE_PORT,
+                f"instance '{inst.instance}' of '{inst.module}' has "
+                f"{len(positional)} connections but the module has only "
+                f"{len(port_names)} ports",
+                source=self.source,
+                span=inst.span,
+            )
+        seen: set[str] = set()
+        for conn in named:
+            if conn.port not in port_names:
+                self.collector.error(
+                    _CODE_PORT,
+                    f"module '{inst.module}' has no port named '{conn.port}' "
+                    f"(instance '{inst.instance}')",
+                    source=self.source,
+                    span=conn.span,
+                )
+            elif conn.port in seen:
+                self.collector.error(
+                    _CODE_PORT,
+                    f"port '{conn.port}' connected more than once on "
+                    f"instance '{inst.instance}'",
+                    source=self.source,
+                    span=conn.span,
+                )
+            seen.add(conn.port)
+        for conn in inst.connections:
+            if conn.expr is not None:
+                self._check_expr(conn.expr, table)
+        param_names = [
+            i.name for i in target.items if isinstance(i, ast.ParamDecl) and not i.local
+        ]
+        for pname, pvalue in inst.parameters:
+            if not pname.startswith("#") and pname not in param_names:
+                self.collector.error(
+                    _CODE_SEMANTIC,
+                    f"module '{inst.module}' has no parameter '{pname}'",
+                    source=self.source,
+                    span=inst.span,
+                )
+            self._check_expr(pvalue, table)
+
+    # ------------------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Statement, table: ModuleSymbols) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._check_stmt(inner, table)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.condition, table)
+            self._check_stmt(stmt.then_branch, table)
+            if stmt.else_branch is not None:
+                self._check_stmt(stmt.else_branch, table)
+        elif isinstance(stmt, ast.Case):
+            self._check_expr(stmt.subject, table)
+            for item in stmt.items:
+                for label in item.labels:
+                    self._check_expr(label, table)
+                self._check_stmt(item.body, table)
+        elif isinstance(stmt, ast.Assign):
+            self._check_lvalue(stmt.target, table, procedural=True)
+            self._check_expr(stmt.value, table)
+        elif isinstance(stmt, ast.For):
+            self._check_stmt(stmt.init, table)
+            self._check_expr(stmt.condition, table)
+            self._check_stmt(stmt.step, table)
+            self._check_stmt(stmt.body, table)
+        elif isinstance(stmt, ast.Repeat):
+            self._check_expr(stmt.count, table)
+            self._check_stmt(stmt.body, table)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.condition, table)
+            self._check_stmt(stmt.body, table)
+        elif isinstance(stmt, ast.Forever):
+            self._check_stmt(stmt.body, table)
+        elif isinstance(stmt, ast.DelayControl):
+            self._check_expr(stmt.delay, table)
+            if stmt.statement is not None:
+                self._check_stmt(stmt.statement, table)
+        elif isinstance(stmt, ast.EventControl):
+            for sens in stmt.sensitivity.items:
+                self._check_expr(sens.signal, table)
+            if stmt.statement is not None:
+                self._check_stmt(stmt.statement, table)
+        elif isinstance(stmt, ast.SystemTaskCall):
+            if stmt.name not in KNOWN_SYSTEM_TASKS:
+                self.collector.error(
+                    _CODE_TASK,
+                    f"unknown or unsupported system task '{stmt.name}'",
+                    source=self.source,
+                    span=stmt.span,
+                )
+            for arg in stmt.args:
+                self._check_expr(arg, table)
+
+    def _check_lvalue(
+        self, lvalue: ast.LValue, table: ModuleSymbols, *, procedural: bool
+    ) -> None:
+        if isinstance(lvalue, ast.Concat):
+            for part in lvalue.parts:
+                self._check_lvalue(part, table, procedural=procedural)
+            return
+        name = _lvalue_name(lvalue)
+        info = table.lookup(name)
+        if info is None:
+            self.collector.error(
+                _CODE_UNDECLARED,
+                f"'{name}' is not declared in module '{table.module.name}'",
+                source=self.source,
+                span=lvalue.span,
+            )
+            return
+        if info.is_parameter:
+            self.collector.error(
+                _CODE_SEMANTIC,
+                f"cannot assign to parameter '{name}'",
+                source=self.source,
+                span=lvalue.span,
+            )
+            return
+        if info.is_input:
+            self.collector.error(
+                _CODE_SEMANTIC,
+                f"cannot assign to input port '{name}'",
+                source=self.source,
+                span=lvalue.span,
+            )
+            return
+        if procedural and not info.is_reg:
+            self.collector.error(
+                _CODE_SEMANTIC,
+                f"procedural assignment to a non-register '{name}'; "
+                "declare it as 'reg' or use a continuous assignment",
+                source=self.source,
+                span=lvalue.span,
+            )
+        elif not procedural and info.is_reg:
+            self.collector.error(
+                _CODE_SEMANTIC,
+                f"continuous assignment to register '{name}'; "
+                "declare it as 'wire' or assign it inside a procedural block",
+                source=self.source,
+                span=lvalue.span,
+            )
+        if isinstance(lvalue, ast.BitSelect):
+            self._check_expr(lvalue.index, table)
+        elif isinstance(lvalue, ast.PartSelect):
+            self._check_expr(lvalue.msb, table)
+            self._check_expr(lvalue.lsb, table)
+        elif isinstance(lvalue, ast.IndexedPartSelect):
+            self._check_expr(lvalue.base, table)
+            self._check_expr(lvalue.width, table)
+
+    def _check_expr(self, expr: ast.Expression, table: ModuleSymbols) -> None:
+        if isinstance(expr, (ast.Number, ast.StringLiteral)):
+            return
+        if isinstance(expr, ast.Identifier):
+            if table.lookup(expr.name) is None:
+                self.collector.error(
+                    _CODE_UNDECLARED,
+                    f"'{expr.name}' is not declared in module "
+                    f"'{table.module.name}'",
+                    source=self.source,
+                    span=expr.span,
+                )
+        elif isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand, table)
+        elif isinstance(expr, ast.Binary):
+            self._check_expr(expr.lhs, table)
+            self._check_expr(expr.rhs, table)
+        elif isinstance(expr, ast.Ternary):
+            self._check_expr(expr.cond, table)
+            self._check_expr(expr.if_true, table)
+            self._check_expr(expr.if_false, table)
+        elif isinstance(expr, ast.Concat):
+            for part in expr.parts:
+                self._check_expr(part, table)
+        elif isinstance(expr, ast.Replicate):
+            self._check_expr(expr.count, table)
+            self._check_expr(expr.value, table)
+        elif isinstance(expr, (ast.BitSelect, ast.PartSelect, ast.IndexedPartSelect)):
+            if table.lookup(expr.target) is None:
+                self.collector.error(
+                    _CODE_UNDECLARED,
+                    f"'{expr.target}' is not declared in module "
+                    f"'{table.module.name}'",
+                    source=self.source,
+                    span=expr.span,
+                )
+            if isinstance(expr, ast.BitSelect):
+                self._check_expr(expr.index, table)
+            elif isinstance(expr, ast.PartSelect):
+                self._check_expr(expr.msb, table)
+                self._check_expr(expr.lsb, table)
+            else:
+                self._check_expr(expr.base, table)
+                self._check_expr(expr.width, table)
+        elif isinstance(expr, ast.SystemFunctionCall):
+            if expr.name not in KNOWN_SYSTEM_FUNCTIONS:
+                self.collector.error(
+                    _CODE_TASK,
+                    f"unknown or unsupported system function '{expr.name}'",
+                    source=self.source,
+                    span=expr.span,
+                )
+            for arg in expr.args:
+                self._check_expr(arg, table)
+
+
+def _lvalue_name(lvalue: ast.LValue) -> str:
+    if isinstance(lvalue, ast.Identifier):
+        return lvalue.name
+    if isinstance(lvalue, (ast.BitSelect, ast.PartSelect, ast.IndexedPartSelect)):
+        return lvalue.target
+    raise TypeError(f"not an lvalue: {lvalue!r}")
+
+
+def analyze_verilog(
+    unit: ast.SourceUnit,
+    source: SourceFile,
+    collector: DiagnosticCollector | None = None,
+    library: dict[str, ast.Module] | None = None,
+) -> tuple[dict[str, ModuleSymbols], DiagnosticCollector]:
+    """Analyze a parsed unit; returns per-module symbol tables and diagnostics."""
+    collector = collector if collector is not None else DiagnosticCollector()
+    analyzer = VerilogAnalyzer(source, collector, library)
+    tables = analyzer.analyze(unit)
+    return tables, collector

@@ -1,0 +1,343 @@
+"""Verilog abstract syntax tree.
+
+Every node carries a :class:`~repro.hdl.source.SourceSpan` so semantic
+diagnostics and the Review Agent's corrective prompts can point at exact
+lines. The tree is deliberately plain: dataclasses, no behaviour beyond
+small conveniences; evaluation lives in the elaborator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.hdl.source import SourceSpan
+from repro.sim.values import Logic
+
+
+@dataclass(frozen=True)
+class Node:
+    span: SourceSpan
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Number(Node):
+    """A numeric literal, already folded into a :class:`Logic` vector."""
+
+    value: Logic
+    sized: bool
+
+
+@dataclass(frozen=True)
+class StringLiteral(Node):
+    value: str
+
+
+@dataclass(frozen=True)
+class Identifier(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str  # one of: + - ! ~ & | ^ ~& ~| ~^
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str
+    lhs: "Expression"
+    rhs: "Expression"
+
+
+@dataclass(frozen=True)
+class Ternary(Node):
+    cond: "Expression"
+    if_true: "Expression"
+    if_false: "Expression"
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    parts: tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Replicate(Node):
+    count: "Expression"
+    value: "Expression"
+
+
+@dataclass(frozen=True)
+class BitSelect(Node):
+    target: str
+    index: "Expression"
+
+
+@dataclass(frozen=True)
+class PartSelect(Node):
+    target: str
+    msb: "Expression"
+    lsb: "Expression"
+
+
+@dataclass(frozen=True)
+class IndexedPartSelect(Node):
+    """``target[base +: width]`` / ``target[base -: width]``."""
+
+    target: str
+    base: "Expression"
+    width: "Expression"
+    ascending: bool
+
+
+@dataclass(frozen=True)
+class SystemFunctionCall(Node):
+    """``$time`` and friends used in expression position."""
+
+    name: str
+    args: tuple["Expression", ...]
+
+
+Expression = Union[
+    Number,
+    StringLiteral,
+    Identifier,
+    Unary,
+    Binary,
+    Ternary,
+    Concat,
+    Replicate,
+    BitSelect,
+    PartSelect,
+    IndexedPartSelect,
+    SystemFunctionCall,
+]
+
+#: expression forms that may appear on the left of an assignment
+LValue = Union[Identifier, BitSelect, PartSelect, IndexedPartSelect, Concat]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Block(Node):
+    statements: tuple["Statement", ...]
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class If(Node):
+    condition: Expression
+    then_branch: "Statement"
+    else_branch: Optional["Statement"] = None
+
+
+@dataclass(frozen=True)
+class CaseItem(Node):
+    labels: tuple[Expression, ...]  # empty tuple means `default`
+    body: "Statement"
+
+
+@dataclass(frozen=True)
+class Case(Node):
+    kind: str  # case | casez | casex
+    subject: Expression
+    items: tuple[CaseItem, ...]
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    target: LValue
+    value: Expression
+    blocking: bool
+
+
+@dataclass(frozen=True)
+class For(Node):
+    init: Assign
+    condition: Expression
+    step: Assign
+    body: "Statement"
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    count: Expression
+    body: "Statement"
+
+
+@dataclass(frozen=True)
+class While(Node):
+    condition: Expression
+    body: "Statement"
+
+
+@dataclass(frozen=True)
+class Forever(Node):
+    body: "Statement"
+
+
+@dataclass(frozen=True)
+class DelayControl(Node):
+    """``#10 <stmt>`` or a bare ``#10;``."""
+
+    delay: Expression
+    statement: Optional["Statement"]
+
+
+@dataclass(frozen=True)
+class EventControl(Node):
+    """``@(posedge clk) <stmt>`` inside a procedural context."""
+
+    sensitivity: "SensitivityList"
+    statement: Optional["Statement"]
+
+
+@dataclass(frozen=True)
+class SystemTaskCall(Node):
+    name: str  # includes the $: $display, $finish, ...
+    args: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class NullStatement(Node):
+    pass
+
+
+Statement = Union[
+    Block,
+    If,
+    Case,
+    Assign,
+    For,
+    Repeat,
+    While,
+    Forever,
+    DelayControl,
+    EventControl,
+    SystemTaskCall,
+    NullStatement,
+]
+
+
+# --------------------------------------------------------------------------
+# Module structure
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SensitivityItem(Node):
+    edge: str  # pos | neg | any
+    signal: Expression
+
+
+@dataclass(frozen=True)
+class SensitivityList(Node):
+    items: tuple[SensitivityItem, ...]
+    star: bool = False  # @(*) / @*
+
+
+@dataclass(frozen=True)
+class Range(Node):
+    """``[msb:lsb]`` — bounds are constant expressions."""
+
+    msb: Expression
+    lsb: Expression
+
+
+@dataclass(frozen=True)
+class PortDecl(Node):
+    direction: str  # input | output | inout
+    name: str
+    dims: Optional[Range] = None
+    is_reg: bool = False
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class NetDecl(Node):
+    kind: str  # wire | reg | integer
+    name: str
+    dims: Optional[Range] = None
+    init: Optional[Expression] = None
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class ParamDecl(Node):
+    name: str
+    value: Expression
+    local: bool = False
+
+
+@dataclass(frozen=True)
+class ContinuousAssign(Node):
+    target: LValue
+    value: Expression
+
+
+@dataclass(frozen=True)
+class AlwaysBlock(Node):
+    sensitivity: Optional[SensitivityList]
+    body: Statement
+
+
+@dataclass(frozen=True)
+class InitialBlock(Node):
+    body: Statement
+
+
+@dataclass(frozen=True)
+class PortConnection(Node):
+    port: Optional[str]  # None for positional
+    expr: Optional[Expression]  # None for an explicitly open port
+
+
+@dataclass(frozen=True)
+class Instantiation(Node):
+    module: str
+    instance: str
+    parameters: tuple[tuple[str, Expression], ...]
+    connections: tuple[PortConnection, ...]
+
+
+ModuleItem = Union[
+    PortDecl,
+    NetDecl,
+    ParamDecl,
+    ContinuousAssign,
+    AlwaysBlock,
+    InitialBlock,
+    Instantiation,
+]
+
+
+@dataclass(frozen=True)
+class Module(Node):
+    name: str
+    ports: tuple[PortDecl, ...]
+    items: tuple[ModuleItem, ...] = field(default_factory=tuple)
+
+    def port_names(self) -> list[str]:
+        return [p.name for p in self.ports]
+
+
+@dataclass(frozen=True)
+class SourceUnit(Node):
+    modules: tuple[Module, ...]
+
+    def module(self, name: str) -> Module:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"no module {name!r}; found {[m.name for m in self.modules]}")

@@ -1,0 +1,23 @@
+"""VHDL-93 frontend: lexer, AST, parser, and semantic analyzer.
+
+The supported subset covers the suite's design and testbench styles:
+entity/architecture pairs with generics and ports over ``std_logic``,
+``std_logic_vector``, ``unsigned``/``signed``, ``integer``, and ``boolean``;
+concurrent (simple/conditional/selected) signal assignments, processes with
+sensitivity lists or ``wait`` statements, variables, if/case/for/while,
+``assert``/``report``, and direct entity instantiation with port and generic
+maps. As in the Verilog frontend, anything outside the subset produces a
+diagnostic, never a crash.
+"""
+
+from repro.vhdl.lexer import VhdlLexer, lex_vhdl
+from repro.vhdl.parser import VhdlParser, parse_vhdl
+from repro.vhdl.analyzer import analyze_vhdl
+
+__all__ = [
+    "VhdlLexer",
+    "lex_vhdl",
+    "VhdlParser",
+    "parse_vhdl",
+    "analyze_vhdl",
+]

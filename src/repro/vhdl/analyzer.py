@@ -1,0 +1,524 @@
+"""VHDL semantic analysis.
+
+Checks the declare-before-use discipline, port directions, entity binding of
+instantiations, and type-name validity — producing ``xvhdl``-style
+diagnostics for the Syntax Optimization loop. Type checking is structural
+(every value is a logic vector at simulation time), so the analyzer focuses
+on the error classes LLM-generated VHDL actually exhibits: unknown names,
+unknown entities/ports, assignments to ``in`` ports, and processes that can
+never resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdl.diagnostics import DiagnosticCollector
+from repro.hdl.source import SourceFile
+from repro.vhdl import ast
+from repro.vhdl.parser import KNOWN_FUNCTIONS
+
+_CODE_SEMANTIC = "VRFC 10-3521"
+_CODE_UNDECLARED = "VRFC 10-2989"
+_CODE_PORT = "VRFC 10-3431"
+_CODE_TYPE = "VRFC 10-2432"
+
+KNOWN_TYPES = frozenset(
+    """
+    std_logic std_ulogic std_logic_vector std_ulogic_vector unsigned signed
+    integer natural positive boolean bit bit_vector time
+    """.split()
+)
+
+_BUILTIN_NAMES = frozenset({"true", "false"}) | KNOWN_FUNCTIONS
+
+
+@dataclass
+class VhdlSymbol:
+    name: str
+    kind: str  # port-in | port-out | port-inout | signal | constant | generic | variable | loop-var
+    type_mark: ast.TypeMark | None
+    node: ast.Node
+
+
+@dataclass
+class ArchitectureSymbols:
+    """Symbol table for one architecture (reused by the elaborator)."""
+
+    entity: ast.Entity
+    architecture: ast.Architecture
+    symbols: dict[str, VhdlSymbol] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> VhdlSymbol | None:
+        return self.symbols.get(name)
+
+
+class VhdlAnalyzer:
+    """Checks one design file (plus an optional external entity library)."""
+
+    def __init__(
+        self,
+        source: SourceFile,
+        collector: DiagnosticCollector,
+        library: dict[str, ast.Entity] | None = None,
+    ):
+        self.source = source
+        self.collector = collector
+        self.library = dict(library or {})
+
+    def analyze(self, design: ast.DesignFile) -> dict[str, ArchitectureSymbols]:
+        entities = dict(self.library)
+        for entity in design.entities:
+            if entity.name in entities:
+                self._error(entity.span, f"duplicate entity '{entity.name}'")
+            entities[entity.name] = entity
+            self._check_entity(entity)
+        tables: dict[str, ArchitectureSymbols] = {}
+        for arch in design.architectures:
+            entity = entities.get(arch.entity)
+            if entity is None:
+                self._error(
+                    arch.span,
+                    f"architecture '{arch.name}' references unknown entity "
+                    f"'{arch.entity}'",
+                )
+                continue
+            tables[arch.entity] = self._check_architecture(arch, entity, entities)
+        return tables
+
+    # ------------------------------------------------------------------
+
+    def _error(self, span, message: str, code: str = _CODE_SEMANTIC) -> None:
+        self.collector.error(code, message, source=self.source, span=span)
+
+    def _check_type(self, mark: ast.TypeMark) -> None:
+        if mark.name not in KNOWN_TYPES:
+            self._error(
+                mark.span,
+                f"unknown or unsupported type '{mark.name}'",
+                _CODE_TYPE,
+            )
+        vector_types = ("std_logic_vector", "std_ulogic_vector", "unsigned",
+                        "signed", "bit_vector")
+        if mark.name in vector_types and mark.left is None:
+            self._error(
+                mark.span,
+                f"type '{mark.name}' requires a range constraint "
+                "(e.g. std_logic_vector(3 downto 0))",
+                _CODE_TYPE,
+            )
+
+    def _check_entity(self, entity: ast.Entity) -> None:
+        seen: set[str] = set()
+        for generic in entity.generics:
+            if generic.name in seen:
+                self._error(
+                    generic.span,
+                    f"duplicate generic '{generic.name}' in entity "
+                    f"'{entity.name}'",
+                )
+            seen.add(generic.name)
+            self._check_type(generic.type_mark)
+        for port in entity.ports:
+            if port.name in seen:
+                self._error(
+                    port.span,
+                    f"duplicate port '{port.name}' in entity '{entity.name}'",
+                )
+            seen.add(port.name)
+            self._check_type(port.type_mark)
+
+    # ------------------------------------------------------------------
+
+    def _check_architecture(
+        self,
+        arch: ast.Architecture,
+        entity: ast.Entity,
+        entities: dict[str, ast.Entity],
+    ) -> ArchitectureSymbols:
+        table = ArchitectureSymbols(entity=entity, architecture=arch)
+
+        def declare(symbol: VhdlSymbol) -> None:
+            if symbol.name in table.symbols:
+                self._error(
+                    symbol.node.span,
+                    f"'{symbol.name}' is already declared in this scope",
+                )
+                return
+            table.symbols[symbol.name] = symbol
+
+        for generic in entity.generics:
+            declare(VhdlSymbol(generic.name, "generic", generic.type_mark, generic))
+        for port in entity.ports:
+            declare(
+                VhdlSymbol(port.name, f"port-{port.direction}", port.type_mark, port)
+            )
+        for decl in arch.declarations:
+            if isinstance(decl, ast.SignalDecl):
+                declare(VhdlSymbol(decl.name, "signal", decl.type_mark, decl))
+                self._check_type(decl.type_mark)
+                if decl.init is not None:
+                    self._check_expr(decl.init, table)
+            elif isinstance(decl, ast.ConstantDecl):
+                declare(VhdlSymbol(decl.name, "constant", decl.type_mark, decl))
+                self._check_type(decl.type_mark)
+                self._check_expr(decl.value, table)
+        for statement in arch.statements:
+            self._check_concurrent(statement, table, entities)
+        return table
+
+    def _check_concurrent(
+        self,
+        statement: ast.ConcurrentStatement,
+        table: ArchitectureSymbols,
+        entities: dict[str, ast.Entity],
+    ) -> None:
+        if isinstance(statement, ast.ConcurrentAssign):
+            self._check_target(statement.target, table)
+            self._check_expr(statement.value, table)
+        elif isinstance(statement, ast.ConditionalAssign):
+            self._check_target(statement.target, table)
+            for value, condition in statement.arms:
+                self._check_expr(value, table)
+                self._check_expr(condition, table)
+            self._check_expr(statement.otherwise, table)
+        elif isinstance(statement, ast.SelectedAssign):
+            self._check_target(statement.target, table)
+            self._check_expr(statement.selector, table)
+            for value, choices in statement.arms:
+                self._check_expr(value, table)
+                for choice in choices:
+                    self._check_expr(choice, table)
+            if statement.otherwise is not None:
+                self._check_expr(statement.otherwise, table)
+        elif isinstance(statement, ast.ProcessStatement):
+            self._check_process(statement, table)
+        elif isinstance(statement, ast.EntityInstantiation):
+            self._check_instantiation(statement, table, entities)
+
+    def _check_process(
+        self, process: ast.ProcessStatement, table: ArchitectureSymbols
+    ) -> None:
+        local = dict(table.symbols)
+        for name in process.sensitivity:
+            if name == "all":
+                continue
+            symbol = table.lookup(name)
+            if symbol is None:
+                self._error(
+                    process.span,
+                    f"sensitivity list names undeclared signal '{name}'",
+                    _CODE_UNDECLARED,
+                )
+            elif symbol.kind not in (
+                "signal", "port-in", "port-out", "port-inout", "port-buffer"
+            ):
+                self._error(
+                    process.span,
+                    f"sensitivity list entry '{name}' is not a signal",
+                )
+        scope = _ProcessScope(table, dict_extra={})
+        for decl in process.declarations:
+            self._check_type(decl.type_mark)
+            if decl.name in scope.extra or table.lookup(decl.name):
+                self._error(
+                    decl.span, f"'{decl.name}' is already declared in this scope"
+                )
+            scope.extra[decl.name] = VhdlSymbol(
+                decl.name, "variable", decl.type_mark, decl
+            )
+            if decl.init is not None:
+                self._check_expr(decl.init, table, scope)
+        has_wait = _contains_wait(process.body)
+        if process.sensitivity and has_wait:
+            self._error(
+                process.span,
+                "a process with a sensitivity list cannot contain wait "
+                "statements",
+            )
+        if not process.sensitivity and not has_wait:
+            self._error(
+                process.span,
+                "process has neither a sensitivity list nor a wait statement "
+                "and would never suspend",
+            )
+        for statement in process.body:
+            self._check_seq(statement, table, scope)
+
+    def _check_instantiation(
+        self,
+        inst: ast.EntityInstantiation,
+        table: ArchitectureSymbols,
+        entities: dict[str, ast.Entity],
+    ) -> None:
+        entity = entities.get(inst.entity)
+        if entity is None:
+            self._error(
+                inst.span,
+                f"instantiation '{inst.label}' references unknown entity "
+                f"'{inst.entity}'",
+            )
+            return
+        port_names = [p.name for p in entity.ports]
+        generic_names = [g.name for g in entity.generics]
+        seen: set[str] = set()
+        for item in inst.port_map:
+            if item.port is not None:
+                if item.port not in port_names:
+                    self._error(
+                        item.span,
+                        f"entity '{inst.entity}' has no port '{item.port}' "
+                        f"(instance '{inst.label}')",
+                        _CODE_PORT,
+                    )
+                elif item.port in seen:
+                    self._error(
+                        item.span,
+                        f"port '{item.port}' connected twice on instance "
+                        f"'{inst.label}'",
+                        _CODE_PORT,
+                    )
+                seen.add(item.port)
+            if item.expr is not None:
+                self._check_expr(item.expr, table)
+        positional = [i for i in inst.port_map if i.port is None and i.expr is not None]
+        if positional and len(inst.port_map) > len(port_names):
+            self._error(
+                inst.span,
+                f"instance '{inst.label}' has {len(inst.port_map)} "
+                f"connections but entity '{inst.entity}' has only "
+                f"{len(port_names)} ports",
+                _CODE_PORT,
+            )
+        for item in inst.generic_map:
+            if item.name is not None and item.name not in generic_names:
+                self._error(
+                    item.span,
+                    f"entity '{inst.entity}' has no generic '{item.name}'",
+                )
+            if item.value is not None:
+                self._check_expr(item.value, table)
+
+    # ------------------------------------------------------------------
+
+    def _check_seq(
+        self,
+        statement: ast.SeqStatement,
+        table: ArchitectureSymbols,
+        scope: "_ProcessScope",
+    ) -> None:
+        if isinstance(statement, ast.SignalAssign):
+            self._check_target(statement.target, table, scope, signal=True)
+            self._check_expr(statement.value, table, scope)
+        elif isinstance(statement, ast.VariableAssign):
+            self._check_target(statement.target, table, scope, variable=True)
+            self._check_expr(statement.value, table, scope)
+        elif isinstance(statement, ast.IfStatement):
+            for condition, body in statement.arms:
+                self._check_expr(condition, table, scope)
+                for inner in body:
+                    self._check_seq(inner, table, scope)
+            for inner in statement.else_body:
+                self._check_seq(inner, table, scope)
+        elif isinstance(statement, ast.CaseStatement):
+            self._check_expr(statement.subject, table, scope)
+            has_others = False
+            for alternative in statement.alternatives:
+                if not alternative.choices:
+                    has_others = True
+                for choice in alternative.choices:
+                    self._check_expr(choice, table, scope)
+                for inner in alternative.body:
+                    self._check_seq(inner, table, scope)
+            if not has_others:
+                self._error(
+                    statement.span,
+                    "case statement must have a 'when others' alternative "
+                    "(full coverage is required)",
+                )
+        elif isinstance(statement, ast.ForLoop):
+            self._check_expr(statement.low, table, scope)
+            self._check_expr(statement.high, table, scope)
+            inner_scope = _ProcessScope(table, dict(scope.extra))
+            inner_scope.extra[statement.var] = VhdlSymbol(
+                statement.var, "loop-var", None, statement
+            )
+            for inner in statement.body:
+                self._check_seq(inner, table, inner_scope)
+        elif isinstance(statement, ast.WhileLoop):
+            self._check_expr(statement.condition, table, scope)
+            for inner in statement.body:
+                self._check_seq(inner, table, scope)
+        elif isinstance(statement, ast.WaitStatement):
+            for name in statement.on_signals:
+                if table.lookup(name) is None:
+                    self._error(
+                        statement.span,
+                        f"'wait on' names undeclared signal '{name}'",
+                        _CODE_UNDECLARED,
+                    )
+            if statement.until is not None:
+                self._check_expr(statement.until, table, scope)
+            if statement.for_time is not None:
+                self._check_expr(statement.for_time, table, scope)
+        elif isinstance(statement, ast.AssertStatement):
+            self._check_expr(statement.condition, table, scope)
+            if statement.message is not None:
+                self._check_expr(statement.message, table, scope)
+        elif isinstance(statement, ast.ReportStatement):
+            self._check_expr(statement.message, table, scope)
+
+    def _check_target(
+        self,
+        target: ast.Expression,
+        table: ArchitectureSymbols,
+        scope: "_ProcessScope | None" = None,
+        *,
+        signal: bool = False,
+        variable: bool = False,
+    ) -> None:
+        name = _target_name(target)
+        if name is None:
+            self._error(target.span, "invalid assignment target")
+            return
+        symbol = None
+        if scope is not None:
+            symbol = scope.extra.get(name)
+        if symbol is None:
+            symbol = table.lookup(name)
+        if symbol is None:
+            self._error(
+                target.span,
+                f"'{name}' is not declared",
+                _CODE_UNDECLARED,
+            )
+            return
+        if symbol.kind == "port-in":
+            self._error(target.span, f"cannot assign to input port '{name}'")
+        elif symbol.kind in ("constant", "generic", "loop-var"):
+            self._error(target.span, f"cannot assign to {symbol.kind} '{name}'")
+        elif variable and symbol.kind != "variable":
+            self._error(
+                target.span,
+                f"':=' assigns variables, but '{name}' is a {symbol.kind}; "
+                "use '<=' for signals",
+            )
+        elif signal and symbol.kind == "variable":
+            self._error(
+                target.span,
+                f"'<=' assigns signals, but '{name}' is a variable; use ':='",
+            )
+        if isinstance(target, ast.Indexed):
+            self._check_expr(target.index, table, scope)
+        elif isinstance(target, ast.Sliced):
+            self._check_expr(target.left, table, scope)
+            self._check_expr(target.right, table, scope)
+
+    def _check_expr(
+        self,
+        expr: ast.Expression,
+        table: ArchitectureSymbols,
+        scope: "_ProcessScope | None" = None,
+    ) -> None:
+        if isinstance(expr, (ast.IntLiteral, ast.CharLiteral, ast.StringLiteral)):
+            return
+        if isinstance(expr, ast.Name):
+            self._check_name(expr.name, expr, table, scope)
+        elif isinstance(expr, (ast.Indexed, ast.Sliced)):
+            self._check_name(expr.name, expr, table, scope)
+            if isinstance(expr, ast.Indexed):
+                self._check_expr(expr.index, table, scope)
+            else:
+                self._check_expr(expr.left, table, scope)
+                self._check_expr(expr.right, table, scope)
+        elif isinstance(expr, ast.Call):
+            if expr.name not in KNOWN_FUNCTIONS:
+                self._error(
+                    expr.span,
+                    f"unknown function '{expr.name}'",
+                    _CODE_UNDECLARED,
+                )
+            for arg in expr.args:
+                self._check_expr(arg, table, scope)
+        elif isinstance(expr, ast.Attribute):
+            self._check_name(expr.name, expr, table, scope)
+            if expr.attr not in ("event", "length", "left", "right", "high", "low",
+                                 "last_value"):
+                self._error(expr.span, f"unsupported attribute '{expr.attr}'")
+        elif isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand, table, scope)
+        elif isinstance(expr, ast.Binary):
+            self._check_expr(expr.lhs, table, scope)
+            self._check_expr(expr.rhs, table, scope)
+        elif isinstance(expr, ast.Aggregate):
+            if expr.others is not None:
+                self._check_expr(expr.others, table, scope)
+            for _, element in expr.elements:
+                self._check_expr(element, table, scope)
+
+    def _check_name(
+        self,
+        name: str,
+        node: ast.Node,
+        table: ArchitectureSymbols,
+        scope: "_ProcessScope | None",
+    ) -> None:
+        if name in _BUILTIN_NAMES:
+            return
+        if scope is not None and name in scope.extra:
+            return
+        if table.lookup(name) is None:
+            self._error(
+                node.span,
+                f"'{name}' is not declared",
+                _CODE_UNDECLARED,
+            )
+
+
+@dataclass
+class _ProcessScope:
+    table: ArchitectureSymbols
+    extra: dict[str, VhdlSymbol]
+
+    def __init__(self, table: ArchitectureSymbols, dict_extra: dict):
+        self.table = table
+        self.extra = dict_extra
+
+
+def _target_name(target: ast.Expression) -> str | None:
+    if isinstance(target, ast.Name):
+        return target.name
+    if isinstance(target, (ast.Indexed, ast.Sliced)):
+        return target.name
+    return None
+
+
+def _contains_wait(body: tuple) -> bool:
+    for statement in body:
+        if isinstance(statement, ast.WaitStatement):
+            return True
+        if isinstance(statement, ast.IfStatement):
+            if any(_contains_wait(arm_body) for _, arm_body in statement.arms):
+                return True
+            if _contains_wait(statement.else_body):
+                return True
+        elif isinstance(statement, ast.CaseStatement):
+            if any(_contains_wait(a.body) for a in statement.alternatives):
+                return True
+        elif isinstance(statement, (ast.ForLoop, ast.WhileLoop)):
+            if _contains_wait(statement.body):
+                return True
+    return False
+
+
+def analyze_vhdl(
+    design: ast.DesignFile,
+    source: SourceFile,
+    collector: DiagnosticCollector | None = None,
+    library: dict[str, ast.Entity] | None = None,
+) -> tuple[dict[str, ArchitectureSymbols], DiagnosticCollector]:
+    """Analyze a parsed design file; returns symbol tables and diagnostics."""
+    collector = collector if collector is not None else DiagnosticCollector()
+    analyzer = VhdlAnalyzer(source, collector, library)
+    tables = analyzer.analyze(design)
+    return tables, collector

@@ -1,0 +1,364 @@
+"""VHDL abstract syntax tree for the supported subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.hdl.source import SourceSpan
+
+
+@dataclass(frozen=True)
+class Node:
+    span: SourceSpan
+
+
+# --------------------------------------------------------------------------
+# types
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeMark(Node):
+    """A subtype indication: name plus optional (msb downto/to lsb) constraint."""
+
+    name: str  # lower-cased: std_logic, std_logic_vector, unsigned, signed, integer, boolean
+    left: Optional["Expression"] = None
+    right: Optional["Expression"] = None
+    descending: bool = True  # downto
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLiteral(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class CharLiteral(Node):
+    value: str  # single character, e.g. "0", "1", "X"
+
+
+@dataclass(frozen=True)
+class StringLiteral(Node):
+    """Either a bit-string ("0101", x"a5") or a text string (report messages)."""
+
+    value: str
+    base: str = ""  # "", "b", "x", "o" — "" means context decides
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    name: str  # stored lower-cased (VHDL is case-insensitive)
+
+
+@dataclass(frozen=True)
+class Indexed(Node):
+    """``name(expr)`` — an index, or a one-argument call; resolved semantically."""
+
+    name: str
+    index: "Expression"
+
+
+@dataclass(frozen=True)
+class Sliced(Node):
+    """``name(hi downto lo)`` / ``name(lo to hi)``."""
+
+    name: str
+    left: "Expression"
+    right: "Expression"
+    descending: bool
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    """A function call with 0/2+ args, or an ambiguous 1-arg call."""
+
+    name: str
+    args: tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Attribute(Node):
+    """``name'attr`` — 'event, 'length, 'left, 'right, 'range is unsupported."""
+
+    name: str
+    attr: str
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str  # not | - | + | abs
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str  # and or nand nor xor xnor = /= < <= > >= + - & * / mod rem **
+    lhs: "Expression"
+    rhs: "Expression"
+
+
+@dataclass(frozen=True)
+class Aggregate(Node):
+    """``(others => expr)`` and positional/named element aggregates."""
+
+    others: Optional["Expression"]
+    elements: tuple[tuple[Optional["Expression"], "Expression"], ...] = ()
+
+
+Expression = Union[
+    IntLiteral,
+    CharLiteral,
+    StringLiteral,
+    Name,
+    Indexed,
+    Sliced,
+    Call,
+    Attribute,
+    Unary,
+    Binary,
+    Aggregate,
+]
+
+
+# --------------------------------------------------------------------------
+# sequential statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SignalAssign(Node):
+    target: Expression  # Name | Indexed | Sliced
+    value: Expression
+    after: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class VariableAssign(Node):
+    target: Expression
+    value: Expression
+
+
+@dataclass(frozen=True)
+class IfStatement(Node):
+    """if/elsif chains: (condition, body) arms plus an optional else body."""
+
+    arms: tuple[tuple[Expression, tuple["SeqStatement", ...]], ...]
+    else_body: tuple["SeqStatement", ...] = ()
+
+
+@dataclass(frozen=True)
+class CaseAlternative(Node):
+    choices: tuple[Expression, ...]  # empty means `when others`
+    body: tuple["SeqStatement", ...]
+
+
+@dataclass(frozen=True)
+class CaseStatement(Node):
+    subject: Expression
+    alternatives: tuple[CaseAlternative, ...]
+
+
+@dataclass(frozen=True)
+class ForLoop(Node):
+    var: str
+    low: Expression
+    high: Expression
+    descending: bool  # `downto` iteration order
+    body: tuple["SeqStatement", ...]
+
+
+@dataclass(frozen=True)
+class WhileLoop(Node):
+    condition: Expression
+    body: tuple["SeqStatement", ...]
+
+
+@dataclass(frozen=True)
+class WaitStatement(Node):
+    on_signals: tuple[str, ...] = ()
+    until: Optional[Expression] = None
+    for_time: Optional[Expression] = None  # in ns
+
+
+@dataclass(frozen=True)
+class AssertStatement(Node):
+    condition: Expression
+    message: Optional[Expression] = None
+    severity: str = "error"  # note | warning | error | failure
+
+
+@dataclass(frozen=True)
+class ReportStatement(Node):
+    message: Expression
+    severity: str = "note"
+
+
+@dataclass(frozen=True)
+class NullStatement(Node):
+    pass
+
+
+SeqStatement = Union[
+    SignalAssign,
+    VariableAssign,
+    IfStatement,
+    CaseStatement,
+    ForLoop,
+    WhileLoop,
+    WaitStatement,
+    AssertStatement,
+    ReportStatement,
+    NullStatement,
+]
+
+
+# --------------------------------------------------------------------------
+# declarations & concurrent statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenericDecl(Node):
+    name: str
+    type_mark: TypeMark
+    default: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class PortDecl(Node):
+    name: str
+    direction: str  # in | out | inout | buffer
+    type_mark: TypeMark
+
+
+@dataclass(frozen=True)
+class SignalDecl(Node):
+    name: str
+    type_mark: TypeMark
+    init: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class ConstantDecl(Node):
+    name: str
+    type_mark: TypeMark
+    value: Expression
+
+
+@dataclass(frozen=True)
+class VariableDecl(Node):
+    name: str
+    type_mark: TypeMark
+    init: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class ConcurrentAssign(Node):
+    target: Expression
+    value: Expression
+    after: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class ConditionalAssign(Node):
+    """``target <= v1 when c1 else v2 when c2 else v3;``"""
+
+    target: Expression
+    arms: tuple[tuple[Expression, Expression], ...]  # (value, condition)
+    otherwise: Expression
+    after: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class SelectedAssign(Node):
+    """``with sel select target <= v1 when c1, v2 when others;``"""
+
+    selector: Expression
+    target: Expression
+    arms: tuple[tuple[Expression, tuple[Expression, ...]], ...]  # (value, choices)
+    otherwise: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class ProcessStatement(Node):
+    label: str
+    sensitivity: tuple[str, ...]
+    declarations: tuple[VariableDecl, ...]
+    body: tuple[SeqStatement, ...]
+
+
+@dataclass(frozen=True)
+class GenericMapItem(Node):
+    name: Optional[str]
+    value: Expression
+
+
+@dataclass(frozen=True)
+class PortMapItem(Node):
+    port: Optional[str]
+    expr: Optional[Expression]  # None means `open`
+
+
+@dataclass(frozen=True)
+class EntityInstantiation(Node):
+    """``label: entity work.name [generic map (...)] port map (...);``"""
+
+    label: str
+    entity: str
+    generic_map: tuple[GenericMapItem, ...]
+    port_map: tuple[PortMapItem, ...]
+
+
+ConcurrentStatement = Union[
+    ConcurrentAssign,
+    ConditionalAssign,
+    SelectedAssign,
+    ProcessStatement,
+    EntityInstantiation,
+]
+
+
+# --------------------------------------------------------------------------
+# design units
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Entity(Node):
+    name: str
+    generics: tuple[GenericDecl, ...]
+    ports: tuple[PortDecl, ...]
+
+
+@dataclass(frozen=True)
+class Architecture(Node):
+    name: str
+    entity: str
+    declarations: tuple[Union[SignalDecl, ConstantDecl], ...]
+    statements: tuple[ConcurrentStatement, ...]
+
+
+@dataclass(frozen=True)
+class DesignFile(Node):
+    entities: tuple[Entity, ...]
+    architectures: tuple[Architecture, ...]
+
+    def entity(self, name: str) -> Entity:
+        for entity in self.entities:
+            if entity.name == name:
+                return entity
+        raise KeyError(f"no entity {name!r}")
+
+    def architecture_of(self, entity_name: str) -> Architecture | None:
+        """The last architecture bound to the entity (VHDL default binding)."""
+        found = None
+        for arch in self.architectures:
+            if arch.entity == entity_name:
+                found = arch
+        return found

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_families_and_problems(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "gates" in text
+        assert "gates_and" in text
+
+    def test_family_filter(self):
+        code, text = run_cli("list", "--family", "fsm")
+        assert code == 0
+        assert "fsm_detect101" in text
+        assert "gates_and" not in text
+
+    def test_unknown_family(self):
+        code, text = run_cli("list", "--family", "nope")
+        assert code == 1
+        assert "unknown family" in text
+
+
+class TestShow:
+    def test_spec(self):
+        code, text = run_cli("show", "gates_and")
+        assert code == 0
+        assert "AND gate" in text
+
+    def test_reference_verilog(self):
+        code, text = run_cli("show", "gates_and", "--what", "reference")
+        assert code == 0
+        assert "module top_module" in text
+
+    def test_reference_vhdl(self):
+        code, text = run_cli(
+            "show", "gates_and", "--what", "reference", "--language", "vhdl"
+        )
+        assert code == 0
+        assert "entity top_module" in text
+
+    def test_testbench(self):
+        code, text = run_cli("show", "gates_and", "--what", "testbench")
+        assert code == 0
+        assert "All tests passed successfully!" in text
+
+    def test_unknown_problem(self):
+        code, text = run_cli("show", "ghost_problem")
+        assert code == 1
+
+    def test_bad_language_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("show", "gates_and", "--language", "klingon")
+
+
+class TestRun:
+    def test_run_reports_verdict(self):
+        code, text = run_cli("run", "gates_and", "--model", "claude-3.5-sonnet")
+        assert "golden_tb=" in text
+        assert code in (0, 2)
+
+    def test_run_with_transcript(self):
+        code, text = run_cli("run", "gates_buf", "--transcript")
+        assert "[CodeAgent]" in text
+
+    def test_unknown_model(self):
+        code, text = run_cli("run", "gates_and", "--model", "gpt-9")
+        assert code == 1
+        assert "known" in text
+
+
+class TestValidate:
+    def test_validate_subset(self):
+        code, text = run_cli(
+            "validate", "--limit", "2", "--language", "verilog"
+        )
+        assert code == 0
+        assert "0 failure(s)" in text
+
+
+class TestSweep:
+    def test_sweep_table1_subset(self):
+        code, text = run_cli("sweep", "--artifact", "table1", "--limit", "8")
+        assert code == 0
+        assert "AIVRIL2" in text
+        assert "Average dF" in text
+
+    def test_sweep_figure3_subset(self):
+        code, text = run_cli("sweep", "--artifact", "figure3", "--limit", "8")
+        assert code == 0
+        assert "Worst-case" in text

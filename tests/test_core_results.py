@@ -1,0 +1,80 @@
+"""Tests for result/latency types and the transcript."""
+
+import pytest
+
+from repro.agents.base import StepKind, Transcript
+from repro.core.result import BaselineResult, LatencyBreakdown, PipelineResult
+
+
+class TestLatencyBreakdown:
+    def test_totals(self):
+        breakdown = LatencyBreakdown(
+            generation_llm=2.0,
+            syntax_llm=1.0,
+            syntax_tool=0.5,
+            functional_llm=3.0,
+            functional_tool=1.5,
+        )
+        assert breakdown.syntax_loop == 1.5
+        assert breakdown.functional_loop == 4.5
+        assert breakdown.total == 8.0
+
+    def test_add_accumulates(self):
+        total = LatencyBreakdown()
+        total.add(LatencyBreakdown(generation_llm=1.0, syntax_llm=2.0))
+        total.add(LatencyBreakdown(generation_llm=0.5, functional_tool=1.0))
+        assert total.generation_llm == 1.5
+        assert total.syntax_llm == 2.0
+        assert total.functional_tool == 1.0
+
+    def test_scaled(self):
+        breakdown = LatencyBreakdown(generation_llm=4.0, syntax_tool=2.0)
+        half = breakdown.scaled(0.5)
+        assert half.generation_llm == 2.0
+        assert half.syntax_tool == 1.0
+        # original unchanged
+        assert breakdown.generation_llm == 4.0
+
+
+class TestPipelineResult:
+    def test_converged_requires_both(self):
+        base = dict(
+            spec="s", rtl="r", testbench="t",
+            syntax_iterations=0, functional_iterations=0,
+        )
+        assert PipelineResult(
+            syntax_ok=True, functional_ok=True, **base
+        ).converged
+        assert not PipelineResult(
+            syntax_ok=True, functional_ok=False, **base
+        ).converged
+        assert not PipelineResult(
+            syntax_ok=False, functional_ok=False, **base
+        ).converged
+
+
+class TestTranscript:
+    def test_render_truncates_long_steps(self):
+        transcript = Transcript()
+        transcript.record("CodeAgent", StepKind.ACTION, "x" * 500)
+        rendered = transcript.render(max_chars_per_step=50)
+        assert len(rendered.splitlines()[0]) < 100
+        assert rendered.endswith("…")
+
+    def test_render_flattens_newlines(self):
+        transcript = Transcript()
+        transcript.record("ReviewAgent", StepKind.OBSERVATION, "a\nb")
+        assert "⏎" in transcript.render()
+
+    def test_by_agent_filters(self):
+        transcript = Transcript()
+        transcript.record("A", StepKind.THOUGHT, "one")
+        transcript.record("B", StepKind.THOUGHT, "two")
+        transcript.record("A", StepKind.ACTION, "three")
+        assert len(transcript.by_agent("A")) == 2
+        assert len(transcript.by_agent("B")) == 1
+
+    def test_baseline_result_fields(self):
+        result = BaselineResult(spec="s", rtl="code", latency_seconds=3.0)
+        assert result.rtl == "code"
+        assert result.latency_seconds == 3.0

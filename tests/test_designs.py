@@ -1,0 +1,266 @@
+"""Tests for the design layer: mutations, stimulus vectors, testbench gen."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.designs.model import CombModel, DesignSpec, PortSpec, SeqModel, mask
+from repro.designs.mutations import (
+    Mutation,
+    MutationError,
+    apply_mutation,
+    apply_mutations,
+    functional,
+    syntax,
+)
+from repro.designs.tbgen import make_testbench, vhdl_literal, verilog_literal
+from repro.designs.vectors import comb_vectors, seq_stimulus
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+
+
+def comb_spec():
+    return DesignSpec(
+        name="t",
+        ports=(
+            PortSpec("a", 4, "in"),
+            PortSpec("b", 4, "in"),
+            PortSpec("y", 4, "out"),
+        ),
+    )
+
+
+def seq_spec():
+    return DesignSpec(
+        name="t",
+        ports=(PortSpec("en", 1, "in"), PortSpec("count", 4, "out")),
+        clocked=True,
+    )
+
+
+class TestMutations:
+    def test_apply_exact(self):
+        assert apply_mutation("a & b", syntax("s", "&", "|")) == "a | b"
+
+    def test_missing_anchor_raises(self):
+        with pytest.raises(MutationError, match="not found"):
+            apply_mutation("abc", syntax("s", "zzz", "y"))
+
+    def test_ambiguous_anchor_raises(self):
+        with pytest.raises(MutationError, match="ambiguous"):
+            apply_mutation("x x", syntax("s", "x", "y"))
+
+    def test_whitespace_flexible_match(self):
+        source = "if (a)\n        q <= d;"
+        mutation = functional("f", "if (a)\n    q <= d;", "q <= d;")
+        assert apply_mutation(source, mutation) == "q <= d;"
+
+    def test_flexible_match_must_be_unique(self):
+        source = "a  b\na   b"
+        with pytest.raises(MutationError, match="ambiguous"):
+            apply_mutation(source, syntax("s", "a b", "c"))
+
+    def test_apply_mutations_sequential(self):
+        out = apply_mutations(
+            "one two", [syntax("a", "one", "1"), syntax("b", "two", "2")]
+        )
+        assert out == "1 2"
+
+    def test_identity_mutation_rejected(self):
+        with pytest.raises(ValueError, match="changes nothing"):
+            Mutation("syntax", "noop", "x", "x")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Mutation("cosmetic", "d", "a", "b")
+
+
+class TestVectors:
+    def test_small_space_is_exhaustive(self):
+        spec = DesignSpec(
+            name="t",
+            ports=(PortSpec("a", 2, "in"), PortSpec("y", 2, "out")),
+        )
+        vectors = comb_vectors(spec, "pid")
+        assert len(vectors) == 4
+        assert sorted(v["a"] for v in vectors) == [0, 1, 2, 3]
+
+    def test_large_space_has_corners_and_randoms(self):
+        spec = DesignSpec(
+            name="t",
+            ports=(PortSpec("a", 8, "in"), PortSpec("b", 8, "in"),
+                   PortSpec("y", 8, "out")),
+        )
+        vectors = comb_vectors(spec, "pid")
+        assert {"a": 0, "b": 0} in vectors
+        assert {"a": 255, "b": 255} in vectors
+        assert len(vectors) > 20
+
+    def test_deterministic_per_pid(self):
+        spec = comb_spec()
+        assert comb_vectors(spec, "x") == comb_vectors(spec, "x")
+
+    def test_different_pids_differ(self):
+        spec = DesignSpec(
+            name="t",
+            ports=(PortSpec("a", 8, "in"), PortSpec("b", 8, "in"),
+                   PortSpec("y", 8, "out")),
+        )
+        assert comb_vectors(spec, "x") != comb_vectors(spec, "y")
+
+    def test_no_duplicate_vectors(self):
+        spec = comb_spec()
+        vectors = comb_vectors(spec, "pid")
+        keys = [tuple(sorted(v.items())) for v in vectors]
+        assert len(keys) == len(set(keys))
+
+    def test_seq_stimulus_within_widths(self):
+        spec = seq_spec()
+        for cycle in seq_stimulus(spec, "pid"):
+            assert set(cycle) == {"en"}
+            assert cycle["en"] in (0, 1)
+
+    def test_seq_stimulus_has_solo_bursts(self):
+        spec = seq_spec()
+        stimulus = seq_stimulus(spec, "pid")
+        assert any(c["en"] == 1 for c in stimulus)
+        assert any(c["en"] == 0 for c in stimulus)
+
+
+class TestLiterals:
+    @given(st.integers(0, 255))
+    def test_verilog_literal_roundtrip(self, value):
+        assert verilog_literal(value, 8) == f"8'd{value}"
+
+    def test_vhdl_scalar_literal(self):
+        assert vhdl_literal(1, 1) == "'1'"
+        assert vhdl_literal(0, 1) == "'0'"
+
+    def test_vhdl_vector_literal(self):
+        assert vhdl_literal(5, 4) == '"0101"'
+
+    def test_mask(self):
+        assert mask(0x1FF, 8) == 0xFF
+        assert mask(-1, 4) == 0xF
+
+
+class TestTestbenchGeneration:
+    """The generated TBs must themselves be valid, runnable HDL."""
+
+    def _run(self, spec, model, rtl, language, **kwargs):
+        tb = make_testbench(spec, model, language, "pid", **kwargs)
+        toolchain = Toolchain()
+        ext = language.file_extension
+        result = toolchain.simulate(
+            [
+                HdlFile(f"top_module{ext}", rtl, language),
+                HdlFile(f"tb{ext}", tb, language),
+            ],
+            "tb",
+        )
+        assert result.ok, result.log
+        return result
+
+    def test_comb_tb_passes_correct_verilog(self):
+        spec = comb_spec()
+        model = CombModel(lambda i: {"y": i["a"] & i["b"]})
+        rtl = (
+            "module top_module(input [3:0] a, input [3:0] b,"
+            " output [3:0] y); assign y = a & b; endmodule"
+        )
+        result = self._run(spec, model, rtl, Language.VERILOG)
+        assert any("All tests passed" in l for l in result.output_lines)
+
+    def test_comb_tb_fails_wrong_verilog(self):
+        spec = comb_spec()
+        model = CombModel(lambda i: {"y": i["a"] & i["b"]})
+        rtl = (
+            "module top_module(input [3:0] a, input [3:0] b,"
+            " output [3:0] y); assign y = a | b; endmodule"
+        )
+        result = self._run(spec, model, rtl, Language.VERILOG)
+        assert any("Failed" in l for l in result.output_lines)
+
+    def test_seq_tb_passes_correct_vhdl(self):
+        spec = seq_spec()
+
+        def step(s, i):
+            nxt = (s + i["en"]) & 0xF
+            return nxt, {"count": nxt}
+
+        model = SeqModel(reset=lambda: 0, step=step)
+        rtl = (
+            "library ieee;\nuse ieee.std_logic_1164.all;\n"
+            "use ieee.numeric_std.all;\n"
+            "entity top_module is port (clk : in std_logic;"
+            " rst : in std_logic; en : in std_logic;"
+            " count : out std_logic_vector(3 downto 0)); end entity;\n"
+            "architecture rtl of top_module is\n"
+            "    signal cnt : unsigned(3 downto 0);\n"
+            "begin\n"
+            "    process(clk) begin\n"
+            "        if rising_edge(clk) then\n"
+            "            if rst = '1' then cnt <= (others => '0');\n"
+            "            elsif en = '1' then cnt <= cnt + 1; end if;\n"
+            "        end if;\n"
+            "    end process;\n"
+            "    count <= std_logic_vector(cnt);\n"
+            "end architecture;"
+        )
+        result = self._run(spec, model, rtl, Language.VHDL)
+        assert any("All tests passed" in l for l in result.output_lines)
+
+    def test_reset_outputs_check_emitted(self):
+        spec = seq_spec()
+        model = SeqModel(
+            reset=lambda: 0, step=lambda s, i: (s, {"count": s})
+        )
+        tb = make_testbench(
+            spec, model, Language.VERILOG, "pid", reset_outputs={"count": 0}
+        )
+        assert "Test Case 0 Failed" in tb
+
+    def test_max_cases_truncates(self):
+        spec = comb_spec()
+        model = CombModel(lambda i: {"y": 0})
+        full = make_testbench(spec, model, Language.VERILOG, "pid")
+        weak = make_testbench(
+            spec, model, Language.VERILOG, "pid", max_cases=4
+        )
+        assert len(weak) < len(full)
+        assert "Test Case 4 Failed" in weak
+        assert "Test Case 5 Failed" not in weak
+
+    def test_clocked_spec_requires_seq_model(self):
+        with pytest.raises(TypeError, match="SeqModel"):
+            make_testbench(
+                seq_spec(), CombModel(lambda i: {}), Language.VERILOG, "p"
+            )
+
+    def test_comb_spec_requires_comb_model(self):
+        with pytest.raises(TypeError, match="CombModel"):
+            make_testbench(
+                comb_spec(),
+                SeqModel(reset=lambda: 0, step=lambda s, i: (s, {})),
+                Language.VERILOG,
+                "p",
+            )
+
+
+class TestSpecValidation:
+    def test_port_direction_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            PortSpec("a", 1, "sideways")
+
+    def test_port_width_validated(self):
+        with pytest.raises(ValueError, match="width"):
+            PortSpec("a", 0, "in")
+
+    def test_spec_partitions_ports(self):
+        spec = comb_spec()
+        assert [p.name for p in spec.inputs] == ["a", "b"]
+        assert [p.name for p in spec.outputs] == ["y"]
+        assert spec.input_bits == 8
+
+    def test_spec_port_lookup(self):
+        assert comb_spec().port("y").width == 4
+        with pytest.raises(KeyError):
+            comb_spec().port("nope")

@@ -1,0 +1,168 @@
+"""Tests for the evaluation harness: pass@k, runner, tables, figures."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eda.toolchain import Language
+from repro.eval.figures import render_figure3
+from repro.eval.literature import LITERATURE, headline_improvement
+from repro.eval.passk import mean_pass_at_k, pass_at_k
+from repro.eval.runner import ConfigResult, ExperimentRunner, ProblemRecord
+from repro.eval.tables import render_table1, render_table2
+from repro.evalsuite.suite import build_suite
+from repro.llm.profiles import CLAUDE_35_SONNET, GPT_4O
+
+
+class TestPassAtK:
+    def test_k1_is_fraction(self):
+        assert pass_at_k(1, 1, 1) == 1.0
+        assert pass_at_k(1, 0, 1) == 0.0
+
+    def test_all_correct(self):
+        assert pass_at_k(10, 10, 5) == 1.0
+
+    def test_none_correct(self):
+        assert pass_at_k(10, 0, 5) == 0.0
+
+    def test_known_value(self):
+        # n=10, c=3, k=1 -> 0.3
+        assert pass_at_k(10, 3, 1) == pytest.approx(0.3)
+
+    def test_matches_combinatorial_definition(self):
+        n, c, k = 12, 4, 3
+        expected = 1.0 - (
+            math.comb(n - c, k) / math.comb(n, k)
+        )
+        assert pass_at_k(n, c, k) == pytest.approx(expected)
+
+    @given(
+        st.integers(1, 30),
+        st.integers(0, 30),
+        st.integers(1, 30),
+    )
+    def test_estimator_in_unit_interval(self, n, c, k):
+        c = min(c, n)
+        k = min(k, n)
+        value = pass_at_k(n, c, k)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(2, 20), st.integers(0, 20))
+    def test_monotone_in_k(self, n, c):
+        c = min(c, n)
+        values = [pass_at_k(n, c, k) for k in range(1, n + 1)]
+        assert values == sorted(values)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pass_at_k(0, 0, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 6, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 2, 6)
+
+    def test_mean(self):
+        assert mean_pass_at_k([(1, 1), (1, 0)], 1) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            mean_pass_at_k([], 1)
+
+
+def _fake_result():
+    result = ConfigResult(
+        model="m", model_display="M", language=Language.VERILOG
+    )
+    for index in range(10):
+        record = ProblemRecord(pid=f"p{index}")
+        record.baseline_syntax_ok = index >= 2
+        record.baseline_functional_ok = index >= 5
+        record.aivril_syntax_ok = True
+        record.aivril_functional_ok = index >= 3
+        record.baseline_latency = 4.0
+        record.syntax_iterations = 2 if index < 2 else 0
+        record.functional_iterations = 3 if 3 <= index < 5 else 0
+        result.records.append(record)
+    return result
+
+
+class TestConfigResult:
+    def test_percentages(self):
+        result = _fake_result()
+        assert result.baseline_syntax_pct == 80.0
+        assert result.baseline_functional_pct == 50.0
+        assert result.aivril_syntax_pct == 100.0
+        assert result.aivril_functional_pct == 70.0
+
+    def test_delta_functional(self):
+        result = _fake_result()
+        assert result.delta_functional_pct == pytest.approx(40.0)
+
+    def test_delta_none_for_zero_baseline(self):
+        result = _fake_result()
+        for record in result.records:
+            record.baseline_functional_ok = False
+        assert result.delta_functional_pct is None
+
+    def test_cycle_means_only_count_converging_runs(self):
+        result = _fake_result()
+        # records 0-1 entered the syntax loop and ended syntax-clean
+        assert result.mean_syntax_iterations == 2.0
+        # records 3-4 entered the functional loop and converged
+        assert result.mean_functional_iterations == 3.0
+
+
+class TestRunnerSubset:
+    @pytest.fixture(scope="class")
+    def subset_result(self):
+        suite = build_suite()
+        subset = suite.head(12)
+        runner = ExperimentRunner(suite=subset)
+        return runner.run_config(GPT_4O, Language.VERILOG), subset
+
+    def test_all_problems_recorded(self, subset_result):
+        result, subset = subset_result
+        assert result.total == len(subset)
+        assert [r.pid for r in result.records] == [p.pid for p in subset]
+
+    def test_aivril_never_worse_than_baseline(self, subset_result):
+        result, _ = subset_result
+        assert result.aivril_syntax_pct >= result.baseline_syntax_pct
+        assert result.aivril_functional_pct >= result.baseline_functional_pct
+
+    def test_latency_accounted(self, subset_result):
+        result, _ = subset_result
+        assert result.baseline_latency_avg > 0
+        assert result.aivril_latency_avg.total > result.baseline_latency_avg
+
+
+class TestRenderers:
+    def test_table1_contains_models_and_averages(self):
+        text = render_table1([_fake_result()])
+        assert "AIVRIL2 (M)" in text
+        assert "Average dF" in text
+
+    def test_table2_merges_measured_rows(self):
+        result = _fake_result()
+        result.model = "gpt-4o"
+        result.model_display = "GPT-4o"
+        text = render_table2([result])
+        assert "ChipNemo-13B" in text
+        assert "AIVRIL2 (GPT-4o)" in text
+        assert "vs ChipNemo-13B" in text
+
+    def test_figure3_reports_components(self):
+        text = render_figure3([_fake_result()])
+        assert "baseline" in text
+        assert "AIVRIL2" in text
+        assert "Worst-case" in text
+
+
+class TestLiterature:
+    def test_rows_match_paper(self):
+        values = {e.technology: e.pass1_functional_pct for e in LITERATURE}
+        assert values["ChipNemo-13B"] == 22.4
+        assert values["RTLFixer"] == 36.8
+        assert values["AIVRIL"] == 67.3
+
+    def test_headline_improvement(self):
+        assert headline_improvement(77.0) == pytest.approx(3.4375, abs=1e-3)

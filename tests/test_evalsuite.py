@@ -1,0 +1,94 @@
+"""Tests for the benchmark suite: invariants plus sampled integrity checks.
+
+The *full* contract (every reference passes, every mutation behaves) is
+enforced by ``tests/test_suite_integrity.py`` over the whole suite; here we
+check structure and a deterministic sample quickly.
+"""
+
+import os
+
+import pytest
+
+from repro.designs.model import TOP_NAME
+from repro.eda.toolchain import Language, Toolchain
+from repro.evalsuite.suite import EXPECTED_PROBLEM_COUNT, Suite, build_suite
+from repro.evalsuite.validate import validate_problem
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return build_suite()
+
+
+class TestSuiteStructure:
+    def test_exact_problem_count(self, suite):
+        assert len(suite) == EXPECTED_PROBLEM_COUNT == 156
+
+    def test_unique_pids(self, suite):
+        pids = [p.pid for p in suite]
+        assert len(pids) == len(set(pids))
+
+    def test_every_family_populated(self, suite):
+        families = suite.families
+        assert len(families) >= 10
+        assert all(problems for problems in families.values())
+
+    def test_both_languages_realized(self, suite):
+        for problem in suite:
+            for language in Language:
+                assert problem.reference[language].strip()
+                assert problem.golden_tb[language].strip()
+
+    def test_defect_catalogs_nonempty(self, suite):
+        for problem in suite:
+            for language in Language:
+                assert problem.syntax_mutations[language], problem.pid
+                assert problem.functional_mutations[language], problem.pid
+
+    def test_prompts_are_descriptive(self, suite):
+        for problem in suite:
+            assert len(problem.prompt) > 40, problem.pid
+
+    def test_prompts_unique(self, suite):
+        prompts = [p.prompt.strip() for p in suite]
+        assert len(prompts) == len(set(prompts))
+
+    def test_references_name_top_module(self, suite):
+        for problem in suite:
+            assert TOP_NAME in problem.reference[Language.VERILOG]
+            assert TOP_NAME in problem.reference[Language.VHDL]
+
+    def test_mix_of_comb_and_seq(self, suite):
+        clocked = sum(1 for p in suite if p.clocked)
+        assert 40 <= clocked <= 110
+
+    def test_lookup_and_subset(self, suite):
+        problem = suite.get("gates_and")
+        assert problem.family == "gates"
+        subset = suite.subset(["gates_and", "dff"])
+        assert len(subset) == 2
+        with pytest.raises(KeyError):
+            suite.get("nonexistent")
+
+    def test_head(self, suite):
+        assert len(suite.head(10)) == 10
+
+    def test_strict_count_guard(self):
+        # the builder itself enforces the 156-problem invariant
+        assert len(build_suite(strict_count=True)) == 156
+
+
+class TestSampledIntegrity:
+    """Full three-contract validation on a deterministic sample."""
+
+    SAMPLE = [
+        "gates_xnor", "vec_sext", "mux_priority", "enc4to2", "alu4",
+        "rotr8", "gray2bin4", "dff_set", "updown4", "lfsr4",
+        "edge_any", "fsm_detect1001", "running_min4", "struct_muxtree",
+    ]
+
+    @pytest.mark.parametrize("pid", SAMPLE)
+    @pytest.mark.parametrize("language", list(Language), ids=lambda l: l.value)
+    def test_problem_contracts(self, suite, pid, language):
+        report = validate_problem(suite.get(pid), language, Toolchain())
+        assert report.ok, "\n".join(report.issues)

@@ -1,0 +1,103 @@
+"""Fault-injection tests: the pipeline must degrade gracefully on LLM failure."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Aivril2Pipeline, PipelineAborted
+from repro.eda.toolchain import Language, Toolchain
+from repro.llm import protocol
+from repro.llm.interface import ChatMessage, LLMError, LLMResponse
+
+SPEC = (
+    "Implement a 2-input AND gate named top_module with single-bit inputs "
+    "a and b and output y."
+)
+
+TB = """
+module tb;
+    reg a, b; wire y;
+    integer errors;
+    top_module dut(.a(a), .b(b), .y(y));
+    initial begin
+        errors = 0;
+        a = 1; b = 0; #1;
+        if (y !== 1'b0) begin
+            $display("Test Case 1 Failed: y should be 0");
+            errors = errors + 1;
+        end
+        a = 1; b = 1; #1;
+        if (y !== 1'b1) begin
+            $display("Test Case 2 Failed: y should be 1");
+            errors = errors + 1;
+        end
+        if (errors == 0) $display("All tests passed successfully!");
+        $finish;
+    end
+endmodule
+"""
+BROKEN_RTL = "module top_module(input a, input b, output y); assign y = a &; endmodule"
+GOOD_RTL = "module top_module(input a, input b, output y); assign y = a & b; endmodule"
+
+
+class FlakyLLM:
+    """Answers normally until `fail_after` calls, then raises forever."""
+
+    name = "flaky"
+
+    def __init__(self, script, fail_after):
+        self.script = list(script)
+        self.fail_after = fail_after
+        self.calls = 0
+
+    def complete(self, messages: list[ChatMessage]) -> LLMResponse:
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise LLMError("connection reset by peer")
+        text = self.script.pop(0) if self.script else GOOD_RTL
+        return LLMResponse(text=text, latency_seconds=0.1)
+
+
+def make_pipeline(llm):
+    return Aivril2Pipeline(
+        llm, Toolchain(), PipelineConfig(language=Language.VERILOG)
+    )
+
+
+class TestLLMFailures:
+    def test_failure_before_any_code_aborts(self):
+        llm = FlakyLLM(script=[], fail_after=0)
+        with pytest.raises(PipelineAborted, match="before producing"):
+            make_pipeline(llm).run(SPEC)
+
+    def test_failure_in_syntax_loop_keeps_last_revision(self):
+        # tb, rtl(with error) succeed; the analysis call then dies
+        llm = FlakyLLM(script=[TB, BROKEN_RTL], fail_after=2)
+        result = make_pipeline(llm).run(SPEC)
+        assert not result.syntax_ok
+        assert result.rtl == BROKEN_RTL
+        assert any(
+            "LLM failure during the syntax loop" in step.content
+            for step in result.transcript.steps
+        )
+
+    def test_failure_in_functional_loop_keeps_syntax_clean_code(self):
+        wrong_but_clean = (
+            "module top_module(input a, input b, output y);"
+            " assign y = a | b; endmodule"
+        )
+        # tb + rtl fine; compile is clean (no LLM call); the verification
+        # analysis call (call 3) dies
+        llm = FlakyLLM(script=[TB, wrong_but_clean], fail_after=2)
+        result = make_pipeline(llm).run(SPEC)
+        assert result.syntax_ok
+        assert not result.functional_ok
+        assert result.rtl == wrong_but_clean
+        assert any(
+            "LLM failure during the functional loop" in step.content
+            for step in result.transcript.steps
+        )
+
+    def test_no_failure_converges_normally(self):
+        llm = FlakyLLM(script=[TB, GOOD_RTL], fail_after=99)
+        result = make_pipeline(llm).run(SPEC)
+        assert result.converged

@@ -1,0 +1,143 @@
+"""Tests for the shared HDL infrastructure (source, diagnostics, tokens)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hdl.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+    render_vivado_log,
+)
+from repro.hdl.source import SourceFile, SourceSpan
+from repro.hdl.tokens import Token, TokenKind
+
+
+class TestSourceFile:
+    def setup_method(self):
+        self.source = SourceFile("x.v", "line one\nline two\nline three")
+
+    def test_location_start(self):
+        loc = self.source.location(0)
+        assert (loc.line, loc.column) == (1, 1)
+
+    def test_location_second_line(self):
+        offset = self.source.text.index("two")
+        loc = self.source.location(offset)
+        assert (loc.line, loc.column) == (2, 6)
+
+    def test_location_past_end_clamps(self):
+        loc = self.source.location(10_000)
+        assert loc.line == 3
+
+    def test_location_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.source.location(-1)
+
+    def test_line_text(self):
+        assert self.source.line_text(2) == "line two"
+
+    def test_line_text_last_line(self):
+        assert self.source.line_text(3) == "line three"
+
+    def test_line_text_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.source.line_text(9)
+
+    def test_snippet_single_line(self):
+        offset = self.source.text.index("two")
+        snippet = self.source.snippet(SourceSpan(offset, offset + 3))
+        assert snippet == "line two"
+
+    def test_span_text(self):
+        offset = self.source.text.index("two")
+        assert self.source.span_text(SourceSpan(offset, offset + 3)) == "two"
+
+    @given(st.text(alphabet="ab\n", max_size=200), st.integers(0, 220))
+    def test_location_is_consistent_with_line_text(self, text, offset):
+        source = SourceFile("t", text)
+        offset = min(offset, len(text))
+        loc = source.location(offset)
+        # the located line must contain the offset position
+        line = source.line_text(loc.line)
+        assert loc.column - 1 <= len(line) + 1
+
+
+class TestSourceSpan:
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSpan(5, 3)
+
+    def test_merge(self):
+        merged = SourceSpan(3, 5).merge(SourceSpan(10, 12))
+        assert (merged.start_offset, merged.end_offset) == (3, 12)
+
+    def test_length(self):
+        assert SourceSpan(3, 7).length == 4
+
+
+class TestDiagnostics:
+    def test_collector_counts(self):
+        collector = DiagnosticCollector()
+        collector.error("C1", "bad thing")
+        collector.warning("C2", "odd thing")
+        assert collector.error_count == 1
+        assert collector.warning_count == 1
+        assert collector.has_errors
+
+    def test_emit_with_location(self):
+        source = SourceFile("a.v", "module m;\nwire w\nendmodule")
+        collector = DiagnosticCollector()
+        offset = source.text.index("wire")
+        diag = collector.error(
+            "VRFC 10-1412", "missing semicolon",
+            source=source, span=SourceSpan(offset, offset + 4),
+        )
+        assert diag.location.line == 2
+        assert "wire w" in diag.snippet
+        assert "[a.v:2]" in diag.render()
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_extend_merges(self):
+        a, b = DiagnosticCollector(), DiagnosticCollector()
+        a.error("X", "one")
+        b.error("Y", "two")
+        a.extend(b)
+        assert a.error_count == 2
+
+    def test_render_vivado_log_failure_summary(self):
+        collector = DiagnosticCollector()
+        collector.error("VRFC 10-1412", "syntax error near ';'")
+        log = render_vivado_log(collector.diagnostics, tool="xvlog")
+        assert "ERROR: [VRFC 10-1412]" in log
+        assert "Analysis failed with 1 error(s)" in log
+
+    def test_render_vivado_log_success_summary(self):
+        log = render_vivado_log([], tool="xvhdl")
+        assert "Analysis succeeded" in log
+
+    def test_snippet_lines_prefixed(self):
+        source = SourceFile("a.v", "assign y = a &;")
+        collector = DiagnosticCollector()
+        collector.error(
+            "VRFC 10-1412", "boom", source=source, span=SourceSpan(0, 6)
+        )
+        log = render_vivado_log(collector.diagnostics)
+        assert "    > assign y = a &;" in log
+
+
+class TestTokens:
+    def test_is_kw(self):
+        token = Token(TokenKind.KEYWORD, "module", SourceSpan(0, 6))
+        assert token.is_kw("module", "endmodule")
+        assert not token.is_kw("wire")
+
+    def test_is_op(self):
+        token = Token(TokenKind.OPERATOR, "<=", SourceSpan(0, 2))
+        assert token.is_op("<=", "=")
+
+    def test_ident_is_not_keyword(self):
+        token = Token(TokenKind.IDENT, "module_x", SourceSpan(0, 8))
+        assert not token.is_kw("module")

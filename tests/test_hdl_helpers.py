@@ -1,0 +1,88 @@
+"""Tests for the suite's HDL skeleton emitters (and that they compile)."""
+
+import pytest
+
+from repro.designs.model import DesignSpec, PortSpec
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+from repro.evalsuite.hdl_helpers import (
+    v_clocked_always,
+    v_module,
+    vh_clocked_process,
+    vh_entity,
+    vh_type,
+)
+
+
+def comb_spec():
+    return DesignSpec(
+        name="t",
+        ports=(PortSpec("a", 4, "in"), PortSpec("y", 4, "out")),
+    )
+
+
+def seq_spec():
+    return DesignSpec(
+        name="t",
+        ports=(PortSpec("d", 4, "in"), PortSpec("q", 4, "out")),
+        clocked=True,
+    )
+
+
+def compiles(text: str, language: Language) -> bool:
+    toolchain = Toolchain()
+    ext = language.file_extension
+    return toolchain.compile(
+        [HdlFile(f"m{ext}", text, language)], "top_module"
+    ).ok
+
+
+class TestVerilogSkeletons:
+    def test_comb_module_compiles(self):
+        text = v_module(comb_spec(), "    assign y = ~a;")
+        assert "module top_module" in text
+        assert compiles(text, Language.VERILOG)
+
+    def test_clocked_module_with_reset(self):
+        body = v_clocked_always("q <= d;", reset_body="q <= 4'd0;")
+        text = v_module(seq_spec(), body, reg_outputs={"q"})
+        assert "input clk" in text
+        assert "input rst" in text
+        assert "if (rst)" in text
+        assert compiles(text, Language.VERILOG)
+
+    def test_reg_outputs_marked(self):
+        text = v_module(seq_spec(), "", reg_outputs={"q"})
+        assert "output reg [3:0] q" in text
+
+    def test_clocked_always_without_reset(self):
+        body = v_clocked_always("q <= d;", has_reset=False)
+        assert "if (rst)" not in body
+
+
+class TestVhdlSkeletons:
+    def test_entity_compiles(self):
+        text = vh_entity(comb_spec(), "", "    y <= not a;")
+        assert "entity top_module is" in text
+        assert compiles(text, Language.VHDL)
+
+    def test_clocked_process_with_reset(self):
+        body = vh_clocked_process(
+            "q <= d;", reset_body="q <= (others => '0');"
+        )
+        text = vh_entity(seq_spec(), "", body)
+        assert "rising_edge(clk)" in text
+        assert "if rst = '1'" in text
+        assert compiles(text, Language.VHDL)
+
+    def test_declarations_block(self):
+        text = vh_entity(
+            comb_spec(),
+            "    signal t : std_logic_vector(3 downto 0);",
+            "    t <= a;\n    y <= t;",
+        )
+        assert "signal t" in text
+        assert compiles(text, Language.VHDL)
+
+    def test_vh_type_scalar_and_vector(self):
+        assert vh_type(1) == "std_logic"
+        assert vh_type(8) == "std_logic_vector(7 downto 0)"

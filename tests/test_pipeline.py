@@ -1,0 +1,221 @@
+"""End-to-end tests of the AIVRIL2 pipeline."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Aivril2Pipeline, run_baseline
+from repro.eda.toolchain import Language, Toolchain
+from repro.evalsuite.suite import build_suite
+from repro.evalsuite.validate import run_golden_tb
+from repro.llm.profiles import CLAUDE_35_SONNET, LLAMA3_70B
+from repro.llm.synthetic import SyntheticDesignLLM
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return build_suite()
+
+
+def pick(plans, predicate):
+    return next(pid for pid, plan in plans.items() if predicate(plan))
+
+
+def make_pipeline(llm, language, **overrides):
+    return Aivril2Pipeline(
+        llm, Toolchain(), PipelineConfig(language=language, **overrides)
+    )
+
+
+class TestHappyPath:
+    def test_clean_problem_converges_without_iterations(self, suite):
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        plans = llm.plan(Language.VERILOG)
+        pid = pick(
+            plans,
+            lambda p: not p.has_syntax_defect and not p.has_functional_defect,
+        )
+        result = make_pipeline(llm, Language.VERILOG).run(suite.get(pid).prompt)
+        assert result.converged
+        assert result.syntax_iterations == 0
+        assert result.functional_iterations == 0
+        assert result.latency.total > 0
+
+    def test_syntax_defect_repaired_in_assigned_cycles(self, suite):
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        plans = llm.plan(Language.VERILOG)
+        pid = pick(
+            plans,
+            lambda p: p.has_syntax_defect
+            and p.syntax_repairable
+            and not p.has_functional_defect,
+        )
+        plan = plans[pid]
+        result = make_pipeline(llm, Language.VERILOG).run(suite.get(pid).prompt)
+        assert result.syntax_ok
+        assert result.syntax_iterations == plan.syntax_cycles
+        assert result.functional_ok
+
+    def test_functional_defect_repaired(self, suite):
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        plans = llm.plan(Language.VERILOG)
+        pid = pick(
+            plans,
+            lambda p: not p.has_syntax_defect
+            and p.has_functional_defect
+            and p.functional_repairable,
+        )
+        plan = plans[pid]
+        problem = suite.get(pid)
+        result = make_pipeline(llm, Language.VERILOG).run(problem.prompt)
+        assert result.converged
+        assert result.functional_iterations == plan.functional_cycles
+        passed, _ = run_golden_tb(
+            problem, Language.VERILOG, result.rtl, Toolchain()
+        )
+        assert passed
+
+    def test_final_code_passes_golden_testbench(self, suite):
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        plans = llm.plan(Language.VHDL)
+        pid = pick(
+            plans,
+            lambda p: p.has_syntax_defect and p.syntax_repairable
+            and not p.has_functional_defect,
+        )
+        problem = suite.get(pid)
+        result = make_pipeline(llm, Language.VHDL).run(problem.prompt)
+        assert result.converged
+        passed, log = run_golden_tb(
+            problem, Language.VHDL, result.rtl, Toolchain()
+        )
+        assert passed, log
+
+
+class TestStuckModel:
+    def test_unrepairable_syntax_stops_early(self, suite):
+        llm = SyntheticDesignLLM(LLAMA3_70B, suite)
+        plans = llm.plan(Language.VHDL)
+        pid = pick(
+            plans,
+            lambda p: p.has_syntax_defect and not p.syntax_repairable,
+        )
+        result = make_pipeline(llm, Language.VHDL).run(suite.get(pid).prompt)
+        assert not result.syntax_ok
+        assert not result.functional_ok
+        # the no-progress detector fires after one identical revision
+        assert result.syntax_iterations == 1
+
+    def test_unrepairable_functional_stops_early(self, suite):
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        plans = llm.plan(Language.VERILOG)
+        pid = pick(
+            plans,
+            lambda p: not p.has_syntax_defect
+            and p.has_functional_defect
+            and not p.functional_repairable,
+        )
+        result = make_pipeline(llm, Language.VERILOG).run(suite.get(pid).prompt)
+        assert result.syntax_ok
+        assert not result.functional_ok
+        assert result.functional_iterations == 1
+
+    def test_no_progress_detector_can_be_disabled(self, suite):
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        plans = llm.plan(Language.VERILOG)
+        pid = pick(
+            plans,
+            lambda p: not p.has_syntax_defect
+            and p.has_functional_defect
+            and not p.functional_repairable,
+        )
+        pipeline = make_pipeline(
+            llm,
+            Language.VERILOG,
+            stop_on_no_progress=False,
+            max_functional_iterations=3,
+        )
+        result = pipeline.run(suite.get(pid).prompt)
+        assert result.functional_iterations == 3  # runs to the cap
+
+
+class TestConfig:
+    def test_iteration_caps_validated(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(max_syntax_iterations=0)
+
+    def test_testbench_last_mode(self, suite):
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        plans = llm.plan(Language.VERILOG)
+        pid = pick(
+            plans,
+            lambda p: not p.has_syntax_defect and not p.has_functional_defect,
+        )
+        pipeline = make_pipeline(llm, Language.VERILOG, testbench_first=False)
+        result = pipeline.run(suite.get(pid).prompt)
+        assert result.converged
+        # rtl version must precede the tb version in the history
+        tags = [v.tag for v in result.versions]
+        assert tags.index("rtl-v1") < tags.index("tb-v1")
+
+    def test_transcript_shows_all_three_agents(self, suite):
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        plans = llm.plan(Language.VERILOG)
+        pid = pick(
+            plans,
+            lambda p: p.has_functional_defect and p.functional_repairable
+            and not p.has_syntax_defect,
+        )
+        result = make_pipeline(llm, Language.VERILOG).run(suite.get(pid).prompt)
+        agents = {s.agent for s in result.transcript.steps}
+        assert {"CodeAgent", "ReviewAgent", "VerificationAgent"} <= agents
+
+    def test_latency_buckets_populated(self, suite):
+        llm = SyntheticDesignLLM(LLAMA3_70B, suite)
+        plans = llm.plan(Language.VERILOG)
+        pid = pick(
+            plans,
+            lambda p: p.has_syntax_defect and p.syntax_repairable,
+        )
+        result = make_pipeline(llm, Language.VERILOG).run(suite.get(pid).prompt)
+        assert result.latency.generation_llm > 0
+        assert result.latency.syntax_llm > 0
+        assert result.latency.syntax_tool > 0
+        assert result.latency.total == pytest.approx(
+            result.latency.generation_llm
+            + result.latency.syntax_loop
+            + result.latency.functional_loop
+        )
+
+
+class TestBaseline:
+    def test_baseline_single_call(self, suite):
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        problem = suite.get("gates_and")
+        calls_before = llm.call_count
+        result = run_baseline(llm, problem.prompt, Language.VERILOG)
+        assert llm.call_count == calls_before + 1
+        assert result.rtl
+        behaviour = CLAUDE_35_SONNET.for_language(Language.VERILOG)
+        assert result.latency_seconds == behaviour.rtl_gen_seconds
+
+
+class TestTokenAccounting:
+    def test_tokens_accumulated_across_agents(self, suite):
+        from repro.llm.profiles import CLAUDE_35_SONNET
+        from repro.llm.synthetic import SyntheticDesignLLM
+        from repro.eda.toolchain import Language
+
+        llm = SyntheticDesignLLM(CLAUDE_35_SONNET, suite)
+        plans = llm.plan(Language.VERILOG)
+        pid = pick(
+            plans,
+            lambda p: p.has_functional_defect and p.functional_repairable
+            and not p.has_syntax_defect,
+        )
+        result = make_pipeline(llm, Language.VERILOG).run(suite.get(pid).prompt)
+        assert result.tokens.llm_calls >= 4  # tb, rtl, analyses, fixes
+        assert result.tokens.prompt_tokens > 0
+        assert result.tokens.completion_tokens > 0
+        assert result.tokens.total_tokens == (
+            result.tokens.prompt_tokens + result.tokens.completion_tokens
+        )

@@ -1,0 +1,55 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.eda.toolchain import Language
+from repro.eval.report import render_report, write_report
+from repro.eval.runner import ConfigResult, ProblemRecord
+
+
+def _result(language=Language.VERILOG):
+    result = ConfigResult(
+        model="gpt-4o", model_display="GPT-4o", language=language
+    )
+    for index in range(4):
+        record = ProblemRecord(pid=f"p{index}")
+        record.baseline_syntax_ok = True
+        record.baseline_functional_ok = index % 2 == 0
+        record.aivril_syntax_ok = True
+        record.aivril_functional_ok = True
+        record.baseline_latency = 4.0
+        result.records.append(record)
+    return result
+
+
+class TestReport:
+    def test_contains_all_sections(self):
+        text = render_report([_result()], problem_count=4, wall_seconds=12.0)
+        assert "# AIVRIL2 reproduction report" in text
+        assert "## Table 1" in text
+        assert "## Table 2" in text
+        assert "## Figure 3" in text
+        assert "## Per-configuration detail" in text
+        assert "| GPT-4o | verilog |" in text
+
+    def test_table2_omitted_without_verilog(self):
+        text = render_report([_result(Language.VHDL)])
+        assert "## Table 2" not in text
+        assert "## Table 1" in text
+
+    def test_metadata_lines(self):
+        text = render_report([_result()], problem_count=4, wall_seconds=9.0)
+        assert "problems per configuration: **4**" in text
+        assert "sweep wall clock: **9 s**" in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_report([_result()], str(path), problem_count=4)
+        assert path.read_text().startswith("# AIVRIL2")
+
+    def test_na_delta_rendered(self):
+        result = _result()
+        for record in result.records:
+            record.baseline_functional_ok = False
+        text = render_report([result])
+        assert "| N/A |" in text

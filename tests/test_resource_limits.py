@@ -1,0 +1,100 @@
+"""Resource-limit regressions: defective code must not exhaust the host.
+
+These inputs were found by the fuzz harness: without the width caps they
+allocated multi-gigabyte integers while elaborating garbage declarations.
+"""
+
+import pytest
+
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+
+
+def compile_one(text: str, language: Language):
+    toolchain = Toolchain()
+    ext = language.file_extension
+    return toolchain.compile(
+        [HdlFile(f"m{ext}", text, language)], "top_module"
+    )
+
+
+class TestWidthCaps:
+    def test_huge_verilog_range_rejected(self):
+        result = compile_one(
+            "module top_module(input a, output y);"
+            " reg [99999999:0] big; assign y = a; endmodule",
+            Language.VERILOG,
+        )
+        assert not result.ok
+        assert "exceeds the supported maximum" in result.log
+
+    def test_huge_verilog_literal_rejected(self):
+        result = compile_one(
+            "module top_module(input a, output y);"
+            " assign y = 99999999'd0; endmodule",
+            Language.VERILOG,
+        )
+        assert not result.ok
+
+    def test_huge_replication_rejected_at_runtime(self):
+        # replication operands are evaluated when the assign process runs,
+        # so the cap surfaces as a simulation error
+        toolchain = Toolchain()
+        result = toolchain.simulate(
+            [
+                HdlFile(
+                    "t.v",
+                    "module tb;\n"
+                    "    reg a; wire [63:0] y;\n"
+                    "    assign y = {4096{ {4096{a}} }};\n"
+                    "    initial begin a = 1; #1 $finish; end\n"
+                    "endmodule",
+                    Language.VERILOG,
+                )
+            ],
+            "tb",
+        )
+        assert not result.ok
+        assert "exceeds the supported maximum" in result.runtime_error
+
+    def test_huge_vhdl_range_rejected(self):
+        result = compile_one(
+            "library ieee;\nuse ieee.std_logic_1164.all;\n"
+            "entity top_module is port (a : in std_logic;"
+            " y : out std_logic_vector(99999999 downto 0)); end entity;\n"
+            "architecture rtl of top_module is begin"
+            " y <= (others => a); end architecture;",
+            Language.VHDL,
+        )
+        assert not result.ok
+        assert "exceeds the supported maximum" in result.log
+
+    def test_huge_to_unsigned_rejected_at_runtime(self):
+        toolchain = Toolchain()
+        result = toolchain.simulate(
+            [
+                HdlFile(
+                    "t.vhd",
+                    "library ieee;\nuse ieee.std_logic_1164.all;\n"
+                    "use ieee.numeric_std.all;\n"
+                    "entity tb is end entity;\n"
+                    "architecture sim of tb is begin\n"
+                    "    stim: process begin\n"
+                    "        assert to_unsigned(1, 99999999) = 1;\n"
+                    "        wait;\n"
+                    "    end process;\n"
+                    "end architecture;",
+                    Language.VHDL,
+                )
+            ],
+            "tb",
+        )
+        assert not result.ok
+        assert "out of range" in result.runtime_error
+
+    def test_reasonable_wide_bus_still_works(self):
+        result = compile_one(
+            "module top_module(input [511:0] a, output [511:0] y);"
+            " assign y = ~a; endmodule",
+            Language.VERILOG,
+        )
+        assert result.ok

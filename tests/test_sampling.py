@@ -1,0 +1,70 @@
+"""Tests for the multi-sample pass@k extension."""
+
+import pytest
+
+from repro.eda.toolchain import Language
+from repro.eval.sampling import render_passk_curve, run_sampling_experiment
+from repro.evalsuite.suite import build_suite
+from repro.llm.profiles import CLAUDE_35_SONNET, GPT_4O
+from repro.llm.synthetic import SyntheticDesignLLM, build_defect_plan
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return build_suite()
+
+
+class TestVariants:
+    def test_variants_rerank_the_plan(self, suite):
+        base = build_defect_plan(GPT_4O, Language.VERILOG, suite)
+        variant = build_defect_plan(
+            GPT_4O, Language.VERILOG, suite, salt="sample-1"
+        )
+        defective_base = {p for p, plan in base.items()
+                          if plan.has_syntax_defect}
+        defective_variant = {p for p, plan in variant.items()
+                             if plan.has_syntax_defect}
+        assert defective_base != defective_variant
+        # but the marginal rates are identical
+        assert len(defective_base) == len(defective_variant)
+
+    def test_variant_zero_matches_default(self, suite):
+        llm_default = SyntheticDesignLLM(GPT_4O, suite)
+        llm_zero = SyntheticDesignLLM(GPT_4O, suite, variant=0)
+        plan_a = llm_default.plan(Language.VERILOG)
+        plan_b = llm_zero.plan(Language.VERILOG)
+        assert {p: pl.has_syntax_defect for p, pl in plan_a.items()} == {
+            p: pl.has_syntax_defect for p, pl in plan_b.items()
+        }
+
+
+class TestSamplingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        suite = build_suite().head(10)
+        return run_sampling_experiment(
+            CLAUDE_35_SONNET, Language.VERILOG, suite, samples=2
+        )
+
+    def test_counts_bounded_by_samples(self, result):
+        assert all(0 <= c <= 2 for c in result.baseline_correct.values())
+        assert all(0 <= c <= 2 for c in result.aivril_correct.values())
+
+    def test_passk_monotone_in_k(self, result):
+        assert result.baseline_pass_at(2) >= result.baseline_pass_at(1)
+        assert result.aivril_pass_at(2) >= result.aivril_pass_at(1)
+
+    def test_aivril_dominates_baseline_at_same_k(self, result):
+        for k in (1, 2):
+            assert result.aivril_pass_at(k) >= result.baseline_pass_at(k)
+
+    def test_render_curve(self, result):
+        text = render_passk_curve(result)
+        assert "pass@k" in text
+        assert "AIVRIL2" in text
+
+    def test_invalid_sample_count(self, suite):
+        with pytest.raises(ValueError):
+            run_sampling_experiment(
+                CLAUDE_35_SONNET, Language.VERILOG, suite.head(2), samples=0
+            )

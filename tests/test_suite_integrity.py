@@ -1,0 +1,29 @@
+"""Full-suite integrity sweep: all 156 problems, both languages.
+
+Checks the three contracts every experiment relies on (reference passes its
+golden testbench; syntax mutations break the compile; functional mutations
+compile but fail the testbench). Takes ~1 minute; set
+``REPRO_SKIP_FULL_VALIDATION=1`` to skip during quick development loops.
+"""
+
+import os
+
+import pytest
+
+from repro.evalsuite.suite import build_suite
+from repro.evalsuite.validate import validate_suite
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_FULL_VALIDATION") == "1",
+    reason="full suite validation disabled via REPRO_SKIP_FULL_VALIDATION",
+)
+
+
+def test_entire_suite_validates_in_both_languages():
+    suite = build_suite()
+    failures = validate_suite(suite.problems)
+    details = "\n\n".join(
+        f"{r.pid} [{r.language.value}]:\n" + "\n".join(r.issues)
+        for r in failures
+    )
+    assert not failures, details

@@ -1,0 +1,246 @@
+"""Unit and property tests for the four-state logic vector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.values import Logic, logic
+
+
+def bits(width: int):
+    return st.integers(min_value=0, max_value=(1 << width) - 1)
+
+
+class TestConstruction:
+    def test_from_int_masks_to_width(self):
+        assert Logic.from_int(0x1F, 4).to_int() == 0xF
+
+    def test_from_int_negative_wraps(self):
+        assert Logic.from_int(-1, 4).to_int() == 0xF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Logic(0)
+
+    def test_from_string_with_x(self):
+        value = Logic.from_string("1x0")
+        assert value.width == 3
+        assert value.bit_char(2) == "1"
+        assert value.bit_char(1) == "x"
+        assert value.bit_char(0) == "0"
+
+    def test_from_string_underscores_skipped(self):
+        assert Logic.from_string("1_0").width == 2
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Logic.from_string("102")
+
+    def test_unknown_is_all_x(self):
+        assert Logic.unknown(5).xmask == 0b11111
+
+    def test_normalization_clears_bits_under_x(self):
+        value = Logic(4, bits=0b1111, xmask=0b0011)
+        assert value.bits == 0b1100
+
+    def test_logic_helper_infers_width(self):
+        assert logic(5).width == 3
+        assert logic(5, 8).width == 8
+
+    def test_to_int_raises_on_x(self):
+        with pytest.raises(ValueError):
+            Logic.unknown(2).to_int()
+
+    def test_to_signed(self):
+        assert Logic.from_int(0b1111, 4).to_signed() == -1
+        assert Logic.from_int(0b0111, 4).to_signed() == 7
+
+
+class TestBitwise:
+    def test_and_x_dominated_by_zero(self):
+        zero = Logic.from_int(0, 1)
+        x = Logic.unknown(1)
+        assert (zero & x).to_int() == 0
+
+    def test_and_x_with_one_is_x(self):
+        one = Logic.from_int(1, 1)
+        assert (one & Logic.unknown(1)).has_x
+
+    def test_or_x_dominated_by_one(self):
+        one = Logic.from_int(1, 1)
+        assert (one | Logic.unknown(1)).to_int() == 1
+
+    def test_xor_x_always_x(self):
+        assert (Logic.from_int(0, 1) ^ Logic.unknown(1)).has_x
+
+    def test_invert(self):
+        assert (~Logic.from_int(0b1010, 4)).to_int() == 0b0101
+
+    def test_invert_preserves_x(self):
+        assert (~Logic.unknown(4)).xmask == 0b1111
+
+    @given(bits(8), bits(8))
+    def test_and_matches_python(self, a, b):
+        result = Logic.from_int(a, 8) & Logic.from_int(b, 8)
+        assert result.to_int() == (a & b)
+
+    @given(bits(8), bits(8))
+    def test_de_morgan(self, a, b):
+        la, lb = Logic.from_int(a, 8), Logic.from_int(b, 8)
+        assert ~(la & lb) == (~la | ~lb)
+
+
+class TestArithmetic:
+    @given(bits(8), bits(8))
+    def test_add_wraps(self, a, b):
+        result = Logic.from_int(a, 8).add(Logic.from_int(b, 8))
+        assert result.to_int() == (a + b) & 0xFF
+
+    @given(bits(8), bits(8))
+    def test_sub_wraps(self, a, b):
+        result = Logic.from_int(a, 8).sub(Logic.from_int(b, 8))
+        assert result.to_int() == (a - b) & 0xFF
+
+    def test_add_with_x_is_all_x(self):
+        result = Logic.unknown(4).add(Logic.from_int(1, 4))
+        assert result.xmask == 0xF
+
+    def test_div_by_zero_is_x(self):
+        assert Logic.from_int(4, 4).div(Logic.from_int(0, 4)).has_x
+
+    def test_mod(self):
+        result = Logic.from_int(7, 4).mod(Logic.from_int(3, 4))
+        assert result.to_int() == 1
+
+    def test_neg(self):
+        assert Logic.from_int(1, 4).neg().to_int() == 0xF
+
+
+class TestShifts:
+    @given(bits(8), st.integers(min_value=0, max_value=10))
+    def test_shl(self, a, n):
+        result = Logic.from_int(a, 8).shl(Logic.from_int(n, 4))
+        assert result.to_int() == (a << n) & 0xFF
+
+    @given(bits(8), st.integers(min_value=0, max_value=10))
+    def test_shr(self, a, n):
+        result = Logic.from_int(a, 8).shr(Logic.from_int(n, 4))
+        assert result.to_int() == a >> n
+
+    def test_ashr_sign_fill(self):
+        value = Logic.from_int(0b1000_0000, 8)
+        assert value.ashr(Logic.from_int(2, 4)).to_int() == 0b1110_0000
+
+    def test_ashr_zero_fill_for_positive(self):
+        value = Logic.from_int(0b0100_0000, 8)
+        assert value.ashr(Logic.from_int(2, 4)).to_int() == 0b0001_0000
+
+
+class TestComparisons:
+    def test_eq_with_known_difference_is_definite(self):
+        a = Logic(4, bits=0b0001, xmask=0b1000)
+        b = Logic(4, bits=0b0010, xmask=0b1000)
+        assert a.eq(b).to_int() == 0
+
+    def test_eq_with_only_x_differences_is_x(self):
+        a = Logic(2, bits=0, xmask=0b10)
+        b = Logic(2, bits=0, xmask=0b00)
+        assert a.eq(b).has_x
+
+    def test_case_eq_matches_x_literally(self):
+        a = Logic(2, bits=0, xmask=0b10)
+        b = Logic(2, bits=0, xmask=0b10)
+        assert a.case_eq(b).to_int() == 1
+
+    @given(bits(6), bits(6))
+    def test_relational_consistency(self, a, b):
+        la, lb = Logic.from_int(a, 6), Logic.from_int(b, 6)
+        assert la.lt(lb).to_int() == (1 if a < b else 0)
+        assert la.ge(lb).to_int() == (1 if a >= b else 0)
+
+    def test_lt_signed(self):
+        minus_one = Logic.from_int(0xF, 4)
+        one = Logic.from_int(1, 4)
+        assert minus_one.lt_signed(one).to_int() == 1
+
+
+class TestReductionsAndLogical:
+    def test_reduce_and_zero_dominates_x(self):
+        value = Logic(2, bits=0b00, xmask=0b10)
+        assert value.reduce_and().to_int() == 0
+
+    def test_reduce_or_one_dominates_x(self):
+        value = Logic(2, bits=0b01, xmask=0b10)
+        assert value.reduce_or().to_int() == 1
+
+    def test_reduce_xor_x_is_x(self):
+        assert Logic(2, bits=0, xmask=0b01).reduce_xor().has_x
+
+    @given(bits(8))
+    def test_reduce_xor_is_parity(self, a):
+        result = Logic.from_int(a, 8).reduce_xor()
+        assert result.to_int() == bin(a).count("1") % 2
+
+    def test_logical_and_short_circuit_zero(self):
+        zero = Logic.from_int(0, 4)
+        assert zero.logical_and(Logic.unknown(4)).to_int() == 0
+
+    def test_logical_or_short_circuit_one(self):
+        one = Logic.from_int(2, 4)  # nonzero
+        assert one.logical_or(Logic.unknown(4)).to_int() == 1
+
+    def test_is_true_false_for_x(self):
+        assert not Logic.unknown(1).is_true()
+
+
+class TestStructure:
+    def test_concat_order(self):
+        hi = Logic.from_int(0b10, 2)
+        lo = Logic.from_int(0b01, 2)
+        assert hi.concat(lo).to_int() == 0b1001
+
+    @given(bits(4), st.integers(min_value=1, max_value=4))
+    def test_replicate_width(self, a, n):
+        value = Logic.from_int(a, 4)
+        assert value.replicate(n).width == 4 * n
+
+    def test_slice(self):
+        value = Logic.from_int(0b11001010, 8)
+        assert value.slice(5, 2).to_int() == 0b0010
+
+    def test_slice_beyond_width_reads_x(self):
+        value = Logic.from_int(0b1, 2)
+        assert value.slice(4, 3).has_x
+
+    def test_set_slice(self):
+        value = Logic.from_int(0, 8)
+        updated = value.set_slice(5, 2, Logic.from_int(0b1111, 4))
+        assert updated.to_int() == 0b00111100
+
+    @given(bits(8), st.integers(0, 7))
+    def test_bit_roundtrip(self, a, i):
+        value = Logic.from_int(a, 8)
+        assert value.bit(i).to_int() == (a >> i) & 1
+
+    def test_bit_out_of_range_is_x(self):
+        assert Logic.from_int(0, 2).bit(5).has_x
+
+    def test_sign_extend(self):
+        assert Logic.from_int(0b1000, 4).sign_extend(8).to_int() == 0b11111000
+        assert Logic.from_int(0b0100, 4).sign_extend(8).to_int() == 0b00000100
+
+
+class TestFormatting:
+    def test_bit_string(self):
+        assert Logic.from_string("10x1").to_bit_string() == "10x1"
+
+    def test_format_decimal(self):
+        assert Logic.from_int(42, 8).format("d") == "42"
+
+    def test_format_hex(self):
+        assert Logic.from_int(0xAB, 8).format("h") == "ab"
+
+    def test_format_x_decimal(self):
+        assert Logic.unknown(8).format("d") == "x"
+
+    def test_str(self):
+        assert str(Logic.from_int(0b101, 3)) == "3'b101"

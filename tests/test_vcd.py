@@ -1,0 +1,109 @@
+"""Tests for VCD waveform export."""
+
+import pytest
+
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+from repro.sim.kernel import Simulator
+from repro.sim.vcd import _short_id, vcd_text, write_vcd
+
+
+def _counter_sim():
+    """Elaborate and run a small counter, tracing clk and count."""
+    source = """
+    module tb;
+        reg clk; reg [3:0] count;
+        initial begin
+            clk = 0; count = 0;
+            repeat (3) begin
+                #5 clk = 1;
+                count = count + 1;
+                #5 clk = 0;
+            end
+            $finish;
+        end
+    endmodule
+    """
+    toolchain = Toolchain()
+    from repro.hdl.diagnostics import DiagnosticCollector
+
+    collector = DiagnosticCollector()
+    design = toolchain._build_design(
+        [HdlFile("t.v", source, Language.VERILOG)], "tb", collector
+    )
+    assert design is not None, [d.render() for d in collector.diagnostics]
+    simulator = Simulator(design)
+    simulator.trace(design.signal("clk"), design.signal("count"))
+    simulator.run()
+    return simulator
+
+
+class TestShortIds:
+    def test_first_ids(self):
+        assert _short_id(0) == "!"
+        assert _short_id(1) == '"'
+
+    def test_ids_unique_over_range(self):
+        ids = [_short_id(i) for i in range(5000)]
+        assert len(set(ids)) == 5000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _short_id(-1)
+
+
+class TestVcdDocument:
+    def test_header_sections(self):
+        text = vcd_text(_counter_sim())
+        assert "$timescale 1ns $end" in text
+        assert "$scope module design $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+
+    def test_variables_declared_with_widths(self):
+        text = vcd_text(_counter_sim())
+        assert "$var wire 1 " in text
+        assert "$var wire 4 " in text
+        assert "clk" in text and "count" in text
+
+    def test_changes_are_time_ordered(self):
+        text = vcd_text(_counter_sim())
+        times = [
+            int(line[1:]) for line in text.splitlines()
+            if line.startswith("#")
+        ]
+        assert times == sorted(times)
+        assert times[-1] == 30  # simulation end marker
+
+    def test_scalar_and_vector_value_syntax(self):
+        text = vcd_text(_counter_sim())
+        assert any(
+            line.startswith(("0", "1")) and len(line) <= 4
+            for line in text.splitlines()
+        )
+        assert any(line.startswith("b") for line in text.splitlines())
+
+    def test_initial_x_values_dumped(self):
+        text = vcd_text(_counter_sim())
+        # signals start unknown before the initial block runs at t0... the
+        # t0 assignments overwrite them, so the dumpvars section shows the
+        # final t0 values instead; ensure count's zero appears
+        assert "b0000 " in text
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "wave.vcd"
+        write_vcd(_counter_sim(), str(path))
+        assert path.read_text().startswith("$date")
+
+    def test_untraced_run_rejected(self):
+        source = "module tb; initial $finish; endmodule"
+        from repro.hdl.diagnostics import DiagnosticCollector
+
+        toolchain = Toolchain()
+        design = toolchain._build_design(
+            [HdlFile("t.v", source, Language.VERILOG)], "tb",
+            DiagnosticCollector(),
+        )
+        simulator = Simulator(design)
+        simulator.run()
+        with pytest.raises(ValueError, match="no traced signals"):
+            vcd_text(simulator)
