@@ -1,0 +1,127 @@
+"""Execution-engine benchmarks: serial vs parallel, cold vs warm cache.
+
+These are wall-clock A/B measurements (not ``pytest-benchmark`` fixtures):
+each test times two configurations of the same workload and prints a small
+report. The parallel-speedup assertion only fires on hosts with enough CPU
+cores — on a single-core box the measurement is still printed, because the
+*differential* guarantee (identical records) is what
+``tests/test_exec_differential.py`` enforces everywhere.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_exec.py -s -q
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+from repro.eval.runner import ExperimentRunner
+from repro.llm.profiles import PROFILES
+
+PARALLEL_WORKERS = 4
+#: acceptance floor: a Table-1-style sweep at 4 workers halves the wall-clock
+PARALLEL_SPEEDUP_FLOOR = 2.0
+#: acceptance floor: replaying an already-seen golden-testbench simulation
+WARM_CACHE_SPEEDUP_FLOOR = 5.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _timed_sweep(bench_suite, **kwargs) -> float:
+    runner = ExperimentRunner(suite=bench_suite, **kwargs)
+    started = time.perf_counter()
+    runner.run_all(profiles=PROFILES)
+    return time.perf_counter() - started
+
+
+def test_parallel_sweep_speedup(bench_suite):
+    """Table-1-style sweep (3 profiles x 2 languages): serial vs 4 workers."""
+    serial = _timed_sweep(bench_suite, workers=1)
+    parallel = _timed_sweep(bench_suite, workers=PARALLEL_WORKERS)
+    speedup = serial / parallel if parallel else float("inf")
+    cores = _usable_cores()
+    print(
+        f"\n[bench_exec] sweep over {len(bench_suite)} problems x "
+        f"{len(PROFILES)} profiles x 2 languages: "
+        f"serial {serial:.2f}s, workers={PARALLEL_WORKERS} {parallel:.2f}s "
+        f"-> {speedup:.2f}x (host has {cores} usable core(s))"
+    )
+    if cores < PARALLEL_WORKERS:
+        pytest.skip(
+            f"parallel speedup needs >= {PARALLEL_WORKERS} cores; host has "
+            f"{cores} (measured {speedup:.2f}x, reported above)"
+        )
+    assert speedup >= PARALLEL_SPEEDUP_FLOOR, (
+        f"workers={PARALLEL_WORKERS} must be >= {PARALLEL_SPEEDUP_FLOOR}x "
+        f"faster than serial, got {speedup:.2f}x"
+    )
+
+
+def test_warm_cache_simulate_speedup(bench_suite):
+    """Re-simulating an already-seen golden testbench must be >=5x faster."""
+    workloads = []
+    for problem in bench_suite:
+        for language in Language:
+            ext = language.file_extension
+            workloads.append((
+                [
+                    HdlFile(
+                        f"top_module{ext}",
+                        problem.reference[language], language,
+                    ),
+                    HdlFile(f"tb{ext}", problem.golden_tb[language], language),
+                ],
+                "tb",
+            ))
+
+    toolchain = Toolchain(cache=True)
+    started = time.perf_counter()
+    for files, top in workloads:
+        toolchain.simulate(files, top)
+    cold = time.perf_counter() - started
+
+    reps = 3
+    started = time.perf_counter()
+    for _ in range(reps):
+        for files, top in workloads:
+            toolchain.simulate(files, top)
+    warm = (time.perf_counter() - started) / reps
+
+    speedup = cold / warm if warm else float("inf")
+    print(
+        f"\n[bench_exec] golden-testbench simulate of "
+        f"{len(workloads)} workloads: cold {cold:.3f}s, warm {warm:.4f}s "
+        f"-> {speedup:.1f}x "
+        f"(cache hit rate {100 * toolchain.cache_stats.hit_rate:.1f}%)"
+    )
+    assert speedup >= WARM_CACHE_SPEEDUP_FLOOR, (
+        f"warm simulate must be >= {WARM_CACHE_SPEEDUP_FLOOR}x faster than "
+        f"cold, got {speedup:.2f}x"
+    )
+
+
+def test_sweep_cache_effectiveness(bench_suite):
+    """The toolchain cache pays for itself inside one serial sweep."""
+    uncached = _timed_sweep(bench_suite, workers=1, use_cache=False)
+    runner = ExperimentRunner(suite=bench_suite, workers=1, use_cache=True)
+    started = time.perf_counter()
+    runner.run_all(profiles=PROFILES)
+    cached = time.perf_counter() - started
+    hit_rate = runner.metrics.cache_hit_rate
+    print(
+        f"\n[bench_exec] serial sweep, cache off {uncached:.2f}s vs on "
+        f"{cached:.2f}s -> {uncached / cached:.2f}x; "
+        f"hit rate {100 * hit_rate:.1f}%"
+    )
+    assert hit_rate > 0.2, (
+        "a baseline+AIVRIL2 sweep re-judges identical sources; the cache "
+        f"hit rate should be substantial, got {100 * hit_rate:.1f}%"
+    )

@@ -25,8 +25,24 @@ from repro.eval.runner import ExperimentRunner
 from repro.eval.tables import render_table1, render_table2
 from repro.evalsuite.suite import build_suite
 from repro.evalsuite.validate import run_golden_tb, validate_problem
+from repro.exec.progress import (
+    TASK_DONE,
+    TASK_ERROR,
+    TASK_RETRY,
+    format_progress_line,
+)
 from repro.llm.profiles import PROFILES, profile_for
 from repro.llm.synthetic import SyntheticDesignLLM
+
+
+def _worker_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _language(text: str) -> Language:
@@ -78,6 +94,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--limit", type=int, default=0,
         help="restrict to the first N problems (0 = full suite)",
+    )
+    sweep.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for the sweep (1 = serial; results are "
+             "record-for-record identical at any worker count)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable toolchain result memoization (slower, same results)",
+    )
+    sweep.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-problem wall-clock budget when workers > 1; a hung task "
+             "degrades to an error record instead of stalling the sweep",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="stream per-task progress (tasks done, cache hit rate, "
+             "latency) to stderr",
     )
 
     validate = sub.add_parser("validate", help="check suite integrity")
@@ -159,7 +194,20 @@ def _cmd_sweep(args, out) -> int:
     suite = build_suite()
     if args.limit:
         suite = suite.head(args.limit)
-    runner = ExperimentRunner(suite=suite)
+    progress = None
+    if args.progress:
+        def progress(event, metrics):
+            if event.kind in (TASK_DONE, TASK_ERROR, TASK_RETRY):
+                sys.stderr.write(
+                    format_progress_line(event, metrics) + "\n"
+                )
+    runner = ExperimentRunner(
+        suite=suite,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        task_timeout=args.task_timeout,
+        progress=progress,
+    )
     if args.artifact == "table2":
         results = runner.run_all(languages=(Language.VERILOG,))
         out.write(render_table2(results) + "\n")
@@ -169,6 +217,14 @@ def _cmd_sweep(args, out) -> int:
             out.write(render_table1(results) + "\n")
         else:
             out.write(render_figure3(results) + "\n")
+    if args.progress:
+        sys.stderr.write("sweep: " + runner.metrics.summary() + "\n")
+    errors = sum(result.error_count for result in results)
+    if errors:
+        sys.stderr.write(
+            f"WARNING: {errors} problem task(s) produced error records; "
+            f"they are excluded from the reported percentages\n"
+        )
     return 0
 
 

@@ -12,13 +12,23 @@ Design goals:
   Figure 3; each result carries a modeled ``tool_seconds`` derived from the
   workload (file sizes, simulation activity) so latency accounting is
   reproducible, alongside the true wall-clock for transparency.
+* **Optional memoization.** Experiment sweeps recompile and resimulate the
+  same (sources, top) pairs many times — the baseline and AIVRIL2 judgments
+  both run the suite's golden testbench against identical text. A
+  content-hash LRU cache (:class:`ToolchainCache`) makes repeats nearly
+  free while returning results equal field-by-field to a cold run (only
+  ``wall_seconds``, the true elapsed time, reflects the cheap lookup).
+  Caching is **off** by default; pass ``cache=True`` (or a configured
+  :class:`ToolchainCache`) to opt in.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 import time as _time
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
 from repro.hdl.diagnostics import Diagnostic, DiagnosticCollector, render_vivado_log
 from repro.hdl.source import SourceFile
@@ -85,6 +95,112 @@ class SimResult:
     wall_seconds: float = 0.0
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`ToolchainCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter change since an ``earlier`` snapshot."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+        )
+
+
+class ToolchainCache:
+    """Bounded LRU memo of compile/simulate results, keyed by content hash.
+
+    The key covers everything that determines a result: the operation kind,
+    the top unit, every file's name, language and full text, and the
+    simulator's time limit. Two source sets that happen to *render* the
+    same log therefore never collide — the key is derived from the inputs,
+    never from the outputs.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(kind: str, files: list[HdlFile], top: str,
+            extra: tuple = ()) -> str:
+        digest = hashlib.sha256()
+        for part in (kind, top, *map(str, extra)):
+            digest.update(part.encode())
+            digest.update(b"\x1e")  # record separator: no concatenation tricks
+        for hdl_file in files:
+            for part in (hdl_file.name, hdl_file.language.value,
+                         hdl_file.text):
+                digest.update(str(len(part)).encode())
+                digest.update(b"\x1f")
+                digest.update(part.encode())
+        return digest.hexdigest()
+
+    def get(self, key: str):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def _copy_compile_result(result: CompileResult,
+                         wall_seconds: float) -> CompileResult:
+    return replace(
+        result, diagnostics=list(result.diagnostics), wall_seconds=wall_seconds
+    )
+
+
+def _copy_sim_result(result: SimResult, wall_seconds: float) -> SimResult:
+    compile_copy = None
+    if result.compile_result is not None:
+        compile_copy = _copy_compile_result(
+            result.compile_result, result.compile_result.wall_seconds
+        )
+    return replace(
+        result,
+        output_lines=list(result.output_lines),
+        compile_result=compile_copy,
+        wall_seconds=wall_seconds,
+    )
+
+
 class Toolchain:
     """Compiles and simulates HDL, mimicking the Vivado xvlog/xvhdl/xsim flow."""
 
@@ -97,8 +213,25 @@ class Toolchain:
     #: modeled seconds per 1000 process activations
     SIM_PER_KACT_SECONDS = 0.02
 
-    def __init__(self, *, max_sim_time: int = 200_000):
+    def __init__(
+        self,
+        *,
+        max_sim_time: int = 200_000,
+        cache: "ToolchainCache | bool | None" = None,
+    ):
         self.max_sim_time = max_sim_time
+        if cache is True:
+            cache = ToolchainCache()
+        elif cache is False:
+            cache = None
+        self.cache = cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Counters of the attached cache (all zeros when caching is off)."""
+        if self.cache is None:
+            return CacheStats()
+        return self.cache.stats
 
     # ------------------------------------------------------------------
     # compile
@@ -107,6 +240,14 @@ class Toolchain:
     def compile(self, files: list[HdlFile], top: str) -> CompileResult:
         """Analyze and elaborate; diagnostics render into one compile log."""
         started = _time.perf_counter()
+        key = ""
+        if self.cache is not None:
+            key = ToolchainCache.key("compile", files, top)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return _copy_compile_result(
+                    cached, _time.perf_counter() - started
+                )
         collector = DiagnosticCollector()
         language = files[0].language if files else Language.VERILOG
         design = self._build_design(files, top, collector)
@@ -116,13 +257,17 @@ class Toolchain:
         log = render_vivado_log(
             collector.diagnostics, tool=language.compiler, top=top
         )
-        return CompileResult(
+        result = CompileResult(
             ok=not collector.has_errors and design is not None,
             log=log,
             diagnostics=list(collector.diagnostics),
             tool_seconds=modeled,
             wall_seconds=wall,
         )
+        if self.cache is not None:
+            # store a private copy so later caller mutations cannot poison it
+            self.cache.put(key, _copy_compile_result(result, wall))
+        return result
 
     def _build_design(
         self, files: list[HdlFile], top: str, collector: DiagnosticCollector
@@ -216,6 +361,24 @@ class Toolchain:
     def simulate(self, files: list[HdlFile], top: str) -> SimResult:
         """Compile then run the simulation; returns the xsim-style log."""
         started = _time.perf_counter()
+        key = ""
+        if self.cache is not None:
+            key = ToolchainCache.key(
+                "simulate", files, top, extra=(self.max_sim_time,)
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                return _copy_sim_result(
+                    cached, _time.perf_counter() - started
+                )
+        result = self._simulate_uncached(files, top, started)
+        if self.cache is not None:
+            self.cache.put(key, _copy_sim_result(result, result.wall_seconds))
+        return result
+
+    def _simulate_uncached(
+        self, files: list[HdlFile], top: str, started: float
+    ) -> SimResult:
         compile_result = self.compile(files, top)
         if not compile_result.ok:
             wall = _time.perf_counter() - started

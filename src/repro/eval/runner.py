@@ -10,27 +10,60 @@ For each configuration it measures, per problem:
 
 Functional correctness is always judged by the suite's hidden golden
 testbench (the VerilogEval protocol), never by the pipeline's own testbench.
+
+Execution model
+---------------
+
+Each (model, language, problem) triple is a *pure task*: its outcome depends
+only on the deterministic defect plan, never on which other problems ran
+before it or on which process it ran in. The runner therefore dispatches the
+work-list through :class:`~repro.exec.engine.ExecutionEngine` — serially by
+default (``workers=1``, exactly the historical behavior), or across worker
+processes with ``workers=N``. Results are merged by problem order, so the
+produced :class:`ConfigResult` is record-for-record identical either way
+(``tests/test_exec_differential.py`` enforces this).
+
+A task that fails (raise, per-task timeout, worker crash) degrades to an
+**error record** — ``ProblemRecord.error`` is set, the pid is preserved, and
+the sweep continues. Error records are excluded from every percentage and
+latency average and reported separately.
 """
 
 from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import Aivril2Pipeline, run_baseline
 from repro.core.result import LatencyBreakdown
 from repro.designs.model import TOP_NAME
 from repro.designs.tbgen import PASS_MESSAGE
-from repro.eda.toolchain import HdlFile, Language, Toolchain
+from repro.eda.toolchain import (
+    CacheStats,
+    HdlFile,
+    Language,
+    Toolchain,
+    ToolchainCache,
+)
 from repro.evalsuite.suite import Suite, build_suite
+from repro.exec.engine import ExecutionEngine
+from repro.exec.progress import ProgressEvent, SweepMetrics
+from repro.exec.task import Task, TaskOutcome
 from repro.llm.profiles import CapabilityProfile, PROFILES
 from repro.llm.synthetic import SyntheticDesignLLM
 
 
 @dataclass
 class ProblemRecord:
-    """Measurements for one problem under one configuration."""
+    """Measurements for one problem under one configuration.
+
+    A non-empty ``error`` marks a record whose measurement could not be
+    taken (task raised / timed out / its worker crashed); such records keep
+    their pid but carry no valid judgments and are excluded from the
+    aggregate statistics.
+    """
 
     pid: str
     baseline_syntax_ok: bool = False
@@ -42,6 +75,7 @@ class ProblemRecord:
     syntax_iterations: int = 0
     functional_iterations: int = 0
     wall_seconds: float = 0.0
+    error: str = ""
 
 
 @dataclass
@@ -57,10 +91,24 @@ class ConfigResult:
     def total(self) -> int:
         return len(self.records)
 
+    @property
+    def evaluated(self) -> list[ProblemRecord]:
+        """Records that actually ran (error records excluded)."""
+        return [r for r in self.records if not r.error]
+
+    @property
+    def error_records(self) -> list[ProblemRecord]:
+        return [r for r in self.records if r.error]
+
+    @property
+    def error_count(self) -> int:
+        return len(self.error_records)
+
     def _pct(self, predicate) -> float:
-        if not self.records:
+        evaluated = self.evaluated
+        if not evaluated:
             return 0.0
-        return 100.0 * sum(1 for r in self.records if predicate(r)) / self.total
+        return 100.0 * sum(1 for r in evaluated if predicate(r)) / len(evaluated)
 
     @property
     def baseline_syntax_pct(self) -> float:
@@ -83,7 +131,7 @@ class ConfigResult:
         """Δ_F of Table 1: relative improvement over the baseline (percent).
 
         ``None`` when the baseline never passed (the paper prints N/A for
-        Llama3-70B VHDL).
+        Llama3-70B VHDL) — including the degenerate empty/all-error case.
         """
         base = self.baseline_functional_pct
         if base == 0.0:
@@ -92,16 +140,18 @@ class ConfigResult:
 
     @property
     def baseline_latency_avg(self) -> float:
-        if not self.records:
+        evaluated = self.evaluated
+        if not evaluated:
             return 0.0
-        return sum(r.baseline_latency for r in self.records) / self.total
+        return sum(r.baseline_latency for r in evaluated) / len(evaluated)
 
     @property
     def aivril_latency_avg(self) -> LatencyBreakdown:
+        evaluated = self.evaluated
         total = LatencyBreakdown()
-        for record in self.records:
+        for record in evaluated:
             total.add(record.aivril_latency)
-        return total.scaled(1.0 / self.total) if self.records else total
+        return total.scaled(1.0 / len(evaluated)) if evaluated else total
 
     @property
     def mean_syntax_iterations(self) -> float:
@@ -111,7 +161,7 @@ class ConfigResult:
         non-converging runs have no convergence cycle count.
         """
         entered = [
-            r for r in self.records
+            r for r in self.evaluated
             if r.syntax_iterations > 0 and r.aivril_syntax_ok
         ]
         if not entered:
@@ -122,7 +172,7 @@ class ConfigResult:
     def mean_functional_iterations(self) -> float:
         """Average functional-loop cycles to converge (see above)."""
         entered = [
-            r for r in self.records
+            r for r in self.evaluated
             if r.functional_iterations > 0 and r.aivril_functional_ok
         ]
         if not entered:
@@ -130,8 +180,179 @@ class ConfigResult:
         return sum(r.functional_iterations for r in entered) / len(entered)
 
 
+# ---------------------------------------------------------------------------
+# per-problem task machinery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunnerSettings:
+    """Everything a worker needs to reconstruct the experiment context."""
+
+    max_syntax_iterations: int = 6
+    max_functional_iterations: int = 6
+    testbench_first: bool = True
+    freeze_testbench: bool = True
+    testbench_quality: str = "full"
+    use_cache: bool = True
+    cache_size: int = 512
+
+
+@dataclass
+class _TaskPayload:
+    """What one problem task ships back: the record + cache counters."""
+
+    record: ProblemRecord
+    cache_delta: CacheStats
+
+
+class _TaskContext:
+    """Per-process experiment state: the suite plus lazily-built configs.
+
+    One context serves every (profile, language) configuration of a sweep;
+    the toolchain/LLM/pipeline triple is built once per configuration per
+    process and reused across that process's share of the problems — the
+    same objects a serial sweep shares across the whole suite.
+    """
+
+    def __init__(self, suite: Suite, settings: RunnerSettings):
+        self.suite = suite
+        self.settings = settings
+        self._problems = {p.pid: p for p in suite.problems}
+        self._configs: dict[
+            tuple[str, Language],
+            tuple[SyntheticDesignLLM, Aivril2Pipeline, Toolchain],
+        ] = {}
+
+    def _config(self, profile: CapabilityProfile, language: Language):
+        key = (profile.name, language)
+        if key not in self._configs:
+            settings = self.settings
+            cache = (
+                ToolchainCache(maxsize=settings.cache_size)
+                if settings.use_cache else None
+            )
+            toolchain = Toolchain(cache=cache)
+            llm = SyntheticDesignLLM(
+                profile, self.suite,
+                testbench_quality=settings.testbench_quality,
+            )
+            pipeline = Aivril2Pipeline(
+                llm,
+                toolchain,
+                PipelineConfig(
+                    language=language,
+                    max_syntax_iterations=settings.max_syntax_iterations,
+                    max_functional_iterations=settings.max_functional_iterations,
+                    testbench_first=settings.testbench_first,
+                    freeze_testbench=settings.freeze_testbench,
+                ),
+            )
+            self._configs[key] = (llm, pipeline, toolchain)
+        return self._configs[key]
+
+    def run_problem(
+        self, profile: CapabilityProfile, language: Language, pid: str
+    ) -> _TaskPayload:
+        """Measure one problem under one configuration (a pure task)."""
+        llm, pipeline, toolchain = self._config(profile, language)
+        problem = self._problems[pid]
+        stats_before = toolchain.cache_stats.snapshot()
+        started = _time.perf_counter()
+        record = ProblemRecord(pid=problem.pid)
+
+        baseline = run_baseline(llm, problem.prompt, language)
+        record.baseline_latency = baseline.latency_seconds
+        record.baseline_syntax_ok = _compiles(
+            baseline.rtl, language, toolchain
+        )
+        record.baseline_functional_ok = _passes_golden(
+            problem, baseline.rtl, language, toolchain
+        )
+
+        run = pipeline.run(problem.prompt)
+        record.aivril_latency = run.latency
+        record.syntax_iterations = run.syntax_iterations
+        record.functional_iterations = run.functional_iterations
+        record.aivril_syntax_ok = _compiles(run.rtl, language, toolchain)
+        record.aivril_functional_ok = _passes_golden(
+            problem, run.rtl, language, toolchain
+        )
+        record.wall_seconds = _time.perf_counter() - started
+        return _TaskPayload(
+            record=record,
+            cache_delta=toolchain.cache_stats.delta(stats_before),
+        )
+
+
+def _compiles(rtl: str, language: Language, toolchain: Toolchain) -> bool:
+    """pass@1_S judgment: the generated design unit compiles on its own."""
+    files = [HdlFile(f"{TOP_NAME}{language.file_extension}", rtl, language)]
+    return toolchain.compile(files, TOP_NAME).ok
+
+
+def _passes_golden(
+    problem, rtl: str, language: Language, toolchain: Toolchain
+) -> bool:
+    """pass@1_F judgment: the suite's golden testbench passes."""
+    files = [
+        HdlFile(f"{TOP_NAME}{language.file_extension}", rtl, language),
+        HdlFile(
+            f"tb{language.file_extension}",
+            problem.golden_tb[language],
+            language,
+        ),
+    ]
+    result = toolchain.simulate(files, "tb")
+    return result.ok and any(
+        PASS_MESSAGE in line for line in result.output_lines
+    )
+
+
+#: process-local context, installed by :func:`_init_worker` (suites hold
+#: non-picklable callables, so workers inherit it through fork rather than
+#: receiving it over a pipe)
+_CONTEXT: _TaskContext | None = None
+
+
+def _init_worker(suite: Suite, settings: RunnerSettings) -> None:
+    global _CONTEXT
+    _CONTEXT = _TaskContext(suite, settings)
+
+
+def _run_problem(
+    profile: CapabilityProfile, language: Language, pid: str
+) -> _TaskPayload:
+    if _CONTEXT is None:
+        raise RuntimeError("worker context not initialized")
+    return _CONTEXT.run_problem(profile, language, pid)
+
+
+def _task_entry(
+    profile: CapabilityProfile, language: Language, pid: str
+) -> _TaskPayload:
+    # stable, picklable entry point; the indirection keeps `_run_problem`
+    # late-bound so fault-injection tests can swap it per-sweep
+    return _run_problem(profile, language, pid)
+
+
+# ---------------------------------------------------------------------------
+
+
 class ExperimentRunner:
-    """Runs the paper's evaluation protocol."""
+    """Runs the paper's evaluation protocol.
+
+    Parameters beyond the protocol knobs:
+
+    * ``workers`` — process count for the sweep (1 = serial, the default);
+    * ``use_cache`` — toolchain result memoization (on by default; results
+      are equal either way, only the wall-clock changes);
+    * ``task_timeout`` / ``task_retries`` — per-problem fault budget when
+      running in parallel (a hung or crashed worker costs one retry, then
+      degrades to an error record instead of killing the sweep);
+    * ``progress`` — callback receiving ``(ProgressEvent, SweepMetrics)``
+      as tasks finish.
+    """
 
     def __init__(
         self,
@@ -142,6 +363,12 @@ class ExperimentRunner:
         testbench_first: bool = True,
         freeze_testbench: bool = True,
         testbench_quality: str = "full",
+        workers: int = 1,
+        use_cache: bool = True,
+        cache_size: int = 512,
+        task_timeout: float | None = None,
+        task_retries: int = 1,
+        progress: Callable[[ProgressEvent, SweepMetrics], None] | None = None,
     ):
         self.suite = suite or build_suite()
         self.max_syntax_iterations = max_syntax_iterations
@@ -149,6 +376,26 @@ class ExperimentRunner:
         self.testbench_first = testbench_first
         self.freeze_testbench = freeze_testbench
         self.testbench_quality = testbench_quality
+        self.workers = workers
+        self.use_cache = use_cache
+        self.cache_size = cache_size
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
+        self.progress = progress
+        #: metrics of the most recent sweep (populated by every run)
+        self.metrics = SweepMetrics()
+
+    @property
+    def _settings(self) -> RunnerSettings:
+        return RunnerSettings(
+            max_syntax_iterations=self.max_syntax_iterations,
+            max_functional_iterations=self.max_functional_iterations,
+            testbench_first=self.testbench_first,
+            freeze_testbench=self.freeze_testbench,
+            testbench_quality=self.testbench_quality,
+            use_cache=self.use_cache,
+            cache_size=self.cache_size,
+        )
 
     # ------------------------------------------------------------------
 
@@ -156,88 +403,93 @@ class ExperimentRunner:
         self, profile: CapabilityProfile, language: Language
     ) -> ConfigResult:
         """Baseline + AIVRIL2 sweep for one model/language pair."""
-        toolchain = Toolchain()
-        llm = SyntheticDesignLLM(
-            profile, self.suite, testbench_quality=self.testbench_quality
-        )
-        pipeline = Aivril2Pipeline(
-            llm,
-            toolchain,
-            PipelineConfig(
-                language=language,
-                max_syntax_iterations=self.max_syntax_iterations,
-                max_functional_iterations=self.max_functional_iterations,
-                testbench_first=self.testbench_first,
-                freeze_testbench=self.freeze_testbench,
-            ),
-        )
-        result = ConfigResult(
-            model=profile.name,
-            model_display=profile.display_name,
-            language=language,
-        )
-        for problem in self.suite:
-            started = _time.perf_counter()
-            record = ProblemRecord(pid=problem.pid)
-
-            baseline = run_baseline(llm, problem.prompt, language)
-            record.baseline_latency = baseline.latency_seconds
-            record.baseline_syntax_ok = self._compiles(
-                baseline.rtl, language, toolchain
-            )
-            record.baseline_functional_ok = self._passes_golden(
-                problem, baseline.rtl, language, toolchain
-            )
-
-            run = pipeline.run(problem.prompt)
-            record.aivril_latency = run.latency
-            record.syntax_iterations = run.syntax_iterations
-            record.functional_iterations = run.functional_iterations
-            record.aivril_syntax_ok = self._compiles(
-                run.rtl, language, toolchain
-            )
-            record.aivril_functional_ok = self._passes_golden(
-                problem, run.rtl, language, toolchain
-            )
-            record.wall_seconds = _time.perf_counter() - started
-            result.records.append(record)
-        return result
+        return self._run_configs([(profile, language)])[0]
 
     def run_all(
         self,
         profiles: list[CapabilityProfile] | None = None,
         languages: tuple[Language, ...] = (Language.VERILOG, Language.VHDL),
     ) -> list[ConfigResult]:
-        """The full Table 1 sweep (3 models × 2 languages by default)."""
+        """The full Table 1 sweep (3 models × 2 languages by default).
+
+        All configurations share one work-list, so with ``workers=N`` the
+        fan-out covers the whole (profile × language × problem) cube.
+        """
         profiles = profiles if profiles is not None else PROFILES
-        results = []
-        for profile in profiles:
-            for language in languages:
-                results.append(self.run_config(profile, language))
-        return results
+        configs = [
+            (profile, language)
+            for profile in profiles
+            for language in languages
+        ]
+        return self._run_configs(configs)
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _compiles(rtl: str, language: Language, toolchain: Toolchain) -> bool:
-        """pass@1_S judgment: the generated design unit compiles on its own."""
-        files = [HdlFile(f"{TOP_NAME}{language.file_extension}", rtl, language)]
-        return toolchain.compile(files, TOP_NAME).ok
+    def _run_configs(
+        self, configs: list[tuple[CapabilityProfile, Language]]
+    ) -> list[ConfigResult]:
+        tasks = []
+        for profile, language in configs:
+            for problem in self.suite:
+                tasks.append(Task(
+                    index=len(tasks),
+                    key=f"{profile.name}/{language.value}/{problem.pid}",
+                    fn=_task_entry,
+                    args=(profile, language, problem.pid),
+                ))
+        metrics = SweepMetrics(total=len(tasks))
+        self.metrics = metrics
+        engine = ExecutionEngine(
+            workers=self.workers,
+            timeout=self.task_timeout,
+            retries=self.task_retries,
+            progress=lambda event: self._observe(event, metrics),
+            initializer=_init_worker,
+            initargs=(self.suite, self._settings),
+        )
+        outcomes = engine.run(tasks)
+        results = []
+        cursor = 0
+        span = len(self.suite)
+        for profile, language in configs:
+            result = ConfigResult(
+                model=profile.name,
+                model_display=profile.display_name,
+                language=language,
+            )
+            for problem, outcome in zip(
+                self.suite, outcomes[cursor:cursor + span]
+            ):
+                result.records.append(self._to_record(problem.pid, outcome))
+            cursor += span
+            results.append(result)
+        return results
 
     @staticmethod
-    def _passes_golden(
-        problem, rtl: str, language: Language, toolchain: Toolchain
-    ) -> bool:
-        """pass@1_F judgment: the suite's golden testbench passes."""
-        files = [
-            HdlFile(f"{TOP_NAME}{language.file_extension}", rtl, language),
-            HdlFile(
-                f"tb{language.file_extension}",
-                problem.golden_tb[language],
-                language,
-            ),
-        ]
-        result = toolchain.simulate(files, "tb")
-        return result.ok and any(
-            PASS_MESSAGE in line for line in result.output_lines
+    def _to_record(pid: str, outcome: TaskOutcome) -> ProblemRecord:
+        if outcome.ok:
+            return outcome.value.record
+        reason = outcome.error.strip().splitlines()
+        summary = reason[-1] if reason else outcome.status
+        return ProblemRecord(
+            pid=pid, error=f"{outcome.status}: {summary}"
         )
+
+    # the pass@1 judgments remain reachable as static helpers (e.g. the
+    # multi-sample pass@k harness scores candidates with them directly)
+    _compiles = staticmethod(_compiles)
+    _passes_golden = staticmethod(_passes_golden)
+
+    def _observe(self, event: ProgressEvent, metrics: SweepMetrics) -> None:
+        metrics.observe_event(event)
+        outcome = event.outcome
+        if outcome is not None and outcome.ok:
+            payload: _TaskPayload = outcome.value
+            metrics.cache_hits += payload.cache_delta.hits
+            metrics.cache_misses += payload.cache_delta.misses
+            latency = payload.record.aivril_latency
+            metrics.stage_seconds["generation"] += latency.generation_llm
+            metrics.stage_seconds["syntax"] += latency.syntax_loop
+            metrics.stage_seconds["functional"] += latency.functional_loop
+        if self.progress is not None:
+            self.progress(event, metrics)

@@ -1,0 +1,58 @@
+"""Task model for the execution engine.
+
+A :class:`Task` is one unit of dispatchable work: a picklable top-level
+function plus its (picklable) arguments, tagged with a stable ``index`` that
+defines the merge order of results. The engine never merges by completion
+order — outcomes are reassembled by index, so a parallel run produces the
+same sequence a serial run would.
+
+A :class:`TaskOutcome` is what the engine hands back for every task, whether
+it succeeded, raised, timed out, or took its worker process down with it.
+The engine guarantees exactly one outcome per submitted task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: outcome statuses that carry a usable ``value``
+STATUS_OK = "ok"
+#: the task function raised an exception (deterministic failure, no retry)
+STATUS_ERROR = "error"
+#: the task exceeded the engine's per-task timeout on every allowed attempt
+STATUS_TIMEOUT = "timeout"
+#: the worker process died mid-task on every allowed attempt
+STATUS_CRASHED = "crashed"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    ``fn`` must be a module-level function (the parallel path pickles it by
+    reference into worker processes); ``args`` must be picklable too.
+    """
+
+    index: int
+    key: str  # human-readable identity, e.g. "gpt-4o/verilog/counter8"
+    fn: Callable[..., Any]
+    args: tuple = ()
+
+
+@dataclass
+class TaskOutcome:
+    """The result of one task, successful or not."""
+
+    index: int
+    key: str
+    status: str  # one of the STATUS_* constants
+    value: Any = None
+    error: str = ""  # traceback / reason when status != "ok"
+    attempts: int = 1
+    seconds: float = 0.0  # wall-clock of the successful attempt
+    worker: int = -1  # worker id that produced the result (-1 = in-process)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK

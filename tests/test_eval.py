@@ -111,6 +111,76 @@ class TestConfigResult:
         assert result.mean_functional_iterations == 3.0
 
 
+class TestConfigResultDegenerate:
+    """Empty or error-laden record lists must never divide by zero, and
+    error records must be reported separately — not counted as failures."""
+
+    def _empty(self):
+        return ConfigResult(
+            model="m", model_display="M", language=Language.VERILOG
+        )
+
+    def test_empty_records_all_properties_safe(self):
+        result = self._empty()
+        assert result.total == 0
+        assert result.baseline_syntax_pct == 0.0
+        assert result.baseline_functional_pct == 0.0
+        assert result.aivril_syntax_pct == 0.0
+        assert result.aivril_functional_pct == 0.0
+        assert result.delta_functional_pct is None
+        assert result.baseline_latency_avg == 0.0
+        assert result.aivril_latency_avg.total == 0.0
+        assert result.mean_syntax_iterations == 0.0
+        assert result.mean_functional_iterations == 0.0
+
+    def test_all_error_records_all_properties_safe(self):
+        result = self._empty()
+        for index in range(3):
+            result.records.append(
+                ProblemRecord(pid=f"p{index}", error="crashed: boom")
+            )
+        assert result.total == 3
+        assert result.error_count == 3
+        assert result.evaluated == []
+        assert result.baseline_functional_pct == 0.0
+        assert result.aivril_functional_pct == 0.0
+        assert result.delta_functional_pct is None
+        assert result.baseline_latency_avg == 0.0
+        assert result.aivril_latency_avg.total == 0.0
+
+    def test_error_records_excluded_not_failed(self):
+        result = self._empty()
+        passing = ProblemRecord(pid="good")
+        passing.baseline_functional_ok = True
+        passing.aivril_functional_ok = True
+        passing.baseline_latency = 6.0
+        result.records.append(passing)
+        failing = ProblemRecord(pid="wrong")
+        failing.baseline_latency = 2.0
+        result.records.append(failing)
+        result.records.append(ProblemRecord(pid="dead", error="timeout"))
+        # over the 2 evaluated records, not over all 3
+        assert result.baseline_functional_pct == 50.0
+        assert result.aivril_functional_pct == 50.0
+        assert result.baseline_latency_avg == 4.0
+        assert result.error_count == 1
+        assert [r.pid for r in result.error_records] == ["dead"]
+        assert [r.pid for r in result.evaluated] == ["good", "wrong"]
+
+    def test_errored_iterations_never_counted_in_cycle_means(self):
+        result = self._empty()
+        converged = ProblemRecord(pid="ok")
+        converged.aivril_syntax_ok = True
+        converged.syntax_iterations = 3
+        result.records.append(converged)
+        # an error record with leftover iteration counts must not leak in
+        poisoned = ProblemRecord(pid="dead", error="crashed")
+        poisoned.syntax_iterations = 99
+        poisoned.aivril_syntax_ok = True
+        result.records.append(poisoned)
+        assert result.mean_syntax_iterations == 3.0
+
+
 class TestRunnerSubset:
     @pytest.fixture(scope="class")
     def subset_result(self):

@@ -1,12 +1,19 @@
-"""Fault-injection tests: the pipeline must degrade gracefully on LLM failure."""
+"""Fault-injection tests: the pipeline must degrade gracefully on LLM
+failure, and the sweep engine must degrade gracefully on task failure."""
+
+import time
 
 import pytest
 
+import repro.eval.runner as runner_module
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import Aivril2Pipeline, PipelineAborted
 from repro.eda.toolchain import Language, Toolchain
+from repro.eval.runner import ExperimentRunner
+from repro.evalsuite.suite import build_suite
 from repro.llm import protocol
 from repro.llm.interface import ChatMessage, LLMError, LLMResponse
+from repro.llm.profiles import GPT_4O
 
 SPEC = (
     "Implement a 2-input AND gate named top_module with single-bit inputs "
@@ -101,3 +108,110 @@ class TestLLMFailures:
         llm = FlakyLLM(script=[TB, GOOD_RTL], fail_after=99)
         result = make_pipeline(llm).run(SPEC)
         assert result.converged
+
+
+class TestSweepFaultTolerance:
+    """A failing problem task yields an error record, never a lost pid or a
+    dead sweep — in both serial and parallel execution."""
+
+    @staticmethod
+    def _inject(monkeypatch, broken_pid, effect):
+        real = runner_module._run_problem
+
+        def flaky(profile, language, pid):
+            if pid == broken_pid and language is Language.VERILOG:
+                effect()
+            return real(profile, language, pid)
+
+        # `_task_entry` (the pickled dispatch point) resolves `_run_problem`
+        # late, and forked workers inherit the patched module state
+        monkeypatch.setattr(runner_module, "_run_problem", flaky)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_raising_task_degrades_to_error_record(
+        self, monkeypatch, workers
+    ):
+        suite = build_suite().head(4)
+        broken_pid = suite.problems[1].pid
+
+        def effect():
+            raise RuntimeError("injected EDA toolchain explosion")
+
+        self._inject(monkeypatch, broken_pid, effect)
+        events = []
+        runner = ExperimentRunner(
+            suite=suite, workers=workers,
+            progress=lambda event, metrics: events.append(event),
+        )
+        result = runner.run_config(GPT_4O, Language.VERILOG)
+
+        assert [r.pid for r in result.records] == [
+            p.pid for p in suite.problems
+        ], "no pid may be lost"
+        errored = result.records[1]
+        assert errored.error
+        assert "injected EDA toolchain explosion" in errored.error
+        assert result.error_count == 1
+        assert len(result.evaluated) == 3
+        # the healthy problems were still measured
+        assert all(not r.error for i, r in enumerate(result.records)
+                   if i != 1)
+        warnings = [e for e in events if e.level == "warning"]
+        assert warnings, "the progress stream must carry a warning"
+        assert any(broken_pid in e.key for e in warnings)
+
+    def test_hung_task_times_out_without_stalling_the_sweep(
+        self, monkeypatch
+    ):
+        suite = build_suite().head(3)
+        broken_pid = suite.problems[0].pid
+        self._inject(monkeypatch, broken_pid, lambda: time.sleep(300))
+        events = []
+        runner = ExperimentRunner(
+            suite=suite, workers=2, task_timeout=1.0, task_retries=0,
+            progress=lambda event, metrics: events.append(event),
+        )
+        started = time.perf_counter()
+        result = runner.run_config(GPT_4O, Language.VERILOG)
+        assert time.perf_counter() - started < 60
+        assert result.records[0].error.startswith("timeout")
+        assert result.error_count == 1
+        assert [r.pid for r in result.records] == [
+            p.pid for p in suite.problems
+        ]
+        assert any(e.level == "warning" for e in events)
+
+    def test_error_records_do_not_skew_percentages(self, monkeypatch):
+        suite = build_suite().head(4)
+        broken_pid = suite.problems[2].pid
+
+        def effect():
+            raise RuntimeError("boom")
+
+        clean = ExperimentRunner(suite=suite).run_config(
+            GPT_4O, Language.VERILOG
+        )
+        self._inject(monkeypatch, broken_pid, effect)
+        broken = ExperimentRunner(suite=suite).run_config(
+            GPT_4O, Language.VERILOG
+        )
+        # the error record is excluded from the statistics, not counted as
+        # a failure: percentages equal those computed from the clean run's
+        # records with the broken pid dropped
+        survivors = [r for r in clean.records if r.pid != broken_pid]
+        expected_functional = 100.0 * sum(
+            1 for r in survivors if r.baseline_functional_ok
+        ) / len(survivors)
+        assert broken.baseline_functional_pct == expected_functional
+        expected_latency = sum(
+            r.baseline_latency for r in survivors
+        ) / len(survivors)
+        assert broken.baseline_latency_avg == expected_latency
+        # while a would-be "errors are failures" implementation would report
+        # a lower rate whenever the clean run passed the broken problem
+        if clean.records[2].baseline_functional_ok:
+            assert broken.baseline_functional_pct > (
+                100.0 * sum(
+                    1 for r in survivors if r.baseline_functional_ok
+                ) / len(clean.records)
+            )

@@ -1,0 +1,243 @@
+"""Cache-correctness tests: memoized toolchain results equal cold results.
+
+The corpus is generated from real suite problems with the suite's own
+mutation catalogs (``repro.designs.mutations``), so it covers clean
+sources, syntax-broken sources, and functionally-wrong-but-compiling
+sources in both languages.
+"""
+
+import pytest
+
+from repro.designs.mutations import MutationError, apply_mutation
+from repro.eda.toolchain import (
+    CacheStats,
+    HdlFile,
+    Language,
+    Toolchain,
+    ToolchainCache,
+)
+from repro.evalsuite.suite import build_suite
+
+CORPUS_PROBLEMS = 6
+
+
+def compile_fields(result):
+    return (
+        result.ok,
+        result.log,
+        [str(d) for d in result.diagnostics],
+        result.error_count,
+        result.tool_seconds,
+    )
+
+
+def sim_fields(result):
+    return (
+        result.ok,
+        result.log,
+        result.output_lines,
+        result.end_time,
+        result.finished_cleanly,
+        result.runtime_error,
+        result.tool_seconds,
+        None if result.compile_result is None
+        else compile_fields(result.compile_result),
+    )
+
+
+def mutated_corpus(language):
+    """(files, top) pairs: clean references plus every catalogued defect."""
+    suite = build_suite().head(CORPUS_PROBLEMS)
+    ext = language.file_extension
+    for problem in suite:
+        reference = problem.reference[language]
+        testbench = problem.golden_tb[language]
+        sources = [reference]
+        for mutation in (
+            problem.syntax_mutations[language]
+            + problem.functional_mutations[language]
+        ):
+            try:
+                sources.append(apply_mutation(reference, mutation))
+            except MutationError:  # pragma: no cover - catalog is validated
+                continue
+        for source in sources:
+            files = [
+                HdlFile(f"top_module{ext}", source, language),
+                HdlFile(f"tb{ext}", testbench, language),
+            ]
+            yield files, "tb"
+
+
+class TestCachedEqualsUncached:
+    @pytest.mark.parametrize("language", list(Language))
+    def test_compile_corpus(self, language):
+        plain = Toolchain()
+        cached = Toolchain(cache=True)
+        for files, top in mutated_corpus(language):
+            cold = plain.compile(files, top)
+            first = cached.compile(files, top)  # populates
+            warm = cached.compile(files, top)  # serves from cache
+            assert compile_fields(first) == compile_fields(cold)
+            assert compile_fields(warm) == compile_fields(cold)
+        assert cached.cache_stats.hits > 0
+
+    @pytest.mark.parametrize("language", list(Language))
+    def test_simulate_corpus(self, language):
+        plain = Toolchain()
+        cached = Toolchain(cache=True)
+        for files, top in mutated_corpus(language):
+            cold = plain.simulate(files, top)
+            first = cached.simulate(files, top)
+            warm = cached.simulate(files, top)
+            assert sim_fields(first) == sim_fields(cold)
+            assert sim_fields(warm) == sim_fields(cold)
+        assert cached.cache_stats.hits > 0
+
+    def test_cached_result_is_isolated_from_caller_mutation(self):
+        toolchain = Toolchain(cache=True)
+        files = [HdlFile(
+            "top_module.v",
+            "module top_module(input a, output y); assign y = a; endmodule",
+            Language.VERILOG,
+        )]
+        first = toolchain.compile(files, "top_module")
+        first.diagnostics.append("poison")
+        first.ok = False
+        second = toolchain.compile(files, "top_module")
+        assert second.ok
+        assert second.diagnostics == []
+
+
+AND_GATE = (
+    "module top_module(input a, input b, output y);"
+    " assign y = a & b; endmodule"
+)
+OR_GATE = (
+    "module top_module(input a, input b, output y);"
+    " assign y = a | b; endmodule"
+)
+TB = """
+module tb;
+    reg a, b; wire y;
+    top_module dut(.a(a), .b(b), .y(y));
+    initial begin
+        a = 1; b = 0; #1;
+        if (y === 1'b0) $display("All tests passed successfully!");
+        else $display("Test Case 1 Failed");
+        $finish;
+    end
+endmodule
+"""
+
+
+class TestNoCollisions:
+    def test_same_log_different_sources_do_not_collide(self):
+        """AND and OR compile to byte-identical (clean) logs; a cache keyed
+        on rendered output would collapse them. Keys come from source
+        content, so simulation still tells them apart warm."""
+        toolchain = Toolchain(cache=True)
+        and_files = [HdlFile("top_module.v", AND_GATE, Language.VERILOG)]
+        or_files = [HdlFile("top_module.v", OR_GATE, Language.VERILOG)]
+        assert (
+            toolchain.compile(and_files, "top_module").log
+            == toolchain.compile(or_files, "top_module").log
+        )
+        sim_and = toolchain.simulate(
+            and_files + [HdlFile("tb.v", TB, Language.VERILOG)], "tb"
+        )
+        sim_or = toolchain.simulate(
+            or_files + [HdlFile("tb.v", TB, Language.VERILOG)], "tb"
+        )
+        # warm replay must preserve the distinction
+        sim_and_warm = toolchain.simulate(
+            and_files + [HdlFile("tb.v", TB, Language.VERILOG)], "tb"
+        )
+        sim_or_warm = toolchain.simulate(
+            or_files + [HdlFile("tb.v", TB, Language.VERILOG)], "tb"
+        )
+        assert any("All tests passed" in l for l in sim_and_warm.output_lines)
+        assert any("Failed" in l for l in sim_or_warm.output_lines)
+        assert sim_fields(sim_and_warm) == sim_fields(sim_and)
+        assert sim_fields(sim_or_warm) == sim_fields(sim_or)
+
+    def test_key_distinguishes_every_input_component(self):
+        files = [HdlFile("a.v", "module a; endmodule", Language.VERILOG)]
+        base = ToolchainCache.key("compile", files, "a")
+        assert ToolchainCache.key("simulate", files, "a") != base
+        assert ToolchainCache.key("compile", files, "b") != base
+        renamed = [HdlFile("b.v", "module a; endmodule", Language.VERILOG)]
+        assert ToolchainCache.key("compile", renamed, "a") != base
+        retyped = [HdlFile("a.v", "module a; endmodule", Language.VHDL)]
+        assert ToolchainCache.key("compile", retyped, "a") != base
+        assert ToolchainCache.key("compile", files, "a", extra=(1,)) != base
+        # boundary shifts between fields must not alias
+        shifted = [HdlFile("a.vm", "odule a; endmodule", Language.VERILOG)]
+        assert ToolchainCache.key("compile", shifted, "a") != base
+
+
+class TestLruBound:
+    def test_eviction_at_capacity(self):
+        cache = ToolchainCache(maxsize=2)
+        toolchain = Toolchain(cache=cache)
+        sources = {
+            name: f"module {name}(input a, output y);"
+                  f" assign y = a; endmodule"
+            for name in ("m0", "m1", "m2")
+        }
+
+        def compile_one(name):
+            return toolchain.compile(
+                [HdlFile(f"{name}.v", sources[name], Language.VERILOG)], name
+            )
+
+        for name in ("m0", "m1", "m2"):
+            compile_one(name)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # m0 was evicted: compiling it again is a miss, m2 is still warm
+        misses_before = cache.stats.misses
+        hits_before = cache.stats.hits
+        compile_one("m0")
+        assert cache.stats.misses == misses_before + 1
+        compile_one("m2")
+        assert cache.stats.hits == hits_before + 1
+
+    def test_lru_recency_order(self):
+        cache = ToolchainCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now least-recent
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            ToolchainCache(maxsize=0)
+
+
+class TestStatsAndToggles:
+    def test_stats_delta_and_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.hit_rate == 0.75
+        assert stats.lookups == 4
+        delta = stats.delta(CacheStats(hits=1, misses=1))
+        assert (delta.hits, delta.misses) == (2, 0)
+        assert CacheStats().hit_rate == 0.0
+
+    def test_cache_disabled_by_default(self):
+        toolchain = Toolchain()
+        assert toolchain.cache is None
+        assert toolchain.cache_stats.lookups == 0
+
+    def test_cache_false_means_disabled(self):
+        assert Toolchain(cache=False).cache is None
+
+    def test_clear(self):
+        cache = ToolchainCache()
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
