@@ -1,0 +1,106 @@
+"""Observability overhead benchmarks.
+
+The contract of :mod:`repro.obs` is that instrumentation is effectively
+free when disabled and cheap when enabled:
+
+* **disabled** (the default ``NULL_TRACER``): the cost of all null spans a
+  sweep would open must stay under 2% of that sweep's wall-clock;
+* **enabled** (JSONL tracing to disk): a fully traced sweep must stay
+  within 10% of the untraced wall-clock.
+
+The disabled bound is measured directly rather than by A/B: the no-op
+path costs nanoseconds, far below run-to-run sweep noise, so we
+micro-time the null span and multiply by the number of spans the traced
+run actually opened — an overestimate-safe accounting of the total
+disabled-mode cost. The enabled bound is a min-of-N A/B of the same
+sweep with and without ``trace_path``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py -s -q
+"""
+
+import json
+import time
+
+from repro.eval.runner import ExperimentRunner
+from repro.llm.profiles import GPT_4O
+from repro.eda.toolchain import Language
+from repro.obs import NULL_TRACER, get_tracer, set_tracer
+
+#: acceptance ceilings from the observability contract
+DISABLED_OVERHEAD_CEILING = 0.02
+ENABLED_OVERHEAD_CEILING = 0.10
+
+NULL_SPAN_SAMPLES = 200_000
+SWEEP_REPS = 3
+
+
+def _timed_sweep(bench_suite, trace_path=None) -> float:
+    runner = ExperimentRunner(
+        suite=bench_suite,
+        trace_path=str(trace_path) if trace_path else None,
+    )
+    started = time.perf_counter()
+    runner.run_all(profiles=[GPT_4O], languages=(Language.VERILOG,))
+    return time.perf_counter() - started
+
+
+def _best_of(reps, fn):
+    return min(fn() for _ in range(reps))
+
+
+def test_disabled_tracing_overhead_under_2pct(bench_suite, tmp_path):
+    """Null-span cost x spans-per-sweep must be < 2% of sweep wall-clock."""
+    assert get_tracer() is NULL_TRACER  # the default must be the no-op
+
+    started = time.perf_counter()
+    for _ in range(NULL_SPAN_SAMPLES):
+        with NULL_TRACER.span("bench", key=1) as span:
+            span.set_attr("a", 1)
+    null_span_seconds = (time.perf_counter() - started) / NULL_SPAN_SAMPLES
+
+    # count the spans a traced run of this sweep actually opens
+    trace_path = tmp_path / "count.jsonl"
+    sweep_seconds = _best_of(
+        SWEEP_REPS, lambda: _timed_sweep(bench_suite)
+    )
+    _timed_sweep(bench_suite, trace_path=trace_path)
+    span_count = sum(
+        1 for line in open(trace_path)
+        if json.loads(line)["type"] == "span"
+    )
+
+    disabled_cost = null_span_seconds * span_count
+    overhead = disabled_cost / sweep_seconds
+    print(
+        f"\n[bench_obs] null span: {null_span_seconds * 1e9:.0f}ns; "
+        f"{span_count} spans/sweep -> {disabled_cost * 1e3:.3f}ms of a "
+        f"{sweep_seconds:.2f}s sweep = {100 * overhead:.4f}% overhead "
+        f"(ceiling {100 * DISABLED_OVERHEAD_CEILING:.0f}%)"
+    )
+    assert overhead < DISABLED_OVERHEAD_CEILING, (
+        f"disabled tracing costs {100 * overhead:.3f}% of the sweep; "
+        f"the no-op path must stay under "
+        f"{100 * DISABLED_OVERHEAD_CEILING:.0f}%"
+    )
+
+
+def test_enabled_tracing_overhead_under_10pct(bench_suite, tmp_path):
+    """A fully traced sweep stays within 10% of the untraced wall-clock."""
+    untraced = _best_of(SWEEP_REPS, lambda: _timed_sweep(bench_suite))
+    traced = _best_of(
+        SWEEP_REPS,
+        lambda: _timed_sweep(bench_suite, trace_path=tmp_path / "bench.jsonl"),
+    )
+    overhead = traced / untraced - 1.0
+    print(
+        f"\n[bench_obs] sweep untraced {untraced:.3f}s vs traced "
+        f"{traced:.3f}s -> {100 * overhead:+.2f}% overhead "
+        f"(ceiling {100 * ENABLED_OVERHEAD_CEILING:.0f}%)"
+    )
+    assert get_tracer() is NULL_TRACER  # sweeps must restore the default
+    assert overhead < ENABLED_OVERHEAD_CEILING, (
+        f"enabled tracing adds {100 * overhead:.1f}%; must stay under "
+        f"{100 * ENABLED_OVERHEAD_CEILING:.0f}%"
+    )

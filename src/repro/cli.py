@@ -5,7 +5,9 @@ Commands:
 * ``list`` — enumerate benchmark problems (optionally one family);
 * ``show`` — print a problem's spec, reference, or golden testbench;
 * ``run`` — run the AIVRIL2 pipeline on one problem with a simulated model;
-* ``sweep`` — run the paper's experiments and print Table 1/2 or Figure 3;
+* ``sweep`` — run the paper's experiments and print Table 1/2 or Figure 3
+  (``--trace PATH`` records a span trace of the whole sweep);
+* ``trace`` — summarize or validate a recorded trace file;
 * ``validate`` — check suite integrity (reference passes, mutations behave).
 
 Everything the CLI does is also available as a library API; the CLI exists
@@ -15,6 +17,7 @@ so the artifacts can be regenerated without writing Python.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from repro.core.config import PipelineConfig
@@ -33,6 +36,9 @@ from repro.exec.progress import (
 )
 from repro.llm.profiles import PROFILES, profile_for
 from repro.llm.synthetic import SyntheticDesignLLM
+from repro.obs import render_trace_summary, summarize_trace, validate_trace
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def _worker_count(text: str) -> int:
@@ -58,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AIVRIL2 reproduction: EDA-aware RTL generation harness",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="emit stdlib logging from the pipeline/toolchain/engine to "
+             "stderr at this level",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -114,6 +125,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream per-task progress (tasks done, cache hit rate, "
              "latency) to stderr",
     )
+    sweep.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a JSONL span trace of the sweep to PATH "
+             "(inspect with 'repro trace summarize PATH')",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="inspect a recorded sweep trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="aggregate a trace: loop iterations per config, per-stage "
+             "latency, cache hit rate, token totals",
+    )
+    trace_summarize.add_argument("path")
+    trace_validate = trace_sub.add_parser(
+        "validate", help="check every trace record against the schema"
+    )
+    trace_validate.add_argument("path")
 
     validate = sub.add_parser("validate", help="check suite integrity")
     validate.add_argument("--limit", type=int, default=0)
@@ -207,6 +238,7 @@ def _cmd_sweep(args, out) -> int:
         use_cache=not args.no_cache,
         task_timeout=args.task_timeout,
         progress=progress,
+        trace_path=args.trace,
     )
     if args.artifact == "table2":
         results = runner.run_all(languages=(Language.VERILOG,))
@@ -219,6 +251,11 @@ def _cmd_sweep(args, out) -> int:
             out.write(render_figure3(results) + "\n")
     if args.progress:
         sys.stderr.write("sweep: " + runner.metrics.summary() + "\n")
+    if args.trace:
+        sys.stderr.write(
+            f"trace written to {args.trace} "
+            f"(inspect with 'repro trace summarize {args.trace}')\n"
+        )
     errors = sum(result.error_count for result in results)
     if errors:
         sys.stderr.write(
@@ -226,6 +263,26 @@ def _cmd_sweep(args, out) -> int:
             f"they are excluded from the reported percentages\n"
         )
     return 0
+
+
+def _cmd_trace(args, out) -> int:
+    try:
+        if args.trace_command == "summarize":
+            out.write(render_trace_summary(summarize_trace(args.path)) + "\n")
+            return 0
+        count, errors = validate_trace(args.path)
+        if errors:
+            for error in errors:
+                out.write(error + "\n")
+            out.write(
+                f"INVALID: {len(errors)} problem(s) in {count} record(s)\n"
+            )
+            return 1
+        out.write(f"OK: {count} record(s), all schema-valid\n")
+        return 0
+    except (OSError, ValueError) as exc:
+        out.write(f"cannot read trace: {exc}\n")
+        return 1
 
 
 def _cmd_validate(args, out) -> int:
@@ -252,11 +309,18 @@ def _cmd_validate(args, out) -> int:
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            stream=sys.stderr,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
     handlers = {
         "list": _cmd_list,
         "show": _cmd_show,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args, out)

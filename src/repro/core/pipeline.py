@@ -19,6 +19,7 @@ its own testbench observed, as the paper's tool does.
 
 from __future__ import annotations
 
+import logging
 import time as _time
 
 from repro.agents.base import StepKind, Transcript
@@ -35,6 +36,9 @@ from repro.core.result import (
 from repro.eda.toolchain import HdlFile, Language, Toolchain
 from repro.llm import protocol
 from repro.llm.interface import LLMClient, LLMError
+from repro.obs import DEFAULT_COUNT_BUCKETS, get_tracer
+
+log = logging.getLogger(__name__)
 
 
 class PipelineAborted(RuntimeError):
@@ -61,6 +65,40 @@ class Aivril2Pipeline:
 
     def run(self, spec: str) -> PipelineResult:
         """Execute the full two-loop flow for one specification."""
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline.run",
+            language=self.config.language.value,
+            testbench_first=self.config.testbench_first,
+            freeze_testbench=self.config.freeze_testbench,
+        ) as run_span:
+            result = self._run_traced(spec, tracer)
+            run_span.set_attrs(
+                syntax_ok=result.syntax_ok,
+                functional_ok=result.functional_ok,
+                syntax_iterations=result.syntax_iterations,
+                functional_iterations=result.functional_iterations,
+                prompt_tokens=result.tokens.prompt_tokens,
+                completion_tokens=result.tokens.completion_tokens,
+                llm_calls=result.tokens.llm_calls,
+            )
+            metrics = tracer.metrics
+            metrics.counter("pipeline.runs").inc()
+            metrics.histogram(
+                "loop.syntax.iterations", buckets=DEFAULT_COUNT_BUCKETS
+            ).observe(result.syntax_iterations)
+            metrics.histogram(
+                "loop.functional.iterations", buckets=DEFAULT_COUNT_BUCKETS
+            ).observe(result.functional_iterations)
+            metrics.counter("llm.tokens.prompt").inc(
+                result.tokens.prompt_tokens
+            )
+            metrics.counter("llm.tokens.completion").inc(
+                result.tokens.completion_tokens
+            )
+            return result
+
+    def _run_traced(self, spec: str, tracer) -> PipelineResult:
         started = _time.perf_counter()
         config = self.config
         transcript = Transcript()
@@ -77,13 +115,16 @@ class Aivril2Pipeline:
 
         spec = code_agent.ensure_specification(spec)
         try:
-            if config.testbench_first:
-                testbench = code_agent.generate_testbench(spec)
-                rtl = code_agent.generate_rtl(spec, testbench)
-            else:
-                # AIVRIL-style: RTL first, testbench written afterwards
-                rtl = code_agent.generate_rtl(spec, testbench="")
-                testbench = code_agent.generate_testbench(spec)
+            with tracer.span(
+                "pipeline.generate", testbench_first=config.testbench_first
+            ):
+                if config.testbench_first:
+                    testbench = code_agent.generate_testbench(spec)
+                    rtl = code_agent.generate_rtl(spec, testbench)
+                else:
+                    # AIVRIL-style: RTL first, testbench written afterwards
+                    rtl = code_agent.generate_rtl(spec, testbench="")
+                    testbench = code_agent.generate_testbench(spec)
         except LLMError as exc:
             # without initial code there is nothing to optimize
             raise PipelineAborted(
@@ -96,9 +137,11 @@ class Aivril2Pipeline:
         syntax_iterations = 0
         try:
             syntax_ok, syntax_iterations, rtl = self._syntax_loop(
-                spec, rtl, testbench, code_agent, review_agent, latency
+                spec, rtl, testbench, code_agent, review_agent, latency,
+                tracer,
             )
         except LLMError as exc:
+            log.warning("LLM failure in the syntax loop: %s", exc)
             transcript.record(
                 "ReviewAgent",
                 StepKind.OBSERVATION,
@@ -114,10 +157,11 @@ class Aivril2Pipeline:
                 functional_ok, functional_iterations, rtl, testbench = (
                     self._functional_loop(
                         spec, rtl, testbench, code_agent,
-                        verification_agent, latency,
+                        verification_agent, latency, tracer,
                     )
                 )
             except LLMError as exc:
+                log.warning("LLM failure in the functional loop: %s", exc)
                 transcript.record(
                     "VerificationAgent",
                     StepKind.OBSERVATION,
@@ -130,6 +174,12 @@ class Aivril2Pipeline:
             prompt_tokens=sum(a.prompt_tokens for a in agents),
             completion_tokens=sum(a.completion_tokens for a in agents),
             llm_calls=sum(a.llm_calls for a in agents),
+        )
+        log.debug(
+            "pipeline finished: syntax_ok=%s functional_ok=%s "
+            "iterations=%d/%d",
+            syntax_ok, functional_ok, syntax_iterations,
+            functional_iterations,
         )
         return PipelineResult(
             spec=spec,
@@ -147,41 +197,62 @@ class Aivril2Pipeline:
         )
 
     def _syntax_loop(
-        self, spec, rtl, testbench, code_agent, review_agent, latency
+        self, spec, rtl, testbench, code_agent, review_agent, latency, tracer
     ) -> tuple[bool, int, str]:
         """Run the Syntax Optimization loop; returns (ok, iterations, rtl)."""
         config = self.config
         syntax_ok = False
         syntax_iterations = 0
-        for _ in range(config.max_syntax_iterations):
-            outcome = review_agent.review(self._files(rtl, testbench), config.tb_name)
-            latency.syntax_tool += outcome.tool_seconds
-            latency.syntax_llm += outcome.llm_seconds
-            if outcome.ok:
-                syntax_ok = True
-                break
-            syntax_iterations += 1
-            previous_rtl = rtl
-            rtl = code_agent.revise_rtl(
-                spec, outcome.corrective_prompt, kind="syntax"
-            )
-            latency.syntax_llm += code_agent.take_latency()
-            if config.stop_on_no_progress and rtl == previous_rtl:
-                code_agent.observe(
-                    "The revision is identical to the previous code; the "
-                    "syntax loop cannot make further progress."
-                )
-                break
-        else:
-            # cap hit: one final check so the report reflects the last code
-            outcome = review_agent.review(self._files(rtl, testbench), config.tb_name)
-            latency.syntax_tool += outcome.tool_seconds
-            latency.syntax_llm += outcome.llm_seconds
-            syntax_ok = outcome.ok
+        with tracer.span("loop.syntax") as loop_span:
+            for _ in range(config.max_syntax_iterations):
+                with tracer.span(
+                    "loop.syntax.iteration", iteration=syntax_iterations + 1
+                ) as iteration_span:
+                    outcome = review_agent.review(
+                        self._files(rtl, testbench), config.tb_name
+                    )
+                    latency.syntax_tool += outcome.tool_seconds
+                    latency.syntax_llm += outcome.llm_seconds
+                    error_count = (
+                        outcome.compile_result.error_count
+                        if outcome.compile_result is not None
+                        else len(outcome.errors)
+                    )
+                    iteration_span.set_attrs(
+                        ok=outcome.ok, error_count=error_count
+                    )
+                    if outcome.ok:
+                        syntax_ok = True
+                        break
+                    syntax_iterations += 1
+                    previous_rtl = rtl
+                    rtl = code_agent.revise_rtl(
+                        spec, outcome.corrective_prompt, kind="syntax"
+                    )
+                    latency.syntax_llm += code_agent.take_latency()
+                    iteration_span.set_attr("revised", rtl != previous_rtl)
+                    if config.stop_on_no_progress and rtl == previous_rtl:
+                        code_agent.observe(
+                            "The revision is identical to the previous code; "
+                            "the syntax loop cannot make further progress."
+                        )
+                        break
+            else:
+                # cap hit: one final check so the report reflects the last code
+                with tracer.span("loop.syntax.final_check") as final_span:
+                    outcome = review_agent.review(
+                        self._files(rtl, testbench), config.tb_name
+                    )
+                    latency.syntax_tool += outcome.tool_seconds
+                    latency.syntax_llm += outcome.llm_seconds
+                    syntax_ok = outcome.ok
+                    final_span.set_attr("ok", outcome.ok)
+            loop_span.set_attrs(ok=syntax_ok, iterations=syntax_iterations)
         return syntax_ok, syntax_iterations, rtl
 
     def _functional_loop(
-        self, spec, rtl, testbench, code_agent, verification_agent, latency
+        self, spec, rtl, testbench, code_agent, verification_agent, latency,
+        tracer,
     ) -> tuple[bool, int, str, str]:
         """Run the Functional Optimization loop.
 
@@ -191,39 +262,55 @@ class Aivril2Pipeline:
         config = self.config
         functional_ok = False
         functional_iterations = 0
-        for _ in range(config.max_functional_iterations):
-            outcome = verification_agent.verify(
-                self._files(rtl, testbench), config.tb_name
+        with tracer.span("loop.functional") as loop_span:
+            for _ in range(config.max_functional_iterations):
+                with tracer.span(
+                    "loop.functional.iteration",
+                    iteration=functional_iterations + 1,
+                ) as iteration_span:
+                    outcome = verification_agent.verify(
+                        self._files(rtl, testbench), config.tb_name
+                    )
+                    latency.functional_tool += outcome.tool_seconds
+                    latency.functional_llm += outcome.llm_seconds
+                    iteration_span.set_attrs(
+                        ok=outcome.ok,
+                        failing_cases=len(outcome.failures),
+                        runtime_error=bool(outcome.runtime_error),
+                    )
+                    if outcome.ok:
+                        functional_ok = True
+                        break
+                    functional_iterations += 1
+                    if not config.freeze_testbench:
+                        # ablation: regenerate the testbench each round (the
+                        # unstable-standard failure mode the paper warns about)
+                        testbench = code_agent.generate_testbench(spec)
+                        latency.functional_llm += code_agent.take_latency()
+                    previous_rtl = rtl
+                    rtl = code_agent.revise_rtl(
+                        spec, outcome.corrective_prompt, kind="functional"
+                    )
+                    latency.functional_llm += code_agent.take_latency()
+                    iteration_span.set_attr("revised", rtl != previous_rtl)
+                    if config.stop_on_no_progress and rtl == previous_rtl:
+                        code_agent.observe(
+                            "The revision is identical to the previous code; "
+                            "the functional loop cannot make further progress."
+                        )
+                        break
+            else:
+                with tracer.span("loop.functional.final_check") as final_span:
+                    outcome = verification_agent.verify(
+                        self._files(rtl, testbench), config.tb_name
+                    )
+                    latency.functional_tool += outcome.tool_seconds
+                    latency.functional_llm += outcome.llm_seconds
+                    functional_ok = outcome.ok
+                    final_span.set_attr("ok", outcome.ok)
+            loop_span.set_attrs(
+                ok=functional_ok, iterations=functional_iterations
             )
-            latency.functional_tool += outcome.tool_seconds
-            latency.functional_llm += outcome.llm_seconds
-            if outcome.ok:
-                functional_ok = True
-                break
-            functional_iterations += 1
-            if not config.freeze_testbench:
-                # ablation: regenerate the testbench each round (the
-                # unstable-standard failure mode the paper warns about)
-                testbench = code_agent.generate_testbench(spec)
-                latency.functional_llm += code_agent.take_latency()
-            previous_rtl = rtl
-            rtl = code_agent.revise_rtl(
-                spec, outcome.corrective_prompt, kind="functional"
-            )
-            latency.functional_llm += code_agent.take_latency()
-            if config.stop_on_no_progress and rtl == previous_rtl:
-                code_agent.observe(
-                    "The revision is identical to the previous code; "
-                    "the functional loop cannot make further progress."
-                )
-                break
-        else:
-            outcome = verification_agent.verify(
-                self._files(rtl, testbench), config.tb_name
-            )
-            latency.functional_tool += outcome.tool_seconds
-            latency.functional_llm += outcome.llm_seconds
-            functional_ok = outcome.ok
         return functional_ok, functional_iterations, rtl, testbench
 
     def _files(self, rtl: str, testbench: str) -> list[HdlFile]:
@@ -238,13 +325,20 @@ def run_baseline(
     llm: LLMClient, spec: str, language: Language
 ) -> BaselineResult:
     """The paper's baseline: one zero-shot RTL generation, no loops."""
-    started = _time.perf_counter()
-    transcript = Transcript()
-    code_agent = CodeAgent(llm, language, transcript)
-    rtl = code_agent.generate_rtl(spec, testbench="")
-    return BaselineResult(
-        spec=spec,
-        rtl=rtl,
-        latency_seconds=code_agent.llm_seconds,
-        wall_seconds=_time.perf_counter() - started,
-    )
+    with get_tracer().span(
+        "pipeline.baseline", language=language.value
+    ) as span:
+        started = _time.perf_counter()
+        transcript = Transcript()
+        code_agent = CodeAgent(llm, language, transcript)
+        rtl = code_agent.generate_rtl(spec, testbench="")
+        span.set_attrs(
+            prompt_tokens=code_agent.prompt_tokens,
+            completion_tokens=code_agent.completion_tokens,
+        )
+        return BaselineResult(
+            spec=spec,
+            rtl=rtl,
+            latency_seconds=code_agent.llm_seconds,
+            wall_seconds=_time.perf_counter() - started,
+        )

@@ -26,11 +26,13 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import logging
 import time as _time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 from repro.hdl.diagnostics import Diagnostic, DiagnosticCollector, render_vivado_log
+from repro.obs import get_tracer
 from repro.hdl.source import SourceFile
 from repro.sim.elab_verilog import elaborate_verilog
 from repro.sim.elab_vhdl import elaborate_vhdl
@@ -39,6 +41,8 @@ from repro.verilog.analyzer import VerilogAnalyzer
 from repro.verilog.parser import parse_verilog
 from repro.vhdl.analyzer import VhdlAnalyzer
 from repro.vhdl.parser import parse_vhdl
+
+log = logging.getLogger(__name__)
 
 
 class Language(enum.Enum):
@@ -239,35 +243,57 @@ class Toolchain:
 
     def compile(self, files: list[HdlFile], top: str) -> CompileResult:
         """Analyze and elaborate; diagnostics render into one compile log."""
-        started = _time.perf_counter()
-        key = ""
-        if self.cache is not None:
-            key = ToolchainCache.key("compile", files, top)
-            cached = self.cache.get(key)
-            if cached is not None:
-                return _copy_compile_result(
-                    cached, _time.perf_counter() - started
-                )
-        collector = DiagnosticCollector()
-        language = files[0].language if files else Language.VERILOG
-        design = self._build_design(files, top, collector)
-        wall = _time.perf_counter() - started
-        total_kib = sum(len(f.text) for f in files) / 1024.0
-        modeled = self.COMPILE_BASE_SECONDS + self.COMPILE_PER_KIB_SECONDS * total_kib
-        log = render_vivado_log(
-            collector.diagnostics, tool=language.compiler, top=top
-        )
-        result = CompileResult(
-            ok=not collector.has_errors and design is not None,
-            log=log,
-            diagnostics=list(collector.diagnostics),
-            tool_seconds=modeled,
-            wall_seconds=wall,
-        )
-        if self.cache is not None:
-            # store a private copy so later caller mutations cannot poison it
-            self.cache.put(key, _copy_compile_result(result, wall))
-        return result
+        tracer = get_tracer()
+        with tracer.span(
+            "toolchain.compile", top=top, files=len(files)
+        ) as span:
+            started = _time.perf_counter()
+            key = ""
+            if self.cache is not None:
+                key = ToolchainCache.key("compile", files, top)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    span.set_attrs(
+                        cache="hit", ok=cached.ok,
+                        error_count=cached.error_count,
+                        tool_seconds=cached.tool_seconds,
+                    )
+                    tracer.metrics.counter("cache.hit").inc()
+                    return _copy_compile_result(
+                        cached, _time.perf_counter() - started
+                    )
+                span.set_attr("cache", "miss")
+                tracer.metrics.counter("cache.miss").inc()
+            else:
+                span.set_attr("cache", "off")
+            collector = DiagnosticCollector()
+            language = files[0].language if files else Language.VERILOG
+            design = self._build_design(files, top, collector)
+            wall = _time.perf_counter() - started
+            total_kib = sum(len(f.text) for f in files) / 1024.0
+            modeled = self.COMPILE_BASE_SECONDS + self.COMPILE_PER_KIB_SECONDS * total_kib
+            result = CompileResult(
+                ok=not collector.has_errors and design is not None,
+                log=render_vivado_log(
+                    collector.diagnostics, tool=language.compiler, top=top
+                ),
+                diagnostics=list(collector.diagnostics),
+                tool_seconds=modeled,
+                wall_seconds=wall,
+            )
+            if self.cache is not None:
+                # store a private copy so later caller mutations cannot poison it
+                self.cache.put(key, _copy_compile_result(result, wall))
+            span.set_attrs(
+                ok=result.ok, error_count=result.error_count,
+                tool_seconds=result.tool_seconds,
+            )
+            tracer.metrics.histogram("toolchain.compile.seconds").observe(wall)
+            log.debug(
+                "compile top=%s files=%d ok=%s errors=%d",
+                top, len(files), result.ok, result.error_count,
+            )
+            return result
 
     def _build_design(
         self, files: list[HdlFile], top: str, collector: DiagnosticCollector
@@ -360,21 +386,48 @@ class Toolchain:
 
     def simulate(self, files: list[HdlFile], top: str) -> SimResult:
         """Compile then run the simulation; returns the xsim-style log."""
-        started = _time.perf_counter()
-        key = ""
-        if self.cache is not None:
-            key = ToolchainCache.key(
-                "simulate", files, top, extra=(self.max_sim_time,)
-            )
-            cached = self.cache.get(key)
-            if cached is not None:
-                return _copy_sim_result(
-                    cached, _time.perf_counter() - started
+        tracer = get_tracer()
+        with tracer.span(
+            "toolchain.simulate", top=top, files=len(files)
+        ) as span:
+            started = _time.perf_counter()
+            key = ""
+            if self.cache is not None:
+                key = ToolchainCache.key(
+                    "simulate", files, top, extra=(self.max_sim_time,)
                 )
-        result = self._simulate_uncached(files, top, started)
-        if self.cache is not None:
-            self.cache.put(key, _copy_sim_result(result, result.wall_seconds))
-        return result
+                cached = self.cache.get(key)
+                if cached is not None:
+                    span.set_attrs(
+                        cache="hit", ok=cached.ok,
+                        tool_seconds=cached.tool_seconds,
+                    )
+                    tracer.metrics.counter("cache.hit").inc()
+                    return _copy_sim_result(
+                        cached, _time.perf_counter() - started
+                    )
+                span.set_attr("cache", "miss")
+                tracer.metrics.counter("cache.miss").inc()
+            else:
+                span.set_attr("cache", "off")
+            result = self._simulate_uncached(files, top, started)
+            if self.cache is not None:
+                self.cache.put(
+                    key, _copy_sim_result(result, result.wall_seconds)
+                )
+            span.set_attrs(
+                ok=result.ok,
+                finished_cleanly=result.finished_cleanly,
+                tool_seconds=result.tool_seconds,
+            )
+            tracer.metrics.histogram("toolchain.simulate.seconds").observe(
+                result.wall_seconds
+            )
+            log.debug(
+                "simulate top=%s files=%d ok=%s end_time=%d",
+                top, len(files), result.ok, result.end_time,
+            )
+            return result
 
     def _simulate_uncached(
         self, files: list[HdlFile], top: str, started: float
@@ -382,10 +435,10 @@ class Toolchain:
         compile_result = self.compile(files, top)
         if not compile_result.ok:
             wall = _time.perf_counter() - started
-            log = compile_result.log + "\nERROR: [XSIM 43-3225] Simulation not run: compilation failed"
+            sim_log = compile_result.log + "\nERROR: [XSIM 43-3225] Simulation not run: compilation failed"
             return SimResult(
                 ok=False,
-                log=log,
+                log=sim_log,
                 compile_result=compile_result,
                 tool_seconds=compile_result.tool_seconds,
                 wall_seconds=wall,
@@ -408,12 +461,12 @@ class Toolchain:
             + self.SIM_BASE_SECONDS
             + self.SIM_PER_KACT_SECONDS * stats.process_activations / 1000.0
         )
-        log = self._render_sim_log(
+        sim_log = self._render_sim_log(
             top, simulator.output, stats, runtime_error
         )
         return SimResult(
             ok=not runtime_error,
-            log=log,
+            log=sim_log,
             output_lines=list(simulator.output),
             compile_result=compile_result,
             end_time=stats.end_time,

@@ -31,6 +31,7 @@ latency average and reported separately.
 
 from __future__ import annotations
 
+import logging
 import time as _time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -49,10 +50,18 @@ from repro.eda.toolchain import (
 )
 from repro.evalsuite.suite import Suite, build_suite
 from repro.exec.engine import ExecutionEngine
-from repro.exec.progress import ProgressEvent, SweepMetrics
+from repro.exec.progress import (
+    ProgressEvent,
+    SweepMetrics,
+    attach_metrics,
+    progress_adapter,
+)
 from repro.exec.task import Task, TaskOutcome
 from repro.llm.profiles import CapabilityProfile, PROFILES
 from repro.llm.synthetic import SyntheticDesignLLM
+from repro.obs import EventBus, configure_tracing, get_tracer, set_tracer
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -196,6 +205,8 @@ class RunnerSettings:
     testbench_quality: str = "full"
     use_cache: bool = True
     cache_size: int = 512
+    #: when set, worker processes attach a JSONL tracer to this file
+    trace_path: str | None = None
 
 
 @dataclass
@@ -261,28 +272,48 @@ class _TaskContext:
         started = _time.perf_counter()
         record = ProblemRecord(pid=problem.pid)
 
-        baseline = run_baseline(llm, problem.prompt, language)
-        record.baseline_latency = baseline.latency_seconds
-        record.baseline_syntax_ok = _compiles(
-            baseline.rtl, language, toolchain
-        )
-        record.baseline_functional_ok = _passes_golden(
-            problem, baseline.rtl, language, toolchain
-        )
+        with get_tracer().span(
+            "task.problem",
+            key=f"{profile.name}/{language.value}/{pid}",
+            model=profile.name,
+            language=language.value,
+            problem=pid,
+        ) as span:
+            baseline = run_baseline(llm, problem.prompt, language)
+            record.baseline_latency = baseline.latency_seconds
+            record.baseline_syntax_ok = _compiles(
+                baseline.rtl, language, toolchain
+            )
+            record.baseline_functional_ok = _passes_golden(
+                problem, baseline.rtl, language, toolchain
+            )
 
-        run = pipeline.run(problem.prompt)
-        record.aivril_latency = run.latency
-        record.syntax_iterations = run.syntax_iterations
-        record.functional_iterations = run.functional_iterations
-        record.aivril_syntax_ok = _compiles(run.rtl, language, toolchain)
-        record.aivril_functional_ok = _passes_golden(
-            problem, run.rtl, language, toolchain
-        )
-        record.wall_seconds = _time.perf_counter() - started
-        return _TaskPayload(
-            record=record,
-            cache_delta=toolchain.cache_stats.delta(stats_before),
-        )
+            run = pipeline.run(problem.prompt)
+            record.aivril_latency = run.latency
+            record.syntax_iterations = run.syntax_iterations
+            record.functional_iterations = run.functional_iterations
+            record.aivril_syntax_ok = _compiles(run.rtl, language, toolchain)
+            record.aivril_functional_ok = _passes_golden(
+                problem, run.rtl, language, toolchain
+            )
+            record.wall_seconds = _time.perf_counter() - started
+            cache_delta = toolchain.cache_stats.delta(stats_before)
+            span.set_attrs(
+                baseline_syntax_ok=record.baseline_syntax_ok,
+                baseline_functional_ok=record.baseline_functional_ok,
+                aivril_syntax_ok=record.aivril_syntax_ok,
+                aivril_functional_ok=record.aivril_functional_ok,
+                syntax_iterations=record.syntax_iterations,
+                functional_iterations=record.functional_iterations,
+                latency_generation=run.latency.generation_llm,
+                latency_syntax=run.latency.syntax_loop,
+                latency_functional=run.latency.functional_loop,
+                prompt_tokens=run.tokens.prompt_tokens,
+                completion_tokens=run.tokens.completion_tokens,
+                cache_hits=cache_delta.hits,
+                cache_misses=cache_delta.misses,
+            )
+        return _TaskPayload(record=record, cache_delta=cache_delta)
 
 
 def _compiles(rtl: str, language: Language, toolchain: Toolchain) -> bool:
@@ -318,6 +349,8 @@ _CONTEXT: _TaskContext | None = None
 def _init_worker(suite: Suite, settings: RunnerSettings) -> None:
     global _CONTEXT
     _CONTEXT = _TaskContext(suite, settings)
+    # idempotent: under fork the inherited tracer already targets this path
+    configure_tracing(settings.trace_path)
 
 
 def _run_problem(
@@ -351,7 +384,10 @@ class ExperimentRunner:
       running in parallel (a hung or crashed worker costs one retry, then
       degrades to an error record instead of killing the sweep);
     * ``progress`` — callback receiving ``(ProgressEvent, SweepMetrics)``
-      as tasks finish.
+      as tasks finish;
+    * ``trace_path`` — when set, the sweep records a JSONL span trace to
+      this file (see :mod:`repro.obs`); worker processes append to the
+      same file, and ``repro trace summarize`` reads it back.
     """
 
     def __init__(
@@ -369,6 +405,7 @@ class ExperimentRunner:
         task_timeout: float | None = None,
         task_retries: int = 1,
         progress: Callable[[ProgressEvent, SweepMetrics], None] | None = None,
+        trace_path: str | None = None,
     ):
         self.suite = suite or build_suite()
         self.max_syntax_iterations = max_syntax_iterations
@@ -382,6 +419,7 @@ class ExperimentRunner:
         self.task_timeout = task_timeout
         self.task_retries = task_retries
         self.progress = progress
+        self.trace_path = str(trace_path) if trace_path else None
         #: metrics of the most recent sweep (populated by every run)
         self.metrics = SweepMetrics()
 
@@ -395,6 +433,7 @@ class ExperimentRunner:
             testbench_quality=self.testbench_quality,
             use_cache=self.use_cache,
             cache_size=self.cache_size,
+            trace_path=self.trace_path,
         )
 
     # ------------------------------------------------------------------
@@ -439,15 +478,53 @@ class ExperimentRunner:
                 ))
         metrics = SweepMetrics(total=len(tasks))
         self.metrics = metrics
+
+        previous = get_tracer()
+        if self.trace_path is not None:
+            # each sweep starts a fresh trace file, so one summary maps to
+            # exactly one sweep
+            open(self.trace_path, "w").close()
+            configure_tracing(self.trace_path)
+        tracer = get_tracer()
+
+        # one stream, composed consumers: aggregation first, then payload
+        # folding, then the trace recorder, then the user's renderer (which
+        # therefore always sees fully-updated metrics)
+        bus = EventBus()
+        attach_metrics(bus, metrics)
+        bus.subscribe(lambda event: self._fold_payload(event, metrics))
+        if tracer.enabled:
+            bus.subscribe(lambda event: _record_trace_event(tracer, event))
+        if self.progress is not None:
+            bus.subscribe(progress_adapter(self.progress, metrics))
+
         engine = ExecutionEngine(
             workers=self.workers,
             timeout=self.task_timeout,
             retries=self.task_retries,
-            progress=lambda event: self._observe(event, metrics),
+            bus=bus,
             initializer=_init_worker,
             initargs=(self.suite, self._settings),
         )
-        outcomes = engine.run(tasks)
+        try:
+            tracer.write_meta(
+                workers=self.workers,
+                tasks=len(tasks),
+                configs=len(configs),
+                problems=len(self.suite),
+                use_cache=self.use_cache,
+            )
+            with tracer.span(
+                "sweep.run",
+                workers=self.workers,
+                tasks=len(tasks),
+                configs=len(configs),
+            ):
+                outcomes = engine.run(tasks)
+        finally:
+            tracer.flush_metrics()
+            set_tracer(previous)
+
         results = []
         cursor = 0
         span = len(self.suite)
@@ -480,8 +557,12 @@ class ExperimentRunner:
     _compiles = staticmethod(_compiles)
     _passes_golden = staticmethod(_passes_golden)
 
-    def _observe(self, event: ProgressEvent, metrics: SweepMetrics) -> None:
-        metrics.observe_event(event)
+    @staticmethod
+    def _fold_payload(event: ProgressEvent, metrics: SweepMetrics) -> None:
+        """Fold the runner-specific task payload (cache counters, modeled
+        per-stage latency) into the sweep metrics — the half of the
+        aggregation that :meth:`SweepMetrics.observe_event` cannot do
+        because it does not understand ``_TaskPayload``."""
         outcome = event.outcome
         if outcome is not None and outcome.ok:
             payload: _TaskPayload = outcome.value
@@ -491,5 +572,16 @@ class ExperimentRunner:
             metrics.stage_seconds["generation"] += latency.generation_llm
             metrics.stage_seconds["syntax"] += latency.syntax_loop
             metrics.stage_seconds["functional"] += latency.functional_loop
-        if self.progress is not None:
-            self.progress(event, metrics)
+
+
+def _record_trace_event(tracer, event: ProgressEvent) -> None:
+    """Re-emit one engine progress event as a trace event record."""
+    tracer.event(
+        event.kind,
+        key=event.key,
+        done=event.done,
+        total=event.total,
+        attempts=event.attempts,
+        seconds=event.seconds,
+        level=event.level,
+    )

@@ -7,7 +7,10 @@ Public surface:
 * :class:`~repro.exec.task.Task` / :class:`~repro.exec.task.TaskOutcome` —
   the unit of work and its result envelope;
 * :class:`~repro.exec.progress.ProgressEvent` /
-  :class:`~repro.exec.progress.SweepMetrics` — the progress/metrics hook.
+  :class:`~repro.exec.progress.SweepMetrics` — the progress/metrics hook,
+  driven by the unified :class:`~repro.obs.bus.EventBus`
+  (:func:`~repro.exec.progress.attach_metrics` /
+  :func:`~repro.exec.progress.progress_adapter`).
 """
 
 from repro.exec.engine import ExecutionEngine
@@ -19,7 +22,9 @@ from repro.exec.progress import (
     TASK_RETRY,
     ProgressEvent,
     SweepMetrics,
+    attach_metrics,
     format_progress_line,
+    progress_adapter,
 )
 from repro.exec.task import (
     STATUS_CRASHED,
@@ -36,6 +41,8 @@ __all__ = [
     "TaskOutcome",
     "ProgressEvent",
     "SweepMetrics",
+    "attach_metrics",
+    "progress_adapter",
     "format_progress_line",
     "STATUS_OK",
     "STATUS_ERROR",

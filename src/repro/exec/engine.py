@@ -27,6 +27,7 @@ suites) that are cheap to inherit through fork but impossible to pickle.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import queue as _queue
 import time as _time
@@ -34,6 +35,7 @@ import traceback
 from collections import deque
 from typing import Callable, Iterable, Sequence
 
+from repro.obs import EventBus, get_tracer
 from repro.exec.progress import (
     ENGINE_FINISH,
     ENGINE_START,
@@ -50,6 +52,8 @@ from repro.exec.task import (
     Task,
     TaskOutcome,
 )
+
+log = logging.getLogger(__name__)
 
 #: parent-side poll interval while waiting on busy workers
 _POLL_SECONDS = 0.005
@@ -166,6 +170,11 @@ class ExecutionEngine:
     progress:
         Optional callback receiving a :class:`ProgressEvent` per
         transition.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`; every
+        :class:`ProgressEvent` is published there (before the ``progress``
+        callback runs), making the bus the one stream metrics, traces,
+        and status renderers all consume.
     initializer / initargs:
         Run once in each worker (and once in-process for serial runs)
         before any task; the place to build per-process context.
@@ -178,6 +187,7 @@ class ExecutionEngine:
         timeout: float | None = None,
         retries: int = 1,
         progress: Callable[[ProgressEvent], None] | None = None,
+        bus: EventBus | None = None,
         initializer: Callable | None = None,
         initargs: tuple = (),
         start_method: str | None = None,
@@ -192,6 +202,7 @@ class ExecutionEngine:
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
+        self.bus = bus
         self.initializer = initializer
         self.initargs = initargs
         if start_method is None:
@@ -207,18 +218,35 @@ class ExecutionEngine:
         indices = [t.index for t in task_list]
         if len(set(indices)) != len(indices):
             raise ValueError("task indices must be unique")
-        self._emit(ProgressEvent(
-            kind=ENGINE_START, done=0, total=len(task_list)
-        ))
-        if not task_list:
-            outcomes: list[TaskOutcome] = []
-        elif self.workers == 1:
-            outcomes = self._run_serial(task_list)
-        else:
-            outcomes = self._run_parallel(task_list)
-        self._emit(ProgressEvent(
-            kind=ENGINE_FINISH, done=len(outcomes), total=len(task_list)
-        ))
+        with get_tracer().span(
+            "engine.run",
+            workers=self.workers,
+            total=len(task_list),
+            timeout=self.timeout,
+            retries=self.retries,
+        ) as span:
+            log.info(
+                "engine start: %d task(s), workers=%d, timeout=%s",
+                len(task_list), self.workers, self.timeout,
+            )
+            self._emit(ProgressEvent(
+                kind=ENGINE_START, done=0, total=len(task_list)
+            ))
+            if not task_list:
+                outcomes: list[TaskOutcome] = []
+            elif self.workers == 1:
+                outcomes = self._run_serial(task_list)
+            else:
+                outcomes = self._run_parallel(task_list)
+            self._emit(ProgressEvent(
+                kind=ENGINE_FINISH, done=len(outcomes), total=len(task_list)
+            ))
+            failed = sum(1 for outcome in outcomes if not outcome.ok)
+            span.set_attrs(done=len(outcomes), failed=failed)
+            log.info(
+                "engine finish: %d outcome(s), %d failed",
+                len(outcomes), failed,
+            )
         return outcomes
 
     # ------------------------------------------------------------------
@@ -284,6 +312,7 @@ class ExecutionEngine:
             worker = _Worker(
                 ctx, next_worker_id, self.initializer, self.initargs
             )
+            log.debug("spawned worker %d (pid %s)", worker.id, worker.process.pid)
             next_worker_id += 1
             return worker
 
@@ -310,6 +339,11 @@ class ExecutionEngine:
                           worker_id: int) -> None:
             """Crash/timeout: requeue within budget, else record the loss."""
             if attempts[task.index] <= self.retries:
+                log.warning(
+                    "task %s %s on worker %d; retrying (%d/%d attempts used)",
+                    task.key, status, worker_id, attempts[task.index],
+                    1 + self.retries,
+                )
                 pending.append(task)
                 self._emit(ProgressEvent(
                     kind=TASK_RETRY, level="warning",
@@ -320,6 +354,10 @@ class ExecutionEngine:
                             f"attempts used)",
                 ))
             else:
+                log.warning(
+                    "task %s lost to %s after %d attempt(s)",
+                    task.key, status, attempts[task.index],
+                )
                 finalize(task, status, error, worker_id)
 
         try:
@@ -405,5 +443,7 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
 
     def _emit(self, event: ProgressEvent) -> None:
+        if self.bus is not None:
+            self.bus.publish(event)
         if self.progress is not None:
             self.progress(event)

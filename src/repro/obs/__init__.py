@@ -1,0 +1,99 @@
+"""``repro.obs`` — span tracing, metrics, and structured run telemetry.
+
+Public surface:
+
+* :class:`~repro.obs.trace.Tracer` / :class:`~repro.obs.trace.Span` — timed,
+  attributed, hierarchical spans written as JSONL; the module-level current
+  tracer (:func:`get_tracer` / :func:`set_tracer` /
+  :func:`configure_tracing`) defaults to the zero-cost
+  :data:`~repro.obs.trace.NULL_TRACER`;
+* :class:`~repro.obs.sink.JsonlSink` / :class:`~repro.obs.sink.MemorySink` —
+  process-safe trace outputs (one atomic ``write`` per line);
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  fixed-bucket histograms;
+* :class:`~repro.obs.bus.EventBus` — the unified progress/telemetry event
+  stream the execution engine publishes to;
+* :func:`~repro.obs.schema.validate_record` /
+  :func:`~repro.obs.schema.validate_trace` — dependency-free record
+  validation against :data:`~repro.obs.schema.TRACE_RECORD_SCHEMA`;
+* :func:`~repro.obs.summary.summarize_trace` /
+  :func:`~repro.obs.summary.render_trace_summary` — the Figure 3-style
+  aggregation behind ``repro trace summarize``.
+"""
+
+from repro.obs.bus import EventBus
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.schema import (
+    TRACE_RECORD_SCHEMA,
+    validate_record,
+    validate_trace,
+)
+from repro.obs.sink import JsonlSink, MemorySink
+from repro.obs.summary import (
+    ConfigTraceSummary,
+    TraceSummary,
+    read_trace,
+    render_trace_summary,
+    summarize_records,
+    summarize_trace,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    STATUS_ERROR,
+    STATUS_OK,
+    TRACE_FORMAT_VERSION,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NullTracer",
+    "NullSpan",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "TRACE_FORMAT_VERSION",
+    "get_tracer",
+    "set_tracer",
+    "configure_tracing",
+    "JsonlSink",
+    "MemorySink",
+    "EventBus",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_METRIC",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "TRACE_RECORD_SCHEMA",
+    "validate_record",
+    "validate_trace",
+    "TraceSummary",
+    "ConfigTraceSummary",
+    "read_trace",
+    "summarize_records",
+    "summarize_trace",
+    "render_trace_summary",
+]

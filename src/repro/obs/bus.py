@@ -1,0 +1,44 @@
+"""The unified event bus: one stream, many consumers.
+
+The execution engine publishes every :class:`~repro.exec.progress.ProgressEvent`
+here, and everything that used to hang off ad-hoc callbacks — sweep-metrics
+aggregation, the ``--progress`` status lines, trace event recording — is a
+subscriber. One source of truth; consumers compose instead of forking the
+stream.
+
+Dispatch is synchronous and in subscription order, which subscribers rely
+on: metrics fold an event *before* the user's progress callback renders the
+metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+Subscriber = Callable[[Any], None]
+
+
+class EventBus:
+    """Minimal synchronous publish/subscribe fan-out."""
+
+    def __init__(self):
+        self._subscribers: list[Subscriber] = []
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Register ``subscriber``; returned unchanged for later removal."""
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def publish(self, event) -> None:
+        """Deliver ``event`` to every subscriber, in subscription order."""
+        for subscriber in tuple(self._subscribers):
+            subscriber(event)

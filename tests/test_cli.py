@@ -100,3 +100,65 @@ class TestSweep:
         code, text = run_cli("sweep", "--artifact", "figure3", "--limit", "8")
         assert code == 0
         assert "Worst-case" in text
+
+    def test_sweep_with_trace_records_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, text = run_cli(
+            "sweep", "--artifact", "table2", "--limit", "4",
+            "--trace", str(path),
+        )
+        assert code == 0
+        assert path.exists()
+        first = path.read_text().splitlines()[0]
+        assert '"type":"meta"' in first
+
+
+class TestTrace:
+    def record_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(
+            "sweep", "--artifact", "table2", "--limit", "4",
+            "--workers", "2", "--trace", str(path),
+        )
+        assert code == 0
+        return path
+
+    def test_trace_validate_ok(self, tmp_path):
+        path = self.record_trace(tmp_path)
+        code, text = run_cli("trace", "validate", str(path))
+        assert code == 0
+        assert "all schema-valid" in text
+
+    def test_trace_validate_flags_corruption(self, tmp_path):
+        path = self.record_trace(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"type": "span", "name":')  # truncated line
+        code, text = run_cli("trace", "validate", str(path))
+        assert code == 1
+        assert "INVALID" in text
+
+    def test_trace_summarize(self, tmp_path):
+        path = self.record_trace(tmp_path)
+        code, text = run_cli("trace", "summarize", str(path))
+        assert code == 0
+        assert "tasks: 12/12 done" in text
+        assert "hit rate" in text
+        assert "llama3-70b/verilog" in text
+
+    def test_trace_missing_file(self, tmp_path):
+        code, text = run_cli(
+            "trace", "summarize", str(tmp_path / "ghost.jsonl")
+        )
+        assert code == 1
+        assert "cannot read trace" in text
+
+
+class TestLogLevel:
+    def test_log_level_accepted(self, tmp_path, capsys):
+        code, text = run_cli("--log-level", "warning", "list")
+        assert code == 0
+        assert "gates" in text
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("--log-level", "loud", "list")

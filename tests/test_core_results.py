@@ -4,9 +4,30 @@ import pytest
 
 from repro.agents.base import StepKind, Transcript
 from repro.core.result import BaselineResult, LatencyBreakdown, PipelineResult
+from repro.eda.toolchain import CacheStats
 
 
 class TestLatencyBreakdown:
+    def test_zero_breakdown_is_all_zero(self):
+        breakdown = LatencyBreakdown()
+        assert breakdown.syntax_loop == 0.0
+        assert breakdown.functional_loop == 0.0
+        assert breakdown.total == 0.0
+
+    def test_scaling_zero_stays_zero(self):
+        scaled = LatencyBreakdown().scaled(1000.0)
+        assert scaled.total == 0.0
+
+    def test_scale_by_zero_zeroes_everything(self):
+        breakdown = LatencyBreakdown(generation_llm=4.0, syntax_tool=2.0)
+        assert breakdown.scaled(0.0).total == 0.0
+
+    def test_adding_zero_changes_nothing(self):
+        breakdown = LatencyBreakdown(generation_llm=1.0, functional_llm=2.0)
+        breakdown.add(LatencyBreakdown())
+        assert breakdown.generation_llm == 1.0
+        assert breakdown.total == 3.0
+
     def test_totals(self):
         breakdown = LatencyBreakdown(
             generation_llm=2.0,
@@ -34,6 +55,29 @@ class TestLatencyBreakdown:
         assert half.syntax_tool == 1.0
         # original unchanged
         assert breakdown.generation_llm == 4.0
+
+
+class TestCacheStats:
+    def test_hit_rate_with_zero_lookups_is_zero_not_nan(self):
+        assert CacheStats().hit_rate == 0.0
+        assert CacheStats().lookups == 0
+
+    def test_hit_rate_all_hits_and_all_misses(self):
+        assert CacheStats(hits=5, misses=0).hit_rate == 1.0
+        assert CacheStats(hits=0, misses=5).hit_rate == 0.0
+
+    def test_delta_against_equal_snapshot_is_zero(self):
+        stats = CacheStats(hits=3, misses=2, evictions=1)
+        delta = stats.delta(stats.snapshot())
+        assert (delta.hits, delta.misses, delta.evictions) == (0, 0, 0)
+        assert delta.hit_rate == 0.0
+
+    def test_snapshot_is_independent(self):
+        stats = CacheStats(hits=1)
+        snap = stats.snapshot()
+        stats.hits += 1
+        assert snap.hits == 1
+        assert stats.delta(snap).hits == 1
 
 
 class TestPipelineResult:

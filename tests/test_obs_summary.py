@@ -1,0 +1,217 @@
+"""Tests for the event bus, trace schema validation, and trace summaries.
+
+The acceptance-level check lives here: a recorded sweep trace, summarized
+offline, must agree with the live ``SweepMetrics`` the runner aggregated
+(task counts, cache hit rate, modeled stage latency) and with the
+``ConfigResult`` per-config mean loop iterations — for both a serial and a
+``workers=4`` sweep.
+"""
+
+import pytest
+
+from repro.eval.runner import ExperimentRunner
+from repro.evalsuite.suite import build_suite
+from repro.exec.progress import (
+    ENGINE_FINISH,
+    ENGINE_START,
+    TASK_DONE,
+    ProgressEvent,
+    SweepMetrics,
+    attach_metrics,
+    progress_adapter,
+)
+from repro.eda.toolchain import Language
+from repro.llm.profiles import CLAUDE_35_SONNET, GPT_4O
+from repro.obs import (
+    EventBus,
+    get_tracer,
+    render_trace_summary,
+    set_tracer,
+    summarize_records,
+    summarize_trace,
+    validate_record,
+)
+
+PROBLEM_COUNT = 6
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    previous = get_tracer()
+    yield
+    set_tracer(previous)
+
+
+class TestEventBus:
+    def test_delivery_in_subscription_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("first", e)))
+        bus.subscribe(lambda e: seen.append(("second", e)))
+        bus.publish("x")
+        assert seen == [("first", "x"), ("second", "x")]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        subscriber = bus.subscribe(seen.append)
+        assert len(bus) == 1
+        bus.unsubscribe(subscriber)
+        bus.publish("x")
+        assert seen == []
+        bus.unsubscribe(subscriber)  # double removal is harmless
+
+    def test_attach_metrics_folds_events(self):
+        bus = EventBus()
+        metrics = attach_metrics(bus, SweepMetrics(total=2))
+        bus.publish(ProgressEvent(kind=TASK_DONE, done=1, total=2))
+        bus.publish(ProgressEvent(kind=TASK_DONE, done=2, total=2))
+        assert metrics.done == 2
+        assert metrics.ok == 2
+
+    def test_progress_adapter_sees_updated_metrics(self):
+        bus = EventBus()
+        metrics = attach_metrics(bus, SweepMetrics(total=1))
+        observed = []
+        bus.subscribe(progress_adapter(
+            lambda event, m: observed.append((event.kind, m.done)), metrics
+        ))
+        bus.publish(ProgressEvent(kind=TASK_DONE, done=1, total=1))
+        # metrics subscriber ran first, so the callback saw done=1
+        assert observed == [(TASK_DONE, 1)]
+
+
+class TestValidateRecord:
+    def test_rejects_unknown_type(self):
+        assert validate_record({"type": "mystery"}) != []
+        assert validate_record("not a dict") != []
+
+    def test_rejects_non_scalar_attr(self):
+        record = {
+            "type": "event", "name": "e", "pid": 1, "seq": 0,
+            "time": 1.0, "span_id": None, "attrs": {"bad": [1, 2]},
+        }
+        errors = validate_record(record)
+        assert any("non-scalar" in e for e in errors)
+
+    def test_rejects_span_end_before_start(self):
+        record = {
+            "type": "span", "name": "s", "span_id": "a-1", "parent_id": None,
+            "pid": 1, "seq": 0, "start": 10.0, "end": 5.0,
+            "wall_seconds": 0.0, "cpu_seconds": 0.0, "status": "ok",
+            "error": "", "attrs": {},
+        }
+        errors = validate_record(record)
+        assert any("precedes" in e for e in errors)
+
+    def test_rejects_bad_histogram_counts(self):
+        record = {
+            "type": "metric", "kind": "histogram", "name": "h", "pid": 1,
+            "time": 1.0, "buckets": [1.0, 2.0], "counts": [0, 1],
+            "sum": 0.0, "count": 1,
+        }
+        errors = validate_record(record)
+        assert any("counts" in e for e in errors)
+
+    def test_accepts_valid_meta(self):
+        record = {
+            "type": "meta", "version": 1, "pid": 1, "time": 0.0, "attrs": {},
+        }
+        assert validate_record(record) == []
+
+
+def traced_sweep(tmp_path, workers):
+    path = tmp_path / f"sweep-{workers}.jsonl"
+    runner = ExperimentRunner(
+        suite=build_suite().head(PROBLEM_COUNT),
+        workers=workers,
+        trace_path=str(path),
+    )
+    results = runner.run_all(
+        profiles=[GPT_4O, CLAUDE_35_SONNET], languages=(Language.VERILOG,)
+    )
+    return runner, results, summarize_trace(path)
+
+
+class TestSummaryMatchesLiveMetrics:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_trace_summary_agrees_with_sweep_metrics(self, tmp_path, workers):
+        runner, results, summary = traced_sweep(tmp_path, workers)
+        metrics = runner.metrics
+        assert summary.tasks_total == metrics.total
+        assert summary.tasks_done == metrics.done
+        assert summary.tasks_ok == metrics.ok
+        assert summary.tasks_error == metrics.errors
+        assert summary.task_retries == metrics.retries
+        assert summary.cache_hits == metrics.cache_hits
+        assert summary.cache_misses == metrics.cache_misses
+        assert summary.cache_hit_rate == metrics.cache_hit_rate
+        for stage in ("generation", "syntax", "functional"):
+            assert summary.stage_seconds[stage] == pytest.approx(
+                metrics.stage_seconds[stage]
+            )
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_per_config_iterations_match_config_result(
+        self, tmp_path, workers
+    ):
+        _, results, summary = traced_sweep(tmp_path, workers)
+        by_key = {c.key: c for c in summary.configs}
+        assert len(by_key) == len(results)
+        for result in results:
+            config = by_key[f"{result.model}/{result.language.value}"]
+            assert config.runs == len(result.evaluated)
+            assert config.errors == result.error_count
+            assert config.mean_syntax_iterations == pytest.approx(
+                result.mean_syntax_iterations
+            )
+            assert config.mean_functional_iterations == pytest.approx(
+                result.mean_functional_iterations
+            )
+
+    def test_summary_counts_processes_and_records(self, tmp_path):
+        _, _, summary = traced_sweep(tmp_path, 4)
+        assert summary.process_count > 1
+        assert summary.record_count == (
+            summary.span_count + summary.event_count
+            + summary.metric_count + 1  # + the meta header
+        )
+        assert summary.compile_count > 0
+        assert summary.simulate_count > 0
+        assert summary.prompt_tokens > 0
+
+
+class TestRenderTraceSummary:
+    def test_report_mentions_the_key_numbers(self, tmp_path):
+        _, _, summary = traced_sweep(tmp_path, 1)
+        text = render_trace_summary(summary)
+        assert "tasks:" in text
+        assert "hit rate" in text
+        assert "gpt-4o/verilog" in text
+        assert "claude-3.5-sonnet/verilog" in text
+
+    def test_empty_records_render(self):
+        text = render_trace_summary(summarize_records([]))
+        assert "0" in text
+
+
+class TestSummarizeDegenerateInputs:
+    def test_no_records(self):
+        summary = summarize_records([])
+        assert summary.record_count == 0
+        assert summary.cache_hit_rate == 0.0
+        assert summary.configs == []
+
+    def test_task_span_with_error_status_counts_as_error(self):
+        span = {
+            "type": "span", "name": "task.problem", "span_id": "a-1",
+            "parent_id": None, "pid": 1, "seq": 0, "start": 0.0, "end": 1.0,
+            "wall_seconds": 1.0, "cpu_seconds": 0.5, "status": "error",
+            "error": "boom",
+            "attrs": {"model": "m", "language": "verilog", "problem": "p"},
+        }
+        summary = summarize_records([span])
+        (config,) = summary.configs
+        assert config.errors == 1
+        assert config.runs == 0
+        assert config.mean_syntax_iterations == 0.0
