@@ -1,0 +1,132 @@
+"""Regenerate the hand-picked QA regression corpus (``tests/corpus/``).
+
+Each entry probes one :class:`repro.qa.FailureClass`: clean designs must
+stay clean, and every mutation-injected defect must keep being detected as
+exactly the class it was filed under. ``repro qa replay`` (and the tier-1
+test around it) re-judges the whole corpus in both languages.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/seed_qa_corpus.py
+"""
+
+from __future__ import annotations
+
+from repro.designs.mutations import functional, syntax
+from repro.eda.toolchain import Language
+from repro.qa import (
+    CaseMutation,
+    DEFAULT_CORPUS_DIR,
+    QaCase,
+    QaSpec,
+    node_name,
+    run_oracle,
+    save_case,
+)
+
+# Shared tiny specs; signal names in mutation anchors are content hashes of
+# the expression subtrees, so they are stable as long as the trees are.
+ADD_TREE = ["add", ["var", "a0"], ["var", "a1"]]
+A0, A1 = node_name(["var", "a0"]), node_name(["var", "a1"])
+ADD = node_name(ADD_TREE)
+
+COMB = QaSpec(
+    name="placeholder", width=4, inputs=("a0", "a1"),
+    outputs=(("y0", ADD_TREE),),
+)
+
+SEQ = QaSpec(
+    name="corpus_ok_seq", width=4, inputs=("a0",),
+    outputs=(
+        ("y0", ["add", ["var", "y0"], ["var", "a0"]]),  # accumulator
+    ),
+    clocked=True,
+)
+
+V_ADD_SUB = CaseMutation(Language.VERILOG, functional(
+    "Verilog add becomes sub",
+    f"assign {ADD} = {A0} + {A1};",
+    f"assign {ADD} = {A0} - {A1};",
+))
+VH_ADD_SUB = CaseMutation(Language.VHDL, functional(
+    "VHDL add becomes sub",
+    f"{ADD} <= {A0} + {A1};",
+    f"{ADD} <= {A0} - {A1};",
+))
+VH_ADD_AND = CaseMutation(Language.VHDL, functional(
+    "VHDL add becomes and",
+    f"{ADD} <= {A0} + {A1};",
+    f"{ADD} <= {A0} and {A1};",
+))
+V_SYNTAX = CaseMutation(Language.VERILOG, syntax(
+    "Verilog drops a semicolon",
+    f"assign y0 = {ADD};",
+    f"assign y0 = {ADD}",
+))
+VH_SYNTAX = CaseMutation(Language.VHDL, syntax(
+    "VHDL drops the entity name",
+    "entity top_module is",
+    "entity is",
+))
+# a zero-delay always/always loop with *known* values: four-state X
+# feedback settles, so the oscillator must start from driven 0/1 bits
+V_OSCILLATOR = CaseMutation(Language.VERILOG, functional(
+    "Verilog zero-delay oscillation",
+    f"assign {A0} = a0;",
+    (f"assign {A0} = a0;\n"
+     "    reg osc_p, osc_q;\n"
+     "    initial begin osc_p = 1'b0; osc_q = 1'b0; end\n"
+     "    always @(osc_q) osc_p = ~osc_q;\n"
+     "    always @(osc_p) osc_q = osc_p;"),
+))
+
+
+def comb(name: str) -> QaSpec:
+    return QaSpec(
+        name=name, width=COMB.width, inputs=COMB.inputs,
+        outputs=COMB.outputs,
+    )
+
+
+CASES = [
+    QaCase(spec=comb("corpus_ok_comb"),
+           note="clean combinational design: both flows must agree"),
+    QaCase(spec=SEQ,
+           note="clean registered accumulator: both flows must agree"),
+    QaCase(spec=comb("corpus_verilog_mismatch"), mutations=(V_ADD_SUB,),
+           note="functional defect in the Verilog rendering only"),
+    QaCase(spec=comb("corpus_vhdl_mismatch"), mutations=(VH_ADD_SUB,),
+           note="functional defect in the VHDL rendering only"),
+    QaCase(spec=comb("corpus_both_mismatch"),
+           mutations=(V_ADD_SUB, VH_ADD_SUB),
+           note="identical defect in both renderings: languages agree, "
+                "model disagrees"),
+    QaCase(spec=comb("corpus_cross_mismatch"),
+           mutations=(V_ADD_SUB, VH_ADD_AND),
+           note="different defects per language: every edge of the "
+                "triangle disagrees"),
+    QaCase(spec=comb("corpus_compile_divergence"), mutations=(V_SYNTAX,),
+           note="one frontend rejects what the other accepts"),
+    QaCase(spec=comb("corpus_compile_reject"),
+           mutations=(V_SYNTAX, VH_SYNTAX),
+           note="both frontends reject the design"),
+    QaCase(spec=comb("corpus_crash_oscillation"), mutations=(V_OSCILLATOR,),
+           note="zero-delay loop trips the kernel's delta-cycle limit"),
+]
+
+
+def main() -> None:
+    for case in CASES:
+        verdict = run_oracle(case)
+        stamped = QaCase(
+            spec=case.spec,
+            mutations=case.mutations,
+            expected_class=verdict.failure_class,
+            note=case.note,
+        )
+        path = save_case(stamped, DEFAULT_CORPUS_DIR)
+        print(f"{verdict.failure_class.value:<20} {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,10 @@ Commands:
 * ``sweep`` — run the paper's experiments and print Table 1/2 or Figure 3
   (``--trace PATH`` records a span trace of the whole sweep);
 * ``trace`` — summarize or validate a recorded trace file;
-* ``validate`` — check suite integrity (reference passes, mutations behave).
+* ``validate`` — check suite integrity (reference passes, mutations behave);
+* ``qa`` — differential fuzzing of the two language flows (``fuzz``),
+  failing-case minimization (``reduce``), and regression-corpus replay
+  (``replay``).
 
 Everything the CLI does is also available as a library API; the CLI exists
 so the artifacts can be regenerated without writing Python.
@@ -149,6 +152,66 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="check suite integrity")
     validate.add_argument("--limit", type=int, default=0)
     validate.add_argument("--language", type=_language, default=None)
+
+    qa = sub.add_parser(
+        "qa", help="cross-language differential fuzzing and conformance QA"
+    )
+    qa_sub = qa.add_subparsers(dest="qa_command", required=True)
+
+    fuzz = qa_sub.add_parser(
+        "fuzz",
+        help="generate random designs, simulate both languages, and "
+             "compare against the Python reference model",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--count", type=int, default=50,
+        help="number of generated programs (each is a pure function of "
+             "seed and index)",
+    )
+    fuzz.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes; the report is identical at any count",
+    )
+    fuzz.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-program wall-clock budget when workers > 1",
+    )
+    fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="write every divergence found into this corpus directory as "
+             "a replayable JSON case",
+    )
+    fuzz.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a JSONL span trace of the campaign "
+             "(inspect with 'repro trace summarize PATH')",
+    )
+
+    reduce = qa_sub.add_parser(
+        "reduce",
+        help="shrink a failing case to a minimal reproducer that keeps "
+             "the same oracle failure class",
+    )
+    reduce.add_argument("case", help="path to a QA case JSON file")
+    reduce.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the reduced case here (default: print a summary only)",
+    )
+    reduce.add_argument(
+        "--max-checks", type=int, default=400,
+        help="oracle-run budget for the shrink search",
+    )
+
+    replay = qa_sub.add_parser(
+        "replay",
+        help="re-judge every regression-corpus case in both languages "
+             "against its recorded failure class",
+    )
+    replay.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="corpus directory (default: the repository's tests/corpus)",
+    )
 
     return parser
 
@@ -306,6 +369,84 @@ def _cmd_validate(args, out) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_qa(args, out) -> int:
+    from repro.obs import configure_tracing, get_tracer, set_tracer
+    from repro.qa.corpus import (
+        DEFAULT_CORPUS_DIR,
+        load_case,
+        replay_corpus,
+        save_case,
+    )
+    from repro.qa.fuzz import run_fuzz
+    from repro.qa.reduce import reduce_case
+
+    if args.qa_command == "fuzz":
+        previous = get_tracer()
+        if args.trace:
+            # a fresh trace file per campaign, so one summary maps to one run
+            open(args.trace, "w").close()
+            configure_tracing(args.trace)
+        try:
+            report = run_fuzz(
+                args.seed,
+                args.count,
+                workers=args.workers,
+                task_timeout=args.task_timeout,
+            )
+        finally:
+            if args.trace:
+                get_tracer().flush_metrics()
+                set_tracer(previous)
+        out.write(report.render() + "\n")
+        if args.corpus and report.divergences:
+            for case in report.divergences:
+                path = save_case(case, args.corpus)
+                out.write(f"  saved {path}\n")
+        if args.trace:
+            sys.stderr.write(
+                f"trace written to {args.trace} "
+                f"(inspect with 'repro trace summarize {args.trace}')\n"
+            )
+        return 0 if report.ok else 1
+
+    if args.qa_command == "reduce":
+        try:
+            case = load_case(args.case)
+        except (OSError, ValueError, KeyError) as exc:
+            out.write(f"cannot load case: {exc}\n")
+            return 1
+        try:
+            result = reduce_case(case, max_checks=args.max_checks)
+        except ValueError as exc:
+            out.write(f"{exc}\n")
+            return 1
+        out.write("qa reduce: " + result.summary + "\n")
+        if args.output:
+            import json as _json
+
+            with open(args.output, "w") as handle:
+                _json.dump(
+                    result.reduced.to_json(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+            out.write(f"reduced case written to {args.output}\n")
+        return 0
+
+    corpus_dir = args.corpus or DEFAULT_CORPUS_DIR
+    outcomes = replay_corpus(corpus_dir)
+    if not outcomes:
+        out.write(f"no corpus cases found in {corpus_dir}\n")
+        return 1
+    failures = 0
+    for outcome in outcomes:
+        out.write(outcome.render() + "\n")
+        failures += 0 if outcome.matched else 1
+    out.write(
+        f"qa replay: {len(outcomes)} case(s), {failures} mismatch(es)\n"
+    )
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -322,6 +463,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
         "validate": _cmd_validate,
+        "qa": _cmd_qa,
     }
     return handlers[args.command](args, out)
 

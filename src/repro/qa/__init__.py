@@ -1,0 +1,77 @@
+"""``repro.qa`` — cross-language differential fuzzing and conformance QA.
+
+The paper's claims are only language-agnostic if the Verilog and VHDL flows
+implement the same semantics. This package makes that property continuously
+self-auditing, Csmith-style:
+
+* :mod:`~repro.qa.grammar` / :mod:`~repro.qa.spec` — a seeded random design
+  generator emitting one shared semantic spec per program (a closed
+  expression grammar with a Python reference model);
+* :mod:`~repro.qa.render` — deterministic dual-language rendering with
+  content-stable intermediate signal names;
+* :mod:`~repro.qa.oracle` — the three-way differential oracle (Verilog vs
+  VHDL vs reference model) classifying every run into a
+  :class:`~repro.qa.oracle.FailureClass`;
+* :mod:`~repro.qa.reduce` — a delta-debugging reducer shrinking failures to
+  minimal reproducers while preserving the failure class;
+* :mod:`~repro.qa.fuzz` — parallel seeded campaigns on the execution engine;
+* :mod:`~repro.qa.corpus` — the persisted regression corpus replayed by
+  tier-1 forever.
+
+Surface: ``repro qa fuzz | reduce | replay``.
+"""
+
+from repro.qa.corpus import (
+    DEFAULT_CORPUS_DIR,
+    ReplayOutcome,
+    load_case,
+    load_corpus,
+    replay_corpus,
+    save_case,
+)
+from repro.qa.fuzz import FuzzReport, ProgramResult, run_fuzz
+from repro.qa.grammar import count_nodes, evaluate, random_expr
+from repro.qa.oracle import (
+    DIVERGENT_CLASSES,
+    CaseMutation,
+    FailureClass,
+    LanguageReport,
+    OracleVerdict,
+    QaCase,
+    case_sources,
+    run_oracle,
+)
+from repro.qa.reduce import ReductionResult, reduce_case
+from repro.qa.render import node_name, render, render_verilog, render_vhdl
+from repro.qa.spec import QaSpec, generate_spec
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "DIVERGENT_CLASSES",
+    "CaseMutation",
+    "FailureClass",
+    "FuzzReport",
+    "LanguageReport",
+    "OracleVerdict",
+    "ProgramResult",
+    "QaCase",
+    "QaSpec",
+    "ReductionResult",
+    "ReplayOutcome",
+    "case_sources",
+    "count_nodes",
+    "evaluate",
+    "generate_spec",
+    "load_case",
+    "load_corpus",
+    "node_name",
+    "random_expr",
+    "reduce_case",
+    "render",
+    "render_verilog",
+    "render_vhdl",
+    "replay_corpus",
+    "run_fuzz",
+    "run_oracle",
+    "save_case",
+]

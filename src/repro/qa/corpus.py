@@ -1,0 +1,98 @@
+"""The persisted regression corpus: divergences that must stay understood.
+
+Every case the fuzzer found (and every hand-picked conformance probe) lands
+here as one JSON file under ``tests/corpus/``. A corpus entry records the
+spec, any injected mutations, and the :class:`~repro.qa.oracle.FailureClass`
+the oracle is *expected* to report — ``ok`` entries prove clean designs stay
+clean, non-``ok`` entries prove the oracle keeps detecting the defect class
+it once caught. ``repro qa replay`` (and the tier-1 test wrapping it) runs
+every entry through both language flows forever.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.eda.toolchain import Toolchain
+from repro.obs import get_tracer
+from repro.qa.oracle import FailureClass, QaCase, run_oracle
+
+#: repository-relative default used by the CLI and the tier-1 replay test
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def case_path(case: QaCase, directory: Path | str) -> Path:
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", case.case_name)
+    return Path(directory) / f"{safe}.json"
+
+
+def save_case(case: QaCase, directory: Path | str) -> Path:
+    """Write one case as pretty JSON; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = case_path(case, directory)
+    path.write_text(
+        json.dumps(case.to_json(), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_case(path: Path | str) -> QaCase:
+    return QaCase.from_json(json.loads(Path(path).read_text()))
+
+
+def load_corpus(directory: Path | str = DEFAULT_CORPUS_DIR) -> list[QaCase]:
+    """All corpus cases, in stable (filename-sorted) order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_case(path) for path in sorted(directory.glob("*.json"))]
+
+
+@dataclass
+class ReplayOutcome:
+    """One corpus entry's replay verdict."""
+
+    name: str
+    expected: FailureClass
+    actual: FailureClass
+    note: str = ""
+
+    @property
+    def matched(self) -> bool:
+        return self.expected is self.actual
+
+    def render(self) -> str:
+        verdict = "PASS" if self.matched else "FAIL"
+        detail = f"expected {self.expected.value}, got {self.actual.value}"
+        return f"  {verdict} {self.name}: {detail}"
+
+
+def replay_corpus(
+    directory: Path | str = DEFAULT_CORPUS_DIR,
+    *,
+    toolchain: Toolchain | None = None,
+) -> list[ReplayOutcome]:
+    """Re-judge every corpus entry against its recorded failure class."""
+    tracer = get_tracer()
+    with tracer.span("qa.replay", corpus=str(directory)) as span:
+        toolchain = toolchain or Toolchain(cache=True)
+        outcomes = []
+        for case in load_corpus(directory):
+            verdict = run_oracle(case, toolchain)
+            expected = case.expected_class or FailureClass.OK
+            outcomes.append(
+                ReplayOutcome(
+                    name=case.case_name,
+                    expected=expected,
+                    actual=verdict.failure_class,
+                    note=case.note,
+                )
+            )
+            tracer.metrics.counter("qa.replay.cases").inc()
+        mismatched = sum(1 for o in outcomes if not o.matched)
+        span.set_attrs(cases=len(outcomes), mismatched=mismatched)
+        return outcomes

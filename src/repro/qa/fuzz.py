@@ -1,0 +1,207 @@
+"""Seeded differential fuzz campaigns over the dual-language toolchain.
+
+A campaign runs ``count`` generated programs through the three-way oracle.
+Program ``i`` depends only on ``(seed, i)`` — generation, rendering, and
+judging all happen inside the per-program task — so a campaign is
+embarrassingly parallel and its report is identical at any worker count
+(:class:`repro.exec.engine.ExecutionEngine` merges outcomes by index). Each
+program's result carries content hashes of both renderings, which is how the
+determinism guarantee is enforced in tests rather than merely claimed.
+
+Failure accounting: every program lands in exactly one
+:class:`~repro.qa.oracle.FailureClass`; anything but ``OK`` (including a
+task that died in the engine) is a divergence and is reported as a
+replayable :class:`~repro.qa.oracle.QaCase`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.eda.toolchain import Toolchain
+from repro.exec.engine import ExecutionEngine
+from repro.exec.task import Task
+from repro.obs import get_tracer
+from repro.qa.oracle import FailureClass, QaCase, run_oracle
+from repro.qa.spec import generate_spec
+
+
+@dataclass(frozen=True)
+class ProgramResult:
+    """One fuzzed program's classified outcome."""
+
+    index: int
+    name: str
+    failure_class: FailureClass
+    verilog_sha: str
+    vhdl_sha: str
+    seconds: float
+    error: str = ""  # engine-level failure detail, when any
+
+
+@dataclass
+class FuzzReport:
+    """Everything one campaign produced, in program order."""
+
+    seed: int
+    count: int
+    workers: int
+    results: list[ProgramResult] = field(default_factory=list)
+    divergences: list[QaCase] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def class_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            key = result.failure_class.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def throughput(self) -> float:
+        """Programs judged per second of campaign wall-clock."""
+        if self.elapsed <= 0:
+            return 0.0
+        return len(self.results) / self.elapsed
+
+    def render(self) -> str:
+        lines = [
+            f"qa fuzz: seed={self.seed} count={self.count} "
+            f"workers={self.workers} — {len(self.results)} program(s) in "
+            f"{self.elapsed:.1f}s ({self.throughput:.1f}/s)"
+        ]
+        counts = self.class_counts
+        lines.append(
+            "  classes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        )
+        if self.divergences:
+            lines.append(f"  DIVERGENCES ({len(self.divergences)}):")
+            by_name = {c.case_name: c for c in self.divergences}
+            for result in self.results:
+                if result.failure_class is FailureClass.OK:
+                    continue
+                case = by_name.get(result.name)
+                note = case.note if case else result.error
+                lines.append(
+                    f"    #{result.index} {result.name}: "
+                    f"{result.failure_class.value}"
+                    + (f" ({note.splitlines()[0]})" if note else "")
+                )
+        else:
+            lines.append("  divergences: none")
+        return "\n".join(lines)
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _fuzz_program(seed: int, index: int) -> dict:
+    """One task: generate, render, judge. Module-level, hence picklable."""
+    from repro.qa.render import render_verilog, render_vhdl
+
+    started = _time.perf_counter()
+    spec = generate_spec(seed, index)
+    verilog = render_verilog(spec)
+    vhdl = render_vhdl(spec)
+    verdict = run_oracle(QaCase(spec=spec), Toolchain())
+    return {
+        "index": index,
+        "name": spec.name,
+        "class": verdict.failure_class.value,
+        "verilog_sha": _sha(verilog),
+        "vhdl_sha": _sha(vhdl),
+        "seconds": _time.perf_counter() - started,
+        "verilog_status": verdict.verilog.status,
+        "vhdl_status": verdict.vhdl.status,
+    }
+
+
+def run_fuzz(
+    seed: int,
+    count: int,
+    *,
+    workers: int = 1,
+    task_timeout: float | None = None,
+    progress=None,
+) -> FuzzReport:
+    """Run one campaign; the report is identical at any ``workers`` value."""
+    tracer = get_tracer()
+    with tracer.span(
+        "qa.fuzz", seed=seed, count=count, workers=workers
+    ) as span:
+        started = _time.perf_counter()
+        engine = ExecutionEngine(
+            workers=workers, timeout=task_timeout, progress=progress
+        )
+        tasks = [
+            Task(
+                index=index,
+                key=f"qa/s{seed}/p{index}",
+                fn=_fuzz_program,
+                args=(seed, index),
+            )
+            for index in range(count)
+        ]
+        outcomes = engine.run(tasks)
+        report = FuzzReport(seed=seed, count=count, workers=workers)
+        for outcome in outcomes:
+            if outcome.ok:
+                payload = outcome.value
+                result = ProgramResult(
+                    index=payload["index"],
+                    name=payload["name"],
+                    failure_class=FailureClass(payload["class"]),
+                    verilog_sha=payload["verilog_sha"],
+                    vhdl_sha=payload["vhdl_sha"],
+                    seconds=payload["seconds"],
+                )
+            else:
+                # the task itself died (raised / timed out / took its worker
+                # down): that is a crash-class divergence, not a silent gap
+                spec = generate_spec(seed, outcome.index)
+                result = ProgramResult(
+                    index=outcome.index,
+                    name=spec.name,
+                    failure_class=FailureClass.CRASH,
+                    verilog_sha="",
+                    vhdl_sha="",
+                    seconds=outcome.seconds,
+                    error=f"task {outcome.status}: {outcome.error}".strip(),
+                )
+            report.results.append(result)
+            tracer.metrics.counter("qa.fuzz.programs").inc()
+            tracer.metrics.counter(
+                f"qa.fuzz.class.{result.failure_class.value}"
+            ).inc()
+            tracer.metrics.histogram("qa.program.seconds").observe(
+                result.seconds
+            )
+            if result.failure_class is not FailureClass.OK:
+                report.divergences.append(
+                    QaCase(
+                        spec=generate_spec(seed, result.index),
+                        expected_class=result.failure_class,
+                        note=result.error
+                        or f"found by qa fuzz --seed {seed} "
+                           f"(program {result.index})",
+                    )
+                )
+        report.elapsed = _time.perf_counter() - started
+        tracer.metrics.counter("qa.fuzz.divergences").inc(
+            len(report.divergences)
+        )
+        span.set_attrs(
+            programs=len(report.results),
+            divergences=len(report.divergences),
+            throughput=round(report.throughput, 2),
+        )
+        return report

@@ -1,0 +1,187 @@
+"""Closed expression grammar for generated QA designs.
+
+Expressions are JSON-serializable nested lists so a whole fuzz case can be
+persisted, replayed, and shrunk without a custom parser:
+
+* ``["var", name]`` — read an input port (or, in clocked designs, the old
+  value of an output register);
+* ``["const", value]`` — an unsigned literal (masked to the design width);
+* ``["not", e]`` — bitwise complement;
+* ``["and"|"or"|"xor"|"add"|"sub", lhs, rhs]`` — bitwise / modular ops;
+* ``["mux", "eq"|"lt", cl, cr, t, f]`` — ``t`` when the comparison of
+  ``cl``/``cr`` holds, else ``f``.
+
+Every operator has the same meaning in three places — the Python evaluator
+below, the Verilog rendering, and the VHDL rendering (:mod:`repro.qa.render`)
+— which is exactly the property the differential oracle checks end to end
+through the frontends and the shared simulation kernel. The grammar is
+deliberately closed over ops :class:`repro.sim.values.Logic` implements with
+plain two-state semantics, so the reference model needs no X modeling:
+generated designs reset to known values and are driven with known inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: binary operators usable as inner nodes
+BINARY_OPS = ("and", "or", "xor", "add", "sub")
+#: comparison operators usable inside a mux condition
+COMPARE_OPS = ("eq", "lt")
+
+Expr = list  # nested ["op", ...] lists; see module docstring
+
+
+def evaluate(tree: Expr, env: dict[str, int], width: int) -> int:
+    """Evaluate a tree to an unsigned int masked to ``width`` bits."""
+    mask = (1 << width) - 1
+    kind = tree[0]
+    if kind == "var":
+        return env[tree[1]] & mask
+    if kind == "const":
+        return tree[1] & mask
+    if kind == "not":
+        return evaluate(tree[1], env, width) ^ mask
+    if kind in BINARY_OPS:
+        lhs = evaluate(tree[1], env, width)
+        rhs = evaluate(tree[2], env, width)
+        return {
+            "and": lhs & rhs,
+            "or": lhs | rhs,
+            "xor": lhs ^ rhs,
+            "add": (lhs + rhs) & mask,
+            "sub": (lhs - rhs) & mask,
+        }[kind]
+    if kind == "mux":
+        _, op, cmp_l, cmp_r, if_true, if_false = tree
+        left = evaluate(cmp_l, env, width)
+        right = evaluate(cmp_r, env, width)
+        taken = left == right if op == "eq" else left < right
+        return evaluate(if_true if taken else if_false, env, width)
+    raise ValueError(f"unknown expression node {kind!r}")
+
+
+def children(tree: Expr) -> list[Expr]:
+    """The expression children of a node (mux comparisons included)."""
+    kind = tree[0]
+    if kind in ("var", "const"):
+        return []
+    if kind == "not":
+        return [tree[1]]
+    if kind in BINARY_OPS:
+        return [tree[1], tree[2]]
+    if kind == "mux":
+        return [tree[2], tree[3], tree[4], tree[5]]
+    raise ValueError(f"unknown expression node {kind!r}")
+
+
+def _child_slots(tree: Expr) -> list[int]:
+    """Tuple indexes of the expression children inside the node list."""
+    kind = tree[0]
+    if kind == "not":
+        return [1]
+    if kind in BINARY_OPS:
+        return [1, 2]
+    if kind == "mux":
+        return [2, 3, 4, 5]
+    return []
+
+
+def count_nodes(tree: Expr) -> int:
+    return 1 + sum(count_nodes(child) for child in children(tree))
+
+
+def variables(tree: Expr) -> set[str]:
+    if tree[0] == "var":
+        return {tree[1]}
+    names: set[str] = set()
+    for child in children(tree):
+        names |= variables(child)
+    return names
+
+
+def substitute(tree: Expr, name: str, value: int) -> Expr:
+    """Replace every ``["var", name]`` with ``["const", value]``."""
+    if tree[0] == "var":
+        return ["const", value] if tree[1] == name else list(tree)
+    node = list(tree)
+    for slot in _child_slots(tree):
+        node[slot] = substitute(tree[slot], name, value)
+    return node
+
+
+def pruned(tree: Expr):
+    """Yield every strictly smaller tree one shrink step away.
+
+    Shrink steps, at every position in the tree: replace a node with one of
+    its expression children (hoist) or with ``["const", 0]``. The reducer
+    walks these candidates greedily; each accepted step strictly decreases
+    the node count, so reduction terminates.
+    """
+    if tree[0] != "const" or tree[1] != 0:
+        yield ["const", 0]
+    for child in children(tree):
+        yield child
+    for slot in _child_slots(tree):
+        for smaller in pruned(tree[slot]):
+            node = list(tree)
+            node[slot] = smaller
+            yield node
+
+
+def random_expr(
+    rng: random.Random, names: list[str], width: int, budget: int
+) -> Expr:
+    """Grow a random tree of at most ``budget`` nodes over ``names``."""
+    mask = (1 << width) - 1
+    if budget <= 1 or rng.random() < 0.2:
+        if names and rng.random() < 0.7:
+            return ["var", rng.choice(names)]
+        return ["const", rng.randrange(mask + 1)]
+    kind = rng.choice(("not",) + BINARY_OPS * 2 + ("mux",))
+    if kind == "not":
+        return ["not", random_expr(rng, names, width, budget - 1)]
+    if kind == "mux":
+        split = max((budget - 2) // 4, 1)
+        return [
+            "mux",
+            rng.choice(COMPARE_OPS),
+            random_expr(rng, names, width, split),
+            random_expr(rng, names, width, split),
+            random_expr(rng, names, width, split),
+            random_expr(rng, names, width, split),
+        ]
+    split = max((budget - 1) // 2, 1)
+    return [
+        kind,
+        random_expr(rng, names, width, split),
+        random_expr(rng, names, width, split),
+    ]
+
+
+def validate_expr(tree, names: set[str]) -> None:
+    """Raise ``ValueError`` unless ``tree`` is well-formed over ``names``."""
+    if not isinstance(tree, (list, tuple)) or not tree:
+        raise ValueError(f"expression node must be a non-empty list: {tree!r}")
+    kind = tree[0]
+    if kind == "var":
+        if len(tree) != 2 or tree[1] not in names:
+            raise ValueError(f"bad var node {tree!r}")
+        return
+    if kind == "const":
+        if len(tree) != 2 or not isinstance(tree[1], int) or tree[1] < 0:
+            raise ValueError(f"bad const node {tree!r}")
+        return
+    if kind == "not":
+        if len(tree) != 2:
+            raise ValueError(f"bad not node {tree!r}")
+    elif kind in BINARY_OPS:
+        if len(tree) != 3:
+            raise ValueError(f"bad {kind} node {tree!r}")
+    elif kind == "mux":
+        if len(tree) != 6 or tree[1] not in COMPARE_OPS:
+            raise ValueError(f"bad mux node {tree!r}")
+    else:
+        raise ValueError(f"unknown expression node {kind!r}")
+    for child in children(tree):
+        validate_expr(child, names)

@@ -1,0 +1,259 @@
+"""Three-way differential oracle: Verilog vs VHDL vs the reference model.
+
+One :class:`QaCase` — a generated spec plus optional textual mutations per
+language — is judged by rendering both languages, generating the golden
+testbench from the spec's Python reference model (the same
+:mod:`repro.designs.tbgen` machinery the benchmark suite uses), and running
+both through :class:`~repro.eda.toolchain.Toolchain`. The testbench checks
+the design cycle by cycle / vector by vector against the model, so each
+language's verdict *is* a comparison against the reference; comparing the
+two languages' failing-case sets completes the third edge of the triangle.
+
+Every run lands in exactly one :class:`FailureClass` — there is no
+"unclassified" outcome, which is what lets the fuzz driver treat any
+non-``OK`` class as a reportable divergence.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.designs.mutations import Mutation, apply_mutation
+from repro.designs.tbgen import PASS_MESSAGE, make_testbench
+from repro.eda.toolchain import HdlFile, Language, Toolchain
+from repro.obs import get_tracer
+from repro.qa.render import render
+from repro.qa.spec import QaSpec
+
+_FAILED_CASE = re.compile(r"Test Case (\d+) Failed")
+
+
+class FailureClass(str, enum.Enum):
+    """Every oracle outcome; ``OK`` is the only non-divergent one."""
+
+    OK = "ok"
+    #: Verilog fails the reference testbench, VHDL passes
+    VERILOG_MISMATCH = "verilog-mismatch"
+    #: VHDL fails the reference testbench, Verilog passes
+    VHDL_MISMATCH = "vhdl-mismatch"
+    #: both fail the reference identically (the model is the odd one out)
+    BOTH_MISMATCH = "both-mismatch"
+    #: both fail the reference *differently* — the languages also disagree
+    CROSS_MISMATCH = "cross-mismatch"
+    #: one language compiles the design, the other rejects it
+    COMPILE_DIVERGENCE = "compile-divergence"
+    #: both frontends reject the design
+    COMPILE_REJECT = "compile-reject"
+    #: a simulation crashed, hung, or ended without any verdict
+    CRASH = "crash"
+
+
+#: the classes a fuzz campaign reports as divergences
+DIVERGENT_CLASSES = tuple(c for c in FailureClass if c is not FailureClass.OK)
+
+# per-language statuses feeding the classification
+_COMPILE_FAIL = "compile-fail"
+_CRASH = "crash"
+_PASS = "pass"
+_FAIL = "fail"
+_NO_VERDICT = "no-verdict"
+
+
+@dataclass(frozen=True)
+class CaseMutation:
+    """One textual defect injected into one language's rendering."""
+
+    language: Language
+    mutation: Mutation
+
+    def to_json(self) -> dict:
+        return {
+            "language": self.language.value,
+            "kind": self.mutation.kind,
+            "description": self.mutation.description,
+            "find": self.mutation.find,
+            "replace": self.mutation.replace,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "CaseMutation":
+        return CaseMutation(
+            language=Language(data["language"]),
+            mutation=Mutation(
+                kind=data["kind"],
+                description=data["description"],
+                find=data["find"],
+                replace=data["replace"],
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class QaCase:
+    """A replayable oracle input: spec plus optional injected defects."""
+
+    spec: QaSpec
+    mutations: tuple[CaseMutation, ...] = ()
+    expected_class: FailureClass | None = None
+    name: str = ""
+    note: str = ""
+
+    @property
+    def case_name(self) -> str:
+        return self.name or self.spec.name
+
+    def to_json(self) -> dict:
+        data = {
+            "name": self.case_name,
+            "spec": self.spec.to_json(),
+            "mutations": [m.to_json() for m in self.mutations],
+        }
+        if self.expected_class is not None:
+            data["expected_class"] = self.expected_class.value
+        if self.note:
+            data["note"] = self.note
+        return data
+
+    @staticmethod
+    def from_json(data: dict) -> "QaCase":
+        expected = data.get("expected_class")
+        return QaCase(
+            spec=QaSpec.from_json(data["spec"]),
+            mutations=tuple(
+                CaseMutation.from_json(m) for m in data.get("mutations", ())
+            ),
+            expected_class=None if expected is None else FailureClass(expected),
+            name=data.get("name", ""),
+            note=data.get("note", ""),
+        )
+
+
+@dataclass
+class LanguageReport:
+    """What one language's simulation said about the case."""
+
+    status: str  # _COMPILE_FAIL | _CRASH | _PASS | _FAIL | _NO_VERDICT
+    failing_cases: tuple[int, ...] = ()
+    log: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.status == _PASS
+
+
+@dataclass
+class OracleVerdict:
+    """The classified outcome of one case, with per-language evidence."""
+
+    case: QaCase
+    failure_class: FailureClass
+    verilog: LanguageReport
+    vhdl: LanguageReport
+    sources: dict[Language, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure_class is FailureClass.OK
+
+
+def case_sources(case: QaCase) -> dict[Language, str]:
+    """Render the spec and apply the case's mutations.
+
+    Raises :class:`~repro.designs.mutations.MutationError` when an anchor no
+    longer matches — the reducer relies on that to reject shrink candidates
+    that destroyed the injected defect.
+    """
+    sources = render(case.spec)
+    for injected in case.mutations:
+        sources[injected.language] = apply_mutation(
+            sources[injected.language], injected.mutation
+        )
+    return sources
+
+
+def _judge(result) -> LanguageReport:
+    compile_result = result.compile_result
+    if compile_result is not None and not compile_result.ok:
+        return LanguageReport(status=_COMPILE_FAIL, log=result.log)
+    if result.runtime_error:
+        return LanguageReport(status=_CRASH, log=result.log)
+    failing = tuple(
+        sorted(
+            {
+                int(m.group(1))
+                for line in result.output_lines
+                for m in _FAILED_CASE.finditer(line)
+            }
+        )
+    )
+    if result.ok and any(PASS_MESSAGE in line for line in result.output_lines):
+        return LanguageReport(status=_PASS, log=result.log)
+    if failing:
+        return LanguageReport(status=_FAIL, failing_cases=failing,
+                              log=result.log)
+    # compiled, did not crash, yet produced neither verdict: a hung or
+    # truncated simulation (e.g. ran into the time limit before $finish)
+    return LanguageReport(status=_NO_VERDICT, log=result.log)
+
+
+def _classify(verilog: LanguageReport, vhdl: LanguageReport) -> FailureClass:
+    compile_fails = (verilog.status == _COMPILE_FAIL,
+                     vhdl.status == _COMPILE_FAIL)
+    if all(compile_fails):
+        return FailureClass.COMPILE_REJECT
+    if any(compile_fails):
+        return FailureClass.COMPILE_DIVERGENCE
+    if _CRASH in (verilog.status, vhdl.status) or _NO_VERDICT in (
+        verilog.status, vhdl.status
+    ):
+        return FailureClass.CRASH
+    if verilog.passed and vhdl.passed:
+        return FailureClass.OK
+    if not verilog.passed and vhdl.passed:
+        return FailureClass.VERILOG_MISMATCH
+    if verilog.passed and not vhdl.passed:
+        return FailureClass.VHDL_MISMATCH
+    if verilog.failing_cases == vhdl.failing_cases:
+        return FailureClass.BOTH_MISMATCH
+    return FailureClass.CROSS_MISMATCH
+
+
+def run_oracle(case: QaCase, toolchain: Toolchain | None = None) -> OracleVerdict:
+    """Render, simulate in both languages, and classify the outcome."""
+    tracer = get_tracer()
+    with tracer.span("qa.oracle", case=case.case_name) as span:
+        toolchain = toolchain or Toolchain()
+        sources = case_sources(case)
+        design_spec = case.spec.design_spec()
+        model = case.spec.model()
+        reports: dict[Language, LanguageReport] = {}
+        for language in Language:
+            testbench = make_testbench(
+                design_spec, model, language, case.spec.name
+            )
+            ext = language.file_extension
+            result = toolchain.simulate(
+                [
+                    HdlFile(f"top_module{ext}", sources[language], language),
+                    HdlFile(f"tb{ext}", testbench, language),
+                ],
+                "tb",
+            )
+            reports[language] = _judge(result)
+        failure_class = _classify(
+            reports[Language.VERILOG], reports[Language.VHDL]
+        )
+        span.set_attrs(failure_class=failure_class.value)
+        tracer.metrics.counter("qa.oracle.runs").inc()
+        tracer.metrics.counter(
+            f"qa.class.{failure_class.value}"
+        ).inc()
+        return OracleVerdict(
+            case=case,
+            failure_class=failure_class,
+            verilog=reports[Language.VERILOG],
+            vhdl=reports[Language.VHDL],
+            sources=sources,
+        )

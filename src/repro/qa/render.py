@@ -1,0 +1,160 @@
+"""Render one :class:`~repro.qa.spec.QaSpec` to Verilog *and* VHDL.
+
+Every unique expression subtree is flattened to its own intermediate signal
+(the style the hand-written differential tests proved out against both
+frontends), with two properties the QA system depends on:
+
+* **Common-subexpression naming.** A node's signal name is a content hash of
+  its subtree, so identical subtrees share one signal and — crucially for
+  the reducer — shrinking one part of a spec never renames signals in
+  another part. A textual mutation anchored on a node's assignment survives
+  every reduction step that does not touch that node.
+* **Byte determinism.** Rendering is a pure function of the spec (emission
+  follows a deterministic post-order walk), so identical fuzz seeds yield
+  byte-identical HDL whether programs are generated serially or across
+  worker processes.
+
+Clocked designs register every output: Verilog uses non-blocking assignments
+to ``output reg`` ports, VHDL mirrors them with internal ``unsigned``
+register signals (VHDL ``out`` ports are not readable) driven by one clocked
+process; both reset synchronously to zero, matching the reference model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.eda.toolchain import Language
+from repro.evalsuite.hdl_helpers import v_clocked_always, v_module, vh_clocked_process, vh_entity
+from repro.qa.grammar import BINARY_OPS, Expr, children
+from repro.qa.spec import QaSpec
+
+_V_OP = {"and": "&", "or": "|", "xor": "^", "add": "+", "sub": "-"}
+_VH_OP = {"and": "and", "or": "or", "xor": "xor", "add": "+", "sub": "-"}
+_V_CMP = {"eq": "==", "lt": "<"}
+_VH_CMP = {"eq": "=", "lt": "<"}
+
+
+def node_name(tree: Expr) -> str:
+    """Content-stable signal name for a subtree (shared by both languages)."""
+    key = json.dumps(tree, separators=(",", ":"))
+    return "n_" + hashlib.sha256(key.encode()).hexdigest()[:10]
+
+
+def _walk(spec: QaSpec) -> list[Expr]:
+    """Unique subtrees in deterministic post-order, each exactly once."""
+    seen: set[str] = set()
+    ordered: list[Expr] = []
+
+    def visit(tree: Expr) -> None:
+        for child in children(tree):
+            visit(child)
+        name = node_name(tree)
+        if name not in seen:
+            seen.add(name)
+            ordered.append(tree)
+
+    for _, tree in spec.outputs:
+        visit(tree)
+    return ordered
+
+
+def _rhs(tree: Expr, spec: QaSpec, language: Language) -> str:
+    """The expression for one node in terms of its children's signals."""
+    kind = tree[0]
+    verilog = language is Language.VERILOG
+    if kind == "var":
+        name = tree[1]
+        if name in spec.inputs:
+            return name if verilog else f"unsigned({name})"
+        return name if verilog else f"r_{name}"  # clocked output register
+    if kind == "const":
+        value = tree[1] & ((1 << spec.width) - 1)
+        if verilog:
+            return f"{spec.width}'d{value}"
+        return f"to_unsigned({value}, {spec.width})"
+    if kind == "not":
+        operand = node_name(tree[1])
+        return f"~{operand}" if verilog else f"not {operand}"
+    if kind in BINARY_OPS:
+        lhs, rhs = node_name(tree[1]), node_name(tree[2])
+        op = _V_OP[kind] if verilog else _VH_OP[kind]
+        return f"{lhs} {op} {rhs}"
+    if kind == "mux":
+        _, op, cmp_l, cmp_r, if_true, if_false = tree
+        left, right = node_name(cmp_l), node_name(cmp_r)
+        taken, other = node_name(if_true), node_name(if_false)
+        if verilog:
+            return f"({left} {_V_CMP[op]} {right}) ? {taken} : {other}"
+        return f"{taken} when {left} {_VH_CMP[op]} {right} else {other}"
+    raise ValueError(f"unknown expression node {kind!r}")
+
+
+def render_verilog(spec: QaSpec) -> str:
+    width = spec.width
+    lines: list[str] = []
+    for tree in _walk(spec):
+        lines.append(f"    wire [{width - 1}:0] {node_name(tree)};")
+    for tree in _walk(spec):
+        lines.append(
+            f"    assign {node_name(tree)} = "
+            f"{_rhs(tree, spec, Language.VERILOG)};"
+        )
+    if spec.clocked:
+        updates = "\n".join(
+            f"{name} <= {node_name(tree)};" for name, tree in spec.outputs
+        )
+        resets = "\n".join(
+            f"{name} <= {width}'d0;" for name, _ in spec.outputs
+        )
+        lines.append(v_clocked_always(updates, reset_body=resets))
+        reg_outputs = {name for name, _ in spec.outputs}
+    else:
+        for name, tree in spec.outputs:
+            lines.append(f"    assign {name} = {node_name(tree)};")
+        reg_outputs = set()
+    return v_module(
+        spec.design_spec(), "\n".join(lines), reg_outputs=reg_outputs
+    )
+
+
+def render_vhdl(spec: QaSpec) -> str:
+    width = spec.width
+    decls: list[str] = []
+    body: list[str] = []
+    for tree in _walk(spec):
+        decls.append(
+            f"    signal {node_name(tree)} : unsigned({width - 1} downto 0);"
+        )
+    if spec.clocked:
+        for name, _ in spec.outputs:
+            decls.append(
+                f"    signal r_{name} : unsigned({width - 1} downto 0);"
+            )
+    for tree in _walk(spec):
+        body.append(
+            f"    {node_name(tree)} <= {_rhs(tree, spec, Language.VHDL)};"
+        )
+    if spec.clocked:
+        updates = "\n".join(
+            f"r_{name} <= {node_name(tree)};" for name, tree in spec.outputs
+        )
+        resets = "\n".join(
+            f"r_{name} <= (others => '0');" for name, _ in spec.outputs
+        )
+        body.append(vh_clocked_process(updates, reset_body=resets))
+        for name, _ in spec.outputs:
+            body.append(f"    {name} <= std_logic_vector(r_{name});")
+    else:
+        for name, tree in spec.outputs:
+            body.append(f"    {name} <= std_logic_vector({node_name(tree)});")
+    return vh_entity(spec.design_spec(), "\n".join(decls), "\n".join(body))
+
+
+def render(spec: QaSpec) -> dict[Language, str]:
+    """Both renderings of one spec, keyed by language."""
+    return {
+        Language.VERILOG: render_verilog(spec),
+        Language.VHDL: render_vhdl(spec),
+    }

@@ -1,0 +1,196 @@
+"""Generated design specifications: the shared semantic source of truth.
+
+A :class:`QaSpec` describes one randomly generated design once — ports, a
+single data width, and one expression tree per output — and is rendered to
+*both* Verilog and VHDL (:mod:`repro.qa.render`) while its reference
+behaviour comes from evaluating the same trees in Python
+(:meth:`QaSpec.model`, reusing :mod:`repro.designs.model`). Combinational
+outputs are pure functions of the inputs; clocked outputs are registers whose
+next value is their expression over the inputs and the *old* register values
+(non-blocking semantics), reset synchronously to zero.
+
+Specs serialize to JSON so failing cases can be persisted in the regression
+corpus, replayed, and shrunk.
+
+Generation is deterministic and index-addressable: program ``i`` of seed
+``s`` depends only on ``(s, i)`` — never on generation order — so a parallel
+fuzz run produces byte-identical programs to a serial one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+
+from repro.designs.model import CombModel, DesignSpec, PortSpec, SeqModel
+from repro.qa.grammar import (
+    Expr,
+    count_nodes,
+    evaluate,
+    random_expr,
+    validate_expr,
+    variables,
+)
+
+#: generated widths stay >= 2 so every port is a vector in both languages
+#: (a width-1 VHDL port would be a bare ``std_logic``, which the rendering's
+#: ``unsigned()`` conversions do not accept)
+MIN_WIDTH = 2
+MAX_WIDTH = 6
+MAX_INPUTS = 3
+MAX_OUTPUTS = 2
+MAX_EXPR_NODES = 12
+
+
+@dataclass(frozen=True)
+class QaSpec:
+    """One generated design: ports, width, and per-output expressions."""
+
+    name: str
+    width: int
+    inputs: tuple[str, ...]
+    outputs: tuple[tuple[str, Expr], ...]  # (port name, expression tree)
+    clocked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width < MIN_WIDTH:
+            raise ValueError(f"width must be >= {MIN_WIDTH}, got {self.width}")
+        if not self.inputs:
+            raise ValueError("spec needs at least one input")
+        if not self.outputs:
+            raise ValueError("spec needs at least one output")
+        names = set(self.inputs)
+        if len(names) != len(self.inputs):
+            raise ValueError("duplicate input names")
+        readable = names | ({o for o, _ in self.outputs} if self.clocked else set())
+        for out_name, tree in self.outputs:
+            if out_name in names:
+                raise ValueError(f"port {out_name!r} is both input and output")
+            validate_expr(tree, readable)
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def port_count(self) -> int:
+        return len(self.inputs) + len(self.outputs)
+
+    @property
+    def node_count(self) -> int:
+        return sum(count_nodes(tree) for _, tree in self.outputs)
+
+    def referenced_inputs(self) -> set[str]:
+        used: set[str] = set()
+        for _, tree in self.outputs:
+            used |= variables(tree)
+        return used & set(self.inputs)
+
+    def referenced_outputs(self) -> set[str]:
+        """Output registers read by any expression (clocked designs only)."""
+        used: set[str] = set()
+        for _, tree in self.outputs:
+            used |= variables(tree)
+        return used & {name for name, _ in self.outputs}
+
+    def design_spec(self) -> DesignSpec:
+        """The ``repro.designs`` interface view, for testbench generation."""
+        ports = tuple(
+            PortSpec(name, self.width, "in") for name in self.inputs
+        ) + tuple(
+            PortSpec(name, self.width, "out") for name, _ in self.outputs
+        )
+        return DesignSpec(
+            name=self.name, ports=ports, clocked=self.clocked, has_reset=True
+        )
+
+    def model(self) -> CombModel | SeqModel:
+        """Reference model: the expression trees evaluated in plain Python."""
+        outputs = tuple(self.outputs)
+        width = self.width
+        if not self.clocked:
+            def comb(inputs: dict[str, int]) -> dict[str, int]:
+                return {
+                    name: evaluate(tree, inputs, width)
+                    for name, tree in outputs
+                }
+
+            return CombModel(comb)
+
+        def reset() -> tuple[int, ...]:
+            return tuple(0 for _ in outputs)
+
+        def step(state, inputs: dict[str, int]):
+            env = dict(inputs)
+            env.update(
+                {name: value for (name, _), value in zip(outputs, state)}
+            )
+            nxt = tuple(
+                evaluate(tree, env, width) for _, tree in outputs
+            )
+            observed = {
+                name: value for (name, _), value in zip(outputs, nxt)
+            }
+            return nxt, observed
+
+        return SeqModel(reset, step)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "width": self.width,
+            "inputs": list(self.inputs),
+            "outputs": [[name, tree] for name, tree in self.outputs],
+            "clocked": self.clocked,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "QaSpec":
+        return QaSpec(
+            name=data["name"],
+            width=data["width"],
+            inputs=tuple(data["inputs"]),
+            outputs=tuple(
+                (name, tree) for name, tree in data["outputs"]
+            ),
+            clocked=data["clocked"],
+        )
+
+    def canonical(self) -> str:
+        """Stable JSON encoding, used for hashing and equality in tests."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+
+def rng_for(seed: int, index: int) -> random.Random:
+    """Deterministic per-program RNG from ``(seed, index)`` only."""
+    digest = hashlib.sha256(f"qa:{seed}:{index}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def generate_spec(seed: int, index: int) -> QaSpec:
+    """Program ``index`` of fuzz seed ``seed`` — a pure function of both."""
+    rng = rng_for(seed, index)
+    width = rng.randint(MIN_WIDTH, MAX_WIDTH)
+    inputs = tuple(f"a{i}" for i in range(rng.randint(1, MAX_INPUTS)))
+    clocked = rng.random() < 0.5
+    out_count = rng.randint(1, MAX_OUTPUTS)
+    out_names = [f"y{i}" for i in range(out_count)]
+    readable = list(inputs) + (out_names if clocked else [])
+    outputs = tuple(
+        (
+            name,
+            random_expr(
+                rng, readable, width, rng.randint(3, MAX_EXPR_NODES)
+            ),
+        )
+        for name in out_names
+    )
+    return QaSpec(
+        name=f"qa_s{seed}_p{index}",
+        width=width,
+        inputs=inputs,
+        outputs=outputs,
+        clocked=clocked,
+    )

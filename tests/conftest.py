@@ -1,0 +1,31 @@
+"""Shared pytest configuration: registered Hypothesis profiles.
+
+Property tests inherit their budget from a named profile instead of
+per-test ``@settings`` decorators, so one switch tunes the whole suite:
+
+* ``dev`` (default) — small example counts for a fast local signal;
+* ``ci`` — the thorough budget nightly / CI runs use.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest``. Deadlines are explicitly
+disabled in both profiles: many properties drive the full toolchain
+(parse + elaborate + simulate), whose first example pays cold-start costs
+that a per-example deadline would misreport as flakiness.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

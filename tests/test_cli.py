@@ -162,3 +162,85 @@ class TestLogLevel:
     def test_bad_log_level_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("--log-level", "loud", "list")
+
+
+class TestQa:
+    def failing_case_path(self, tmp_path):
+        from repro.designs.mutations import functional
+        from repro.eda.toolchain import Language
+        from repro.qa import CaseMutation, QaCase, QaSpec, node_name, save_case
+
+        tree = ["add", ["var", "a0"], ["var", "a1"]]
+        a0, a1 = node_name(["var", "a0"]), node_name(["var", "a1"])
+        add = node_name(tree)
+        case = QaCase(
+            spec=QaSpec(
+                name="cli_case", width=4, inputs=("a0", "a1"),
+                outputs=(("y0", tree),),
+            ),
+            mutations=(CaseMutation(Language.VERILOG, functional(
+                "add becomes sub",
+                f"assign {add} = {a0} + {a1};",
+                f"assign {add} = {a0} - {a1};",
+            )),),
+        )
+        return save_case(case, tmp_path)
+
+    def test_fuzz_smoke(self):
+        code, text = run_cli("qa", "fuzz", "--seed", "0", "--count", "3")
+        assert code == 0
+        assert "divergences: none" in text
+        assert "seed=0 count=3" in text
+
+    def test_fuzz_writes_trace(self, tmp_path):
+        trace = tmp_path / "qa.jsonl"
+        code, _ = run_cli(
+            "qa", "fuzz", "--seed", "0", "--count", "2",
+            "--trace", str(trace),
+        )
+        assert code == 0
+        assert trace.exists() and trace.stat().st_size > 0
+        code, text = run_cli("trace", "summarize", str(trace))
+        assert code == 0
+
+    def test_replay_default_corpus(self):
+        code, text = run_cli("qa", "replay")
+        assert code == 0
+        assert "0 mismatch(es)" in text
+        assert "PASS corpus_crash_oscillation" in text
+
+    def test_replay_empty_corpus(self, tmp_path):
+        code, text = run_cli("qa", "replay", "--corpus", str(tmp_path))
+        assert code == 1
+        assert "no corpus cases" in text
+
+    def test_reduce_writes_reduced_case(self, tmp_path):
+        from repro.qa import FailureClass, load_case
+
+        case_file = self.failing_case_path(tmp_path)
+        out_file = tmp_path / "reduced.json"
+        code, text = run_cli(
+            "qa", "reduce", str(case_file), "-o", str(out_file),
+        )
+        assert code == 0
+        assert "qa reduce: verilog-mismatch" in text
+        reduced = load_case(out_file)
+        assert reduced.expected_class is FailureClass.VERILOG_MISMATCH
+        assert reduced.spec.node_count <= 5
+
+    def test_reduce_rejects_passing_case(self, tmp_path):
+        from repro.qa import QaCase, QaSpec, save_case
+
+        case = QaCase(spec=QaSpec(
+            name="fine", width=4, inputs=("a0",),
+            outputs=(("y0", ["var", "a0"]),),
+        ))
+        path = save_case(case, tmp_path)
+        code, text = run_cli("qa", "reduce", str(path))
+        assert code == 1
+        assert "nothing to reduce" in text
+
+    def test_reduce_missing_file(self, tmp_path):
+        code, text = run_cli("qa", "reduce", str(tmp_path / "ghost.json"))
+        assert code == 1
+        assert "cannot load case" in text

@@ -2,11 +2,13 @@
 
 The whole premise of the paper is that LLMs emit broken code; the frontends
 must convert *any* text into diagnostics, never into exceptions. Hypothesis
-feeds them arbitrary strings and mangled variants of real designs.
+feeds them arbitrary strings and mangled variants of real designs. Example
+budgets come from the profiles registered in ``conftest.py``
+(``HYPOTHESIS_PROFILE=dev|ci``).
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.eda.toolchain import HdlFile, Language, Toolchain
 from repro.hdl.source import SourceFile
@@ -55,23 +57,18 @@ def mangled(source: str, cut_at: int, insert_at: int, junk: str) -> str:
     return source[:insert_at] + junk + source[insert_at:cut_at] + source[cut_at + 40:]
 
 
-@settings(max_examples=150, suppress_health_check=[HealthCheck.too_slow],
-          deadline=None)
 @given(st.text(alphabet=HDL_ALPHABET, max_size=300))
 def test_verilog_parser_never_crashes_on_noise(text):
     unit, collector = parse_verilog(text)
     analyze_verilog(unit, SourceFile("f.v", text), collector)
 
 
-@settings(max_examples=150, suppress_health_check=[HealthCheck.too_slow],
-          deadline=None)
 @given(st.text(alphabet=HDL_ALPHABET, max_size=300))
 def test_vhdl_parser_never_crashes_on_noise(text):
     design, collector = parse_vhdl(text)
     analyze_vhdl(design, SourceFile("f.vhd", text), collector)
 
 
-@settings(max_examples=80, deadline=None)
 @given(
     cut_at=st.integers(0, 500),
     insert_at=st.integers(0, 500),
@@ -87,7 +84,6 @@ def test_verilog_toolchain_survives_mangled_designs(cut_at, insert_at, junk):
     assert isinstance(result.log, str)
 
 
-@settings(max_examples=80, deadline=None)
 @given(
     cut_at=st.integers(0, 700),
     insert_at=st.integers(0, 700),

@@ -1,0 +1,85 @@
+"""The regression corpus: persistence round-trips and the tier-1 replay.
+
+``test_replay_shipped_corpus`` is the promise the corpus makes: every case
+ever filed keeps classifying exactly as recorded, in both languages, on
+every test run.
+"""
+
+import pytest
+
+from repro.eda.toolchain import Toolchain
+from repro.qa.corpus import (
+    DEFAULT_CORPUS_DIR,
+    case_path,
+    load_case,
+    load_corpus,
+    replay_corpus,
+    save_case,
+)
+from repro.qa.oracle import FailureClass, QaCase
+from repro.qa.spec import QaSpec
+
+
+def small_case(name="roundtrip", expected=FailureClass.OK):
+    spec = QaSpec(
+        name=name, width=4, inputs=("a0",),
+        outputs=(("y0", ["not", ["var", "a0"]]),),
+    )
+    return QaCase(spec=spec, expected_class=expected, note="a note")
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        case = small_case()
+        path = save_case(case, tmp_path)
+        assert path == case_path(case, tmp_path)
+        reloaded = load_case(path)
+        assert reloaded.spec.canonical() == case.spec.canonical()
+        assert reloaded.expected_class is FailureClass.OK
+        assert reloaded.note == "a note"
+
+    def test_case_names_are_sanitized_into_filenames(self, tmp_path):
+        case = small_case(name="weird")
+        hostile = QaCase(spec=case.spec, name="../evil name")
+        path = case_path(hostile, tmp_path)
+        assert path.parent == tmp_path
+        assert path.name == ".._evil_name.json"
+
+    def test_load_corpus_is_sorted_and_tolerates_missing_dir(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+        save_case(small_case(name="bbb"), tmp_path)
+        save_case(small_case(name="aaa"), tmp_path)
+        assert [c.case_name for c in load_corpus(tmp_path)] == ["aaa", "bbb"]
+
+
+class TestReplay:
+    def test_replay_shipped_corpus(self):
+        """Tier-1 gate: the shipped corpus must replay exactly as recorded."""
+        outcomes = replay_corpus(DEFAULT_CORPUS_DIR,
+                                 toolchain=Toolchain(cache=True))
+        assert len(outcomes) >= 5
+        mismatched = [o.render() for o in outcomes if not o.matched]
+        assert mismatched == []
+        # the hand-picked seed entries cover every failure class
+        assert {o.expected for o in outcomes} == set(FailureClass)
+
+    def test_replay_flags_a_stale_expectation(self, tmp_path):
+        stale = QaCase(
+            spec=small_case().spec,
+            expected_class=FailureClass.VERILOG_MISMATCH,  # actually OK
+            name="stale",
+        )
+        save_case(stale, tmp_path)
+        outcomes = replay_corpus(tmp_path)
+        assert len(outcomes) == 1
+        assert not outcomes[0].matched
+        assert outcomes[0].actual is FailureClass.OK
+        assert "FAIL" in outcomes[0].render()
+
+    def test_missing_expectation_defaults_to_ok(self, tmp_path):
+        case = QaCase(spec=small_case().spec, name="implicit")
+        save_case(case, tmp_path)
+        outcomes = replay_corpus(tmp_path)
+        assert outcomes[0].expected is FailureClass.OK
+        assert outcomes[0].matched
+        assert "PASS" in outcomes[0].render()

@@ -1,0 +1,87 @@
+"""Fuzz campaigns: determinism across worker counts, no unclassified gaps."""
+
+import pytest
+
+from repro.qa import fuzz as fuzz_module
+from repro.qa.fuzz import FuzzReport, ProgramResult, run_fuzz
+from repro.qa.oracle import FailureClass
+
+COUNT = 8
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_fuzz(0, COUNT)
+
+
+class TestCampaign:
+    def test_seed_zero_is_divergence_free(self, serial_report):
+        assert serial_report.ok
+        assert serial_report.divergences == []
+        assert serial_report.class_counts == {"ok": COUNT}
+        assert len(serial_report.results) == COUNT
+        assert "divergences: none" in serial_report.render()
+
+    def test_results_arrive_in_program_order(self, serial_report):
+        assert [r.index for r in serial_report.results] == list(range(COUNT))
+        assert [r.name for r in serial_report.results] == [
+            f"qa_s0_p{i}" for i in range(COUNT)
+        ]
+
+    def test_parallel_equals_serial_byte_for_byte(self, serial_report):
+        parallel = run_fuzz(0, COUNT, workers=4)
+        assert [
+            (r.index, r.name, r.failure_class, r.verilog_sha, r.vhdl_sha)
+            for r in parallel.results
+        ] == [
+            (r.index, r.name, r.failure_class, r.verilog_sha, r.vhdl_sha)
+            for r in serial_report.results
+        ]
+
+    def test_different_seeds_generate_different_programs(self, serial_report):
+        other = run_fuzz(1, COUNT)
+        assert [r.verilog_sha for r in other.results] != [
+            r.verilog_sha for r in serial_report.results
+        ]
+
+    def test_throughput_accounting(self, serial_report):
+        assert serial_report.elapsed > 0
+        assert serial_report.throughput > 0
+        assert all(r.seconds >= 0 for r in serial_report.results)
+
+
+class TestEngineFailuresAreClassified:
+    def test_dead_task_becomes_a_crash_divergence(self, monkeypatch):
+        """A program whose task dies is a CRASH-class divergence, never a
+        silent gap — the campaign has zero unclassified outcomes."""
+
+        real = fuzz_module._fuzz_program
+
+        def flaky(seed, index):
+            if index == 1:
+                raise RuntimeError("worker exploded")
+            return real(seed, index)
+
+        monkeypatch.setattr(fuzz_module, "_fuzz_program", flaky)
+        report = run_fuzz(0, 3)
+        assert len(report.results) == 3
+        by_index = {r.index: r for r in report.results}
+        assert by_index[1].failure_class is FailureClass.CRASH
+        assert "worker exploded" in by_index[1].error
+        assert by_index[0].failure_class is FailureClass.OK
+        assert by_index[2].failure_class is FailureClass.OK
+        assert not report.ok
+        assert [c.spec.name for c in report.divergences] == ["qa_s0_p1"]
+        assert report.divergences[0].expected_class is FailureClass.CRASH
+        assert "DIVERGENCES" in report.render()
+
+
+class TestReportShape:
+    def test_class_counts_tally_every_result(self):
+        report = FuzzReport(seed=0, count=2, workers=1)
+        report.results = [
+            ProgramResult(0, "a", FailureClass.OK, "", "", 0.1),
+            ProgramResult(1, "b", FailureClass.CRASH, "", "", 0.1),
+        ]
+        assert report.class_counts == {"ok": 1, "crash": 1}
+        assert report.throughput == 0.0  # no elapsed recorded

@@ -1,0 +1,131 @@
+"""Generator and rendering determinism (``repro.qa.spec`` / ``render``)."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eda.toolchain import Language
+from repro.qa.render import node_name, render, render_verilog, render_vhdl
+from repro.qa.spec import (
+    MAX_EXPR_NODES,
+    MAX_INPUTS,
+    MAX_OUTPUTS,
+    MAX_WIDTH,
+    MIN_WIDTH,
+    QaSpec,
+    generate_spec,
+)
+
+SEEDS = st.integers(0, 10_000)
+INDEXES = st.integers(0, 500)
+
+
+class TestGeneration:
+    @given(SEEDS, INDEXES)
+    def test_pure_function_of_seed_and_index(self, seed, index):
+        assert (
+            generate_spec(seed, index).canonical()
+            == generate_spec(seed, index).canonical()
+        )
+
+    @given(SEEDS, INDEXES)
+    def test_respects_generation_bounds(self, seed, index):
+        spec = generate_spec(seed, index)
+        assert MIN_WIDTH <= spec.width <= MAX_WIDTH
+        assert 1 <= len(spec.inputs) <= MAX_INPUTS
+        assert 1 <= len(spec.outputs) <= MAX_OUTPUTS
+        for _, tree in spec.outputs:
+            pass  # validated by QaSpec.__post_init__
+        assert spec.node_count <= MAX_OUTPUTS * MAX_EXPR_NODES
+        assert spec.name == f"qa_s{seed}_p{index}"
+
+    def test_neighbouring_programs_differ(self):
+        canonicals = {generate_spec(0, i).canonical() for i in range(20)}
+        assert len(canonicals) == 20
+
+    @given(SEEDS, INDEXES)
+    def test_json_round_trip(self, seed, index):
+        spec = generate_spec(seed, index)
+        reloaded = QaSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert reloaded.canonical() == spec.canonical()
+        assert render(reloaded) == render(spec)
+
+
+class TestSpecValidation:
+    def test_rejects_degenerate_interfaces(self):
+        good = dict(
+            name="t", width=4, inputs=("a0",),
+            outputs=(("y0", ["var", "a0"]),),
+        )
+        QaSpec(**good)
+        with pytest.raises(ValueError):
+            QaSpec(**{**good, "width": MIN_WIDTH - 1})
+        with pytest.raises(ValueError):
+            QaSpec(**{**good, "inputs": ()})
+        with pytest.raises(ValueError):
+            QaSpec(**{**good, "outputs": ()})
+        with pytest.raises(ValueError):
+            QaSpec(**{**good, "inputs": ("a0", "a0")})
+        with pytest.raises(ValueError):
+            QaSpec(**{**good, "outputs": (("a0", ["const", 1]),)})
+
+    def test_outputs_readable_only_when_clocked(self):
+        loop = dict(
+            name="t", width=4, inputs=("a0",),
+            outputs=(("y0", ["add", ["var", "y0"], ["var", "a0"]]),),
+        )
+        QaSpec(**{**loop, "clocked": True})
+        with pytest.raises(ValueError):
+            QaSpec(**loop)  # combinational feedback is ill-formed
+
+    def test_model_matches_expressions(self):
+        spec = QaSpec(
+            name="t", width=4, inputs=("a0", "a1"),
+            outputs=(("y0", ["add", ["var", "a0"], ["var", "a1"]]),),
+        )
+        assert spec.model().fn({"a0": 9, "a1": 9}) == {"y0": 2}
+        seq = QaSpec(
+            name="t", width=4, inputs=("a0",), clocked=True,
+            outputs=(("y0", ["add", ["var", "y0"], ["var", "a0"]]),),
+        )
+        model = seq.model()
+        state = model.reset()
+        state, observed = model.step(state, {"a0": 5})
+        assert observed == {"y0": 5}
+        state, observed = model.step(state, {"a0": 5})
+        assert observed == {"y0": 10}
+
+
+class TestRendering:
+    @given(SEEDS, INDEXES)
+    def test_byte_identical_across_calls(self, seed, index):
+        spec = generate_spec(seed, index)
+        assert render_verilog(spec) == render_verilog(spec)
+        assert render_vhdl(spec) == render_vhdl(spec)
+
+    @given(SEEDS, INDEXES)
+    def test_both_languages_rendered(self, seed, index):
+        spec = generate_spec(seed, index)
+        sources = render(spec)
+        assert set(sources) == set(Language)
+        assert "module top_module" in sources[Language.VERILOG]
+        assert "entity top_module" in sources[Language.VHDL]
+        for name in spec.inputs:
+            assert name in sources[Language.VERILOG]
+            assert name in sources[Language.VHDL]
+
+    def test_node_names_are_content_stable(self):
+        tree = ["add", ["var", "a0"], ["const", 3]]
+        assert node_name(tree) == node_name(list(tree))
+        assert node_name(tree) != node_name(["add", ["var", "a1"],
+                                             ["const", 3]])
+        # a shared subtree renders as one signal, referenced twice
+        spec = QaSpec(
+            name="t", width=4, inputs=("a0",),
+            outputs=(
+                ("y0", ["xor", tree, tree]),
+            ),
+        )
+        verilog = render_verilog(spec)
+        assert verilog.count(f"assign {node_name(tree)} =") == 1

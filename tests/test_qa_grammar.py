@@ -1,0 +1,143 @@
+"""Properties of the QA expression grammar (``repro.qa.grammar``)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qa.grammar import (
+    BINARY_OPS,
+    children,
+    count_nodes,
+    evaluate,
+    pruned,
+    random_expr,
+    substitute,
+    validate_expr,
+    variables,
+)
+
+NAMES = ["a0", "a1", "y0"]
+
+
+@st.composite
+def exprs(draw):
+    """A generated tree plus the width it was generated for."""
+    rng = random.Random(draw(st.integers(0, 2**32)))
+    width = draw(st.integers(2, 6))
+    budget = draw(st.integers(1, 16))
+    return random_expr(rng, NAMES, width, budget), width
+
+
+def env_for(width):
+    return {name: i * 3 % (1 << width) for i, name in enumerate(NAMES)}
+
+
+class TestEvaluate:
+    @given(exprs())
+    def test_result_is_masked_to_width(self, pair):
+        tree, width = pair
+        value = evaluate(tree, env_for(width), width)
+        assert 0 <= value < (1 << width)
+
+    @given(exprs())
+    def test_double_not_is_identity(self, pair):
+        tree, width = pair
+        env = env_for(width)
+        assert evaluate(["not", ["not", tree]], env, width) == evaluate(
+            tree, env, width
+        )
+
+    @given(exprs())
+    def test_substitute_equals_env_update(self, pair):
+        tree, width = pair
+        env = env_for(width)
+        replaced = substitute(tree, "a0", 5)
+        assert "a0" not in variables(replaced)
+        patched = dict(env, a0=5)
+        assert evaluate(replaced, env, width) == evaluate(tree, patched, width)
+
+    def test_operator_semantics_against_ints(self):
+        width, a, b = 4, 11, 6
+        env = {"a0": a, "a1": b}
+        mask = (1 << width) - 1
+        expect = {
+            "and": a & b, "or": a | b, "xor": a ^ b,
+            "add": (a + b) & mask, "sub": (a - b) & mask,
+        }
+        for op in BINARY_OPS:
+            tree = [op, ["var", "a0"], ["var", "a1"]]
+            assert evaluate(tree, env, width) == expect[op]
+        mux = ["mux", "lt", ["var", "a1"], ["var", "a0"],
+               ["const", 1], ["const", 2]]
+        assert evaluate(mux, env, width) == 1  # 6 < 11
+        assert evaluate(["not", ["const", 0]], env, width) == mask
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate(["nand", ["const", 1], ["const", 1]], {}, 4)
+        with pytest.raises(ValueError):
+            children(["nand", ["const", 1], ["const", 1]])
+
+
+class TestStructure:
+    @given(exprs())
+    def test_generated_trees_validate_and_respect_budget(self, pair):
+        tree, _ = pair
+        validate_expr(tree, set(NAMES))
+        assert count_nodes(tree) >= 1
+
+    @given(exprs())
+    def test_count_nodes_matches_children_recursion(self, pair):
+        tree, _ = pair
+        assert count_nodes(tree) == 1 + sum(
+            count_nodes(child) for child in children(tree)
+        )
+
+    @given(st.integers(0, 2**32))
+    def test_generation_is_deterministic(self, seed):
+        first = random_expr(random.Random(seed), NAMES, 4, 10)
+        second = random_expr(random.Random(seed), NAMES, 4, 10)
+        assert first == second
+
+    def test_validate_rejects_malformed_nodes(self):
+        for bad in (
+            [],
+            ["var", "ghost"],
+            ["const", -1],
+            ["const", "x"],
+            ["not"],
+            ["add", ["const", 1]],
+            ["mux", "ne", ["const", 0], ["const", 0],
+             ["const", 1], ["const", 2]],
+            "not-a-node",
+        ):
+            with pytest.raises(ValueError):
+                validate_expr(bad, set(NAMES))
+
+
+class TestPruned:
+    @given(exprs())
+    def test_candidates_shrink_and_stay_wellformed(self, pair):
+        tree, _ = pair
+        original = count_nodes(tree)
+        candidates = list(pruned(tree))
+        if tree != ["const", 0]:  # const-0 is the shrink fixpoint
+            assert candidates  # anything else at least collapses to const-0
+        for candidate in candidates:
+            validate_expr(candidate, set(NAMES))
+            assert count_nodes(candidate) <= original
+            assert candidate != tree
+
+    def test_const_zero_is_a_fixpoint(self):
+        assert list(pruned(["const", 0])) == []
+
+    def test_hoists_every_child(self):
+        tree = ["add", ["var", "a0"], ["not", ["var", "a1"]]]
+        candidates = list(pruned(tree))
+        assert ["var", "a0"] in candidates
+        assert ["not", ["var", "a1"]] in candidates
+        assert ["const", 0] in candidates
+        # recursive: the inner not can collapse in place
+        assert ["add", ["var", "a0"], ["const", 0]] in candidates
+        assert ["add", ["var", "a0"], ["var", "a1"]] in candidates

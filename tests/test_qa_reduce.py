@@ -1,0 +1,74 @@
+"""Reducer acceptance: big failing cases shrink to minimal reproducers."""
+
+import pytest
+
+from repro.designs.mutations import functional
+from repro.eda.toolchain import Language, Toolchain
+from repro.qa.oracle import CaseMutation, FailureClass, QaCase, run_oracle
+from repro.qa.reduce import reduce_case
+from repro.qa.render import node_name
+from repro.qa.spec import MIN_WIDTH, QaSpec
+
+# the defect lives on this subtree, buried inside a larger design
+DEEP_ADD = ["add", ["var", "a0"], ["var", "a1"]]
+A0, A1 = node_name(["var", "a0"]), node_name(["var", "a1"])
+ADD = node_name(DEEP_ADD)
+
+
+def big_failing_case():
+    """Clocked, 5 ports, wide, with the defect deep inside output y0."""
+    spec = QaSpec(
+        name="qa_big", width=6, inputs=("a0", "a1", "a2"), clocked=True,
+        outputs=(
+            ("y0", ["mux", "lt", ["var", "a2"], ["const", 3],
+                    ["not", DEEP_ADD],
+                    ["xor", ["var", "a0"], ["var", "a2"]]]),
+            ("y1", ["sub", ["and", ["var", "a1"], ["var", "a2"]],
+                    ["const", 1]]),
+        ),
+    )
+    mutation = CaseMutation(Language.VERILOG, functional(
+        "deep add becomes sub",
+        f"assign {ADD} = {A0} + {A1};",
+        f"assign {ADD} = {A0} - {A1};",
+    ))
+    return QaCase(spec=spec, mutations=(mutation,))
+
+
+class TestReduction:
+    def test_shrinks_to_minimal_reproducer(self):
+        case = big_failing_case()
+        result = reduce_case(case, max_checks=200)
+
+        assert result.failure_class is FailureClass.VERILOG_MISMATCH
+        reduced = result.reduced
+        # acceptance floor: at most 3 ports and 5 expression nodes
+        assert reduced.spec.port_count <= 3
+        assert reduced.spec.node_count <= 5
+        assert reduced.spec.width == MIN_WIDTH
+        assert not reduced.spec.clocked
+        assert reduced.expected_class is FailureClass.VERILOG_MISMATCH
+        assert result.accepted_steps > 0
+        assert result.oracle_runs <= 200
+        # the reproducer still demonstrates the identical failure class
+        verdict = run_oracle(reduced, Toolchain(cache=True))
+        assert verdict.failure_class is FailureClass.VERILOG_MISMATCH
+        # the injected defect survived every accepted shrink
+        assert reduced.mutations == case.mutations
+        # and the summary reports the before/after sizes
+        assert "ports 5->" in result.summary
+        assert "verilog-mismatch" in result.summary
+
+    def test_ok_case_is_rejected(self):
+        spec = QaSpec(
+            name="qa_fine", width=4, inputs=("a0", "a1"),
+            outputs=(("y0", DEEP_ADD),),
+        )
+        with pytest.raises(ValueError, match="nothing to reduce"):
+            reduce_case(QaCase(spec=spec))
+
+    def test_respects_the_oracle_budget(self):
+        result = reduce_case(big_failing_case(), max_checks=5)
+        assert result.oracle_runs <= 5
+        # partial progress is still a valid case of the same class
+        assert result.failure_class is FailureClass.VERILOG_MISMATCH

@@ -7,6 +7,7 @@ sources in both languages.
 """
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.designs.mutations import MutationError, apply_mutation
 from repro.eda.toolchain import (
@@ -174,6 +175,87 @@ class TestNoCollisions:
         # boundary shifts between fields must not alias
         shifted = [HdlFile("a.vm", "odule a; endmodule", Language.VERILOG)]
         assert ToolchainCache.key("compile", shifted, "a") != base
+
+
+_KEY_TEXT = st.text(
+    alphabet="module tb;endcafe\n ()01", min_size=0, max_size=40
+)
+
+
+@st.composite
+def _key_inputs(draw):
+    """One full cache-key input: kind, files (name/text/language), top."""
+    kind = draw(st.sampled_from(["compile", "simulate"]))
+    top = draw(st.sampled_from(["top_module", "tb", "t", ""]))
+    count = draw(st.integers(1, 3))
+    files = []
+    for index in range(count):
+        name = draw(st.sampled_from([f"f{index}.v", f"f{index}.vhd", "m.v"]))
+        language = draw(st.sampled_from(list(Language)))
+        files.append(HdlFile(name, draw(_KEY_TEXT), language))
+    return kind, tuple(files), top
+
+
+class TestKeyInjectivity:
+    """Property: the cache key is injective over everything it must encode.
+
+    Two inputs get the same key if and only if they are identical in kind,
+    top, and the exact sequence of (name, text, language) files — permuting
+    file order, switching a language, or renaming the top all produce
+    distinct keys even when every byte of source text is the same.
+    """
+
+    @staticmethod
+    def _descriptor(kind, files, top):
+        return (
+            kind,
+            tuple((f.name, f.text, f.language) for f in files),
+            top,
+        )
+
+    @given(_key_inputs(), _key_inputs())
+    def test_equal_keys_iff_equal_inputs(self, one, other):
+        key_one = ToolchainCache.key(one[0], list(one[1]), one[2])
+        key_other = ToolchainCache.key(other[0], list(other[1]), other[2])
+        same = self._descriptor(*one) == self._descriptor(*other)
+        assert (key_one == key_other) == same
+
+    @given(_key_inputs())
+    def test_structured_variants_never_collide(self, base):
+        kind, files, top = base
+        keys = {self._descriptor(kind, files, top):
+                ToolchainCache.key(kind, list(files), top)}
+
+        def probe(v_kind, v_files, v_top):
+            descriptor = self._descriptor(v_kind, v_files, v_top)
+            key = ToolchainCache.key(v_kind, list(v_files), v_top)
+            if descriptor in keys:
+                assert keys[descriptor] == key
+            else:
+                assert key not in keys.values()
+                keys[descriptor] = key
+
+        probe("simulate" if kind == "compile" else "compile", files, top)
+        probe(kind, files, top + "_x")
+        probe(kind, tuple(reversed(files)), top)
+        for index, hdl in enumerate(files):
+            flipped = (
+                Language.VHDL
+                if hdl.language is Language.VERILOG
+                else Language.VERILOG
+            )
+            variant = (
+                files[:index]
+                + (HdlFile(hdl.name, hdl.text, flipped),)
+                + files[index + 1:]
+            )
+            probe(kind, variant, top)
+            renamed = (
+                files[:index]
+                + (HdlFile(hdl.name + "_r", hdl.text, hdl.language),)
+                + files[index + 1:]
+            )
+            probe(kind, renamed, top)
 
 
 class TestLruBound:

@@ -1,0 +1,163 @@
+"""Property tests: ``repro.sim.values.Logic`` vs plain Python integers.
+
+On fully-known vectors every operator must agree with the obvious masked
+integer computation — the simulation kernel is only trustworthy if its value
+algebra is. A second group pins the IEEE 1364 X-propagation edge cases:
+dominant values (``0 & x``, ``1 | x``) stay known, everything else taints.
+Example budgets come from the profiles in ``conftest.py``.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.values import Logic, logic
+
+WIDTHS = st.integers(min_value=1, max_value=16)
+
+
+@st.composite
+def known_pair(draw):
+    """Two fully-known vectors of one width, plus their int values."""
+    width = draw(WIDTHS)
+    a = draw(st.integers(0, (1 << width) - 1))
+    b = draw(st.integers(0, (1 << width) - 1))
+    return width, a, b
+
+
+@st.composite
+def any_vector(draw):
+    """An arbitrary four-state vector (bits and xmask drawn independently)."""
+    width = draw(WIDTHS)
+    bits = draw(st.integers(0, (1 << width) - 1))
+    xmask = draw(st.integers(0, (1 << width) - 1))
+    return Logic(width, bits, xmask)
+
+
+class TestKnownVectorsMatchInts:
+    @given(known_pair())
+    def test_bitwise(self, pair):
+        width, a, b = pair
+        mask = (1 << width) - 1
+        la, lb = Logic.from_int(a, width), Logic.from_int(b, width)
+        assert (la & lb).to_int() == a & b
+        assert (la | lb).to_int() == a | b
+        assert (la ^ lb).to_int() == a ^ b
+        assert (~la).to_int() == (a ^ mask)
+
+    @given(known_pair())
+    def test_arithmetic_wraps_like_masked_ints(self, pair):
+        width, a, b = pair
+        mask = (1 << width) - 1
+        la, lb = Logic.from_int(a, width), Logic.from_int(b, width)
+        assert la.add(lb).to_int() == (a + b) & mask
+        assert la.sub(lb).to_int() == (a - b) & mask
+        assert la.mul(lb).to_int() == (a * b) & mask
+        assert la.neg().to_int() == (-a) & mask
+
+    @given(known_pair())
+    def test_division_and_modulo(self, pair):
+        width, a, b = pair
+        la, lb = Logic.from_int(a, width), Logic.from_int(b, width)
+        if b == 0:
+            assert la.div(lb).has_x  # x/0 is all-X, like Verilog
+            assert la.mod(lb).has_x
+        else:
+            assert la.div(lb).to_int() == a // b
+            assert la.mod(lb).to_int() == a % b
+
+    @given(known_pair())
+    def test_comparisons(self, pair):
+        width, a, b = pair
+        la, lb = Logic.from_int(a, width), Logic.from_int(b, width)
+        assert la.eq(lb).to_int() == int(a == b)
+        assert la.ne(lb).to_int() == int(a != b)
+        assert la.lt(lb).to_int() == int(a < b)
+        assert la.le(lb).to_int() == int(a <= b)
+        assert la.gt(lb).to_int() == int(a > b)
+        assert la.ge(lb).to_int() == int(a >= b)
+        assert la.case_eq(lb).to_int() == int(a == b)
+
+    @given(known_pair())
+    def test_shifts(self, pair):
+        width, a, shift = pair
+        mask = (1 << width) - 1
+        la = Logic.from_int(a, width)
+        amount = Logic.from_int(shift, width)
+        assert la.shl(amount).to_int() == (a << shift) & mask
+        assert la.shr(amount).to_int() == a >> shift
+
+    @given(known_pair())
+    def test_signed_views(self, pair):
+        width, a, b = pair
+        la, lb = Logic.from_int(a, width), Logic.from_int(b, width)
+        sa = a - (1 << width) if a & (1 << (width - 1)) else a
+        sb = b - (1 << width) if b & (1 << (width - 1)) else b
+        assert la.to_signed() == sa
+        assert la.lt_signed(lb).to_int() == int(sa < sb)
+
+    @given(known_pair())
+    def test_reductions(self, pair):
+        width, a, _ = pair
+        mask = (1 << width) - 1
+        la = Logic.from_int(a, width)
+        assert la.reduce_and().to_int() == int(a == mask)
+        assert la.reduce_or().to_int() == int(a != 0)
+        assert la.reduce_xor().to_int() == bin(a).count("1") & 1
+
+    @given(known_pair())
+    def test_string_round_trip(self, pair):
+        width, a, _ = pair
+        la = Logic.from_int(a, width)
+        assert Logic.from_string(la.to_bit_string()) == la
+        assert logic(a, width) == la
+
+
+class TestXPropagation:
+    @given(any_vector())
+    def test_normalization_zeroes_bits_under_x(self, vector):
+        assert vector.bits & vector.xmask == 0
+
+    @given(any_vector())
+    def test_arithmetic_taints_completely(self, vector):
+        if not vector.has_x:
+            return
+        one = Logic.from_int(1, vector.width)
+        for result in (vector.add(one), vector.sub(one), vector.mul(one),
+                       vector.neg()):
+            assert result.xmask == (1 << result.width) - 1
+
+    @given(any_vector())
+    def test_dominant_values_defeat_x(self, vector):
+        zero = Logic(vector.width)  # all known-0
+        ones = Logic.from_int(-1, vector.width)  # all known-1
+        assert (vector & zero) == zero
+        assert (vector | ones) == ones
+
+    @given(any_vector())
+    def test_xor_taints_exactly_the_x_bits(self, vector):
+        other = Logic.from_int(0b1010, vector.width)
+        assert (vector ^ other).xmask == vector.xmask
+
+    @given(any_vector())
+    def test_invert_preserves_x_positions(self, vector):
+        assert (~vector).xmask == vector.xmask
+        known = ((1 << vector.width) - 1) & ~vector.xmask
+        assert (~vector).bits == ~vector.bits & known
+
+    @given(any_vector())
+    def test_eq_with_known_differing_bit_is_definite_zero(self, vector):
+        flipped = Logic(
+            vector.width, vector.bits ^ 1, vector.xmask & ~1
+        )
+        if vector.xmask & 1:
+            return  # bit 0 unknown: nothing definite to say
+        assert vector.eq(flipped).to_int() == 0
+        assert vector.case_eq(vector).to_int() == 1
+
+    @given(any_vector())
+    def test_x_select_logic(self, vector):
+        # a known 1 bit anywhere makes the vector definitely true; with
+        # no known 1 the truth value is X, which control flow treats as false
+        assert vector.is_true() == (vector.bits != 0)
+        if vector.has_x and vector.bits == 0:
+            assert vector.truthy().has_x
+            assert not vector.is_true()
