@@ -2,7 +2,17 @@
 
 These track the cost of the pieces everything else is built on — useful for
 spotting regressions when extending the language subsets.
+
+``test_sim_tier_speedup`` additionally writes ``BENCH_sim.json`` (compiled
+vs interpreter timings for both languages) and gates on the closure
+compiler staying measurably faster than the interpreter floor; CI uploads
+the JSON as an artifact.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 from repro.eda.toolchain import HdlFile, Language, Toolchain
 from repro.evalsuite.suite import build_suite
@@ -60,6 +70,44 @@ end architecture;
 """
 
 
+TB_VHD = """
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity tb is end entity;
+architecture sim of tb is
+    signal clk : std_logic := '0';
+    signal rst : std_logic := '1';
+    signal en : std_logic := '0';
+    signal count : std_logic_vector(7 downto 0);
+begin
+    dut: entity work.counter port map (
+        clk => clk, rst => rst, en => en, count => count);
+    stim: process begin
+        for i in 0 to 1 loop
+            wait for 5 ns;
+            clk <= '1';
+            wait for 5 ns;
+            clk <= '0';
+        end loop;
+        rst <= '0';
+        en <= '1';
+        for i in 0 to 199 loop
+            wait for 5 ns;
+            clk <= '1';
+            wait for 5 ns;
+            clk <= '0';
+        end loop;
+        wait for 1 ns;
+        if unsigned(count) = 200 then
+            report "All tests passed successfully!";
+        end if;
+        wait;
+    end process;
+end architecture;
+"""
+
+
 def test_parse_verilog_module(benchmark):
     unit, collector = benchmark(parse_verilog, COUNTER_V)
     assert not collector.has_errors
@@ -95,6 +143,80 @@ def test_build_defect_plan(benchmark, full_suite):
         build_defect_plan, CLAUDE_35_SONNET, Language.VERILOG, full_suite
     )
     assert len(plans) == 156
+
+
+def _best_ms(files, top, *, interp, reps=20):
+    """Best-of-*reps* wall time of one simulate() call, in milliseconds.
+
+    A fresh Toolchain per tier keeps result caching out of the picture; one
+    warm-up call absorbs the parse/analysis memo fill so the measurement is
+    the elaborate+simulate cost the sweeps actually pay per run.
+    """
+    previous = os.environ.pop("REPRO_SIM_INTERP", None)
+    try:
+        if interp:
+            os.environ["REPRO_SIM_INTERP"] = "1"
+        toolchain = Toolchain()
+        result = toolchain.simulate(files, top)
+        assert result.ok, result.log
+        assert any("All tests passed" in l for l in result.output_lines), (
+            result.log
+        )
+        best = float("inf")
+        for _ in range(reps):
+            started = time.perf_counter()
+            toolchain.simulate(files, top)
+            best = min(best, time.perf_counter() - started)
+        return best * 1000.0
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SIM_INTERP", None)
+        else:
+            os.environ["REPRO_SIM_INTERP"] = previous
+
+
+#: compiled must beat the interpreter by at least this factor. Measured
+#: speedups are ~2.3x (Verilog) and ~2.9x (VHDL); the gate sits well below
+#: to absorb CI-runner jitter while still catching a tier that silently
+#: stopped engaging (speedup would collapse to ~1.0).
+SIM_TIER_SPEEDUP_FLOOR = 1.3
+
+
+def test_sim_tier_speedup():
+    """The closure compiler beats the interpreter; record BENCH_sim.json."""
+    cases = {
+        "verilog": ([HdlFile("c.v", COUNTER_V + TB_V, Language.VERILOG)], "tb"),
+        "vhdl": (
+            [HdlFile("c.vhd", COUNTER_VHD + TB_VHD, Language.VHDL)],
+            "tb",
+        ),
+    }
+    report = {}
+    for name, (files, top) in cases.items():
+        interp_ms = _best_ms(files, top, interp=True)
+        compiled_ms = _best_ms(files, top, interp=False)
+        report[name] = {
+            "interp_ms": round(interp_ms, 3),
+            "compiled_ms": round(compiled_ms, 3),
+            "speedup": round(interp_ms / compiled_ms, 2),
+        }
+    report["floor"] = SIM_TIER_SPEEDUP_FLOOR
+    out = Path(os.environ.get("BENCH_SIM_JSON", "BENCH_sim.json"))
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nsim tier speedups ({out}):")
+    for name in cases:
+        entry = report[name]
+        print(
+            f"  {name}: interp {entry['interp_ms']:.2f} ms, "
+            f"compiled {entry['compiled_ms']:.2f} ms "
+            f"({entry['speedup']:.2f}x)"
+        )
+    for name in cases:
+        assert report[name]["speedup"] >= SIM_TIER_SPEEDUP_FLOOR, (
+            f"{name}: compiled tier only {report[name]['speedup']}x faster "
+            f"than the interpreter (floor {SIM_TIER_SPEEDUP_FLOOR}x) — "
+            "did the closure compiler stop engaging?"
+        )
 
 
 def test_golden_tb_simulation(benchmark, full_suite):

@@ -129,10 +129,8 @@ def pruned(tree: Expr):
             yield node
 
 
-def random_expr(
-    rng: random.Random, names: list[str], width: int, budget: int
-) -> Expr:
-    """Grow a random tree of at most ``budget`` nodes over ``names``."""
+def _grow(rng: random.Random, names: list[str], width: int, budget: int) -> Expr:
+    """One growth attempt; may overshoot ``budget`` (see :func:`random_expr`)."""
     mask = (1 << width) - 1
     if budget <= 1 or rng.random() < 0.2:
         if names and rng.random() < 0.7:
@@ -140,23 +138,40 @@ def random_expr(
         return ["const", rng.randrange(mask + 1)]
     kind = rng.choice(("not",) + BINARY_OPS * 2 + ("mux",))
     if kind == "not":
-        return ["not", random_expr(rng, names, width, budget - 1)]
+        return ["not", _grow(rng, names, width, budget - 1)]
     if kind == "mux":
         split = max((budget - 2) // 4, 1)
         return [
             "mux",
             rng.choice(COMPARE_OPS),
-            random_expr(rng, names, width, split),
-            random_expr(rng, names, width, split),
-            random_expr(rng, names, width, split),
-            random_expr(rng, names, width, split),
+            _grow(rng, names, width, split),
+            _grow(rng, names, width, split),
+            _grow(rng, names, width, split),
+            _grow(rng, names, width, split),
         ]
     split = max((budget - 1) // 2, 1)
     return [
         kind,
-        random_expr(rng, names, width, split),
-        random_expr(rng, names, width, split),
+        _grow(rng, names, width, split),
+        _grow(rng, names, width, split),
     ]
+
+
+def random_expr(
+    rng: random.Random, names: list[str], width: int, budget: int
+) -> Expr:
+    """Grow a random tree of at most ``budget`` nodes over ``names``.
+
+    The recursive splits in :func:`_grow` floor each child's budget at 1, so
+    a small budget divided across four mux arms (or a sub-2 budget across two
+    binary operands) can overshoot the cap. Redraw until the tree fits: trees
+    that were already in budget consume the identical RNG stream and come out
+    byte-identical, so existing seeds only change where they were broken.
+    """
+    while True:
+        tree = _grow(rng, names, width, budget)
+        if count_nodes(tree) <= budget:
+            return tree
 
 
 def validate_expr(tree, names: set[str]) -> None:

@@ -1,0 +1,126 @@
+"""Shared step machinery for the closure compilers.
+
+Both language compilers lower statement bodies to lists of ``(kind, fn)``
+steps. The kinds:
+
+* ``PLAIN`` — ``fn(state) -> None``, executes without suspending;
+* ``GEN`` — ``fn(state)`` returns a generator yielding kernel commands;
+* ``CMD`` — ``fn`` *is* a prebuilt kernel command object, yielded directly
+  (no generator frame needed for static delays/waits).
+
+``state`` is whatever single argument the language's closures take — the
+:class:`~repro.sim.kernel.Simulator` for Verilog, the VHDL evaluation
+context for VHDL. The machinery only threads it through.
+
+The legacy ``(is_gen, fn)`` tuples still merge correctly because
+``False == PLAIN`` and ``True == GEN``.
+"""
+
+from __future__ import annotations
+
+PLAIN, GEN, CMD = 0, 1, 2
+
+
+def merge(steps):
+    """Coalesce consecutive plain steps into single closures."""
+    merged = []
+    run = []
+    for kind, fn in steps:
+        if kind == PLAIN:
+            run.append(fn)
+        else:
+            if run:
+                merged.append((PLAIN, chain(run)))
+                run = []
+            merged.append((kind, fn))
+    if run:
+        merged.append((PLAIN, chain(run)))
+    return merged
+
+
+def chain(fns):
+    if len(fns) == 1:
+        return fns[0]
+    fns = tuple(fns)
+
+    def chained(state, fns=fns):
+        for fn in fns:
+            fn(state)
+
+    return chained
+
+
+def as_plain(steps):
+    """A single non-yielding closure for the steps, or None if any yields."""
+    merged = merge(steps)
+    if not merged:
+        return lambda state: None
+    if len(merged) == 1 and merged[0][0] == PLAIN:
+        return merged[0][1]
+    return None
+
+
+def as_gen(steps):
+    """A generator function running the steps (yields kernel commands).
+
+    Specializes the common one- and two-step shapes so a typical suspension
+    (a delay or an event wait around one computation) costs one generator
+    frame, not a nested chain of them.
+    """
+    merged = merge(steps)
+    if len(merged) == 1:
+        kind, fn = merged[0]
+        if kind == GEN:
+            return fn
+        if kind == CMD:
+
+            def cmd_gen(state, command=fn):
+                yield command
+
+            return cmd_gen
+
+        def plain_gen(state, fn=fn):
+            fn(state)
+            return
+            yield  # pragma: no cover - generator marker
+
+        return plain_gen
+    if len(merged) == 2:
+        (k0, f0), (k1, f1) = merged
+        if k0 == CMD and k1 == PLAIN:
+
+            def cmd_then(state, command=f0, fn=f1):
+                yield command
+                fn(state)
+
+            return cmd_then
+        if k0 == PLAIN and k1 == CMD:
+
+            def then_cmd(state, fn=f0, command=f1):
+                fn(state)
+                yield command
+
+            return then_cmd
+
+    def gen(state, merged=tuple(merged)):
+        for kind, fn in merged:
+            if kind == PLAIN:
+                fn(state)
+            elif kind == CMD:
+                yield fn
+            else:
+                yield from fn(state)
+
+    return gen
+
+
+def flat_steps(merged):
+    """The merged steps as a tuple when free of GEN steps, else None.
+
+    A GEN-free body can be driven from a single enclosing generator frame
+    (``yield`` the CMD payloads, call the PLAIN closures) — the loop
+    constructs use this to avoid allocating nested generators per iteration.
+    """
+    if any(kind == GEN for kind, _ in merged):
+        return None
+    return tuple(merged)

@@ -1,0 +1,1120 @@
+"""Verilog AST → closure compiler (the compiled evaluation tier).
+
+Every function here mirrors, construct for construct, the interpreter in
+:mod:`repro.sim.elab_verilog` (``_eval`` / ``_exec`` / ``_assign``) — same
+evaluation order, same X handling, same runtime diagnostics. The difference
+is *when* work happens: identifier resolution, operator dispatch, context
+widths, and constant select bounds are resolved once at elaboration, so the
+per-activation cost is a chain of closure calls.
+
+Expressions compile to ``fn(sim) -> Logic``. Statements compile to lists of
+``(is_gen, fn)`` steps: a plain step is ``fn(sim) -> None`` and a generator
+step yields kernel commands. Consecutive plain steps are merged, so a typical
+clocked ``always`` body becomes a single closure call per activation.
+
+Anything not statically resolvable — or whose diagnostics the interpreter
+emits at runtime — compiles to a *fallback* closure that delegates to the
+interpreter, preserving behaviour exactly. Compilation itself never emits
+diagnostics; callers additionally snapshot the collector (see the
+integration sites in the elaborator) as a safety net.
+"""
+
+from __future__ import annotations
+
+from repro.sim import elab_verilog as ev
+from repro.sim.compile.steps import CMD as _CMD
+from repro.sim.compile.steps import GEN as _GEN
+from repro.sim.compile.steps import PLAIN as _PLAIN
+from repro.sim.compile.steps import as_gen, as_plain
+from repro.sim.compile.steps import flat_steps as _flat_steps
+from repro.sim.compile.steps import merge as _merge
+from repro.sim.kernel import Delay, Finish, WaitChange
+from repro.sim.runtime import Edge, Sensitivity, Signal
+from repro.sim.values import Logic
+from repro.verilog import ast
+
+_EDGES = {"pos": Edge.POS, "neg": Edge.NEG, "any": Edge.ANY}
+
+
+# --------------------------------------------------------------------------
+# constant folding (no diagnostics, no side effects)
+# --------------------------------------------------------------------------
+
+
+def _fold(expr, scope, ctxw=None):
+    """Fold a parameter/literal expression to a Logic, or None.
+
+    Mirrors ``_eval``'s width-context rules for the foldable node set.
+    Only Numbers and parameter identifiers appear as leaves, so folding can
+    never fire ``$random`` or emit a diagnostic.
+    """
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Identifier):
+        resolved = scope.resolve(expr.name)
+        return resolved if isinstance(resolved, Logic) else None
+    if isinstance(expr, ast.Unary):
+        inner_ctx = ctxw if expr.op in ev._CONTEXT_UNARY else None
+        operand = _fold(expr.operand, scope, inner_ctx)
+        op = ev._UNARY_OPS.get(expr.op)
+        if operand is None or op is None:
+            return None
+        if inner_ctx is not None and operand.width < inner_ctx:
+            operand = operand.resize(inner_ctx)
+        return op(operand)
+    if isinstance(expr, ast.Binary):
+        op = expr.op
+        if op in ev._CONTEXT_BINARY:
+            lhs = _fold(expr.lhs, scope, ctxw)
+            rhs = _fold(expr.rhs, scope, ctxw)
+            if lhs is None or rhs is None:
+                return None
+            width = max(lhs.width, rhs.width, ctxw or 0)
+            return ev._BINARY_OPS[op](lhs.resize(width), rhs.resize(width))
+        if op in ("<<", ">>", "<<<", ">>>"):
+            lhs = _fold(expr.lhs, scope, ctxw)
+            rhs = _fold(expr.rhs, scope)
+            if lhs is None or rhs is None:
+                return None
+            if ctxw is not None and lhs.width < ctxw:
+                lhs = lhs.resize(ctxw)
+            return ev._BINARY_OPS[op](lhs, rhs)
+        fn = ev._BINARY_OPS.get(op)
+        if fn is None:
+            return None
+        lhs = _fold(expr.lhs, scope)
+        rhs = _fold(expr.rhs, scope)
+        if lhs is None or rhs is None:
+            return None
+        return fn(lhs, rhs)
+    return None
+
+
+def _static_int(expr, scope) -> int | None:
+    """Fold to a fully-known non-negative int, or None."""
+    value = _fold(expr, scope)
+    if value is None or value.has_x:
+        return None
+    return value.to_int()
+
+
+#: unary operators whose result is always a single bit
+_REDUCING_UNARY = frozenset({"!", "&", "|", "^", "~&", "~|", "~^"})
+#: binary operators whose result is always a single bit
+_BOOL_BINARY = frozenset(
+    {"==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||"}
+)
+
+
+def _static_width(expr, scope, ctxw=None) -> int | None:
+    """Exact result width of the closure ``compile_expr`` emits, or None.
+
+    This must be *exact*, not a bound: callers burn it into closures to skip
+    runtime ``resize``/``max(width)`` work, so any expression whose width
+    could differ at runtime (fallbacks, mixed-width ternaries, dynamic
+    selects) answers None. Mirrors the width rules of ``_eval``.
+    """
+    if isinstance(expr, ast.Number):
+        return expr.value.width
+    if isinstance(expr, ast.StringLiteral):
+        data = expr.value.encode("ascii", "replace") or b"\0"
+        return max(8, 8 * len(data))
+    if isinstance(expr, ast.Identifier):
+        resolved = scope.resolve(expr.name)
+        if isinstance(resolved, (Signal, Logic)):
+            return resolved.width
+        return None
+    if isinstance(expr, ast.Unary):
+        op = expr.op
+        if op not in ev._UNARY_OPS:
+            return None  # compiles to a fallback of unknown width
+        if op in _REDUCING_UNARY:
+            return 1
+        inner_ctx = ctxw if op in ev._CONTEXT_UNARY else None
+        inner = _static_width(expr.operand, scope, inner_ctx)
+        if inner is None:
+            return None
+        return max(inner, inner_ctx or 0)
+    if isinstance(expr, ast.Binary):
+        op = expr.op
+        if op in ev._CONTEXT_BINARY:
+            wl = _static_width(expr.lhs, scope, ctxw)
+            wr = _static_width(expr.rhs, scope, ctxw)
+            if wl is None or wr is None:
+                return None
+            return max(wl, wr, ctxw or 0)
+        if op in _BOOL_BINARY:
+            return 1
+        if op in ("<<", ">>", "<<<", ">>>"):
+            wl = _static_width(expr.lhs, scope, ctxw)
+            if wl is None:
+                return None
+            return max(wl, ctxw) if ctxw is not None else wl
+        if op == "**":
+            wl = _static_width(expr.lhs, scope)
+            if wl is None:
+                return None
+            return max(wl, 32)
+        return None
+    if isinstance(expr, ast.Ternary):
+        wt = _static_width(expr.if_true, scope, ctxw)
+        wf = _static_width(expr.if_false, scope, ctxw)
+        if wt is not None and wt == wf:
+            return wt
+        return None
+    if isinstance(expr, ast.Concat):
+        if not expr.parts:
+            return None
+        total = 0
+        for part in expr.parts:
+            width = _static_width(part, scope)
+            if width is None:
+                return None
+            total += width
+        return total
+    if isinstance(expr, ast.Replicate):
+        count = _static_int(expr.count, scope)
+        if count is None or count <= 0 or count > 4096:
+            return None
+        width = _static_width(expr.value, scope)
+        if width is None:
+            return None
+        return count * width
+    if isinstance(expr, ast.BitSelect):
+        resolved = scope.resolve(expr.target)
+        return 1 if isinstance(resolved, (Signal, Logic)) else None
+    if isinstance(expr, ast.PartSelect):
+        resolved = scope.resolve(expr.target)
+        if not isinstance(resolved, (Signal, Logic)):
+            return None
+        msb = _static_int(expr.msb, scope)
+        lsb = _static_int(expr.lsb, scope)
+        if msb is None or lsb is None or msb < lsb:
+            return None
+        if msb - lsb + 1 > ev.VerilogElaborator.MAX_SIGNAL_WIDTH:
+            return None
+        return msb - lsb + 1
+    if isinstance(expr, ast.IndexedPartSelect):
+        resolved = scope.resolve(expr.target)
+        if not isinstance(resolved, (Signal, Logic)):
+            return None
+        start = _static_int(expr.base, scope)
+        width = _static_int(expr.width, scope)
+        if start is None or width is None or width <= 0:
+            return None
+        return width
+    if isinstance(expr, ast.SystemFunctionCall):
+        if expr.name == "$time":
+            return 64
+        if expr.name in ("$signed", "$unsigned") and len(expr.args) == 1:
+            return _static_width(expr.args[0], scope)
+        if expr.name == "$random":
+            return 32
+        if expr.name == "$clog2" and len(expr.args) == 1:
+            return 32
+        return None
+    return None
+
+
+# --------------------------------------------------------------------------
+# expression compilation
+# --------------------------------------------------------------------------
+
+
+def _fallback_expr(expr, scope, elab, ctxw):
+    """Delegate one expression to the interpreter (diagnostics at runtime)."""
+
+    def fn(sim, expr=expr, scope=scope, elab=elab, ctxw=ctxw):
+        return ev._eval(expr, scope, sim, elab, ctxw)
+
+    return fn
+
+
+def compile_expr(expr, scope, elab, ctxw=None):
+    """Compile an expression to ``fn(sim) -> Logic`` (mirror of ``_eval``)."""
+    if isinstance(expr, ast.Number):
+        value = expr.value
+        return lambda sim: value
+    if isinstance(expr, ast.StringLiteral):
+        data = expr.value.encode("ascii", "replace") or b"\0"
+        value = Logic.from_int(int.from_bytes(data, "big"), max(8, 8 * len(data)))
+        return lambda sim: value
+    if isinstance(expr, ast.Identifier):
+        resolved = scope.resolve(expr.name)
+        if isinstance(resolved, Signal):
+            return lambda sim, s=resolved: s._value
+        if isinstance(resolved, Logic):
+            return lambda sim, v=resolved: v
+        return _fallback_expr(expr, scope, elab, ctxw)
+    if isinstance(expr, ast.Unary):
+        inner_ctx = ctxw if expr.op in ev._CONTEXT_UNARY else None
+        op = ev._UNARY_OPS.get(expr.op)
+        if op is None:
+            return _fallback_expr(expr, scope, elab, ctxw)
+        operand = compile_expr(expr.operand, scope, elab, inner_ctx)
+        if inner_ctx is None:
+            return lambda sim, f=operand, op=op: op(f(sim))
+        wop = _static_width(expr.operand, scope, inner_ctx)
+        if wop is not None and wop >= inner_ctx:
+            # operand already at (or above) context width: resize is a no-op
+            return lambda sim, f=operand, op=op: op(f(sim))
+
+        def unary_ctx(sim, f=operand, op=op, w=inner_ctx):
+            value = f(sim)
+            if value.width < w:
+                value = value.resize(w)
+            return op(value)
+
+        return unary_ctx
+    if isinstance(expr, ast.Binary):
+        return _compile_binary(expr, scope, elab, ctxw)
+    if isinstance(expr, ast.Ternary):
+        cond = compile_expr(expr.cond, scope, elab)
+        if_true = compile_expr(expr.if_true, scope, elab, ctxw)
+        if_false = compile_expr(expr.if_false, scope, elab, ctxw)
+
+        def ternary(sim, cond=cond, if_true=if_true, if_false=if_false):
+            c = cond(sim)
+            if c.truthy().has_x:
+                a = if_true(sim)
+                b = if_false(sim)
+                return Logic.unknown(max(a.width, b.width))
+            if c.is_true():
+                return if_true(sim)
+            return if_false(sim)
+
+        return ternary
+    if isinstance(expr, ast.Concat):
+        parts = tuple(compile_expr(p, scope, elab) for p in expr.parts)
+        if not parts:
+            return _fallback_expr(expr, scope, elab, ctxw)
+        if len(parts) == 1:
+            return parts[0]
+
+        def concat(sim, parts=parts):
+            result = parts[0](sim)
+            for part in parts[1:]:
+                result = result.concat(part(sim))
+            return result
+
+        return concat
+    if isinstance(expr, ast.Replicate):
+        count = _static_int(expr.count, scope)
+        if count is None or count <= 0 or count > 4096:
+            return _fallback_expr(expr, scope, elab, ctxw)
+        value_fn = compile_expr(expr.value, scope, elab)
+
+        def replicate(sim, f=value_fn, n=count, expr=expr, elab=elab):
+            value = f(sim)
+            if n * value.width > ev.VerilogElaborator.MAX_SIGNAL_WIDTH:
+                message = (
+                    f"replication result width {n * value.width} exceeds the "
+                    "supported maximum"
+                )
+                elab._error(expr.span, message)
+                raise ev._ElabAbort(message)
+            return value.replicate(n)
+
+        return replicate
+    if isinstance(expr, ast.BitSelect):
+        resolved = scope.resolve(expr.target)
+        if not isinstance(resolved, (Signal, Logic)):
+            return _fallback_expr(expr, scope, elab, ctxw)
+        base = _vector_reader(resolved)
+        index = _static_int(expr.index, scope)
+        if index is not None:
+            return lambda sim, base=base, i=index: base(sim).bit(i)
+        index_fn = compile_expr(expr.index, scope, elab)
+
+        def bit_select(sim, base=base, index_fn=index_fn):
+            index = index_fn(sim)
+            if index.has_x:
+                return Logic.unknown(1)
+            return base(sim).bit(index.to_int())
+
+        return bit_select
+    if isinstance(expr, ast.PartSelect):
+        resolved = scope.resolve(expr.target)
+        if not isinstance(resolved, (Signal, Logic)):
+            return _fallback_expr(expr, scope, elab, ctxw)
+        base = _vector_reader(resolved)
+        msb = _static_int(expr.msb, scope)
+        lsb = _static_int(expr.lsb, scope)
+        if msb is None or lsb is None:
+            return _fallback_expr(expr, scope, elab, ctxw)
+        if msb - lsb + 1 > ev.VerilogElaborator.MAX_SIGNAL_WIDTH:
+            # the interpreter reports this at runtime — keep it there
+            return _fallback_expr(expr, scope, elab, ctxw)
+        return lambda sim, base=base, m=msb, l=lsb: base(sim).slice(m, l)
+    if isinstance(expr, ast.IndexedPartSelect):
+        resolved = scope.resolve(expr.target)
+        if not isinstance(resolved, (Signal, Logic)):
+            return _fallback_expr(expr, scope, elab, ctxw)
+        base = _vector_reader(resolved)
+        start = _static_int(expr.base, scope)
+        width = _static_int(expr.width, scope)
+        if start is None or width is None:
+            return _fallback_expr(expr, scope, elab, ctxw)
+        lo = start if expr.ascending else start - width + 1
+        return lambda sim, base=base, m=lo + width - 1, l=lo: base(sim).slice(m, l)
+    if isinstance(expr, ast.SystemFunctionCall):
+        return _compile_system_function(expr, scope, elab, ctxw)
+    return _fallback_expr(expr, scope, elab, ctxw)
+
+
+def _vector_reader(resolved):
+    if isinstance(resolved, Signal):
+        return lambda sim, s=resolved: s._value
+    return lambda sim, v=resolved: v
+
+
+def _compile_binary(expr, scope, elab, ctxw):
+    op = expr.op
+    if op in ev._CONTEXT_BINARY:
+        lhs = compile_expr(expr.lhs, scope, elab, ctxw)
+        rhs = compile_expr(expr.rhs, scope, elab, ctxw)
+        fn = ev._BINARY_OPS[op]
+        wl = _static_width(expr.lhs, scope, ctxw)
+        wr = _static_width(expr.rhs, scope, ctxw)
+        if wl is not None and wr is not None:
+            width = max(wl, wr, ctxw or 0)
+            # bake constant operands in at the context width (folding cannot
+            # fire $random, so evaluation order is preserved)
+            lc = _fold(expr.lhs, scope, ctxw)
+            rc = _fold(expr.rhs, scope, ctxw)
+            if lc is not None:
+                lc = lc.resize(width)
+            if rc is not None:
+                rc = rc.resize(width)
+            if lc is not None and rc is not None:
+                const = fn(lc, rc)
+                return lambda sim, v=const: v
+            if rc is not None:
+                if wl == width:
+                    return lambda sim, lhs=lhs, b=rc, fn=fn: fn(lhs(sim), b)
+
+                def binary_const_rhs(sim, lhs=lhs, b=rc, fn=fn, w=width):
+                    return fn(lhs(sim).resize(w), b)
+
+                return binary_const_rhs
+            if lc is not None:
+                if wr == width:
+                    return lambda sim, a=lc, rhs=rhs, fn=fn: fn(a, rhs(sim))
+
+                def binary_const_lhs(sim, a=lc, rhs=rhs, fn=fn, w=width):
+                    return fn(a, rhs(sim).resize(w))
+
+                return binary_const_lhs
+            if wl == width and wr == width:
+                # both operands are already at the context width
+                return lambda sim, lhs=lhs, rhs=rhs, fn=fn: fn(lhs(sim), rhs(sim))
+
+            def context_binary_static(sim, lhs=lhs, rhs=rhs, fn=fn, w=width):
+                return fn(lhs(sim).resize(w), rhs(sim).resize(w))
+
+            return context_binary_static
+
+        def context_binary(sim, lhs=lhs, rhs=rhs, fn=fn, floor=ctxw or 0):
+            a = lhs(sim)
+            b = rhs(sim)
+            width = max(a.width, b.width, floor)
+            return fn(a.resize(width), b.resize(width))
+
+        return context_binary
+    if op in ("<<", ">>", "<<<", ">>>"):
+        lhs = compile_expr(expr.lhs, scope, elab, ctxw)
+        rhs = compile_expr(expr.rhs, scope, elab)
+        fn = ev._BINARY_OPS[op]
+        if ctxw is None:
+            return lambda sim, lhs=lhs, rhs=rhs, fn=fn: fn(lhs(sim), rhs(sim))
+        wl = _static_width(expr.lhs, scope, ctxw)
+        if wl is not None and wl >= ctxw:
+            return lambda sim, lhs=lhs, rhs=rhs, fn=fn: fn(lhs(sim), rhs(sim))
+
+        def shift(sim, lhs=lhs, rhs=rhs, fn=fn, w=ctxw):
+            a = lhs(sim)
+            if a.width < w:
+                a = a.resize(w)
+            return fn(a, rhs(sim))
+
+        return shift
+    if op == "**":
+        lhs = compile_expr(expr.lhs, scope, elab)
+        rhs = compile_expr(expr.rhs, scope, elab)
+
+        def power(sim, lhs=lhs, rhs=rhs):
+            a = lhs(sim)
+            b = rhs(sim)
+            if a.has_x or b.has_x:
+                return Logic.unknown(max(a.width, 32))
+            return Logic.from_int(a.bits ** min(b.bits, 64), max(a.width, 32))
+
+        return power
+    fn = ev._BINARY_OPS.get(op)
+    if fn is None:
+        return _fallback_expr(expr, scope, elab, ctxw)
+    lhs = compile_expr(expr.lhs, scope, elab)
+    rhs = compile_expr(expr.rhs, scope, elab)
+    return lambda sim, lhs=lhs, rhs=rhs, fn=fn: fn(lhs(sim), rhs(sim))
+
+
+def _compile_system_function(expr, scope, elab, ctxw):
+    if expr.name == "$time":
+        return lambda sim: Logic.from_int(sim.time, 64)
+    if expr.name in ("$signed", "$unsigned") and len(expr.args) == 1:
+        return compile_expr(expr.args[0], scope, elab)
+    if expr.name == "$random":
+        return lambda sim, rng=elab.rng: Logic.from_int(rng.next(), 32)
+    if expr.name == "$clog2" and len(expr.args) == 1:
+        arg = compile_expr(expr.args[0], scope, elab)
+
+        def clog2(sim, arg=arg):
+            value = arg(sim)
+            if value.has_x:
+                return Logic.unknown(32)
+            return Logic.from_int(max(0, (value.to_int() - 1).bit_length()), 32)
+
+        return clog2
+    return _fallback_expr(expr, scope, elab, ctxw)
+
+
+# --------------------------------------------------------------------------
+# statement step machinery (shared with the VHDL compiler — see steps.py)
+# --------------------------------------------------------------------------
+
+
+def _fallback_stmt(stmt, scope, elab):
+    """Delegate one statement to the interpreter as a generator step."""
+
+    def gen(sim, stmt=stmt, scope=scope, elab=elab):
+        return ev._exec(stmt, scope, sim, elab)
+
+    return [(True, gen)]
+
+
+# --------------------------------------------------------------------------
+# statement compilation
+# --------------------------------------------------------------------------
+
+
+def compile_stmt(stmt, scope, elab):
+    """Compile a statement into ``(is_gen, fn)`` steps (mirror of ``_exec``)."""
+    if isinstance(stmt, ast.Block):
+        steps = []
+        for inner in stmt.statements:
+            steps.extend(compile_stmt(inner, scope, elab))
+        return steps
+    if isinstance(stmt, ast.If):
+        return _compile_if(stmt, scope, elab)
+    if isinstance(stmt, ast.Case):
+        return _compile_case(stmt, scope, elab)
+    if isinstance(stmt, ast.Assign):
+        step = _compile_assign(stmt, scope, elab)
+        return [step] if step is not None else _fallback_stmt(stmt, scope, elab)
+    if isinstance(stmt, ast.For):
+        return _compile_for(stmt, scope, elab)
+    if isinstance(stmt, ast.Repeat):
+        return _compile_repeat(stmt, scope, elab)
+    if isinstance(stmt, ast.While):
+        return _compile_while(stmt, scope, elab)
+    if isinstance(stmt, ast.Forever):
+        merged = _merge(compile_stmt(stmt.body, scope, elab))
+        flat = _flat_steps(merged)
+        if flat is not None:
+
+            def forever_flat(sim, flat=flat):
+                while True:
+                    for kind, fn in flat:
+                        if kind:
+                            yield fn
+                        else:
+                            fn(sim)
+
+            return [(True, forever_flat)]
+        body = as_gen(merged)
+
+        def forever(sim, body=body):
+            while True:
+                yield from body(sim)
+
+        return [(True, forever)]
+    if isinstance(stmt, ast.DelayControl):
+        return _compile_delay(stmt, scope, elab)
+    if isinstance(stmt, ast.EventControl):
+        return _compile_event(stmt, scope, elab)
+    if isinstance(stmt, ast.SystemTaskCall):
+        return _compile_system_task(stmt, scope, elab)
+    if isinstance(stmt, ast.NullStatement):
+        return []
+    return _fallback_stmt(stmt, scope, elab)
+
+
+def _compile_if(stmt, scope, elab):
+    cond = compile_expr(stmt.condition, scope, elab)
+    then_steps = compile_stmt(stmt.then_branch, scope, elab)
+    else_steps = (
+        compile_stmt(stmt.else_branch, scope, elab)
+        if stmt.else_branch is not None
+        else None
+    )
+    then_plain = as_plain(then_steps)
+    else_plain = as_plain(else_steps) if else_steps is not None else None
+    if then_plain is not None and (else_steps is None or else_plain is not None):
+
+        def plain_if(sim, cond=cond, then=then_plain, other=else_plain):
+            if cond(sim).is_true():
+                then(sim)
+            elif other is not None:
+                other(sim)
+
+        return [(False, plain_if)]
+    then_gen = as_gen(then_steps)
+    else_gen = as_gen(else_steps) if else_steps is not None else None
+
+    def gen_if(sim, cond=cond, then=then_gen, other=else_gen):
+        if cond(sim).is_true():
+            yield from then(sim)
+        elif other is not None:
+            yield from other(sim)
+
+    return [(True, gen_if)]
+
+
+def _compile_case(stmt, scope, elab):
+    subject = compile_expr(stmt.subject, scope, elab)
+    kind = stmt.kind
+    arms = []
+    default_steps = None
+    all_plain = True
+    for item in stmt.items:
+        steps = compile_stmt(item.body, scope, elab)
+        if as_plain(steps) is None:
+            all_plain = False
+        if not item.labels:
+            default_steps = steps
+            continue
+        labels = tuple(compile_expr(label, scope, elab) for label in item.labels)
+        arms.append((labels, steps))
+    if all_plain:
+        compiled_arms = tuple(
+            (labels, as_plain(steps)) for labels, steps in arms
+        )
+        default = as_plain(default_steps) if default_steps is not None else None
+
+        def plain_case(sim, subject=subject, arms=compiled_arms,
+                       default=default, kind=kind, match=ev._case_match):
+            value = subject(sim)
+            for labels, body in arms:
+                for label in labels:
+                    if match(kind, value, label(sim)):
+                        body(sim)
+                        return
+            if default is not None:
+                default(sim)
+
+        return [(False, plain_case)]
+    compiled_arms = tuple((labels, as_gen(steps)) for labels, steps in arms)
+    default = as_gen(default_steps) if default_steps is not None else None
+
+    def gen_case(sim, subject=subject, arms=compiled_arms, default=default,
+                 kind=kind, match=ev._case_match):
+        value = subject(sim)
+        for labels, body in arms:
+            for label in labels:
+                if match(kind, value, label(sim)):
+                    yield from body(sim)
+                    return
+        if default is not None:
+            yield from default(sim)
+
+    return [(True, gen_case)]
+
+
+def _static_bounds(target, scope):
+    """(msb, lsb) of a select lvalue when constant, else None (mirror of
+    ``_select_bounds``; selects the interpreter reports on stay there)."""
+    if isinstance(target, ast.BitSelect):
+        index = _static_int(target.index, scope)
+        if index is None:
+            return None
+        return index, index
+    if isinstance(target, ast.PartSelect):
+        msb = _static_int(target.msb, scope)
+        lsb = _static_int(target.lsb, scope)
+        if msb is None or lsb is None:
+            return None
+        if msb - lsb + 1 > ev.VerilogElaborator.MAX_SIGNAL_WIDTH:
+            return None
+        return msb, lsb
+    if isinstance(target, ast.IndexedPartSelect):
+        base = _static_int(target.base, scope)
+        width = _static_int(target.width, scope)
+        if base is None or width is None:
+            return None
+        lo = base if target.ascending else base - width + 1
+        return lo + width - 1, lo
+    return None
+
+
+def _static_lvalue_width(target, scope):
+    """Static width of an lvalue, or None (mirror of ``_lvalue_width``)."""
+    if isinstance(target, ast.Concat):
+        total = 0
+        for part in target.parts:
+            width = _static_lvalue_width(part, scope)
+            if width is None:
+                return None
+            total += width
+        return total
+    if isinstance(target, ast.Identifier):
+        resolved = scope.resolve(target.name)
+        return resolved.width if isinstance(resolved, Signal) else None
+    bounds = _static_bounds(target, scope)
+    if bounds is None:
+        return None
+    return bounds[0] - bounds[1] + 1
+
+
+def _compile_store(target, scope, elab, blocking):
+    """``fn(sim, value)`` installing *value* into the lvalue, or None.
+
+    Mirrors ``_assign`` for statically-resolved targets.
+    """
+    if isinstance(target, ast.Concat):
+        parts = []
+        for part in target.parts:
+            store = _compile_store(part, scope, elab, blocking)
+            width = _static_lvalue_width(part, scope)
+            if store is None or width is None:
+                return None
+            parts.append((store, width))
+        parts = tuple(parts)
+
+        def store_concat(sim, value, parts=parts):
+            offset = value.width
+            for store, width in parts:
+                offset -= width
+                lo = max(offset, 0)
+                store(sim, value.slice(lo + width - 1, lo))
+
+        return store_concat
+    if isinstance(target, ast.Identifier):
+        resolved = scope.resolve(target.name)
+        if not isinstance(resolved, Signal):
+            return None
+        if blocking:
+            def store_signal(sim, value, s=resolved):
+                sim.write_signal(s, value.resize(s.width))
+        else:
+            def store_signal(sim, value, s=resolved):
+                sim.schedule_nba(s, value.resize(s.width))
+        return store_signal
+    if isinstance(target, (ast.BitSelect, ast.PartSelect, ast.IndexedPartSelect)):
+        resolved = scope.resolve(target.target)
+        if not isinstance(resolved, Signal):
+            return None
+        bounds = _static_bounds(target, scope)
+        if bounds is None:
+            return None
+        msb, lsb = bounds
+        if blocking:
+            def store_select(sim, value, s=resolved, m=msb, l=lsb):
+                sim.write_signal(s, s._value.set_slice(m, l, value))
+        else:
+            def store_select(sim, value, s=resolved, m=msb, l=lsb):
+                sim.schedule_nba_update(
+                    s, lambda old, m=m, l=l, v=value: old.set_slice(m, l, v)
+                )
+        return store_select
+    return None
+
+
+def _compile_assign(stmt, scope, elab):
+    target = stmt.target
+    if isinstance(target, ast.Identifier):
+        resolved = scope.resolve(target.name)
+        if not isinstance(resolved, Signal):
+            return None
+        # constant RHS: burn in the value, pre-resized to the target width
+        const = _fold(stmt.value, scope, resolved.width)
+        if const is not None:
+            const = const.resize(resolved.width)
+            if stmt.blocking:
+                def assign(sim, s=resolved, v=const):
+                    sim.write_signal(s, v)
+            else:
+                def assign(sim, s=resolved, v=const):
+                    sim.schedule_nba(s, v)
+            return (False, assign)
+        # whole-signal target: write the value straight through the kernel,
+        # which resizes to the signal width on commit (same result as the
+        # store-wrapper path, one closure call shorter)
+        value = compile_expr(stmt.value, scope, elab, resolved.width)
+        if stmt.blocking:
+            def assign(sim, s=resolved, value=value):
+                sim.write_signal(s, value(sim))
+        else:
+            def assign(sim, s=resolved, value=value):
+                sim.schedule_nba(s, value(sim))
+        return (False, assign)
+    width = _static_lvalue_width(target, scope)
+    if width is None:
+        return None
+    store = _compile_store(target, scope, elab, stmt.blocking)
+    if store is None:
+        return None
+    value = compile_expr(stmt.value, scope, elab, width)
+
+    def assign(sim, value=value, store=store):
+        store(sim, value(sim))
+
+    return (False, assign)
+
+
+def _compile_for(stmt, scope, elab):
+    init_steps = compile_stmt(stmt.init, scope, elab)
+    cond = compile_expr(stmt.condition, scope, elab)
+    step_steps = compile_stmt(stmt.step, scope, elab)
+    body_steps = compile_stmt(stmt.body, scope, elab)
+    init_plain = as_plain(init_steps)
+    step_plain = as_plain(step_steps)
+    body_plain = as_plain(body_steps)
+    limit = ev.VerilogElaborator.LOOP_LIMIT
+    if init_plain is not None and step_plain is not None and body_plain is not None:
+
+        def plain_for(sim, init=init_plain, cond=cond, step=step_plain,
+                      body=body_plain, limit=limit):
+            init(sim)
+            iterations = 0
+            while cond(sim).is_true():
+                body(sim)
+                step(sim)
+                iterations += 1
+                if iterations > limit:
+                    raise ev.SimulationError("for-loop iteration limit exceeded")
+
+        return [(False, plain_for)]
+    init_gen = as_gen(init_steps)
+    step_gen = as_gen(step_steps)
+    body_gen = as_gen(body_steps)
+
+    def gen_for(sim, init=init_gen, cond=cond, step=step_gen, body=body_gen,
+                limit=limit):
+        yield from init(sim)
+        iterations = 0
+        while cond(sim).is_true():
+            yield from body(sim)
+            yield from step(sim)
+            iterations += 1
+            if iterations > limit:
+                raise ev.SimulationError("for-loop iteration limit exceeded")
+
+    return [(True, gen_for)]
+
+
+def _compile_repeat(stmt, scope, elab):
+    count = compile_expr(stmt.count, scope, elab)
+    body_steps = compile_stmt(stmt.body, scope, elab)
+    body_plain = as_plain(body_steps)
+    if body_plain is not None:
+
+        def plain_repeat(sim, count=count, body=body_plain):
+            value = count(sim)
+            for _ in range(0 if value.has_x else value.to_int()):
+                body(sim)
+
+        return [(False, plain_repeat)]
+    merged = _merge(body_steps)
+    flat = _flat_steps(merged)
+    if flat is not None:
+        # the classic clock generator: repeat (N) begin #T s = ...; ... end —
+        # run the whole loop from this one generator frame
+        def repeat_flat(sim, count=count, flat=flat):
+            value = count(sim)
+            for _ in range(0 if value.has_x else value.to_int()):
+                for kind, fn in flat:
+                    if kind:  # _CMD: only non-PLAIN kind in a flat body
+                        yield fn
+                    else:
+                        fn(sim)
+
+        return [(True, repeat_flat)]
+    body_gen = as_gen(merged)
+
+    def gen_repeat(sim, count=count, body=body_gen):
+        value = count(sim)
+        for _ in range(0 if value.has_x else value.to_int()):
+            yield from body(sim)
+
+    return [(True, gen_repeat)]
+
+
+def _compile_while(stmt, scope, elab):
+    cond = compile_expr(stmt.condition, scope, elab)
+    body_steps = compile_stmt(stmt.body, scope, elab)
+    body_plain = as_plain(body_steps)
+    limit = ev.VerilogElaborator.LOOP_LIMIT
+    if body_plain is not None:
+
+        def plain_while(sim, cond=cond, body=body_plain, limit=limit):
+            iterations = 0
+            while cond(sim).is_true():
+                body(sim)
+                iterations += 1
+                if iterations > limit:
+                    raise ev.SimulationError("while-loop iteration limit exceeded")
+
+        return [(False, plain_while)]
+    body_gen = as_gen(body_steps)
+
+    def gen_while(sim, cond=cond, body=body_gen, limit=limit):
+        iterations = 0
+        while cond(sim).is_true():
+            yield from body(sim)
+            iterations += 1
+            if iterations > limit:
+                raise ev.SimulationError("while-loop iteration limit exceeded")
+
+    return [(True, gen_while)]
+
+
+def _compile_delay(stmt, scope, elab):
+    ticks = _static_int(stmt.delay, scope)
+    if ticks is not None:
+        steps = [(_CMD, Delay(ticks))]
+    else:
+        delay = compile_expr(stmt.delay, scope, elab)
+
+        def dynamic_delay(sim, delay=delay):
+            value = delay(sim)
+            yield Delay(0 if value.has_x else value.to_int())
+
+        steps = [(_GEN, dynamic_delay)]
+    if stmt.statement is not None:
+        steps.extend(compile_stmt(stmt.statement, scope, elab))
+    return steps
+
+
+def _compile_event(stmt, scope, elab):
+    entries = []
+    for item in stmt.sensitivity.items:
+        signal = _static_sens_signal(item.signal, scope)
+        if signal is None:
+            # the interpreter diagnoses bad items at runtime — keep it there
+            return _fallback_stmt(stmt, scope, elab)
+        entries.append(Sensitivity(signal, _EDGES[item.edge]))
+    steps = []
+    if entries:
+        steps.append((_CMD, WaitChange(tuple(entries))))
+    if stmt.statement is not None:
+        steps.extend(compile_stmt(stmt.statement, scope, elab))
+    return steps
+
+
+def _static_sens_signal(expr, scope):
+    """Signal for a sensitivity item, or None (never emits diagnostics)."""
+    if isinstance(expr, ast.Identifier):
+        resolved = scope.resolve(expr.name)
+        return resolved if isinstance(resolved, Signal) else None
+    if isinstance(expr, (ast.BitSelect, ast.PartSelect)):
+        resolved = scope.resolve(expr.target)
+        return resolved if isinstance(resolved, Signal) else None
+    return None
+
+
+def _compile_system_task(stmt, scope, elab):
+    name = stmt.name
+    if name in ("$display", "$write", "$monitor", "$strobe", "$error"):
+
+        def display(sim, stmt=stmt, scope=scope, elab=elab,
+                    prefix="ERROR: " if name == "$error" else ""):
+            sim.display(prefix + ev._format_display(stmt, scope, sim, elab))
+
+        return [(False, display)]
+    if name == "$fatal":
+        command = Finish(1)
+
+        def fatal(sim, stmt=stmt, scope=scope, elab=elab, command=command):
+            sim.display("FATAL: " + ev._format_display(stmt, scope, sim, elab))
+            yield command
+
+        return [(True, fatal)]
+    if name in ("$finish", "$stop"):
+        return [(_CMD, Finish(0))]
+    return _fallback_stmt(stmt, scope, elab)
+
+
+# --------------------------------------------------------------------------
+# process factories (the elaborator integration surface)
+# --------------------------------------------------------------------------
+
+
+def continuous_assign_factory(target, value, scope, elab, reads):
+    """Factory for ``assign target = value`` or None if not compilable."""
+    wait = WaitChange.on(*reads) if reads else None
+    if isinstance(target, ast.Identifier):
+        resolved = scope.resolve(target.name)
+        if not isinstance(resolved, Signal):
+            return None
+        value_fn = compile_expr(value, scope, elab, resolved.width)
+
+        def factory(sim, value_fn=value_fn, s=resolved, wait=wait):
+            def body():
+                while True:
+                    sim.write_signal(s, value_fn(sim))
+                    if wait is None:
+                        return
+                    yield wait
+
+            return body()
+
+        return factory
+    width = _static_lvalue_width(target, scope)
+    if width is None:
+        return None
+    store = _compile_store(target, scope, elab, blocking=True)
+    if store is None:
+        return None
+    value_fn = compile_expr(value, scope, elab, width)
+
+    def factory(sim, value_fn=value_fn, store=store, wait=wait):
+        def body():
+            while True:
+                store(sim, value_fn(sim))
+                if wait is None:
+                    return
+                yield wait
+
+        return body()
+
+    return factory
+
+
+def always_factory(body, scope, elab, entries, initial_run):
+    """Factory for ``always @(...)`` (sensitivity known statically)."""
+    steps = compile_stmt(body, scope, elab)
+    wait = WaitChange(entries) if entries else None
+    body_plain = as_plain(steps)
+    if body_plain is not None:
+
+        def factory(sim, body=body_plain, wait=wait, initial_run=initial_run):
+            def run():
+                if initial_run:
+                    body(sim)
+                while True:
+                    if wait is None:
+                        return
+                    yield wait
+                    body(sim)
+
+            return run()
+
+        return factory
+    body_gen = as_gen(steps)
+
+    def factory(sim, body=body_gen, wait=wait, initial_run=initial_run):
+        def run():
+            if initial_run:
+                yield from body(sim)
+            while True:
+                if wait is None:
+                    return
+                yield wait
+                yield from body(sim)
+
+        return run()
+
+    return factory
+
+
+def free_always_factory(body, scope, elab):
+    """Factory for ``always`` with no sensitivity (self-delaying body)."""
+    merged = _merge(compile_stmt(body, scope, elab))
+    flat = _flat_steps(merged)
+    if flat is not None:
+        # always #T sig = ...; — a single-frame loop over prebuilt commands
+
+        def factory(sim, flat=flat):
+            def run():
+                while True:
+                    for kind, fn in flat:
+                        if kind:
+                            yield fn
+                        else:
+                            fn(sim)
+
+            return run()
+
+        return factory
+    body_gen = as_gen(merged)
+
+    def factory(sim, body=body_gen):
+        def run():
+            while True:
+                yield from body(sim)
+
+        return run()
+
+    return factory
+
+
+def initial_factory(body, scope, elab):
+    """Factory for an ``initial`` block."""
+    body_gen = as_gen(compile_stmt(body, scope, elab))
+
+    def factory(sim, body=body_gen):
+        return body(sim)
+
+    return factory
+
+
+def wire_input_factory(expr, child, scope, elab, reads):
+    """Factory for an instance input-port connection."""
+    value_fn = compile_expr(expr, scope, elab, child.width)
+    wait = WaitChange.on(*reads) if reads else None
+
+    def factory(sim, value_fn=value_fn, child=child, wait=wait):
+        def body():
+            while True:
+                sim.write_signal(child, value_fn(sim))
+                if wait is None:
+                    return
+                yield wait
+
+        return body()
+
+    return factory
+
+
+def wire_output_factory(target, child, scope, elab):
+    """Factory for an instance output-port connection, or None."""
+    wait = WaitChange.on(child)
+    if isinstance(target, ast.Identifier):
+        resolved = scope.resolve(target.name)
+        if not isinstance(resolved, Signal):
+            return None
+        # whole-signal connection: forward straight through the kernel,
+        # which resizes on width mismatch
+
+        def factory(sim, s=resolved, child=child, wait=wait):
+            def body():
+                while True:
+                    sim.write_signal(s, child._value)
+                    yield wait
+
+            return body()
+
+        return factory
+    store = _compile_store(target, scope, elab, blocking=True)
+    if store is None:
+        return None
+
+    def factory(sim, store=store, child=child, wait=wait):
+        def body():
+            while True:
+                store(sim, child._value)
+                yield wait
+
+        return body()
+
+    return factory

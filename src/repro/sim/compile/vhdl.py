@@ -1,0 +1,1236 @@
+"""VHDL AST → closure compiler (the compiled evaluation tier).
+
+Mirrors, construct for construct, the interpreter in
+:mod:`repro.sim.elab_vhdl` (``_eval`` / ``_exec_seq``) — same evaluation
+order, same X handling, same runtime diagnostics. Name-category resolution
+(loop variable vs process variable vs constant vs signal), declared type
+info, operator dispatch, and static index/slice offsets are burned into
+closures once at elaboration.
+
+Expressions compile to ``fn(ctx) -> Logic`` where *ctx* is the interpreter's
+own :class:`~repro.sim.elab_vhdl._EvalCtx` — process-local state (variables,
+loop indices, edge memory) stays in the ctx, everything statically known
+lives in the closures. Statements compile to the shared ``(kind, fn)`` step
+lists of :mod:`repro.sim.compile.steps`.
+
+Anything not statically resolvable — or whose diagnostics the interpreter
+emits at runtime — compiles to a *fallback* closure delegating to the
+interpreter, preserving behaviour exactly. Compilation itself never emits
+diagnostics; the elaborator's ``_compiled`` wrapper snapshots the collector
+as a safety net.
+"""
+
+from __future__ import annotations
+
+from repro.sim import elab_vhdl as evh
+from repro.sim.compile.steps import (
+    CMD,
+    GEN,
+    PLAIN,
+    as_gen,
+    as_plain,
+    flat_steps,
+    merge,
+)
+from repro.sim.kernel import Delay, Finish, SimulationError, WaitChange
+from repro.sim.runtime import Signal
+from repro.sim.values import Logic
+from repro.vhdl import ast
+
+_TRUE = Logic(1, 1)
+_FALSE = Logic(1, 0)
+_X1 = Logic(1, 0, 1)
+
+
+class _Env:
+    """Static compile-time environment: what a name means at this point.
+
+    ``var_types`` holds the declared types of process variables visible here
+    (including, during a declaration's own init, that declaration — the
+    interpreter registers the type before evaluating the init). ``var_names``
+    holds only the variables that already have *values* (earlier
+    declarations), which is what value-resolution order uses. ``loop_vars``
+    is the lexically enclosing for-loop indices.
+    """
+
+    __slots__ = ("scope", "elab", "var_types", "var_names", "loop_vars")
+
+    def __init__(self, scope, elab, var_types=None, var_names=None,
+                 loop_vars=frozenset()):
+        self.scope = scope
+        self.elab = elab
+        self.var_types = var_types if var_types is not None else {}
+        self.var_names = (
+            var_names if var_names is not None else frozenset(self.var_types)
+        )
+        self.loop_vars = loop_vars
+
+    def with_loop_var(self, name):
+        return _Env(self.scope, self.elab, self.var_types, self.var_names,
+                    self.loop_vars | {name})
+
+    def name_type(self, name):
+        info = self.var_types.get(name)
+        if info is not None:
+            return info
+        return self.scope.types.get(name)
+
+
+def _resolve_static(name, env):
+    """Mirror ``_resolve_name``'s precedence with compile-time knowledge.
+
+    Returns ``"loop"`` / ``"var"`` for ctx-resident values, the
+    :class:`Logic` for constants, the :class:`Signal` for signals, or None.
+    """
+    if name in env.loop_vars:
+        return "loop"
+    if name in env.var_names:
+        return "var"
+    if name in env.scope.constants:
+        return env.scope.constants[name]
+    if name in env.scope.signals:
+        return env.scope.signals[name]
+    if name == "true":
+        return _TRUE
+    if name == "false":
+        return _FALSE
+    return None
+
+
+def _reader(kind, name):
+    """A closure reading the resolved object's current value."""
+    if kind == "loop":
+        return lambda ctx, n=name: ctx.loop_vars[n]
+    if kind == "var":
+        return lambda ctx, n=name: ctx.variables[n]
+    if isinstance(kind, Signal):
+        return lambda ctx, s=kind: s._value
+    return lambda ctx, v=kind: v
+
+
+# --------------------------------------------------------------------------
+# constant folding (no diagnostics, no side effects)
+# --------------------------------------------------------------------------
+
+
+def _is_static(expr, env) -> bool:
+    """True when every leaf is a literal or an elaboration-time constant."""
+    if isinstance(expr, (ast.IntLiteral, ast.CharLiteral, ast.StringLiteral)):
+        return True
+    if isinstance(expr, ast.Name):
+        return isinstance(_resolve_static(expr.name, env), Logic)
+    if isinstance(expr, ast.Unary):
+        return _is_static(expr.operand, env)
+    if isinstance(expr, ast.Binary):
+        return _is_static(expr.lhs, env) and _is_static(expr.rhs, env)
+    if isinstance(expr, ast.Indexed):
+        return isinstance(
+            _resolve_static(expr.name, env), Logic
+        ) and _is_static(expr.index, env)
+    if isinstance(expr, ast.Sliced):
+        return (
+            isinstance(_resolve_static(expr.name, env), Logic)
+            and _is_static(expr.left, env)
+            and _is_static(expr.right, env)
+        )
+    return False
+
+
+def _quiet_eval(run, elab):
+    """Evaluate at compile time, swallowing failures and their diagnostics."""
+    mark = len(elab.collector.diagnostics)
+    try:
+        value = run()
+    except Exception:
+        value = None
+    if len(elab.collector.diagnostics) != mark:
+        del elab.collector.diagnostics[mark:]
+        value = None
+    return value
+
+
+def _fold(expr, env):
+    """Fold a constant expression to its Logic value, or None."""
+    if not _is_static(expr, env):
+        return None
+    ctx = evh._EvalCtx(scope=env.scope, sim=None)
+    return _quiet_eval(lambda: evh._eval(expr, ctx, env.elab), env.elab)
+
+
+def _fold_with_width(expr, env, width):
+    """Like ``_fold`` but honours a width context for aggregates."""
+    if isinstance(expr, ast.Aggregate):
+        if width is None:
+            return None
+        if expr.others is not None and not _is_static(expr.others, env):
+            return None
+        if not all(_is_static(e, env) for _, e in expr.elements):
+            return None
+        ctx = evh._EvalCtx(scope=env.scope, sim=None)
+        return _quiet_eval(
+            lambda: evh._eval_aggregate(expr, ctx, env.elab, width), env.elab
+        )
+    return _fold(expr, env)
+
+
+def _static_int(expr, env) -> int | None:
+    value = _fold(expr, env)
+    if value is None or value.has_x:
+        return None
+    return value.to_int()
+
+
+def _static_width(expr, env) -> int | None:
+    """Exact static width of the expression's value, or None (conservative)."""
+    if isinstance(expr, ast.IntLiteral):
+        return 32
+    if isinstance(expr, ast.CharLiteral):
+        return 1
+    if isinstance(expr, ast.Name):
+        resolved = _resolve_static(expr.name, env)
+        if isinstance(resolved, (Signal, Logic)):
+            return resolved.width
+        if resolved == "var":
+            return env.var_types[expr.name].width
+        if resolved == "loop":
+            return 32
+        return None
+    value = _fold(expr, env)
+    if value is not None:
+        return value.width
+    return None
+
+
+def _operand_width_static(expr, env) -> int:
+    """Mirror of ``_operand_width`` using the static environment."""
+    if isinstance(expr, ast.Name):
+        info = env.name_type(expr.name)
+        if info is not None:
+            return info.width
+    if isinstance(expr, ast.StringLiteral) and expr.base in ("", "b"):
+        return max(1, len(expr.value.replace("_", "")))
+    return 32
+
+
+# --------------------------------------------------------------------------
+# expression compilation
+# --------------------------------------------------------------------------
+
+
+def _fallback_expr(expr, env):
+    """Delegate one expression to the interpreter (diagnostics at runtime)."""
+    elab = env.elab
+    return lambda ctx, expr=expr, elab=elab: evh._eval(expr, ctx, elab)
+
+
+def compile_expr(expr, env):
+    """Compile an expression to ``fn(ctx) -> Logic`` (mirror of ``_eval``)."""
+    const = _fold(expr, env)
+    if const is not None:
+        return lambda ctx, v=const: v
+    if isinstance(expr, ast.Name):
+        kind = _resolve_static(expr.name, env)
+        if kind is None:
+            return _fallback_expr(expr, env)
+        return _reader(kind, expr.name)
+    if isinstance(expr, ast.Indexed):
+        return _compile_indexed(expr, env)
+    if isinstance(expr, ast.Sliced):
+        return _compile_sliced(expr, env)
+    if isinstance(expr, ast.Call):
+        return _compile_call(expr, env)
+    if isinstance(expr, ast.Attribute):
+        return _compile_attribute(expr, env)
+    if isinstance(expr, ast.Unary):
+        return _compile_unary(expr, env)
+    if isinstance(expr, ast.Binary):
+        return _compile_binary(expr, env)
+    # aggregates without a width context (and anything unknown) error at
+    # runtime in the interpreter — delegate
+    return _fallback_expr(expr, env)
+
+
+def _compile_with_width(expr, env, width):
+    """Mirror of ``_eval_with_width``: width context applies to aggregates."""
+    if isinstance(expr, ast.Aggregate):
+        return _compile_aggregate(expr, env, width)
+    return compile_expr(expr, env)
+
+
+def _compile_aggregate(expr, env, width):
+    const = _fold_with_width(expr, env, width)
+    if const is not None:
+        return lambda ctx, v=const: v
+    elab = env.elab
+
+    def dyn(ctx, expr=expr, elab=elab, width=width):
+        return evh._eval_aggregate(expr, ctx, elab, width)
+
+    return dyn
+
+
+def _compile_indexed(expr, env):
+    kind = _resolve_static(expr.name, env)
+    if kind is None:
+        return _fallback_expr(expr, env)
+    reader = _reader(kind, expr.name)
+    info = env.name_type(expr.name)
+    index = _static_int(expr.index, env)
+    if index is not None:
+        # unnamed types default to descending-from-0 (offset == index),
+        # matching the interpreter's _TypeInfo(width=...) fallback
+        offset = info.bit_offset(index) if info is not None else index
+        return lambda ctx, r=reader, o=offset: r(ctx).bit(o)
+    index_fn = compile_expr(expr.index, env)
+    if info is not None:
+
+        def dyn(ctx, r=reader, f=index_fn, info=info):
+            index_value = f(ctx)
+            if index_value.has_x:
+                return _X1
+            return r(ctx).bit(info.bit_offset(index_value.to_int()))
+
+        return dyn
+
+    def dyn_default(ctx, r=reader, f=index_fn):
+        index_value = f(ctx)
+        if index_value.has_x:
+            return _X1
+        return r(ctx).bit(index_value.to_int())
+
+    return dyn_default
+
+
+def _compile_sliced(expr, env):
+    kind = _resolve_static(expr.name, env)
+    if kind is None:
+        return _fallback_expr(expr, env)
+    left = _static_int(expr.left, env)
+    right = _static_int(expr.right, env)
+    if left is None or right is None:
+        # dynamic/X bounds: interpreter handles (and may diagnose) at runtime
+        return _fallback_expr(expr, env)
+    info = env.name_type(expr.name)
+    if info is not None:
+        msb, lsb = info.slice_offsets(left, right)
+    else:
+        msb, lsb = max(left, right), min(left, right)
+    if msb - lsb + 1 > evh.VhdlElaborator.MAX_SIGNAL_WIDTH:
+        return _fallback_expr(expr, env)
+    reader = _reader(kind, expr.name)
+    return lambda ctx, r=reader, m=msb, l=lsb: r(ctx).slice(m, l)
+
+
+def _compile_call(expr, env):
+    name = expr.name
+    if name in ("rising_edge", "falling_edge"):
+        if len(expr.args) != 1 or not isinstance(expr.args[0], ast.Name):
+            return _fallback_expr(expr, env)
+        signal = env.scope.signals.get(expr.args[0].name)
+        if signal is None:
+            return _fallback_expr(expr, env)
+        if name == "rising_edge":
+
+            def rising(ctx, s=signal):
+                prev = ctx.edge_mem.get(s, s._value)
+                if prev.bit_char(0) != "1" and s._value.bit_char(0) == "1":
+                    return _TRUE
+                return _FALSE
+
+            return rising
+
+        def falling(ctx, s=signal):
+            prev = ctx.edge_mem.get(s, s._value)
+            if prev.bit_char(0) != "0" and s._value.bit_char(0) == "0":
+                return _TRUE
+            return _FALSE
+
+        return falling
+    if name in ("to_unsigned", "to_signed", "conv_std_logic_vector", "resize"):
+        if len(expr.args) != 2:
+            return _fallback_expr(expr, env)
+        length = _static_int(expr.args[1], env)
+        if length is None or not 1 <= length <= evh.VhdlElaborator.MAX_SIGNAL_WIDTH:
+            return _fallback_expr(expr, env)
+        value_fn = compile_expr(expr.args[0], env)
+        return lambda ctx, f=value_fn, w=length: f(ctx).resize(w)
+    if name in ("to_integer", "conv_integer"):
+        if len(expr.args) != 1:
+            return _fallback_expr(expr, env)
+        value_fn = compile_expr(expr.args[0], env)
+        return lambda ctx, f=value_fn: f(ctx).resize(32)
+    if name in ("std_logic_vector", "unsigned", "signed", "to_stdlogicvector",
+                "to_01"):
+        if len(expr.args) != 1:
+            return _fallback_expr(expr, env)
+        return compile_expr(expr.args[0], env)
+    # shift/rotate/std_match and unknown functions: interpreter path
+    return _fallback_expr(expr, env)
+
+
+def _compile_attribute(expr, env):
+    if expr.attr in ("event", "last_value"):
+        signal = env.scope.signals.get(expr.name)
+        if signal is None:
+            return _fallback_expr(expr, env)
+        if expr.attr == "event":
+
+            def event(ctx, s=signal):
+                prev = ctx.edge_mem.get(s, s._value)
+                return _FALSE if prev == s._value else _TRUE
+
+            return event
+        return lambda ctx, s=signal: ctx.edge_mem.get(s, s._value)
+    info = env.name_type(expr.name)
+    if info is None:
+        return _fallback_expr(expr, env)
+    values = {
+        "length": info.width,
+        "left": info.left,
+        "right": info.right,
+        "high": max(info.left, info.right),
+        "low": min(info.left, info.right),
+    }
+    if expr.attr not in values:
+        return _fallback_expr(expr, env)
+    const = Logic.from_int(values[expr.attr], 32)
+    return lambda ctx, v=const: v
+
+
+def _compile_unary(expr, env):
+    operand = compile_expr(expr.operand, env)
+    op = expr.op
+    if op == "not":
+        return lambda ctx, f=operand: ~f(ctx)
+    if op == "-":
+        return lambda ctx, f=operand: f(ctx).neg()
+    if op == "+":
+        return operand
+    if op == "abs":
+
+        def do_abs(ctx, f=operand):
+            value = f(ctx)
+            if value.has_x:
+                return Logic.unknown(value.width)
+            return Logic.from_int(abs(value.to_signed()), value.width)
+
+        return do_abs
+    return _fallback_expr(expr, env)
+
+
+_SIMPLE_BINOPS = {
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "nand": lambda a, b: ~(a & b),
+    "nor": lambda a, b: ~(a | b),
+    "xnor": lambda a, b: ~(a ^ b),
+    "=": Logic.eq,
+    "/=": Logic.ne,
+    "<": Logic.lt,
+    "<=": Logic.le,
+    ">": Logic.gt,
+    ">=": Logic.ge,
+    "+": Logic.add,
+    "-": Logic.sub,
+    "/": Logic.div,
+    "mod": Logic.mod,
+    "rem": Logic.mod,
+    "&": Logic.concat,
+}
+
+
+def _compile_binary(expr, env):
+    op = expr.op
+    lhs_fn = _compile_with_width(expr.lhs, env, _operand_width_static(expr.rhs, env))
+    if isinstance(expr.rhs, ast.Aggregate):
+        # the rhs width context is lhs.width at runtime — only usable when
+        # the lhs width is statically exact
+        wl = _static_width(expr.lhs, env)
+        if wl is None:
+            return _fallback_expr(expr, env)
+        rhs_fn = _compile_aggregate(expr.rhs, env, wl)
+    else:
+        rhs_fn = compile_expr(expr.rhs, env)
+    fn = _SIMPLE_BINOPS.get(op)
+    if fn is not None:
+        return lambda ctx, a=lhs_fn, b=rhs_fn, fn=fn: fn(a(ctx), b(ctx))
+    if op == "*":
+
+        def mul(ctx, a=lhs_fn, b=rhs_fn):
+            lhs = a(ctx)
+            rhs = b(ctx)
+            if lhs.has_x or rhs.has_x:
+                return Logic.unknown(lhs.width + rhs.width)
+            return Logic.from_int(lhs.to_int() * rhs.to_int(),
+                                  lhs.width + rhs.width)
+
+        return mul
+    if op == "**":
+
+        def power(ctx, a=lhs_fn, b=rhs_fn):
+            lhs = a(ctx)
+            rhs = b(ctx)
+            if lhs.has_x or rhs.has_x:
+                return Logic.unknown(32)
+            return Logic.from_int(lhs.to_int() ** min(rhs.to_int(), 64), 32)
+
+        return power
+    return _fallback_expr(expr, env)
+
+
+# --------------------------------------------------------------------------
+# statement compilation
+# --------------------------------------------------------------------------
+
+
+def _fallback_stmt(stmt, env):
+    """Delegate one statement to the interpreter as a generator step."""
+    elab = env.elab
+
+    def gen(ctx, stmt=stmt, elab=elab):
+        return elab._exec_seq(stmt, ctx)
+
+    return [(GEN, gen)]
+
+
+def compile_body(body, env):
+    steps = []
+    for stmt in body:
+        steps.extend(compile_stmt(stmt, env))
+    return steps
+
+
+def compile_stmt(stmt, env):
+    """Compile one statement into steps (mirror of ``_exec_seq``)."""
+    try:
+        steps = _compile_stmt(stmt, env)
+    except Exception:
+        steps = None
+    return steps if steps is not None else _fallback_stmt(stmt, env)
+
+
+def _compile_stmt(stmt, env):
+    if isinstance(stmt, ast.SignalAssign):
+        return _compile_signal_assign(stmt, env)
+    if isinstance(stmt, ast.VariableAssign):
+        return _compile_variable_assign(stmt, env)
+    if isinstance(stmt, ast.IfStatement):
+        return _compile_if(stmt, env)
+    if isinstance(stmt, ast.CaseStatement):
+        return _compile_case(stmt, env)
+    if isinstance(stmt, ast.ForLoop):
+        return _compile_for(stmt, env)
+    if isinstance(stmt, ast.WhileLoop):
+        return _compile_while(stmt, env)
+    if isinstance(stmt, ast.WaitStatement):
+        return _compile_wait(stmt, env)
+    if isinstance(stmt, ast.AssertStatement):
+        return _compile_assert(stmt, env)
+    if isinstance(stmt, ast.ReportStatement):
+        return _compile_report(stmt, env)
+    if isinstance(stmt, ast.NullStatement):
+        return []
+    return None  # unsupported: interpreter diagnoses at runtime
+
+
+def _target_width_static(target, env) -> int | None:
+    """Mirror of ``_target_width`` with static knowledge (None = dynamic)."""
+    name = evh._target_name(target)
+    if name in env.var_types:
+        info = env.var_types[name]
+    else:
+        info = env.scope.types.get(name)
+    if info is None:
+        return 1
+    if isinstance(target, ast.Name):
+        return info.width
+    if isinstance(target, ast.Indexed):
+        return 1
+    if isinstance(target, ast.Sliced):
+        left = _static_int(target.left, env)
+        right = _static_int(target.right, env)
+        if left is None or right is None:
+            return None
+        return abs(left - right) + 1
+    return info.width
+
+
+def _compile_store(target, env, blocking):
+    """A closure ``store(ctx, value)`` performing the write, or None.
+
+    Mirrors ``_write_target`` (and ``_write_variable``) with the name
+    category, type info, and any index/slice offsets resolved statically.
+    """
+    name = evh._target_name(target)
+    if name in env.var_names:
+        info = env.var_types[name]
+        if isinstance(target, ast.Name):
+
+            def store_var(ctx, value, n=name, w=info.width):
+                ctx.variables[n] = value.resize(w)
+
+            return store_var
+        if isinstance(target, ast.Indexed):
+            index = _static_int(target.index, env)
+            if index is None:
+                return None
+            offset = info.bit_offset(index)
+
+            def store_var_bit(ctx, value, n=name, o=offset):
+                ctx.variables[n] = ctx.variables[n].set_slice(o, o, value)
+
+            return store_var_bit
+        if isinstance(target, ast.Sliced):
+            left = _static_int(target.left, env)
+            right = _static_int(target.right, env)
+            if left is None or right is None:
+                return None
+            msb, lsb = info.slice_offsets(left, right)
+
+            def store_var_slice(ctx, value, n=name, m=msb, l=lsb):
+                ctx.variables[n] = ctx.variables[n].set_slice(m, l, value)
+
+            return store_var_slice
+        return None
+    signal = env.scope.signals.get(name)
+    if signal is None:
+        return None  # interpreter diagnoses "cannot assign" at runtime
+    info = env.scope.types.get(name) or evh._TypeInfo(width=signal.width)
+    if isinstance(target, ast.Name):
+        # the kernel resizes on write/commit, so the interpreter's explicit
+        # pre-resize is elided — committed values are identical
+        if blocking:
+            return lambda ctx, value, s=signal: ctx.sim.write_signal(s, value)
+        return lambda ctx, value, s=signal: ctx.sim.schedule_nba(s, value)
+    if isinstance(target, ast.Indexed):
+        index = _static_int(target.index, env)
+        if index is None:
+            return None
+        offset = info.bit_offset(index)
+        if blocking:
+
+            def store_bit(ctx, value, s=signal, o=offset):
+                ctx.sim.write_signal(s, s._value.set_slice(o, o, value))
+
+            return store_bit
+
+        def store_bit_nba(ctx, value, s=signal, o=offset):
+            ctx.sim.schedule_nba_update(
+                s, lambda old, o=o, v=value: old.set_slice(o, o, v)
+            )
+
+        return store_bit_nba
+    if isinstance(target, ast.Sliced):
+        left = _static_int(target.left, env)
+        right = _static_int(target.right, env)
+        if left is None or right is None:
+            return None
+        msb, lsb = info.slice_offsets(left, right)
+        if blocking:
+
+            def store_slice(ctx, value, s=signal, m=msb, l=lsb):
+                ctx.sim.write_signal(s, s._value.set_slice(m, l, value))
+
+            return store_slice
+
+        def store_slice_nba(ctx, value, s=signal, m=msb, l=lsb):
+            ctx.sim.schedule_nba_update(
+                s, lambda old, m=m, l=l, v=value: old.set_slice(m, l, v)
+            )
+
+        return store_slice_nba
+    return None
+
+
+def _compile_signal_assign(stmt, env):
+    width = _target_width_static(stmt.target, env)
+    if width is None:
+        return None
+    value_fn = _compile_with_width(stmt.value, env, width)
+    if stmt.after is not None:
+        name = evh._target_name(stmt.target)
+        delay = _static_int(stmt.after, env)
+        signal = env.scope.signals.get(name)
+        if delay is None or signal is None or name in env.var_names:
+            return None
+
+        def step_after(ctx, f=value_fn, s=signal, d=delay):
+            ctx.sim.schedule_write(s, f(ctx).resize(s.width), d)
+
+        return [(PLAIN, step_after)]
+    store = _compile_store(stmt.target, env, blocking=False)
+    if store is None:
+        return None
+    return [(PLAIN, lambda ctx, f=value_fn, store=store: store(ctx, f(ctx)))]
+
+
+def _compile_variable_assign(stmt, env):
+    name = evh._target_name(stmt.target)
+    if name not in env.var_names:
+        return None  # interpreter diagnoses "is not a variable" at runtime
+    width = _target_width_static(stmt.target, env)
+    if width is None:
+        return None
+    value_fn = _compile_with_width(stmt.value, env, width)
+    store = _compile_store(stmt.target, env, blocking=True)
+    if store is None:
+        return None
+    return [(PLAIN, lambda ctx, f=value_fn, store=store: store(ctx, f(ctx)))]
+
+
+def _compile_if(stmt, env):
+    arm_plans = [
+        (compile_expr(condition, env), compile_body(body, env))
+        for condition, body in stmt.arms
+    ]
+    else_steps = compile_body(stmt.else_body, env)
+    plains = [as_plain(steps) for _, steps in arm_plans]
+    else_plain = as_plain(else_steps)
+    if else_plain is not None and all(p is not None for p in plains):
+        arms = tuple(
+            (cond, plain) for (cond, _), plain in zip(arm_plans, plains)
+        )
+
+        def step(ctx, arms=arms, otherwise=else_plain):
+            for cond, body in arms:
+                if cond(ctx).is_true():
+                    body(ctx)
+                    return
+            otherwise(ctx)
+
+        return [(PLAIN, step)]
+    arms = tuple((cond, as_gen(steps)) for cond, steps in arm_plans)
+    else_gen = as_gen(else_steps)
+
+    def gen(ctx, arms=arms, otherwise=else_gen):
+        for cond, body in arms:
+            if cond(ctx).is_true():
+                yield from body(ctx)
+                return
+        yield from otherwise(ctx)
+
+    return [(GEN, gen)]
+
+
+def _compile_case(stmt, env):
+    subject_width = _static_width(stmt.subject, env)
+    subject_fn = compile_expr(stmt.subject, env)
+    arms = []
+    others_steps = None
+    for alternative in stmt.alternatives:
+        steps = compile_body(alternative.body, env)
+        if not alternative.choices:
+            others_steps = steps
+            continue
+        choices = []
+        for choice in alternative.choices:
+            if isinstance(choice, ast.Aggregate) and subject_width is None:
+                return None
+            const = _fold_with_width(choice, env, subject_width)
+            if const is not None:
+                choices.append((const, None))
+            else:
+                choices.append(
+                    (None, _compile_with_width(choice, env, subject_width))
+                )
+        arms.append((tuple(choices), steps))
+
+    def choose(ctx, subject):
+        for choices, body in arms_rt:
+            for label, label_fn in choices:
+                if label is None:
+                    label = label_fn(ctx)
+                width = max(subject.width, label.width)
+                if subject.resize(width).case_eq(
+                    label.resize(width)
+                ).is_true():
+                    return body
+        return others_rt
+
+    plains = [as_plain(steps) for _, steps in arms]
+    others_plain = as_plain(others_steps) if others_steps is not None else True
+    if others_plain is not None and all(p is not None for p in plains):
+        arms_rt = tuple(
+            (choices, plain) for (choices, _), plain in zip(arms, plains)
+        )
+        others_rt = others_plain if others_steps is not None else None
+
+        def step(ctx, subject_fn=subject_fn):
+            body = choose(ctx, subject_fn(ctx))
+            if body is not None:
+                body(ctx)
+
+        return [(PLAIN, step)]
+    arms_rt = tuple((choices, as_gen(steps)) for choices, steps in arms)
+    others_rt = as_gen(others_steps) if others_steps is not None else None
+
+    def gen(ctx, subject_fn=subject_fn):
+        body = choose(ctx, subject_fn(ctx))
+        if body is not None:
+            yield from body(ctx)
+
+    return [(GEN, gen)]
+
+
+def _compile_for(stmt, env):
+    low = _static_int(stmt.low, env)
+    high = _static_int(stmt.high, env)
+    if low is None or high is None:
+        return None
+    indices = range(low, high + 1)
+    if stmt.descending:
+        indices = reversed(indices)
+    values = tuple(Logic.from_int(index, 32) for index in indices)
+    steps = compile_body(stmt.body, env.with_loop_var(stmt.var))
+    var = stmt.var
+    plain = as_plain(steps)
+    if plain is not None:
+
+        def step(ctx, body=plain, var=var, values=values):
+            outer = ctx.loop_vars.get(var)
+            for value in values:
+                ctx.loop_vars[var] = value
+                body(ctx)
+            if outer is None:
+                ctx.loop_vars.pop(var, None)
+            else:
+                ctx.loop_vars[var] = outer
+
+        return [(PLAIN, step)]
+    flat = flat_steps(merge(steps))
+    if flat is not None:
+
+        def gen_flat(ctx, flat=flat, var=var, values=values):
+            outer = ctx.loop_vars.get(var)
+            for value in values:
+                ctx.loop_vars[var] = value
+                for kind, fn in flat:
+                    if kind:
+                        yield fn
+                    else:
+                        fn(ctx)
+            if outer is None:
+                ctx.loop_vars.pop(var, None)
+            else:
+                ctx.loop_vars[var] = outer
+
+        return [(GEN, gen_flat)]
+    body_gen = as_gen(steps)
+
+    def gen(ctx, body=body_gen, var=var, values=values):
+        outer = ctx.loop_vars.get(var)
+        for value in values:
+            ctx.loop_vars[var] = value
+            yield from body(ctx)
+        if outer is None:
+            ctx.loop_vars.pop(var, None)
+        else:
+            ctx.loop_vars[var] = outer
+
+    return [(GEN, gen)]
+
+
+def _compile_while(stmt, env):
+    cond_fn = compile_expr(stmt.condition, env)
+    steps = compile_body(stmt.body, env)
+    limit = evh.VhdlElaborator.LOOP_LIMIT
+    plain = as_plain(steps)
+    if plain is not None:
+
+        def step(ctx, cond=cond_fn, body=plain, limit=limit):
+            iterations = 0
+            while cond(ctx).is_true():
+                body(ctx)
+                iterations += 1
+                if iterations > limit:
+                    raise SimulationError("while-loop iteration limit exceeded")
+
+        return [(PLAIN, step)]
+    body_gen = as_gen(steps)
+
+    def gen(ctx, cond=cond_fn, body=body_gen, limit=limit):
+        iterations = 0
+        while cond(ctx).is_true():
+            yield from body(ctx)
+            iterations += 1
+            if iterations > limit:
+                raise SimulationError("while-loop iteration limit exceeded")
+
+    return [(GEN, gen)]
+
+
+def _compile_wait(stmt, env):
+    if stmt.for_time is not None:
+        delay = _static_int(stmt.for_time, env)
+        if delay is None:
+            return None
+        return [(CMD, Delay(delay))]
+    if stmt.until is not None:
+        reads: set = set()
+        evh._collect_reads(stmt.until, env.scope, reads)
+        if not reads:
+            return None  # interpreter diagnoses the dead wait at runtime
+        cond_fn = compile_expr(stmt.until, env)
+        command = WaitChange.on(*reads)
+
+        def gen(ctx, cond=cond_fn, command=command):
+            while True:
+                yield command
+                if cond(ctx).is_true():
+                    return
+
+        return [(GEN, gen)]
+    if stmt.on_signals:
+        signals = [
+            s
+            for s in (env.scope.signals.get(n) for n in stmt.on_signals)
+            if s is not None
+        ]
+        return [(CMD, WaitChange.on(*signals))]
+    return [(CMD, WaitChange(()))]  # bare `wait;` — suspend forever
+
+
+def _message_text(message, ctx, elab):
+    if message is None:
+        return "Assertion violation."
+    return evh._eval_text(message, ctx, elab)
+
+
+def _compile_assert(stmt, env):
+    cond_fn = compile_expr(stmt.condition, env)
+    elab = env.elab
+    prefix = stmt.severity.upper()
+    if stmt.severity != "failure":
+
+        def step(ctx, cond=cond_fn, msg=stmt.message, prefix=prefix, elab=elab):
+            if not cond(ctx).is_true():
+                ctx.sim.display(f"{prefix}: {_message_text(msg, ctx, elab)}")
+
+        return [(PLAIN, step)]
+
+    def gen(ctx, cond=cond_fn, msg=stmt.message, elab=elab):
+        if not cond(ctx).is_true():
+            ctx.sim.display(f"FAILURE: {_message_text(msg, ctx, elab)}")
+            yield Finish(1)
+
+    return [(GEN, gen)]
+
+
+def _compile_report(stmt, env):
+    elab = env.elab
+    if stmt.severity == "note":
+
+        def step(ctx, msg=stmt.message, elab=elab):
+            ctx.sim.display(evh._eval_text(msg, ctx, elab))
+
+        return [(PLAIN, step)]
+    prefix = stmt.severity.upper()
+    if stmt.severity != "failure":
+
+        def step(ctx, msg=stmt.message, prefix=prefix, elab=elab):
+            ctx.sim.display(f"{prefix}: {evh._eval_text(msg, ctx, elab)}")
+
+        return [(PLAIN, step)]
+
+    def gen(ctx, msg=stmt.message, elab=elab):
+        ctx.sim.display(f"FAILURE: {evh._eval_text(msg, ctx, elab)}")
+        yield Finish(1)
+
+    return [(GEN, gen)]
+
+
+# --------------------------------------------------------------------------
+# process / concurrent-statement factories
+# --------------------------------------------------------------------------
+
+
+def process_factory(process, scope, elab, sens, watched):
+    """Compiled factory for a process statement, or None to decline."""
+    var_types: dict = {}
+    decl_plan = []
+    for decl in process.declarations:
+        info = elab._type_info(decl.type_mark, scope)
+        var_names = frozenset(var_types)  # earlier declarations only
+        var_types[decl.name] = info  # the type itself is visible immediately
+        init_fn = None
+        if decl.init is not None:
+            init_fn = _compile_with_width(
+                decl.init, _Env(scope, elab, dict(var_types), var_names),
+                info.width,
+            )
+        decl_plan.append((decl.name, info, init_fn))
+    env = _Env(scope, elab, var_types)
+    steps = compile_body(process.body, env)
+    body_plain = as_plain(steps)
+    body_gen = as_gen(steps) if body_plain is None else None
+    has_wait = evh._body_has_wait(process.body)
+    wait_cmd = WaitChange.on(*sens) if sens else None
+    decl_plan = tuple(decl_plan)
+
+    def make_ctx(sim):
+        ctx = evh._EvalCtx(scope=scope, sim=sim)
+        for name, info, init_fn in decl_plan:
+            ctx.var_types[name] = info
+            if init_fn is not None:
+                ctx.variables[name] = init_fn(ctx).resize(info.width)
+            else:
+                ctx.variables[name] = Logic.unknown(info.width)
+        for signal in watched:
+            ctx.edge_mem[signal] = signal._value
+        return ctx
+
+    if body_plain is not None:
+        # a plain body contains no waits, so the only suspension point is
+        # the sensitivity wait — fuse the edge-memory snapshot into it
+        def factory(sim):
+            ctx = make_ctx(sim)
+            if wait_cmd is None:
+
+                def run_once():
+                    body_plain(ctx)
+                    return
+                    yield  # pragma: no cover - generator marker
+
+                return run_once()
+            if watched:
+
+                def run_watched():
+                    while True:
+                        body_plain(ctx)
+                        for signal in watched:
+                            ctx.edge_mem[signal] = signal._value
+                        yield wait_cmd
+
+                return run_watched()
+
+            def run():
+                while True:
+                    body_plain(ctx)
+                    yield wait_cmd
+
+            return run()
+
+        return factory
+
+    def factory(sim):
+        ctx = make_ctx(sim)
+
+        def run():
+            while True:
+                yield from body_gen(ctx)
+                if wait_cmd is not None:
+                    yield wait_cmd
+                elif not has_wait:
+                    return
+
+        gen = run()
+        if not watched:
+            return gen
+
+        def snapshotting(gen):
+            for command in gen:
+                for signal in watched:
+                    ctx.edge_mem[signal] = signal._value
+                yield command
+
+        return snapshotting(gen)
+
+    return factory
+
+
+def concurrent_assign_factory(statement, scope, elab, reads, width):
+    """Compiled factory for a simple concurrent assignment, or None."""
+    env = _Env(scope, elab)
+    value_fn = _compile_with_width(statement.value, env, width)
+    store = _compile_store(statement.target, env, blocking=True)
+    if store is None:
+        return None
+    wait_cmd = WaitChange.on(*reads) if reads else None
+
+    def factory(sim):
+        ctx = evh._EvalCtx(scope=scope, sim=sim)
+        if wait_cmd is None:
+
+            def run_once():
+                store(ctx, value_fn(ctx))
+                return
+                yield  # pragma: no cover - generator marker
+
+            return run_once()
+
+        def body():
+            while True:
+                store(ctx, value_fn(ctx))
+                yield wait_cmd
+
+        return body()
+
+    return factory
+
+
+def delayed_assign_factory(statement, scope, elab, signal, delay, reads, width):
+    """Compiled factory for ``target <= value after T``, or None."""
+    env = _Env(scope, elab)
+    value_fn = _compile_with_width(statement.value, env, width)
+    wait_cmd = WaitChange.on(*reads) if reads else None
+    delay_cmd = Delay(delay)
+
+    def factory(sim):
+        ctx = evh._EvalCtx(scope=scope, sim=sim)
+
+        def body():
+            while True:
+                new = value_fn(ctx)
+                if new == signal._value:
+                    if wait_cmd is None:
+                        return
+                    yield wait_cmd
+                    continue
+                yield delay_cmd
+                sim.write_signal(signal, new)
+
+        return body()
+
+    return factory
+
+
+def conditional_assign_factory(statement, scope, elab, reads, width):
+    """Compiled factory for a conditional concurrent assignment, or None."""
+    env = _Env(scope, elab)
+    arms = tuple(
+        (_compile_with_width(value, env, width), compile_expr(condition, env))
+        for value, condition in statement.arms
+    )
+    otherwise_fn = _compile_with_width(statement.otherwise, env, width)
+    store = _compile_store(statement.target, env, blocking=True)
+    if store is None:
+        return None
+    wait_cmd = WaitChange.on(*reads) if reads else None
+
+    def factory(sim):
+        ctx = evh._EvalCtx(scope=scope, sim=sim)
+
+        def body():
+            while True:
+                chosen = otherwise_fn
+                for value_fn, cond_fn in arms:
+                    if cond_fn(ctx).is_true():
+                        chosen = value_fn
+                        break
+                store(ctx, chosen(ctx))
+                if wait_cmd is None:
+                    return
+                yield wait_cmd
+
+        return body()
+
+    return factory
+
+
+def selected_assign_factory(statement, scope, elab, reads, width):
+    """Compiled factory for a selected concurrent assignment, or None."""
+    env = _Env(scope, elab)
+    selector_width = _static_width(statement.selector, env)
+    selector_fn = compile_expr(statement.selector, env)
+    arms = []
+    for value, choices in statement.arms:
+        compiled_choices = []
+        for choice in choices:
+            if isinstance(choice, ast.Aggregate) and selector_width is None:
+                return None
+            const = _fold_with_width(choice, env, selector_width)
+            if const is not None:
+                compiled_choices.append((const, None))
+            else:
+                compiled_choices.append(
+                    (None, _compile_with_width(choice, env, selector_width))
+                )
+        arms.append((_compile_with_width(value, env, width),
+                     tuple(compiled_choices)))
+    arms = tuple(arms)
+    otherwise_fn = (
+        _compile_with_width(statement.otherwise, env, width)
+        if statement.otherwise is not None
+        else None
+    )
+    store = _compile_store(statement.target, env, blocking=True)
+    if store is None:
+        return None
+    wait_cmd = WaitChange.on(*reads) if reads else None
+
+    def factory(sim):
+        ctx = evh._EvalCtx(scope=scope, sim=sim)
+
+        def body():
+            while True:
+                selector = selector_fn(ctx)
+                chosen = otherwise_fn
+                for value_fn, choices in arms:
+                    matched = False
+                    for label, label_fn in choices:
+                        if label is None:
+                            label = label_fn(ctx)
+                        if selector.case_eq(label).is_true():
+                            matched = True
+                            break
+                    if matched:
+                        chosen = value_fn
+                        break
+                if chosen is not None:
+                    store(ctx, chosen(ctx))
+                if wait_cmd is None:
+                    return
+                yield wait_cmd
+
+        return body()
+
+    return factory
+
+
+def wire_input_factory(expr, child, scope, elab, reads):
+    """Compiled factory for an instantiation input-port wire, or None."""
+    env = _Env(scope, elab)
+    value_fn = _compile_with_width(expr, env, child.width)
+    wait_cmd = WaitChange.on(*reads) if reads else None
+
+    def factory(sim):
+        ctx = evh._EvalCtx(scope=scope, sim=sim)
+        if wait_cmd is None:
+
+            def run_once():
+                sim.write_signal(child, value_fn(ctx))
+                return
+                yield  # pragma: no cover - generator marker
+
+            return run_once()
+
+        def body():
+            while True:
+                sim.write_signal(child, value_fn(ctx))
+                yield wait_cmd
+
+        return body()
+
+    return factory
+
+
+def wire_output_factory(target, child, scope, elab):
+    """Compiled factory for an instantiation output-port wire, or None."""
+    env = _Env(scope, elab)
+    store = _compile_store(target, env, blocking=True)
+    if store is None:
+        return None
+    wait_cmd = WaitChange.on(child)
+
+    def factory(sim):
+        ctx = evh._EvalCtx(scope=scope, sim=sim)
+
+        def body():
+            while True:
+                store(ctx, child._value)
+                yield wait_cmd
+
+        return body()
+
+    return factory

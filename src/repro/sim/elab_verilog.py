@@ -215,6 +215,33 @@ class VerilogElaborator:
         return value
 
     # ------------------------------------------------------------------
+    # compiled tier
+    # ------------------------------------------------------------------
+
+    def _compiled(self, build):
+        """Run a compile-tier builder under the fallback safety net.
+
+        Returns the compiled process factory, or None when the interpreter
+        must be used: the tier is disabled (``REPRO_SIM_INTERP``), the
+        builder declined (returned None), raised, or emitted diagnostics
+        (compilation must be silent — anything it would report, the
+        interpreter reports at the same point it always did).
+        """
+        from repro.sim.compile import interpreter_forced
+
+        if interpreter_forced():
+            return None
+        mark = len(self.collector.diagnostics)
+        try:
+            factory = build()
+        except Exception:
+            factory = None
+        if len(self.collector.diagnostics) != mark:
+            del self.collector.diagnostics[mark:]
+            factory = None
+        return factory
+
+    # ------------------------------------------------------------------
     # items
     # ------------------------------------------------------------------
 
@@ -231,11 +258,18 @@ class VerilogElaborator:
         elif isinstance(item, ast.AlwaysBlock):
             self._always_block(item, scope)
         elif isinstance(item, ast.InitialBlock):
-            process = Process(
-                f"{scope.prefix}initial@{_line(self, item)}",
-                lambda sim, body=item.body, sc=scope: _exec(body, sc, sim, self),
+            from repro.sim.compile import verilog as _cv
+
+            factory = self._compiled(
+                lambda: _cv.initial_factory(item.body, scope, self)
             )
-            self.design.add_process(process)
+            if factory is None:
+                factory = lambda sim, body=item.body, sc=scope: _exec(
+                    body, sc, sim, self
+                )
+            self.design.add_process(
+                Process(f"{scope.prefix}initial@{_line(self, item)}", factory)
+            )
         elif isinstance(item, ast.Instantiation):
             self._instantiate(item, scope)
         else:
@@ -247,17 +281,27 @@ class VerilogElaborator:
         read_signals = self._read_set(value, scope)
         read_signals |= self._lvalue_index_reads(target, scope)
 
-        def factory(sim, target=target, value=value, scope=scope, reads=read_signals):
-            def body():
-                width = _lvalue_width(target, scope, sim, self)
-                while True:
-                    result = _eval(value, scope, sim, self, width)
-                    _assign(target, result, scope, sim, self, blocking=True)
-                    if not reads:
-                        return
-                    yield WaitChange.on(*reads)
+        from repro.sim.compile import verilog as _cv
 
-            return body()
+        factory = self._compiled(
+            lambda: _cv.continuous_assign_factory(
+                target, value, scope, self, read_signals
+            )
+        )
+        if factory is None:
+
+            def factory(sim, target=target, value=value, scope=scope,
+                        reads=read_signals):
+                def body():
+                    width = _lvalue_width(target, scope, sim, self)
+                    while True:
+                        result = _eval(value, scope, sim, self, width)
+                        _assign(target, result, scope, sim, self, blocking=True)
+                        if not reads:
+                            return
+                        yield WaitChange.on(*reads)
+
+                return body()
 
         name = f"{scope.prefix}assign@{_line(self, target)}"
         self.design.add_process(Process(name, factory))
@@ -274,14 +318,21 @@ class VerilogElaborator:
                 )
                 return
 
-            def free_factory(sim, body=block.body, sc=scope):
-                def run():
-                    while True:
-                        yield from _exec(body, sc, sim, self)
+            from repro.sim.compile import verilog as _cv
 
-                return run()
+            factory = self._compiled(
+                lambda: _cv.free_always_factory(block.body, scope, self)
+            )
+            if factory is None:
 
-            self.design.add_process(Process(name, free_factory))
+                def factory(sim, body=block.body, sc=scope):
+                    def run():
+                        while True:
+                            yield from _exec(body, sc, sim, self)
+
+                    return run()
+
+            self.design.add_process(Process(name, factory))
             return
 
         if sens.star:
@@ -298,19 +349,29 @@ class VerilogElaborator:
             entries = tuple(entries)
         edge_triggered = any(e.edge is not Edge.ANY for e in entries)
 
-        def factory(sim, body=block.body, sc=scope, entries=entries, star=sens.star,
-                    edge_triggered=edge_triggered):
-            def run():
-                if star or not edge_triggered:
-                    # settle combinational logic at time zero
-                    yield from _exec(body, sc, sim, self)
-                while True:
-                    if not entries:
-                        return
-                    yield WaitChange(entries)
-                    yield from _exec(body, sc, sim, self)
+        from repro.sim.compile import verilog as _cv
 
-            return run()
+        factory = self._compiled(
+            lambda: _cv.always_factory(
+                block.body, scope, self, entries,
+                initial_run=sens.star or not edge_triggered,
+            )
+        )
+        if factory is None:
+
+            def factory(sim, body=block.body, sc=scope, entries=entries,
+                        star=sens.star, edge_triggered=edge_triggered):
+                def run():
+                    if star or not edge_triggered:
+                        # settle combinational logic at time zero
+                        yield from _exec(body, sc, sim, self)
+                    while True:
+                        if not entries:
+                            return
+                        yield WaitChange(entries)
+                        yield from _exec(body, sc, sim, self)
+
+                return run()
 
         self.design.add_process(Process(name, factory))
 
@@ -411,17 +472,25 @@ class VerilogElaborator:
     ) -> None:
         reads = self._read_set(expr, scope)
 
-        def factory(sim, expr=expr, scope=scope, child=child_signal, reads=reads):
-            def body():
-                while True:
-                    sim.write_signal(
-                        child, _eval(expr, scope, sim, self, child.width)
-                    )
-                    if not reads:
-                        return
-                    yield WaitChange.on(*reads)
+        from repro.sim.compile import verilog as _cv
 
-            return body()
+        factory = self._compiled(
+            lambda: _cv.wire_input_factory(expr, child_signal, scope, self, reads)
+        )
+        if factory is None:
+
+            def factory(sim, expr=expr, scope=scope, child=child_signal,
+                        reads=reads):
+                def body():
+                    while True:
+                        sim.write_signal(
+                            child, _eval(expr, scope, sim, self, child.width)
+                        )
+                        if not reads:
+                            return
+                        yield WaitChange.on(*reads)
+
+                return body()
 
         self.design.add_process(
             Process(f"{scope.prefix}{inst.instance}.in.{child_signal.name}", factory)
@@ -444,13 +513,20 @@ class VerilogElaborator:
             )
             return
 
-        def factory(sim, target=expr, scope=scope, child=child_signal):
-            def body():
-                while True:
-                    _assign(target, child.value, scope, sim, self, blocking=True)
-                    yield WaitChange.on(child)
+        from repro.sim.compile import verilog as _cv
 
-            return body()
+        factory = self._compiled(
+            lambda: _cv.wire_output_factory(expr, child_signal, scope, self)
+        )
+        if factory is None:
+
+            def factory(sim, target=expr, scope=scope, child=child_signal):
+                def body():
+                    while True:
+                        _assign(target, child.value, scope, sim, self, blocking=True)
+                        yield WaitChange.on(child)
+
+                return body()
 
         self.design.add_process(
             Process(f"{scope.prefix}{inst.instance}.out.{child_signal.name}", factory)

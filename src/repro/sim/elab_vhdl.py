@@ -150,6 +150,33 @@ class VhdlElaborator:
     def _error(self, span, message: str) -> None:
         self.collector.error(_CODE_ELAB, message, source=self.source, span=span)
 
+    # ------------------------------------------------------------------
+    # compiled tier
+    # ------------------------------------------------------------------
+
+    def _compiled(self, build):
+        """Run a compile-tier builder under the fallback safety net.
+
+        Returns the compiled process factory, or None when the interpreter
+        must be used: the tier is disabled (``REPRO_SIM_INTERP``), the
+        builder declined (returned None), raised, or emitted diagnostics
+        (compilation must be silent — anything it would report, the
+        interpreter reports at the same point it always did).
+        """
+        from repro.sim.compile import interpreter_forced
+
+        if interpreter_forced():
+            return None
+        mark = len(self.collector.diagnostics)
+        try:
+            factory = build()
+        except Exception:
+            factory = None
+        if len(self.collector.diagnostics) != mark:
+            del self.collector.diagnostics[mark:]
+            factory = None
+        return factory
+
     def _elaborate_entity(
         self, name: str, prefix: str, generic_overrides: dict[str, Logic]
     ) -> _VScope:
@@ -275,46 +302,63 @@ class VhdlElaborator:
         reads = self._reads_of((statement.value, scope))
         target = statement.target
         target_width = self._target_width(target, scope)
+        from repro.sim.compile import vhdl as _cvh
+
         if statement.after is not None:
             ctx0 = _EvalCtx(scope=scope, sim=None)
             delay = _to_int(_eval(statement.after, ctx0, self), statement.span, self)
             target_signal = self._target_signal(target, scope)
 
-            def delayed_factory(sim, value=statement.value, scope=scope,
-                                signal=target_signal, delay=delay, reads=reads,
-                                width=target_width):
-                ctx = _EvalCtx(scope=scope, sim=sim)
+            delayed_factory = self._compiled(
+                lambda: _cvh.delayed_assign_factory(
+                    statement, scope, self, target_signal, delay, reads,
+                    target_width,
+                )
+            )
+            if delayed_factory is None:
 
-                def body():
-                    while True:
-                        new = _eval_with_width(value, ctx, self, width)
-                        if new == signal.value:
-                            if not reads:
-                                return
-                            yield WaitChange.on(*reads)
-                            continue
-                        yield Delay(delay)
-                        sim.write_signal(signal, new)
+                def delayed_factory(sim, value=statement.value, scope=scope,
+                                    signal=target_signal, delay=delay,
+                                    reads=reads, width=target_width):
+                    ctx = _EvalCtx(scope=scope, sim=sim)
 
-                return body()
+                    def body():
+                        while True:
+                            new = _eval_with_width(value, ctx, self, width)
+                            if new == signal.value:
+                                if not reads:
+                                    return
+                                yield WaitChange.on(*reads)
+                                continue
+                            yield Delay(delay)
+                            sim.write_signal(signal, new)
+
+                    return body()
 
             name = f"{scope.prefix}cassign@{self._line(statement)}"
             self.design.add_process(Process(name, delayed_factory))
             return
 
-        def factory(sim, target=target, value=statement.value, scope=scope,
-                    reads=reads, width=target_width):
-            ctx = _EvalCtx(scope=scope, sim=sim)
+        factory = self._compiled(
+            lambda: _cvh.concurrent_assign_factory(
+                statement, scope, self, reads, target_width
+            )
+        )
+        if factory is None:
 
-            def body():
-                while True:
-                    result = _eval_with_width(value, ctx, self, width)
-                    self._write_target(target, result, ctx, blocking=True)
-                    if not reads:
-                        return
-                    yield WaitChange.on(*reads)
+            def factory(sim, target=target, value=statement.value, scope=scope,
+                        reads=reads, width=target_width):
+                ctx = _EvalCtx(scope=scope, sim=sim)
 
-            return body()
+                def body():
+                    while True:
+                        result = _eval_with_width(value, ctx, self, width)
+                        self._write_target(target, result, ctx, blocking=True)
+                        if not reads:
+                            return
+                        yield WaitChange.on(*reads)
+
+                return body()
 
         name = f"{scope.prefix}cassign@{self._line(statement)}"
         self.design.add_process(Process(name, factory))
@@ -327,23 +371,33 @@ class VhdlElaborator:
             _collect_reads(condition, scope, reads)
         width = self._target_width(statement.target, scope)
 
-        def factory(sim, st=statement, scope=scope, reads=reads, width=width):
-            ctx = _EvalCtx(scope=scope, sim=sim)
+        from repro.sim.compile import vhdl as _cvh
 
-            def body():
-                while True:
-                    chosen = st.otherwise
-                    for value, condition in st.arms:
-                        if _eval(condition, ctx, self).is_true():
-                            chosen = value
-                            break
-                    result = _eval_with_width(chosen, ctx, self, width)
-                    self._write_target(st.target, result, ctx, blocking=True)
-                    if not reads:
-                        return
-                    yield WaitChange.on(*reads)
+        factory = self._compiled(
+            lambda: _cvh.conditional_assign_factory(
+                statement, scope, self, reads, width
+            )
+        )
+        if factory is None:
 
-            return body()
+            def factory(sim, st=statement, scope=scope, reads=reads,
+                        width=width):
+                ctx = _EvalCtx(scope=scope, sim=sim)
+
+                def body():
+                    while True:
+                        chosen = st.otherwise
+                        for value, condition in st.arms:
+                            if _eval(condition, ctx, self).is_true():
+                                chosen = value
+                                break
+                        result = _eval_with_width(chosen, ctx, self, width)
+                        self._write_target(st.target, result, ctx, blocking=True)
+                        if not reads:
+                            return
+                        yield WaitChange.on(*reads)
+
+                return body()
 
         name = f"{scope.prefix}condassign@{self._line(statement)}"
         self.design.add_process(Process(name, factory))
@@ -356,6 +410,18 @@ class VhdlElaborator:
         if statement.otherwise is not None:
             _collect_reads(statement.otherwise, scope, reads)
         width = self._target_width(statement.target, scope)
+
+        from repro.sim.compile import vhdl as _cvh
+
+        factory = self._compiled(
+            lambda: _cvh.selected_assign_factory(
+                statement, scope, self, reads, width
+            )
+        )
+        if factory is not None:
+            name = f"{scope.prefix}selassign@{self._line(statement)}"
+            self.design.add_process(Process(name, factory))
+            return
 
         def factory(sim, st=statement, scope=scope, reads=reads, width=width):
             ctx = _EvalCtx(scope=scope, sim=sim)
@@ -411,6 +477,17 @@ class VhdlElaborator:
                 sens_signals.append(signal)
         watched = _edge_watched_signals(process.body, scope)
         label = process.label or f"proc@{self._line(process)}"
+
+        from repro.sim.compile import vhdl as _cvh
+
+        factory = self._compiled(
+            lambda: _cvh.process_factory(
+                process, scope, self, tuple(sens_signals), tuple(watched)
+            )
+        )
+        if factory is not None:
+            self.design.add_process(Process(f"{scope.prefix}{label}", factory))
+            return
 
         def factory(sim, process=process, scope=scope,
                     sens=tuple(sens_signals), watched=tuple(watched)):
@@ -624,19 +701,27 @@ class VhdlElaborator:
         reads: set[Signal] = set()
         _collect_reads(expr, scope, reads)
 
-        def factory(sim, expr=expr, scope=scope, child=child_signal, reads=reads):
-            ctx = _EvalCtx(scope=scope, sim=sim)
+        from repro.sim.compile import vhdl as _cvh
 
-            def body():
-                while True:
-                    sim.write_signal(
-                        child, _eval_with_width(expr, ctx, self, child.width)
-                    )
-                    if not reads:
-                        return
-                    yield WaitChange.on(*reads)
+        factory = self._compiled(
+            lambda: _cvh.wire_input_factory(expr, child_signal, scope, self, reads)
+        )
+        if factory is None:
 
-            return body()
+            def factory(sim, expr=expr, scope=scope, child=child_signal,
+                        reads=reads):
+                ctx = _EvalCtx(scope=scope, sim=sim)
+
+                def body():
+                    while True:
+                        sim.write_signal(
+                            child, _eval_with_width(expr, ctx, self, child.width)
+                        )
+                        if not reads:
+                            return
+                        yield WaitChange.on(*reads)
+
+                return body()
 
         self.design.add_process(
             Process(f"{scope.prefix}{inst.label}.in.{child_signal.name}", factory)
@@ -651,15 +736,22 @@ class VhdlElaborator:
             )
             return
 
-        def factory(sim, target=expr, scope=scope, child=child_signal):
-            ctx = _EvalCtx(scope=scope, sim=sim)
+        from repro.sim.compile import vhdl as _cvh
 
-            def body():
-                while True:
-                    self._write_target(target, child.value, ctx, blocking=True)
-                    yield WaitChange.on(child)
+        factory = self._compiled(
+            lambda: _cvh.wire_output_factory(expr, child_signal, scope, self)
+        )
+        if factory is None:
 
-            return body()
+            def factory(sim, target=expr, scope=scope, child=child_signal):
+                ctx = _EvalCtx(scope=scope, sim=sim)
+
+                def body():
+                    while True:
+                        self._write_target(target, child.value, ctx, blocking=True)
+                        yield WaitChange.on(child)
+
+                return body()
 
         self.design.add_process(
             Process(f"{scope.prefix}{inst.label}.out.{child_signal.name}", factory)

@@ -32,6 +32,10 @@ class SimulationError(RuntimeError):
     """Raised when the simulation cannot make progress (e.g. delta overflow)."""
 
 
+#: sentinel distinguishing "no command" from a process that yielded None
+_NO_COMMAND = object()
+
+
 class SimulationFinished(Exception):
     """Raised internally when a process executes ``$finish``."""
 
@@ -66,12 +70,6 @@ class Finish:
 
 
 @dataclass
-class _NbaUpdate:
-    signal: Signal
-    compute: "object"  # Callable[[Logic], Logic], applied at commit time
-
-
-@dataclass
 class SimStats:
     """Bookkeeping the harness reports alongside simulation output."""
 
@@ -101,7 +99,9 @@ class Simulator:
         self.output: list[str] = []
         self.stats = SimStats()
         self._active: list[Process] = []
-        self._nba: list[_NbaUpdate] = []
+        #: staged NBA commits as (signal, value, compute) triples applied in
+        #: order; plain value commits carry ``compute=None``
+        self._nba: list[tuple[Signal, "Logic | None", "object"]] = []
         self._future: list[tuple[int, int, Process]] = []
         self._seq = 0
         self._finished = False
@@ -141,15 +141,23 @@ class Simulator:
 
     def write_signal(self, signal: Signal, value: Logic) -> None:
         """Blocking assignment: immediate update plus wake-ups."""
-        old = signal.value
-        if signal._set(value):
-            self.stats.signal_updates += 1
-            self._record_trace(signal)
+        # Signal._set inlined: this is the hottest kernel entry point. The
+        # equality check compares fields directly (widths match post-resize),
+        # skipping the dataclass __eq__ tuple build.
+        old = signal._value
+        new = value if value.width == signal.width else value.resize(signal.width)
+        if new is old or (new.bits == old.bits and new.xmask == old.xmask):
+            return
+        signal._value = new
+        self.stats.signal_updates += 1
+        if signal.trace is not None:
+            signal.trace.append((self.time, new))
+        if signal.waiters:
             self._wake_waiters(signal, old)
 
     def schedule_nba(self, signal: Signal, value: Logic) -> None:
         """Nonblocking assignment of a whole-signal value (NBA region commit)."""
-        self._nba.append(_NbaUpdate(signal, lambda _old, v=value: v))
+        self._nba.append((signal, value, None))
 
     def schedule_nba_update(self, signal: Signal, compute) -> None:
         """Nonblocking read-modify-write (bit/part-select targets).
@@ -159,7 +167,7 @@ class Simulator:
         same time step all take effect (last writer wins per bit, in program
         order — the IEEE 1364 rule).
         """
-        self._nba.append(_NbaUpdate(signal, compute))
+        self._nba.append((signal, None, compute))
 
     def schedule_write(self, signal: Signal, value: Logic, delay: int) -> None:
         """Schedule a one-shot signal write *delay* ticks in the future.
@@ -187,88 +195,114 @@ class Simulator:
 
     # -- internals -----------------------------------------------------------------
 
-    def _record_trace(self, signal: Signal) -> None:
-        if signal.trace is not None:
-            signal.trace.append((self.time, signal.value))
-
     def _wake_waiters(self, signal: Signal, old: Logic) -> None:
-        new = signal.value
-        for process in list(signal.waiters):
-            for entry in process.waiting_on:
-                if entry.signal is signal and entry.matches(old, new):
-                    self._unblock(process)
-                    break
+        waiters = signal.waiters
+        if not waiters:
+            return
+        new = signal._value
+        # _unblock mutates the dict, so collect matches before waking
+        woken = None
+        for process, entry in waiters.items():
+            if type(entry) is list:
+                if not any(e.matches(old, new) for e in entry):
+                    continue
+            elif entry.edge is not Edge.ANY and not entry.matches(old, new):
+                continue
+            if woken is None:
+                woken = [process]
+            else:
+                woken.append(process)
+        if woken is not None:
+            for process in woken:
+                self._unblock(process)
 
     def _unblock(self, process: Process) -> None:
         for entry in process.waiting_on:
-            try:
-                entry.signal.waiters.remove(process)
-            except ValueError:
-                pass
+            entry.signal.waiters.pop(process, None)
         process.waiting_on = []
         self._active.append(process)
 
     def _block_on(self, process: Process, entries: tuple[Sensitivity, ...]) -> None:
         process.waiting_on = list(entries)
         for entry in entries:
-            entry.signal.waiters.append(process)
+            waiters = entry.signal.waiters
+            existing = waiters.get(process)
+            if existing is None:
+                waiters[process] = entry
+            elif type(existing) is list:
+                existing.append(entry)
+            else:
+                waiters[process] = [existing, entry]
 
     def _run_time_step(self) -> None:
         deltas = 0
         step_activations = 0
-        while self._active or self._nba:
-            while self._active and not self._finished:
-                process = self._active.pop()
-                self._step_process(process)
+        active = self._active  # mutated in place only — safe to alias
+        stats = self.stats
+        while active or self._nba:
+            while active and not self._finished:
+                process = active.pop()
                 step_activations += 1
+                # -- one process activation, inlined (the hot loop) --
+                if not process.done and process.generator is not None:
+                    stats.process_activations += 1
+                    if stats.process_activations > self.ACTIVATION_LIMIT:
+                        raise SimulationError(
+                            "process activation limit exceeded; runaway simulation"
+                        )
+                    try:
+                        command = next(process.generator)
+                    except StopIteration:
+                        process.done = True
+                        command = _NO_COMMAND
+                    except SimulationFinished:
+                        self._finish()
+                        command = _NO_COMMAND
+                    if command is not _NO_COMMAND:
+                        cls = command.__class__  # frozen types: exact-class dispatch
+                        if cls is WaitChange:
+                            if not command.entries:
+                                # empty sensitivity: process can never resume
+                                process.done = True
+                            else:
+                                self._block_on(process, command.entries)
+                        elif cls is Delay:
+                            if command.ticks < 0:
+                                raise SimulationError(
+                                    f"negative delay {command.ticks}"
+                                )
+                            self._seq += 1
+                            heapq.heappush(
+                                self._future,
+                                (self.time + command.ticks, self._seq, process),
+                            )
+                        elif cls is Finish:
+                            self._finish()
+                        else:
+                            raise SimulationError(
+                                f"process {process.name} yielded {command!r}"
+                            )
                 if step_activations > self.STEP_ACTIVATION_LIMIT:
                     raise SimulationError(
-                        f"delta-cycle limit exceeded at time {self.time}: "
-                        "combinational oscillation (zero-delay loop) detected"
+                        f"step activation limit ({self.STEP_ACTIVATION_LIMIT}) "
+                        f"exceeded at time {self.time}: combinational "
+                        "oscillation (zero-delay loop) detected"
                     )
             if self._finished:
                 return
             if self._nba:
                 updates, self._nba = self._nba, []
-                for update in updates:
-                    self.write_signal(update.signal, update.compute(update.signal.value))
+                for signal, value, compute in updates:
+                    if compute is not None:
+                        value = compute(signal._value)
+                    self.write_signal(signal, value)
             deltas += 1
-            self.stats.delta_cycles += 1
+            stats.delta_cycles += 1
             if deltas > self.DELTA_LIMIT:
                 raise SimulationError(
                     f"delta-cycle limit exceeded at time {self.time}: "
                     "combinational oscillation (zero-delay loop) detected"
                 )
-
-    def _step_process(self, process: Process) -> None:
-        if process.done or process.generator is None:
-            return
-        self.stats.process_activations += 1
-        if self.stats.process_activations > self.ACTIVATION_LIMIT:
-            raise SimulationError("process activation limit exceeded; runaway simulation")
-        try:
-            command = next(process.generator)
-        except StopIteration:
-            process.done = True
-            return
-        except SimulationFinished:
-            self._finish()
-            return
-        if isinstance(command, Delay):
-            if command.ticks < 0:
-                raise SimulationError(f"negative delay {command.ticks}")
-            self._seq += 1
-            heapq.heappush(self._future, (self.time + command.ticks, self._seq, process))
-        elif isinstance(command, WaitChange):
-            if not command.entries:
-                # empty sensitivity: process can never resume
-                process.done = True
-            else:
-                self._block_on(process, command.entries)
-        elif isinstance(command, Finish):
-            self._finish()
-        else:
-            raise SimulationError(f"process {process.name} yielded {command!r}")
 
     def _finish(self) -> None:
         self._finished = True

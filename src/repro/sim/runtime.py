@@ -39,26 +39,17 @@ class Signal:
         self.name = name
         self.width = width
         self._value = initial.resize(width) if initial is not None else Logic.unknown(width)
-        #: processes whose trigger list includes this signal
-        self.waiters: list["Process"] = []
+        #: blocked processes whose trigger list includes this signal, mapped to
+        #: their sensitivity entries *on this signal* (a bare entry in the
+        #: common one-entry case, a list otherwise) — a dict so the kernel can
+        #: wake and unregister in O(1) per process
+        self.waiters: dict["Process", "Sensitivity | list[Sensitivity]"] = {}
         #: optional list of (time, value) pairs appended by the kernel when tracing
         self.trace: list[tuple[int, Logic]] | None = None
 
     @property
     def value(self) -> Logic:
         return self._value
-
-    def _set(self, value: Logic) -> bool:
-        """Install a new value; returns True when the stored value changed.
-
-        Internal to the kernel — processes must write via the kernel so that
-        sensitivity wake-up and NBA staging happen correctly.
-        """
-        new = value.resize(self.width)
-        if new == self._value:
-            return False
-        self._value = new
-        return True
 
     def __repr__(self) -> str:
         return f"Signal({self.name}={self._value})"

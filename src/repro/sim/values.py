@@ -22,6 +22,14 @@ def _mask(width: int) -> int:
     return (1 << width) - 1
 
 
+#: interning table for narrow vectors: at most ``3**w`` normalized values
+#: exist per width ``w`` (each bit is 0, 1, or x), so capping the width at 8
+#: bounds the table at ~10k entries while covering the control signals and
+#: small buses that dominate simulation traffic.
+_INTERN_MAX_WIDTH = 8
+_INTERN: dict = {}
+
+
 @dataclass(frozen=True)
 class Logic:
     """An immutable four-state logic vector of fixed width.
@@ -47,14 +55,55 @@ class Logic:
     # -- construction -----------------------------------------------------
 
     @staticmethod
+    def _make(width: int, bits: int, xmask: int) -> "Logic":
+        """Fast internal constructor: normalizes without re-validating width.
+
+        Operator implementations produce widths that are positive by
+        construction, so this skips ``__post_init__``'s checks and allocates
+        via ``object.__new__``. Narrow results are interned so repeated
+        values (counter bits, flags, small buses) share one object, which
+        makes the kernel's change-detection an identity check most of the
+        time. The public constructors (``Logic(...)``, :func:`logic`,
+        :meth:`from_string`) keep full validation.
+        """
+        mask = (1 << width) - 1
+        if xmask:
+            xmask &= mask
+            bits = bits & mask & ~xmask
+        else:
+            bits &= mask
+        if width <= _INTERN_MAX_WIDTH:
+            key = (width, bits, xmask)
+            cached = _INTERN.get(key)
+            if cached is not None:
+                return cached
+            obj = object.__new__(Logic)
+            setattr_ = object.__setattr__
+            setattr_(obj, "width", width)
+            setattr_(obj, "bits", bits)
+            setattr_(obj, "xmask", xmask)
+            _INTERN[key] = obj
+            return obj
+        obj = object.__new__(Logic)
+        setattr_ = object.__setattr__
+        setattr_(obj, "width", width)
+        setattr_(obj, "bits", bits)
+        setattr_(obj, "xmask", xmask)
+        return obj
+
+    @staticmethod
     def from_int(value: int, width: int) -> "Logic":
         """Build a fully-known vector from a Python int (two's complement wrap)."""
-        return Logic(width=width, bits=value & _mask(width))
+        if width <= 0:
+            raise ValueError(f"logic width must be positive, got {width}")
+        return Logic._make(width, value, 0)
 
     @staticmethod
     def unknown(width: int) -> "Logic":
         """All-X vector of the given width."""
-        return Logic(width=width, xmask=_mask(width))
+        if width <= 0:
+            raise ValueError(f"logic width must be positive, got {width}")
+        return Logic._make(width, 0, _mask(width))
 
     @staticmethod
     def from_string(text: str) -> "Logic":
@@ -106,7 +155,7 @@ class Logic:
         """Single bit as a width-1 vector; out-of-range reads X (Verilog rule)."""
         if not 0 <= index < self.width:
             return Logic.unknown(1)
-        return Logic(1, (self.bits >> index) & 1, (self.xmask >> index) & 1)
+        return Logic._make(1, (self.bits >> index) & 1, (self.xmask >> index) & 1)
 
     def bit_char(self, index: int) -> str:
         if not 0 <= index < self.width:
@@ -146,7 +195,7 @@ class Logic:
         """Zero-extend or truncate to *width* (X bits extend as 0-known? no: trunc only affects high bits; extension adds known 0s)."""
         if width == self.width:
             return self
-        return Logic(width, self.bits, self.xmask)
+        return Logic._make(width, self.bits, self.xmask)
 
     def sign_extend(self, width: int) -> "Logic":
         if width <= self.width:
@@ -155,7 +204,7 @@ class Logic:
         ext_mask = _mask(width) ^ _mask(self.width)
         bits = self.bits | (ext_mask if top.bits else 0)
         xmask = self.xmask | (ext_mask if top.xmask else 0)
-        return Logic(width, bits, xmask)
+        return Logic._make(width, bits, xmask)
 
     # -- bitwise operators ---------------------------------------------------
 
@@ -163,7 +212,7 @@ class Logic:
         return max(self.width, other.width)
 
     def __invert__(self) -> "Logic":
-        return Logic(self.width, ~self.bits, self.xmask)
+        return Logic._make(self.width, ~self.bits, self.xmask)
 
     def __and__(self, other: "Logic") -> "Logic":
         width = self._binary_widths(other)
@@ -172,19 +221,19 @@ class Logic:
         known_zero_a = ~a.bits & ~a.xmask
         known_zero_b = ~b.bits & ~b.xmask
         xmask = (a.xmask | b.xmask) & ~known_zero_a & ~known_zero_b
-        return Logic(width, a.bits & b.bits, xmask)
+        return Logic._make(width, a.bits & b.bits, xmask)
 
     def __or__(self, other: "Logic") -> "Logic":
         width = self._binary_widths(other)
         a, b = self.resize(width), other.resize(width)
         xmask = (a.xmask | b.xmask) & ~a.bits & ~b.bits
-        return Logic(width, a.bits | b.bits, xmask)
+        return Logic._make(width, a.bits | b.bits, xmask)
 
     def __xor__(self, other: "Logic") -> "Logic":
         width = self._binary_widths(other)
         a, b = self.resize(width), other.resize(width)
         xmask = a.xmask | b.xmask
-        return Logic(width, a.bits ^ b.bits, xmask)
+        return Logic._make(width, a.bits ^ b.bits, xmask)
 
     # -- arithmetic (all-X on any unknown input) ------------------------------
 
@@ -227,14 +276,14 @@ class Logic:
             return Logic.unknown(self.width)
         shift = amount.bits
         if shift >= self.width:
-            return Logic(self.width)
-        return Logic(self.width, self.bits << shift, self.xmask << shift)
+            return Logic._make(self.width, 0, 0)
+        return Logic._make(self.width, self.bits << shift, self.xmask << shift)
 
     def shr(self, amount: "Logic") -> "Logic":
         if amount.has_x:
             return Logic.unknown(self.width)
         shift = amount.bits
-        return Logic(self.width, self.bits >> shift, self.xmask >> shift)
+        return Logic._make(self.width, self.bits >> shift, self.xmask >> shift)
 
     def ashr(self, amount: "Logic") -> "Logic":
         if amount.has_x:
@@ -249,14 +298,14 @@ class Logic:
             bits |= fill
         elif not top_known:
             xmask |= fill
-        return Logic(self.width, bits, xmask)
+        return Logic._make(self.width, bits, xmask)
 
     # -- comparisons (return width-1 Logic) --------------------------------------
 
     def _compare(self, other: "Logic", op) -> "Logic":
         if self.has_x or other.has_x:
             return Logic.unknown(1)
-        return Logic(1, 1 if op(self.bits, other.bits) else 0)
+        return Logic._make(1, 1 if op(self.bits, other.bits) else 0, 0)
 
     def eq(self, other: "Logic") -> "Logic":
         width = self._binary_widths(other)
@@ -264,21 +313,21 @@ class Logic:
         # known-differing bit anywhere -> definite 0 even with Xs elsewhere
         known = ~(a.xmask | b.xmask) & _mask(width)
         if (a.bits ^ b.bits) & known:
-            return Logic(1, 0)
+            return Logic._make(1, 0, 0)
         if a.xmask | b.xmask:
             return Logic.unknown(1)
-        return Logic(1, 1)
+        return Logic._make(1, 1, 0)
 
     def ne(self, other: "Logic") -> "Logic":
         result = self.eq(other)
-        return Logic.unknown(1) if result.has_x else Logic(1, result.bits ^ 1)
+        return Logic.unknown(1) if result.has_x else Logic._make(1, result.bits ^ 1, 0)
 
     def case_eq(self, other: "Logic") -> "Logic":
         """Verilog ``===``: X compares literally; always yields 0 or 1."""
         width = self._binary_widths(other)
         a, b = self.resize(width), other.resize(width)
         same = a.bits == b.bits and a.xmask == b.xmask
-        return Logic(1, 1 if same else 0)
+        return Logic._make(1, 1 if same else 0, 0)
 
     def lt(self, other: "Logic") -> "Logic":
         return self._compare(other, lambda a, b: a < b)
@@ -295,29 +344,29 @@ class Logic:
     def lt_signed(self, other: "Logic") -> "Logic":
         if self.has_x or other.has_x:
             return Logic.unknown(1)
-        return Logic(1, 1 if self.to_signed() < other.to_signed() else 0)
+        return Logic._make(1, 1 if self.to_signed() < other.to_signed() else 0, 0)
 
     # -- reductions ----------------------------------------------------------------
 
     def reduce_and(self) -> "Logic":
         known_zero = ~self.bits & ~self.xmask & _mask(self.width)
         if known_zero:
-            return Logic(1, 0)
+            return Logic._make(1, 0, 0)
         if self.xmask:
             return Logic.unknown(1)
-        return Logic(1, 1)
+        return Logic._make(1, 1, 0)
 
     def reduce_or(self) -> "Logic":
         if self.bits:
-            return Logic(1, 1)
+            return Logic._make(1, 1, 0)
         if self.xmask:
             return Logic.unknown(1)
-        return Logic(1, 0)
+        return Logic._make(1, 0, 0)
 
     def reduce_xor(self) -> "Logic":
         if self.xmask:
             return Logic.unknown(1)
-        return Logic(1, bin(self.bits).count("1") & 1)
+        return Logic._make(1, self.bits.bit_count() & 1, 0)
 
     # -- logical (truthiness) ---------------------------------------------------------
 
@@ -327,28 +376,32 @@ class Logic:
 
     def logical_not(self) -> "Logic":
         t = self.truthy()
-        return Logic.unknown(1) if t.has_x else Logic(1, t.bits ^ 1)
+        return Logic.unknown(1) if t.has_x else Logic._make(1, t.bits ^ 1, 0)
 
     def logical_and(self, other: "Logic") -> "Logic":
         a, b = self.truthy(), other.truthy()
         if (a.is_fully_known and not a.bits) or (b.is_fully_known and not b.bits):
-            return Logic(1, 0)
+            return Logic._make(1, 0, 0)
         if a.has_x or b.has_x:
             return Logic.unknown(1)
-        return Logic(1, 1)
+        return Logic._make(1, 1, 0)
 
     def logical_or(self, other: "Logic") -> "Logic":
         a, b = self.truthy(), other.truthy()
         if (a.is_fully_known and a.bits) or (b.is_fully_known and b.bits):
-            return Logic(1, 1)
+            return Logic._make(1, 1, 0)
         if a.has_x or b.has_x:
             return Logic.unknown(1)
-        return Logic(1, 0)
+        return Logic._make(1, 0, 0)
 
     def is_true(self) -> bool:
-        """Python-level truth for control flow: X counts as false (Verilog if)."""
-        t = self.truthy()
-        return t.is_fully_known and bool(t.bits)
+        """Python-level truth for control flow: X counts as false (Verilog if).
+
+        Equivalent to OR-reduction being a known 1, which holds exactly when
+        any known-1 bit exists — i.e. ``bits`` is non-zero (normalization
+        keeps X positions out of ``bits``).
+        """
+        return bool(self.bits)
 
     # -- structure -----------------------------------------------------------------------
 
@@ -357,7 +410,7 @@ class Logic:
         width = self.width + other.width
         bits = (self.bits << other.width) | other.bits
         xmask = (self.xmask << other.width) | other.xmask
-        return Logic(width, bits, xmask)
+        return Logic._make(width, bits, xmask)
 
     def replicate(self, count: int) -> "Logic":
         if count <= 0:
@@ -380,7 +433,7 @@ class Logic:
         if msb >= self.width:
             overflow = _mask(width) ^ _mask(self.width - lsb)
             xmask |= overflow
-        return Logic(width, bits, xmask)
+        return Logic._make(width, bits, xmask)
 
     def set_slice(self, msb: int, lsb: int, value: "Logic") -> "Logic":
         """Functional update of bits [msb:lsb] with *value*."""
@@ -391,7 +444,7 @@ class Logic:
         field_mask = _mask(width) << lsb
         bits = (self.bits & ~field_mask) | ((value.bits << lsb) & field_mask)
         xmask = (self.xmask & ~field_mask) | ((value.xmask << lsb) & field_mask)
-        return Logic(self.width, bits, xmask)
+        return Logic._make(self.width, bits, xmask)
 
 
 def logic(value: int | str, width: int | None = None) -> Logic:

@@ -251,7 +251,7 @@ class TestGuards:
         design.add_process(Process("o1", oscillator))
         design.add_process(Process("o2", oscillator))
         design.add_process(Process("k", kicker))
-        with pytest.raises(SimulationError, match="delta-cycle limit"):
+        with pytest.raises(SimulationError, match="step activation limit"):
             Simulator(design).run()
 
     def test_empty_wait_marks_process_done(self):
