@@ -5,6 +5,12 @@ stay clean, and every mutation-injected defect must keep being detected as
 exactly the class it was filed under. ``repro qa replay`` (and the tier-1
 test around it) re-judges the whole corpus in both languages.
 
+The ``corpus_formal_refuted_*`` entries additionally carry a formally
+derived counterexample witness: the bounded model checker refutes the
+mutated rendering and its witness input vectors are stamped into the JSON,
+so every replay re-verifies that the stored stimulus still fails in
+simulation (a proof artifact that goes stale fails the corpus).
+
 Run from the repository root::
 
     PYTHONPATH=src python examples/seed_qa_corpus.py
@@ -14,11 +20,14 @@ from __future__ import annotations
 
 from repro.designs.mutations import functional, syntax
 from repro.eda.toolchain import Language
+from repro.formal import FormalVerdict, check_source
 from repro.qa import (
     CaseMutation,
     DEFAULT_CORPUS_DIR,
+    FormalWitness,
     QaCase,
     QaSpec,
+    case_sources,
     node_name,
     run_oracle,
     save_case,
@@ -68,6 +77,34 @@ VH_SYNTAX = CaseMutation(Language.VHDL, syntax(
     "entity top_module is",
     "entity is",
 ))
+# formally-refuted probes: one comb (xor degraded to or), one seq (the
+# accumulator's add degraded to and) — each in exactly one language, so the
+# prover must refute that side and prove the other structurally
+XOR_TREE = ["xor", ["var", "a0"], ["var", "a1"]]
+XOR = node_name(XOR_TREE)
+COMB_XOR = QaSpec(
+    name="corpus_formal_refuted_comb", width=4, inputs=("a0", "a1"),
+    outputs=(("y0", XOR_TREE),),
+)
+V_XOR_OR = CaseMutation(Language.VERILOG, functional(
+    "Verilog xor becomes or",
+    f"assign {XOR} = {A0} ^ {A1};",
+    f"assign {XOR} = {A0} | {A1};",
+))
+
+SEQ_FORMAL = QaSpec(
+    name="corpus_formal_refuted_seq", width=4, inputs=("a0",),
+    outputs=(("y0", ["add", ["var", "y0"], ["var", "a0"]]),),
+    clocked=True,
+)
+Y0 = node_name(["var", "y0"])
+SEQ_ADD = node_name(["add", ["var", "y0"], ["var", "a0"]])
+VH_ACC_AND = CaseMutation(Language.VHDL, functional(
+    "VHDL accumulator add becomes and",
+    f"{SEQ_ADD} <= {Y0} + {A0};",
+    f"{SEQ_ADD} <= {Y0} and {A0};",
+))
+
 # a zero-delay always/always loop with *known* values: four-state X
 # feedback settles, so the oscillator must start from driven 0/1 bits
 V_OSCILLATOR = CaseMutation(Language.VERILOG, functional(
@@ -112,20 +149,46 @@ CASES = [
            note="both frontends reject the design"),
     QaCase(spec=comb("corpus_crash_oscillation"), mutations=(V_OSCILLATOR,),
            note="zero-delay loop trips the kernel's delta-cycle limit"),
+    QaCase(spec=COMB_XOR, mutations=(V_XOR_OR,),
+           note="formally refuted: xor degraded to or in Verilog; the "
+                "stored witness must keep failing in simulation"),
+    QaCase(spec=SEQ_FORMAL, mutations=(VH_ACC_AND,),
+           note="formally refuted: accumulator add degraded to and in "
+                "VHDL; the stored witness must keep failing in simulation"),
 ]
+
+
+def _formal_witness(case: QaCase) -> FormalWitness | None:
+    """Refute the mutated rendering and return its counterexample, if any."""
+    sources = case_sources(case)
+    for injected in case.mutations:
+        result = check_source(
+            case.spec, sources[injected.language], injected.language
+        )
+        if result.verdict is FormalVerdict.REFUTED:
+            return FormalWitness(
+                language=injected.language, inputs=result.witness
+            )
+    return None
 
 
 def main() -> None:
     for case in CASES:
         verdict = run_oracle(case)
+        witness = None
+        if case.case_name.startswith("corpus_formal_refuted"):
+            witness = _formal_witness(case)
+            assert witness is not None, f"{case.case_name}: no refutation"
         stamped = QaCase(
             spec=case.spec,
             mutations=case.mutations,
             expected_class=verdict.failure_class,
             note=case.note,
+            witness=witness,
         )
         path = save_case(stamped, DEFAULT_CORPUS_DIR)
-        print(f"{verdict.failure_class.value:<20} {path}")
+        tag = " +witness" if witness is not None else ""
+        print(f"{verdict.failure_class.value:<20} {path}{tag}")
 
 
 if __name__ == "__main__":

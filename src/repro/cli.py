@@ -9,9 +9,12 @@ Commands:
   (``--trace PATH`` records a span trace of the whole sweep);
 * ``trace`` — summarize or validate a recorded trace file;
 * ``validate`` — check suite integrity (reference passes, mutations behave);
-* ``qa`` — differential fuzzing of the two language flows (``fuzz``),
-  failing-case minimization (``reduce``), and regression-corpus replay
-  (``replay``).
+* ``qa`` — differential fuzzing of the two language flows (``fuzz``,
+  optionally with proof-based verdicts via ``--formal``), failing-case
+  minimization (``reduce``), and regression-corpus replay (``replay``);
+* ``formal`` — bounded equivalence proving of rendered designs against the
+  reference model (``prove``) and reset/X-freedom contract checking
+  (``check``), all in pure Python with no external solver.
 
 Everything the CLI does is also available as a library API; the CLI exists
 so the artifacts can be regenerated without writing Python.
@@ -183,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
              "a replayable JSON case",
     )
     fuzz.add_argument(
+        "--formal", action="store_true",
+        help="additionally prove or refute every program against the "
+             "reference model; any proof-vs-simulation inconsistency fails "
+             "the campaign",
+    )
+    fuzz.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record a JSONL span trace of the campaign "
              "(inspect with 'repro trace summarize PATH')",
@@ -206,11 +215,60 @@ def build_parser() -> argparse.ArgumentParser:
     replay = qa_sub.add_parser(
         "replay",
         help="re-judge every regression-corpus case in both languages "
-             "against its recorded failure class",
+             "against its recorded failure class (stored formal witnesses "
+             "are re-verified through simulation)",
     )
     replay.add_argument(
         "--corpus", default=None, metavar="DIR",
         help="corpus directory (default: the repository's tests/corpus)",
+    )
+
+    formal = sub.add_parser(
+        "formal",
+        help="proof-based equivalence and contract checking (pure Python)",
+    )
+    formal_sub = formal.add_subparsers(dest="formal_command", required=True)
+
+    prove = formal_sub.add_parser(
+        "prove",
+        help="prove rendered designs equivalent to the reference model, or "
+             "refute them with a replayable counterexample",
+    )
+    prove.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="prove every case in this corpus directory (default: the "
+             "repository's tests/corpus when --count is not given)",
+    )
+    prove.add_argument("--seed", type=int, default=0)
+    prove.add_argument(
+        "--count", type=int, default=0,
+        help="prove this many generated fuzz programs instead of the corpus",
+    )
+    prove.add_argument(
+        "--depth", type=int, default=None,
+        help="BMC unrolling bound for sequential designs",
+    )
+    prove.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for generated-program proving",
+    )
+
+    formal_check = formal_sub.add_parser(
+        "check",
+        help="check the reset and X-freedom contracts of rendered designs",
+    )
+    formal_check.add_argument(
+        "case", nargs="?", default=None,
+        help="a QA case JSON file (default: generated specs via --seed)",
+    )
+    formal_check.add_argument("--seed", type=int, default=0)
+    formal_check.add_argument(
+        "--count", type=int, default=8,
+        help="number of generated specs to check when no case file is given",
+    )
+    formal_check.add_argument(
+        "--depth", type=int, default=None,
+        help="cycles of X-freedom unrolling after reset",
     )
 
     return parser
@@ -392,6 +450,7 @@ def _cmd_qa(args, out) -> int:
                 args.count,
                 workers=args.workers,
                 task_timeout=args.task_timeout,
+                formal=args.formal,
             )
         finally:
             if args.trace:
@@ -447,6 +506,144 @@ def _cmd_qa(args, out) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_formal(args, out) -> int:
+    from repro.eda.toolchain import Language as _Language
+    from repro.formal import (
+        FormalVerdict,
+        check_program,
+        check_reset_contract,
+        check_source,
+        check_x_freedom,
+        extract_netlist,
+        ExtractionError,
+    )
+    from repro.qa.corpus import DEFAULT_CORPUS_DIR, load_case, load_corpus
+    from repro.qa.oracle import QaCase, case_sources
+    from repro.qa.spec import generate_spec
+
+    depth_kwargs = {} if args.depth is None else {"depth": args.depth}
+
+    if args.formal_command == "prove":
+        if args.count:
+            from repro.exec.engine import ExecutionEngine
+            from repro.exec.task import Task
+
+            engine = ExecutionEngine(workers=args.workers)
+            tasks = [
+                Task(
+                    index=index,
+                    key=f"formal/s{args.seed}/p{index}",
+                    fn=check_program,
+                    args=(args.seed, index, args.depth),
+                )
+                for index in range(args.count)
+            ]
+            failures = 0
+            counts: dict[str, int] = {}
+            for outcome in engine.run(tasks):
+                if not outcome.ok:
+                    failures += 1
+                    out.write(
+                        f"  ERROR #{outcome.index}: task {outcome.status}: "
+                        f"{outcome.error}\n".rstrip() + "\n"
+                    )
+                    continue
+                payload = outcome.value
+                for language in _Language:
+                    verdict = payload[language.value]
+                    counts[verdict] = counts.get(verdict, 0) + 1
+                    if verdict != FormalVerdict.PROVED.value:
+                        failures += 1
+                        out.write(
+                            f"  NOT PROVED #{payload['index']} "
+                            f"{payload['name']} [{language.value}]: "
+                            f"{verdict}\n"
+                        )
+            out.write(
+                f"formal prove: seed={args.seed} count={args.count} — "
+                + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+                + f", {failures} failure(s)\n"
+            )
+            return 0 if failures == 0 else 1
+
+        corpus_dir = args.corpus or DEFAULT_CORPUS_DIR
+        cases = load_corpus(corpus_dir)
+        if not cases:
+            out.write(f"no corpus cases found in {corpus_dir}\n")
+            return 1
+        failures = 0
+        for case in cases:
+            sources = case_sources(case)
+            for language in _Language:
+                result = check_source(
+                    case.spec, sources[language], language, **depth_kwargs
+                )
+                detail = result.method or result.detail
+                out.write(
+                    f"  {case.case_name} [{language.value}]: "
+                    f"{result.verdict.value}"
+                    + (f" via {detail}" if detail else "")
+                    + (
+                        f" ({len(result.witness)}-cycle witness)"
+                        if result.witness
+                        else ""
+                    )
+                    + "\n"
+                )
+                if not result.decisive:
+                    failures += 1
+        out.write(
+            f"formal prove: {len(cases)} case(s), "
+            f"{failures} indecisive verdict(s)\n"
+        )
+        return 0 if failures == 0 else 1
+
+    # formal check: reset + X-freedom contracts
+    if args.case:
+        try:
+            cases = [load_case(args.case)]
+        except (OSError, ValueError, KeyError) as exc:
+            out.write(f"cannot load case: {exc}\n")
+            return 1
+    else:
+        # mutation-free probes of the renderer's own contract hygiene
+        cases = [
+            QaCase(spec=generate_spec(args.seed, index))
+            for index in range(args.count)
+        ]
+    failures = 0
+    for case in cases:
+        sources = case_sources(case)
+        for language in _Language:
+            try:
+                netlist = extract_netlist(
+                    case.spec, sources[language], language
+                )
+            except ExtractionError as exc:
+                out.write(
+                    f"  {case.case_name} [{language.value}]: "
+                    f"unsupported ({exc})\n"
+                )
+                failures += 1
+                continue
+            reset = check_reset_contract(case.spec, netlist)
+            xfree = check_x_freedom(case.spec, netlist, **depth_kwargs)
+            out.write(
+                f"  {case.case_name} [{language.value}]: "
+                f"reset={reset.verdict.value} "
+                f"x-freedom={xfree.verdict.value}\n"
+            )
+            if (
+                reset.verdict is not FormalVerdict.PROVED
+                or xfree.verdict is not FormalVerdict.PROVED
+            ):
+                failures += 1
+    out.write(
+        f"formal check: {len(cases)} case(s), {failures} violation(s)\n"
+    )
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -464,6 +661,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "trace": _cmd_trace,
         "validate": _cmd_validate,
         "qa": _cmd_qa,
+        "formal": _cmd_formal,
     }
     return handlers[args.command](args, out)
 

@@ -52,17 +52,23 @@ def make_testbench(
     random_cycles: int = 24,
     reset_outputs: dict[str, int] | None = None,
     max_cases: int | None = None,
+    vectors: list[dict[str, int]] | None = None,
 ) -> str:
     """Emit the golden testbench text for one problem in one language.
 
     ``max_cases`` truncates the stimulus — used by the weak-self-testbench
     ablation (the VeriAssist failure mode the paper discusses), never by the
-    golden suite.
+    golden suite. ``vectors`` *replaces* the default stimulus entirely — the
+    formal layer uses it to replay a counterexample witness as the only test
+    cases, so the simulator re-judges exactly the proof's inputs.
     """
     if spec.clocked:
         if not isinstance(model, SeqModel):
             raise TypeError(f"{pid}: clocked design requires a SeqModel")
-        stimulus = seq_stimulus(spec, pid, random_cycles=random_cycles)
+        if vectors is not None:
+            stimulus = list(vectors)
+        else:
+            stimulus = seq_stimulus(spec, pid, random_cycles=random_cycles)
         if extra_vectors:
             stimulus = list(extra_vectors) + stimulus
         if max_cases is not None:
@@ -73,7 +79,10 @@ def make_testbench(
         return _vhdl_seq_tb(spec, stimulus, expected, reset_outputs)
     if not isinstance(model, CombModel):
         raise TypeError(f"{pid}: combinational design requires a CombModel")
-    vectors = comb_vectors(spec, pid)
+    if vectors is not None:
+        vectors = list(vectors)
+    else:
+        vectors = comb_vectors(spec, pid)
     if extra_vectors:
         vectors = vectors + list(extra_vectors)
     if max_cases is not None:

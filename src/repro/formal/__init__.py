@@ -1,0 +1,69 @@
+"""Dependency-free bounded model checking over the QA design grammar.
+
+``repro.formal`` turns the differential oracle's sampling question — "did
+any testbench vector fail?" — into a proof question: candidate RTL is
+either *proved* equivalent to the golden Python reference model for all
+inputs (and, for sequential designs, all reachable states) or *refuted*
+with a concrete counterexample stimulus that is guaranteed to replay as a
+real failure. The stack is pure Python end to end: a folding CNF builder
+(:mod:`~repro.formal.cnf`), a deterministic CDCL solver
+(:mod:`~repro.formal.sat`), a dual-rail four-state bit-blaster
+(:mod:`~repro.formal.encode`), an HDL-to-IR lifter
+(:mod:`~repro.formal.extract`), and the proof ladder itself
+(:mod:`~repro.formal.bmc`).
+"""
+
+from repro.formal.bmc import (
+    DEFAULT_DEPTH,
+    FormalResult,
+    FormalVerdict,
+    Mismatch,
+    check_program,
+    check_reset_contract,
+    check_source,
+    check_trees,
+    check_x_freedom,
+)
+from repro.formal.cnf import FALSE, TRUE, Cnf
+from repro.formal.encode import (
+    Rail,
+    const_rail,
+    encode_expr,
+    free_rail,
+    mismatch_bit,
+    rail_from_model,
+    unknown_bit,
+    unknown_rail,
+)
+from repro.formal.extract import ExtractionError, Netlist, extract_netlist
+from repro.formal.sat import SatResult, SatStats, Solver, solve
+
+__all__ = [
+    "DEFAULT_DEPTH",
+    "FormalResult",
+    "FormalVerdict",
+    "Mismatch",
+    "check_program",
+    "check_reset_contract",
+    "check_source",
+    "check_trees",
+    "check_x_freedom",
+    "Cnf",
+    "TRUE",
+    "FALSE",
+    "Rail",
+    "const_rail",
+    "free_rail",
+    "unknown_rail",
+    "encode_expr",
+    "mismatch_bit",
+    "unknown_bit",
+    "rail_from_model",
+    "ExtractionError",
+    "Netlist",
+    "extract_netlist",
+    "SatResult",
+    "SatStats",
+    "Solver",
+    "solve",
+]

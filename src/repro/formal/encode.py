@@ -1,0 +1,246 @@
+"""Dual-rail bit-blasting of the QA expression grammar into CNF.
+
+Every signal bit is a pair of CNF literals ``(value, known)``: ``known``
+true means the bit is a definite 0/1 held in ``value``; ``known`` false
+means the bit is X (Z is treated as X, as in the simulation kernel). The
+rails follow Verilog four-state semantics exactly as
+:class:`repro.sim.values.Logic` implements them:
+
+* ``and``/``or`` — a known controlling value (0 for and, 1 for or) masks an
+  unknown operand; otherwise X propagates bitwise;
+* ``xor``/``not`` — X in, X out, bitwise;
+* ``add``/``sub`` and ``lt`` — any unknown input bit poisons the whole
+  result (``Logic._arith`` / ``Logic._compare``);
+* ``eq`` — a known-differing bit anywhere yields a definite 0 even with Xs
+  elsewhere; otherwise any X makes the comparison unknown;
+* ``mux`` — a known condition selects one branch; an unknown condition
+  yields all-X, matching the kernel's pessimistic approximation of the
+  IEEE branch merge (the encoder must never claim a bit is known where the
+  simulator would report X).
+
+Because :class:`~repro.formal.cnf.Cnf` folds constants, a circuit whose
+inputs are all known collapses every ``known`` rail to the constant TRUE at
+build time — equivalence checking pays nothing for X support, while the
+X-freedom contract check (which starts registers at X) gets the full
+four-state treatment from the same encoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formal.cnf import FALSE, TRUE, Cnf
+from repro.qa.grammar import BINARY_OPS, Expr
+
+
+@dataclass(frozen=True)
+class Rail:
+    """A dual-rail bit-vector: parallel value/known literals, LSB first."""
+
+    values: tuple[int, ...]
+    knowns: tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.values)
+
+    def is_constant(self) -> bool:
+        """True when every rail literal folded to TRUE/FALSE at build time."""
+        return all(
+            literal in (TRUE, FALSE)
+            for literal in self.values + self.knowns
+        )
+
+    def constant_bits(self) -> tuple[int, int]:
+        """``(value_mask, known_mask)`` for a fully folded rail."""
+        value_mask = known_mask = 0
+        for index in range(self.width):
+            if self.knowns[index] == TRUE:
+                known_mask |= 1 << index
+                if self.values[index] == TRUE:
+                    value_mask |= 1 << index
+        return value_mask, known_mask
+
+
+def const_rail(value: int, width: int) -> Rail:
+    """A fully known constant."""
+    value &= (1 << width) - 1
+    return Rail(
+        values=tuple(
+            TRUE if (value >> index) & 1 else FALSE for index in range(width)
+        ),
+        knowns=(TRUE,) * width,
+    )
+
+
+def unknown_rail(width: int) -> Rail:
+    """An all-X vector (an uninitialized register before reset)."""
+    return Rail(values=(FALSE,) * width, knowns=(FALSE,) * width)
+
+
+def free_rail(cnf: Cnf, width: int) -> Rail:
+    """A fully known vector of fresh variables (a driven input port)."""
+    return Rail(
+        values=tuple(cnf.new_var() for _ in range(width)),
+        knowns=(TRUE,) * width,
+    )
+
+
+def rail_from_model(rail: Rail, model: dict[int, bool]) -> int:
+    """Read a known rail's integer value out of a SAT model."""
+    value = 0
+    for index, literal in enumerate(rail.values):
+        if literal == TRUE:
+            bit = True
+        elif literal == FALSE:
+            bit = False
+        else:
+            bit = model[abs(literal)] == (literal > 0)
+        if bit:
+            value |= 1 << index
+    return value
+
+
+# -- word-level operators ----------------------------------------------------
+
+
+def _all_known(cnf: Cnf, *rails: Rail) -> int:
+    literals: list[int] = []
+    for rail in rails:
+        literals.extend(rail.knowns)
+    return cnf.g_and_many(literals)
+
+
+def _bitwise_and(cnf: Cnf, a: Rail, b: Rail) -> Rail:
+    values, knowns = [], []
+    for av, ak, bv, bk in zip(a.values, a.knowns, b.values, b.knowns):
+        values.append(cnf.g_and(av, bv))
+        known_zero_a = cnf.g_and(ak, -av)
+        known_zero_b = cnf.g_and(bk, -bv)
+        knowns.append(cnf.g_or_many(
+            [cnf.g_and(ak, bk), known_zero_a, known_zero_b]
+        ))
+    return Rail(tuple(values), tuple(knowns))
+
+
+def _bitwise_or(cnf: Cnf, a: Rail, b: Rail) -> Rail:
+    values, knowns = [], []
+    for av, ak, bv, bk in zip(a.values, a.knowns, b.values, b.knowns):
+        values.append(cnf.g_or(av, bv))
+        known_one_a = cnf.g_and(ak, av)
+        known_one_b = cnf.g_and(bk, bv)
+        knowns.append(cnf.g_or_many(
+            [cnf.g_and(ak, bk), known_one_a, known_one_b]
+        ))
+    return Rail(tuple(values), tuple(knowns))
+
+
+def _bitwise_xor(cnf: Cnf, a: Rail, b: Rail) -> Rail:
+    return Rail(
+        values=tuple(
+            cnf.g_xor(av, bv) for av, bv in zip(a.values, b.values)
+        ),
+        knowns=tuple(
+            cnf.g_and(ak, bk) for ak, bk in zip(a.knowns, b.knowns)
+        ),
+    )
+
+
+def _ripple(cnf: Cnf, a: Rail, b: Rail, *, subtract: bool) -> Rail:
+    """Modular add/sub; any unknown input bit makes every output bit X."""
+    known = _all_known(cnf, a, b)
+    carry = TRUE if subtract else FALSE
+    values = []
+    for av, bv in zip(a.values, b.values):
+        bv = -bv if subtract else bv
+        half = cnf.g_xor(av, bv)
+        values.append(cnf.g_xor(half, carry))
+        carry = cnf.g_or(cnf.g_and(av, bv), cnf.g_and(carry, half))
+    return Rail(tuple(values), (known,) * a.width)
+
+
+def _equal_bit(cnf: Cnf, a: Rail, b: Rail) -> tuple[int, int]:
+    """``(value, known)`` of ``a == b`` under four-state semantics."""
+    diff_known: list[int] = []
+    same_value: list[int] = []
+    for av, ak, bv, bk in zip(a.values, a.knowns, b.values, b.knowns):
+        bits_differ = cnf.g_xor(av, bv)
+        diff_known.append(cnf.g_and(cnf.g_and(ak, bk), bits_differ))
+        same_value.append(-bits_differ)
+    all_known = _all_known(cnf, a, b)
+    value = cnf.g_and(all_known, cnf.g_and_many(same_value))
+    known = cnf.g_or(cnf.g_or_many(diff_known), all_known)
+    return value, known
+
+
+def _less_bit(cnf: Cnf, a: Rail, b: Rail) -> tuple[int, int]:
+    """``(value, known)`` of unsigned ``a < b``; any X poisons the result."""
+    less = FALSE
+    for av, bv in zip(a.values, b.values):  # LSB first; MSB decides last
+        differ = cnf.g_xor(av, bv)
+        less = cnf.g_mux(differ, bv, less)
+    return less, _all_known(cnf, a, b)
+
+
+def _merge_mux(
+    cnf: Cnf, cond_value: int, cond_known: int, t: Rail, f: Rail
+) -> Rail:
+    # an unknown condition yields all-X, matching the simulation kernel's
+    # pessimistic approximation of the IEEE branch merge — the encoder must
+    # never report "known" where the simulator would produce X
+    values, knowns = [], []
+    for tv, tk, fv, fk in zip(t.values, t.knowns, f.values, f.knowns):
+        values.append(cnf.g_mux(cond_value, tv, fv))
+        knowns.append(cnf.g_and(cond_known, cnf.g_mux(cond_value, tk, fk)))
+    return Rail(tuple(values), tuple(knowns))
+
+
+def encode_expr(
+    cnf: Cnf, tree: Expr, env: dict[str, Rail], width: int
+) -> Rail:
+    """Bit-blast one grammar tree over an environment of rails."""
+    kind = tree[0]
+    if kind == "var":
+        return env[tree[1]]
+    if kind == "const":
+        return const_rail(tree[1], width)
+    if kind == "not":
+        operand = encode_expr(cnf, tree[1], env, width)
+        return Rail(
+            values=tuple(-literal for literal in operand.values),
+            knowns=operand.knowns,
+        )
+    if kind in BINARY_OPS:
+        lhs = encode_expr(cnf, tree[1], env, width)
+        rhs = encode_expr(cnf, tree[2], env, width)
+        if kind == "and":
+            return _bitwise_and(cnf, lhs, rhs)
+        if kind == "or":
+            return _bitwise_or(cnf, lhs, rhs)
+        if kind == "xor":
+            return _bitwise_xor(cnf, lhs, rhs)
+        return _ripple(cnf, lhs, rhs, subtract=(kind == "sub"))
+    if kind == "mux":
+        _, op, cmp_l, cmp_r, if_true, if_false = tree
+        left = encode_expr(cnf, cmp_l, env, width)
+        right = encode_expr(cnf, cmp_r, env, width)
+        if op == "eq":
+            cond_value, cond_known = _equal_bit(cnf, left, right)
+        else:
+            cond_value, cond_known = _less_bit(cnf, left, right)
+        taken = encode_expr(cnf, if_true, env, width)
+        other = encode_expr(cnf, if_false, env, width)
+        return _merge_mux(cnf, cond_value, cond_known, taken, other)
+    raise ValueError(f"unknown expression node {kind!r}")
+
+
+def mismatch_bit(cnf: Cnf, a: Rail, b: Rail) -> int:
+    """A literal true iff two fully known rails carry different values."""
+    return cnf.g_or_many([
+        cnf.g_xor(av, bv) for av, bv in zip(a.values, b.values)
+    ])
+
+
+def unknown_bit(cnf: Cnf, rail: Rail) -> int:
+    """A literal true iff any bit of the rail is X."""
+    return cnf.g_or_many([-known for known in rail.knowns])

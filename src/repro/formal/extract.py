@@ -1,0 +1,311 @@
+"""Recover an expression-level netlist from rendered QA HDL.
+
+The formal checker needs the *candidate's* semantics, not the golden
+spec's — and the candidate is text (a :mod:`repro.qa.render` rendering,
+possibly carrying injected textual mutations). This module lifts that text
+back into grammar trees by parsing the renderer's closed output idiom:
+one intermediate signal per expression node, single assignments, and one
+standard clocked process per language.
+
+The parser is deliberately *lenient about noise and strict about
+semantics*: lines it does not recognize (headers, declarations, injected
+junk like an extra oscillator block) are skipped, because they cannot
+change the dataflow of the signals it tracks — which is how formal verdicts
+stay decisive on cases whose mutations crash a frontend or hang the
+simulator. Anything that *could* change tracked semantics in a way the
+parser cannot represent — an unknown operator, a second driver for a known
+signal, a combinational cycle, a non-constant reset — raises
+:class:`ExtractionError`, and the caller degrades to an ``unsupported``
+verdict rather than guessing.
+
+Extraction is defined only for the QA rendering idiom. It is not a general
+HDL frontend; the real frontends (:mod:`repro.sim.elab_verilog` /
+``elab_vhdl``) stay the source of truth for simulation semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.eda.toolchain import Language
+from repro.qa.grammar import BINARY_OPS, Expr, validate_expr
+from repro.qa.spec import QaSpec
+
+
+class ExtractionError(ValueError):
+    """The source cannot be soundly lifted to an expression netlist."""
+
+
+@dataclass(frozen=True)
+class Netlist:
+    """Candidate semantics: one inlined tree per output, plus reset values.
+
+    ``outputs`` maps each output port to a grammar tree over the spec's
+    inputs (and, for clocked designs, the old register values). ``resets``
+    maps each output register to its synchronous reset constant; a register
+    whose reset could not be recovered is *absent* — the X-freedom contract
+    check treats it as staying X through reset.
+    """
+
+    outputs: dict[str, Expr]
+    resets: dict[str, int] = field(default_factory=dict)
+
+
+_V_OPS = {"&": "and", "|": "or", "^": "xor", "+": "add", "-": "sub"}
+_VH_OPS = {"and": "and", "or": "or", "xor": "xor", "+": "add", "-": "sub"}
+_V_CMPS = {"==": "eq", "<": "lt"}
+_VH_CMPS = {"=": "eq", "<": "lt"}
+
+# trailing semicolons are optional everywhere: the corpus carries a
+# dropped-semicolon mutation whose dataflow is still unambiguous
+_V_ASSIGN = re.compile(r"^assign\s+(\w+)\s*=\s*(.+?)\s*;?$")
+_NBA = re.compile(r"^(\w+)\s*<=\s*(.+?)\s*;?$")
+_V_CONST = re.compile(r"^(\d+)'d(\d+)$")
+_V_NOT = re.compile(r"^~(\w+)$")
+_V_MUX = re.compile(r"^\((\w+)\s*(==|<)\s*(\w+)\)\s*\?\s*(\w+)\s*:\s*(\w+)$")
+_V_BINOP = re.compile(r"^(\w+)\s*(&|\||\^|\+|-)\s*(\w+)$")
+_NAME = re.compile(r"^(\w+)$")
+
+_VH_INPUT = re.compile(r"^unsigned\((\w+)\)$")
+_VH_OUTPUT = re.compile(r"^std_logic_vector\((\w+)\)$")
+_VH_CONST = re.compile(r"^to_unsigned\((\d+)\s*,\s*(\d+)\)$")
+_VH_ZEROS = re.compile(r"^\(others\s*=>\s*'0'\)$")
+_VH_BITS = re.compile(r'^"([01]+)"$')
+_VH_NOT = re.compile(r"^not\s+(\w+)$")
+_VH_MUX = re.compile(r"^(\w+)\s+when\s+(\w+)\s*(=|<)\s*(\w+)\s+else\s+(\w+)$")
+_VH_BINOP = re.compile(r"^(\w+)\s+(and|or|xor)\s+(\w+)$|^(\w+)\s*(\+|-)\s*(\w+)$")
+
+
+def _parse_verilog_rhs(text: str) -> Expr:
+    match = _V_CONST.match(text)
+    if match:
+        return ["const", int(match.group(2))]
+    match = _V_NOT.match(text)
+    if match:
+        return ["not", ["ref", match.group(1)]]
+    match = _V_MUX.match(text)
+    if match:
+        left, op, right, taken, other = match.groups()
+        return ["mux", _V_CMPS[op], ["ref", left], ["ref", right],
+                ["ref", taken], ["ref", other]]
+    match = _V_BINOP.match(text)
+    if match:
+        lhs, op, rhs = match.groups()
+        return [_V_OPS[op], ["ref", lhs], ["ref", rhs]]
+    match = _NAME.match(text)
+    if match and not text.isdigit():
+        return ["ref", text]
+    raise ExtractionError(f"unsupported Verilog expression: {text!r}")
+
+
+def _parse_vhdl_rhs(text: str) -> Expr:
+    match = _VH_CONST.match(text)
+    if match:
+        return ["const", int(match.group(1))]
+    for pattern in (_VH_INPUT, _VH_OUTPUT):
+        match = pattern.match(text)
+        if match:
+            return ["ref", match.group(1)]
+    match = _VH_NOT.match(text)
+    if match:
+        return ["not", ["ref", match.group(1)]]
+    match = _VH_MUX.match(text)
+    if match:
+        taken, left, op, right, other = match.groups()
+        return ["mux", _VH_CMPS[op], ["ref", left], ["ref", right],
+                ["ref", taken], ["ref", other]]
+    match = _VH_BINOP.match(text)
+    if match:
+        lhs, op, rhs = (
+            match.groups()[:3] if match.group(1) else match.groups()[3:]
+        )
+        return [_VH_OPS[op], ["ref", lhs], ["ref", rhs]]
+    match = _NAME.match(text)
+    if match and not text.isdigit():
+        return ["ref", text]
+    raise ExtractionError(f"unsupported VHDL expression: {text!r}")
+
+
+def _parse_reset_const(text: str, language: Language) -> int:
+    if language is Language.VERILOG:
+        match = _V_CONST.match(text)
+        if match:
+            return int(match.group(2))
+    else:
+        if _VH_ZEROS.match(text):
+            return 0
+        match = _VH_CONST.match(text)
+        if match:
+            return int(match.group(1))
+        match = _VH_BITS.match(text)
+        if match:
+            return int(match.group(1), 2)
+    raise ExtractionError(f"non-constant reset value: {text!r}")
+
+
+def _define(table: dict[str, Expr], name: str, tree: Expr) -> None:
+    if name in table:
+        raise ExtractionError(f"multiple drivers for signal {name!r}")
+    table[name] = tree
+
+
+def _scan_verilog(source: str):
+    defs: dict[str, Expr] = {}
+    updates: dict[str, Expr] = {}
+    resets: dict[str, str] = {}
+    region = None  # None | "body" | "reset" | "update"
+    for raw in source.splitlines():
+        line = raw.strip()
+        if region is None:
+            if line.startswith("always @(posedge clk)"):
+                region = "body"
+                continue
+            match = _V_ASSIGN.match(line)
+            if match:
+                _define(defs, match.group(1),
+                        _parse_verilog_rhs(match.group(2)))
+            continue
+        if line.startswith("if (rst)"):
+            region = "reset"
+        elif line.startswith("end else"):
+            region = "update"
+        elif line == "end" and region == "update":
+            region = None  # the standard process is fully captured
+        elif region in ("reset", "update"):
+            match = _NBA.match(line)
+            if match:
+                name, rhs = match.groups()
+                if region == "reset":
+                    if name in resets:
+                        raise ExtractionError(
+                            f"multiple resets for register {name!r}")
+                    resets[name] = rhs
+                else:
+                    _define(updates, name, _parse_verilog_rhs(rhs))
+    return defs, updates, resets
+
+
+def _scan_vhdl(source: str):
+    defs: dict[str, Expr] = {}
+    updates: dict[str, Expr] = {}
+    resets: dict[str, str] = {}
+    region = None
+    for raw in source.splitlines():
+        line = raw.strip()
+        if region is None:
+            if line.startswith("process("):
+                region = "body"
+                continue
+            match = _NBA.match(line)
+            if match:
+                _define(defs, match.group(1),
+                        _parse_vhdl_rhs(match.group(2)))
+            continue
+        if line.startswith("if rst"):
+            region = "reset"
+        elif line == "else":
+            region = "update"
+        elif line.startswith("end process"):
+            region = None
+        elif region in ("reset", "update"):
+            match = _NBA.match(line)
+            if match:
+                name, rhs = match.groups()
+                if region == "reset":
+                    if name in resets:
+                        raise ExtractionError(
+                            f"multiple resets for register {name!r}")
+                    resets[name] = rhs
+                else:
+                    _define(updates, name, _parse_vhdl_rhs(rhs))
+    return defs, updates, resets
+
+
+def extract_netlist(
+    spec: QaSpec, source: str, language: Language
+) -> Netlist:
+    """Lift one rendering (possibly mutated) back to grammar trees.
+
+    The spec supplies only the *interface* (port names, width, clockedness);
+    every tree comes from the source text, so an injected defect survives
+    into the result — which is exactly what the equivalence check then
+    refutes.
+    """
+    scan = _scan_verilog if language is Language.VERILOG else _scan_vhdl
+    defs, updates, reset_texts = scan(source)
+    output_names = [name for name, _ in spec.outputs]
+    mask = (1 << spec.width) - 1
+
+    def register_name(name: str) -> str | None:
+        """Map an HDL register identifier back to its output port."""
+        if language is Language.VHDL and name.startswith("r_"):
+            name = name[2:]
+        return name if name in output_names else None
+
+    resolving: list[str] = []
+    resolved: dict[str, Expr] = {}
+
+    def resolve_ref(name: str) -> Expr:
+        if name in spec.inputs:
+            return ["var", name]
+        if spec.clocked:
+            port = register_name(name)
+            if port is not None:
+                return ["var", port]
+        if name not in defs:
+            raise ExtractionError(f"reference to undriven signal {name!r}")
+        if name in resolving:
+            raise ExtractionError(f"combinational cycle through {name!r}")
+        if name not in resolved:
+            resolving.append(name)
+            try:
+                resolved[name] = inline(defs[name])
+            finally:
+                resolving.pop()
+        return resolved[name]
+
+    def inline(tree: Expr) -> Expr:
+        if tree[0] == "ref":
+            return resolve_ref(tree[1])
+        if tree[0] == "const":
+            return ["const", tree[1] & mask]
+        if tree[0] == "not":
+            return ["not", inline(tree[1])]
+        if tree[0] in BINARY_OPS:
+            return [tree[0], inline(tree[1]), inline(tree[2])]
+        return ["mux", tree[1], inline(tree[2]), inline(tree[3]),
+                inline(tree[4]), inline(tree[5])]
+
+    outputs: dict[str, Expr] = {}
+    resets: dict[str, int] = {}
+    if spec.clocked:
+        register_updates: dict[str, Expr] = {}
+        for name, tree in updates.items():
+            port = register_name(name)
+            if port is None:
+                continue  # injected junk registers cannot affect outputs
+            if port in register_updates:
+                raise ExtractionError(f"multiple drivers for register {port!r}")
+            register_updates[port] = tree
+        for name, text in reset_texts.items():
+            port = register_name(name)
+            if port is not None:
+                resets[port] = _parse_reset_const(text, language) & mask
+        for port in output_names:
+            if port not in register_updates:
+                raise ExtractionError(f"no update for output register {port!r}")
+            outputs[port] = inline(register_updates[port])
+    else:
+        for port in output_names:
+            if port not in defs:
+                raise ExtractionError(f"no driver for output {port!r}")
+            outputs[port] = inline(defs[port])
+
+    readable = set(spec.inputs) | (set(output_names) if spec.clocked else set())
+    for tree in outputs.values():
+        try:
+            validate_expr(tree, readable)
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise ExtractionError(str(exc)) from exc
+    return Netlist(outputs=outputs, resets=resets)

@@ -1,0 +1,287 @@
+"""A dependency-free CDCL SAT solver.
+
+Conflict-driven clause learning with two-watched-literal propagation,
+first-UIP conflict analysis, non-chronological backjumping, activity-based
+decision heuristics, phase saving, and geometric restarts — the standard
+recipe, sized for the formulas :mod:`repro.formal.bmc` produces (thousands
+of clauses, not millions).
+
+**Determinism is a contract, not an accident.** Every choice point — the
+decision variable (highest activity, ties broken by lowest index), the
+initial phase, clause traversal order, restart schedule — is a pure function
+of the input formula, so the same CNF always yields the same verdict, the
+same model, and the same statistics. The QA oracle depends on this: formal
+counterexample witnesses must be byte-identical across ``--workers`` counts,
+exactly like every other artifact the fuzz campaign produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_TRUE = 1
+_FALSE = -1
+_UNASSIGNED = 0
+
+#: conflicts allowed before the first restart; the budget grows geometrically
+_RESTART_FIRST = 128
+_RESTART_GROWTH = 1.5
+#: multiplicative activity decay applied per conflict
+_ACTIVITY_DECAY = 0.95
+
+
+@dataclass
+class SatStats:
+    """Search-effort accounting for one :func:`solve` call."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+
+
+@dataclass
+class SatResult:
+    """Outcome of one solve: a verdict, a model when SAT, and effort stats."""
+
+    status: str  # "sat" | "unsat" | "unknown" (conflict budget exhausted)
+    model: dict[int, bool] | None
+    stats: SatStats
+
+    @property
+    def sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+class Solver:
+    """One CDCL search over a fixed clause set."""
+
+    def __init__(self, num_vars: int, clauses) -> None:
+        self.num_vars = num_vars
+        self.assign = [_UNASSIGNED] * (num_vars + 1)
+        self.level = [0] * (num_vars + 1)
+        self.reason: list[list[int] | None] = [None] * (num_vars + 1)
+        self.activity = [0.0] * (num_vars + 1)
+        self.phase = [False] * (num_vars + 1)
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.watches: dict[int, list[list[int]]] = {}
+        self.var_inc = 1.0
+        self.stats = SatStats()
+        self.contradiction = False
+        for clause in clauses:
+            if not self._add_clause(clause):
+                self.contradiction = True
+                break
+
+    # -- setup ---------------------------------------------------------------
+
+    def _add_clause(self, literals) -> bool:
+        seen: set[int] = set()
+        clause: list[int] = []
+        for literal in literals:
+            if -literal in seen:
+                return True  # tautology: always satisfied
+            if literal not in seen:
+                seen.add(literal)
+                clause.append(literal)
+        if not clause:
+            return False
+        if len(clause) == 1:
+            return self._enqueue(clause[0], None)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause: list[int]) -> None:
+        self.watches.setdefault(-clause[0], []).append(clause)
+        self.watches.setdefault(-clause[1], []).append(clause)
+
+    # -- assignment ----------------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        value = self.assign[abs(literal)]
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: int, reason: list[int] | None) -> bool:
+        current = self._value(literal)
+        if current == _TRUE:
+            return True
+        if current == _FALSE:
+            return False
+        var = abs(literal)
+        self.assign[var] = _TRUE if literal > 0 else _FALSE
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(literal)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns the conflicting clause, if any."""
+        while self.qhead < len(self.trail):
+            literal = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            watchers = self.watches.get(literal)
+            if not watchers:
+                continue
+            kept: list[list[int]] = []
+            index = 0
+            while index < len(watchers):
+                clause = watchers[index]
+                index += 1
+                # normalize: the falsified watch sits at position 1
+                if clause[0] == -literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == _TRUE:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for slot in range(2, len(clause)):
+                    if self._value(clause[slot]) != _FALSE:
+                        clause[1], clause[slot] = clause[slot], clause[1]
+                        self.watches.setdefault(
+                            -clause[1], []
+                        ).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if not self._enqueue(clause[0], clause):
+                    kept.extend(watchers[index:])
+                    self.watches[literal] = kept
+                    return clause
+            self.watches[literal] = kept
+        return None
+
+    # -- conflict analysis ----------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            scale = 1e-100
+            for index in range(1, self.num_vars + 1):
+                self.activity[index] *= scale
+            self.var_inc *= scale
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP learning: (learned clause, backjump level)."""
+        current_level = len(self.trail_lim)
+        learned: list[int] = [0]  # slot 0 holds the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        literal = 0
+        trail_index = len(self.trail) - 1
+        reason: list[int] | None = conflict
+        while True:
+            assert reason is not None
+            # a reason clause keeps its asserting literal (== -literal) at
+            # slot 0; skip it when resolving. The initial conflict clause
+            # (literal == 0) has no asserting slot.
+            for other in (reason if literal == 0 else reason[1:]):
+                var = abs(other)
+                if seen[var] or self.level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self.level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(other)
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            literal = -self.trail[trail_index]
+            seen[abs(literal)] = False
+            trail_index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self.reason[abs(literal)]
+        learned[0] = literal
+        if len(learned) == 1:
+            return learned, 0
+        # the second watch must be the deepest literal below the UIP
+        best = max(range(1, len(learned)),
+                   key=lambda i: self.level[abs(learned[i])])
+        learned[1], learned[best] = learned[best], learned[1]
+        return learned, self.level[abs(learned[1])]
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            mark = self.trail_lim.pop()
+            while len(self.trail) > mark:
+                literal = self.trail.pop()
+                var = abs(literal)
+                self.phase[var] = literal > 0
+                self.assign[var] = _UNASSIGNED
+                self.reason[var] = None
+        self.qhead = min(self.qhead, len(self.trail))
+
+    def _decide(self) -> int:
+        """Highest-activity unassigned variable; ties go to the lowest index."""
+        best = 0
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == _UNASSIGNED:
+                if self.activity[var] > best_activity:
+                    best, best_activity = var, self.activity[var]
+        return best
+
+    # -- the search loop -------------------------------------------------------
+
+    def solve(self, max_conflicts: int | None = None) -> SatResult:
+        if self.contradiction:
+            return SatResult("unsat", None, self.stats)
+        if self._propagate() is not None:
+            return SatResult("unsat", None, self.stats)
+        restart_budget = float(_RESTART_FIRST)
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if not self.trail_lim:
+                    return SatResult("unsat", None, self.stats)
+                learned, backjump_level = self._analyze(conflict)
+                self._backtrack(backjump_level)
+                if len(learned) > 1:
+                    self._watch(learned)
+                    self.stats.learned += 1
+                self._enqueue(learned[0], learned)
+                self.var_inc /= _ACTIVITY_DECAY
+                if (
+                    max_conflicts is not None
+                    and self.stats.conflicts >= max_conflicts
+                ):
+                    return SatResult("unknown", None, self.stats)
+                continue
+            if conflicts_here >= restart_budget and self.trail_lim:
+                self.stats.restarts += 1
+                conflicts_here = 0
+                restart_budget *= _RESTART_GROWTH
+                self._backtrack(0)
+                continue
+            var = self._decide()
+            if var == 0:
+                model = {
+                    v: self.assign[v] == _TRUE
+                    for v in range(1, self.num_vars + 1)
+                }
+                return SatResult("sat", model, self.stats)
+            self.stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(var if self.phase[var] else -var, None)
+
+
+def solve(
+    num_vars: int, clauses, *, max_conflicts: int | None = None
+) -> SatResult:
+    """Solve one formula; deterministic in the input, including the model."""
+    return Solver(num_vars, clauses).solve(max_conflicts=max_conflicts)

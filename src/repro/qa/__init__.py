@@ -35,10 +35,13 @@ from repro.qa.oracle import (
     DIVERGENT_CLASSES,
     CaseMutation,
     FailureClass,
+    FormalReport,
+    FormalWitness,
     LanguageReport,
     OracleVerdict,
     QaCase,
     case_sources,
+    replay_witness,
     run_oracle,
 )
 from repro.qa.reduce import ReductionResult, reduce_case
@@ -50,6 +53,8 @@ __all__ = [
     "DIVERGENT_CLASSES",
     "CaseMutation",
     "FailureClass",
+    "FormalReport",
+    "FormalWitness",
     "FuzzReport",
     "LanguageReport",
     "OracleVerdict",
@@ -71,6 +76,7 @@ __all__ = [
     "render_verilog",
     "render_vhdl",
     "replay_corpus",
+    "replay_witness",
     "run_fuzz",
     "run_oracle",
     "save_case",

@@ -18,7 +18,7 @@ from pathlib import Path
 
 from repro.eda.toolchain import Toolchain
 from repro.obs import get_tracer
-from repro.qa.oracle import FailureClass, QaCase, run_oracle
+from repro.qa.oracle import FailureClass, QaCase, replay_witness, run_oracle
 
 #: repository-relative default used by the CLI and the tier-1 replay test
 DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
@@ -60,14 +60,20 @@ class ReplayOutcome:
     expected: FailureClass
     actual: FailureClass
     note: str = ""
+    #: None: entry carries no witness; True/False: the stored formal
+    #: counterexample did / did not reproduce as a simulated failure
+    witness_ok: bool | None = None
 
     @property
     def matched(self) -> bool:
-        return self.expected is self.actual
+        return self.expected is self.actual and self.witness_ok is not False
 
     def render(self) -> str:
         verdict = "PASS" if self.matched else "FAIL"
         detail = f"expected {self.expected.value}, got {self.actual.value}"
+        if self.witness_ok is not None:
+            state = "reproduces" if self.witness_ok else "STALE"
+            detail += f"; witness {state}"
         return f"  {verdict} {self.name}: {detail}"
 
 
@@ -76,7 +82,13 @@ def replay_corpus(
     *,
     toolchain: Toolchain | None = None,
 ) -> list[ReplayOutcome]:
-    """Re-judge every corpus entry against its recorded failure class."""
+    """Re-judge every corpus entry against its recorded failure class.
+
+    Entries that carry a formal counterexample witness are additionally
+    replayed through simulation with the witness vectors as the only
+    stimulus — a stored proof artifact that stops reproducing fails the
+    replay even when the failure class still matches.
+    """
     tracer = get_tracer()
     with tracer.span("qa.replay", corpus=str(directory)) as span:
         toolchain = toolchain or Toolchain(cache=True)
@@ -84,12 +96,19 @@ def replay_corpus(
         for case in load_corpus(directory):
             verdict = run_oracle(case, toolchain)
             expected = case.expected_class or FailureClass.OK
+            witness_ok = None
+            if case.witness is not None:
+                witness_ok = replay_witness(case, toolchain)
+                tracer.metrics.counter("qa.replay.witnesses").inc()
+                if witness_ok is False:
+                    tracer.metrics.counter("qa.replay.stale_witnesses").inc()
             outcomes.append(
                 ReplayOutcome(
                     name=case.case_name,
                     expected=expected,
                     actual=verdict.failure_class,
                     note=case.note,
+                    witness_ok=witness_ok,
                 )
             )
             tracer.metrics.counter("qa.replay.cases").inc()

@@ -39,6 +39,10 @@ class ProgramResult:
     vhdl_sha: str
     seconds: float
     error: str = ""  # engine-level failure detail, when any
+    # formal verdicts ("proved"/"refuted"/...), empty when --formal is off
+    formal_verilog: str = ""
+    formal_vhdl: str = ""
+    formal_inconsistencies: tuple[str, ...] = ()
 
 
 @dataclass
@@ -48,6 +52,7 @@ class FuzzReport:
     seed: int
     count: int
     workers: int
+    formal: bool = False
     results: list[ProgramResult] = field(default_factory=list)
     divergences: list[QaCase] = field(default_factory=list)
     elapsed: float = 0.0
@@ -61,8 +66,28 @@ class FuzzReport:
         return counts
 
     @property
+    def formal_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            for verdict in (result.formal_verilog, result.formal_vhdl):
+                if verdict:
+                    counts[verdict] = counts.get(verdict, 0) + 1
+        return counts
+
+    @property
+    def formal_inconsistencies(self) -> list[str]:
+        """Proof-vs-simulation contradictions across the whole campaign."""
+        findings: list[str] = []
+        for result in self.results:
+            findings.extend(
+                f"#{result.index} {result.name}: {finding}"
+                for finding in result.formal_inconsistencies
+            )
+        return findings
+
+    @property
     def ok(self) -> bool:
-        return not self.divergences
+        return not self.divergences and not self.formal_inconsistencies
 
     @property
     def throughput(self) -> float:
@@ -82,6 +107,16 @@ class FuzzReport:
             "  classes: "
             + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
         )
+        if self.formal:
+            formal_counts = self.formal_counts
+            lines.append(
+                "  formal: "
+                + (", ".join(
+                    f"{k}={v}" for k, v in sorted(formal_counts.items())
+                ) or "none")
+            )
+            for finding in self.formal_inconsistencies:
+                lines.append(f"  FORMAL INCONSISTENCY: {finding}")
         if self.divergences:
             lines.append(f"  DIVERGENCES ({len(self.divergences)}):")
             by_name = {c.case_name: c for c in self.divergences}
@@ -104,7 +139,7 @@ def _sha(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def _fuzz_program(seed: int, index: int) -> dict:
+def _fuzz_program(seed: int, index: int, formal: bool = False) -> dict:
     """One task: generate, render, judge. Module-level, hence picklable."""
     from repro.qa.render import render_verilog, render_vhdl
 
@@ -112,8 +147,8 @@ def _fuzz_program(seed: int, index: int) -> dict:
     spec = generate_spec(seed, index)
     verilog = render_verilog(spec)
     vhdl = render_vhdl(spec)
-    verdict = run_oracle(QaCase(spec=spec), Toolchain())
-    return {
+    verdict = run_oracle(QaCase(spec=spec), Toolchain(), formal=formal)
+    payload = {
         "index": index,
         "name": spec.name,
         "class": verdict.failure_class.value,
@@ -123,6 +158,13 @@ def _fuzz_program(seed: int, index: int) -> dict:
         "verilog_status": verdict.verilog.status,
         "vhdl_status": verdict.vhdl.status,
     }
+    if verdict.formal is not None:
+        payload["formal_verilog"] = verdict.formal.verilog.verdict.value
+        payload["formal_vhdl"] = verdict.formal.vhdl.verdict.value
+        payload["formal_inconsistencies"] = list(
+            verdict.formal.inconsistencies
+        )
+    return payload
 
 
 def run_fuzz(
@@ -132,11 +174,16 @@ def run_fuzz(
     workers: int = 1,
     task_timeout: float | None = None,
     progress=None,
+    formal: bool = False,
 ) -> FuzzReport:
-    """Run one campaign; the report is identical at any ``workers`` value."""
+    """Run one campaign; the report is identical at any ``workers`` value.
+
+    ``formal=True`` adds the proof-based verdict to every program and makes
+    the campaign fail on any proof-vs-simulation inconsistency.
+    """
     tracer = get_tracer()
     with tracer.span(
-        "qa.fuzz", seed=seed, count=count, workers=workers
+        "qa.fuzz", seed=seed, count=count, workers=workers, formal=formal
     ) as span:
         started = _time.perf_counter()
         engine = ExecutionEngine(
@@ -147,12 +194,14 @@ def run_fuzz(
                 index=index,
                 key=f"qa/s{seed}/p{index}",
                 fn=_fuzz_program,
-                args=(seed, index),
+                args=(seed, index, formal),
             )
             for index in range(count)
         ]
         outcomes = engine.run(tasks)
-        report = FuzzReport(seed=seed, count=count, workers=workers)
+        report = FuzzReport(
+            seed=seed, count=count, workers=workers, formal=formal
+        )
         for outcome in outcomes:
             if outcome.ok:
                 payload = outcome.value
@@ -163,6 +212,11 @@ def run_fuzz(
                     verilog_sha=payload["verilog_sha"],
                     vhdl_sha=payload["vhdl_sha"],
                     seconds=payload["seconds"],
+                    formal_verilog=payload.get("formal_verilog", ""),
+                    formal_vhdl=payload.get("formal_vhdl", ""),
+                    formal_inconsistencies=tuple(
+                        payload.get("formal_inconsistencies", ())
+                    ),
                 )
             else:
                 # the task itself died (raised / timed out / took its worker

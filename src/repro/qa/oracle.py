@@ -12,6 +12,16 @@ two languages' failing-case sets completes the third edge of the triangle.
 Every run lands in exactly one :class:`FailureClass` — there is no
 "unclassified" outcome, which is what lets the fuzz driver treat any
 non-``OK`` class as a reportable divergence.
+
+With ``formal=True``, :func:`run_oracle` adds a fourth, proof-based verdict
+source: :mod:`repro.formal` lifts each language's (possibly mutated) source
+back to expression trees and proves it equivalent to the reference model or
+refutes it with a concrete witness stimulus. The formal pass is strictly
+additive — it cannot raise out of the oracle and cannot change the
+simulation-derived :class:`FailureClass`; it reports *inconsistencies*
+instead (a proof of equivalence next to a simulated mismatch means one of
+the engines is wrong, which is exactly what a differential rig exists to
+catch).
 """
 
 from __future__ import annotations
@@ -91,6 +101,37 @@ class CaseMutation:
 
 
 @dataclass(frozen=True)
+class FormalWitness:
+    """A formally derived counterexample: per-cycle input vectors.
+
+    ``language`` names the rendering the witness refutes (the defect may be
+    injected into only one side). Combinational witnesses have exactly one
+    cycle. The vectors are exact — replaying them through
+    :func:`replay_witness` must reproduce a simulated test-case failure,
+    and the corpus replay re-checks that promise on every run.
+    """
+
+    language: Language
+    inputs: tuple[dict[str, int], ...]
+
+    def to_json(self) -> dict:
+        return {
+            "language": self.language.value,
+            "inputs": [dict(cycle) for cycle in self.inputs],
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "FormalWitness":
+        return FormalWitness(
+            language=Language(data["language"]),
+            inputs=tuple(
+                {name: int(value) for name, value in cycle.items()}
+                for cycle in data["inputs"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class QaCase:
     """A replayable oracle input: spec plus optional injected defects."""
 
@@ -99,6 +140,7 @@ class QaCase:
     expected_class: FailureClass | None = None
     name: str = ""
     note: str = ""
+    witness: FormalWitness | None = None
 
     @property
     def case_name(self) -> str:
@@ -114,11 +156,14 @@ class QaCase:
             data["expected_class"] = self.expected_class.value
         if self.note:
             data["note"] = self.note
+        if self.witness is not None:
+            data["witness"] = self.witness.to_json()
         return data
 
     @staticmethod
     def from_json(data: dict) -> "QaCase":
         expected = data.get("expected_class")
+        witness = data.get("witness")
         return QaCase(
             spec=QaSpec.from_json(data["spec"]),
             mutations=tuple(
@@ -127,6 +172,7 @@ class QaCase:
             expected_class=None if expected is None else FailureClass(expected),
             name=data.get("name", ""),
             note=data.get("note", ""),
+            witness=None if witness is None else FormalWitness.from_json(witness),
         )
 
 
@@ -144,6 +190,26 @@ class LanguageReport:
 
 
 @dataclass
+class FormalReport:
+    """Proof-based verdicts for both renderings, plus consistency findings.
+
+    ``verilog``/``vhdl`` hold :class:`repro.formal.FormalResult` objects
+    (typed loosely to keep the formal import lazy). An *inconsistency* is
+    the one combination that indicts an engine rather than the design: a
+    proof of equivalence for a language whose simulation reported a
+    mismatch. A refutation next to a passing simulation is expected — the
+    sampled testbench simply missed the input the prover found.
+    """
+
+    verilog: object | None = None
+    vhdl: object | None = None
+    inconsistencies: tuple[str, ...] = ()
+
+    def result_for(self, language: Language):
+        return self.verilog if language is Language.VERILOG else self.vhdl
+
+
+@dataclass
 class OracleVerdict:
     """The classified outcome of one case, with per-language evidence."""
 
@@ -152,6 +218,7 @@ class OracleVerdict:
     verilog: LanguageReport
     vhdl: LanguageReport
     sources: dict[Language, str] = field(default_factory=dict)
+    formal: FormalReport | None = None
 
     @property
     def ok(self) -> bool:
@@ -220,8 +287,64 @@ def _classify(verilog: LanguageReport, vhdl: LanguageReport) -> FailureClass:
     return FailureClass.CROSS_MISMATCH
 
 
-def run_oracle(case: QaCase, toolchain: Toolchain | None = None) -> OracleVerdict:
-    """Render, simulate in both languages, and classify the outcome."""
+def _run_formal(
+    case: QaCase,
+    sources: dict[Language, str],
+    reports: dict[Language, LanguageReport],
+    depth: int | None,
+) -> FormalReport:
+    """Check both renderings formally; absorbs every failure into a result.
+
+    This must never raise: a dead or crashing simulation has already been
+    degraded to a ``crash``-class verdict by :func:`_judge`, and the formal
+    pass must preserve that degradation rather than blow up the oracle (or
+    a whole fuzz worker) on the same pathological source.
+    """
+    # imported lazily: repro.formal.bmc imports qa.spec/qa.grammar, so a
+    # top-level import here would be a cycle
+    from repro.formal import FormalResult, FormalVerdict, check_source
+
+    results: dict[Language, object] = {}
+    inconsistencies: list[str] = []
+    for language in Language:
+        try:
+            kwargs = {} if depth is None else {"depth": depth}
+            result = check_source(
+                case.spec, sources[language], language, **kwargs
+            )
+        except Exception as exc:  # noqa: BLE001 - formal is best-effort
+            result = FormalResult(
+                verdict=FormalVerdict.ERROR, detail=repr(exc)
+            )
+        results[language] = result
+        if (
+            result.verdict is FormalVerdict.PROVED
+            and reports[language].status == _FAIL
+        ):
+            inconsistencies.append(
+                f"{language.value}: proved equivalent but simulation "
+                f"reported failing cases {reports[language].failing_cases}"
+            )
+    return FormalReport(
+        verilog=results[Language.VERILOG],
+        vhdl=results[Language.VHDL],
+        inconsistencies=tuple(inconsistencies),
+    )
+
+
+def run_oracle(
+    case: QaCase,
+    toolchain: Toolchain | None = None,
+    *,
+    formal: bool = False,
+    formal_depth: int | None = None,
+) -> OracleVerdict:
+    """Render, simulate in both languages, and classify the outcome.
+
+    ``formal=True`` additionally proves or refutes each rendering against
+    the reference model (see :class:`FormalReport`); ``formal_depth``
+    overrides the BMC unrolling bound.
+    """
     tracer = get_tracer()
     with tracer.span("qa.oracle", case=case.case_name) as span:
         toolchain = toolchain or Toolchain()
@@ -245,6 +368,13 @@ def run_oracle(case: QaCase, toolchain: Toolchain | None = None) -> OracleVerdic
         failure_class = _classify(
             reports[Language.VERILOG], reports[Language.VHDL]
         )
+        formal_report = None
+        if formal:
+            formal_report = _run_formal(case, sources, reports, formal_depth)
+            if formal_report.inconsistencies:
+                tracer.metrics.counter("formal.inconsistencies").inc(
+                    len(formal_report.inconsistencies)
+                )
         span.set_attrs(failure_class=failure_class.value)
         tracer.metrics.counter("qa.oracle.runs").inc()
         tracer.metrics.counter(
@@ -256,4 +386,45 @@ def run_oracle(case: QaCase, toolchain: Toolchain | None = None) -> OracleVerdic
             verilog=reports[Language.VERILOG],
             vhdl=reports[Language.VHDL],
             sources=sources,
+            formal=formal_report,
         )
+
+
+def replay_witness(
+    case: QaCase, toolchain: Toolchain | None = None
+) -> bool | None:
+    """Re-verify a stored counterexample witness through simulation.
+
+    Builds a testbench whose *only* stimulus is the witness vectors and runs
+    it against the witness language's (mutated) rendering. Returns ``True``
+    when the simulator confirms the failure, ``False`` when the witness no
+    longer reproduces (a stale or corrupted corpus entry), and ``None`` when
+    the case has no witness or simulation cannot judge it (compile failure
+    or crash — the witness is then neither confirmed nor refuted).
+    """
+    if case.witness is None:
+        return None
+    toolchain = toolchain or Toolchain()
+    language = case.witness.language
+    sources = case_sources(case)
+    testbench = make_testbench(
+        case.spec.design_spec(),
+        case.spec.model(),
+        language,
+        case.spec.name,
+        vectors=[dict(cycle) for cycle in case.witness.inputs],
+    )
+    ext = language.file_extension
+    result = toolchain.simulate(
+        [
+            HdlFile(f"top_module{ext}", sources[language], language),
+            HdlFile(f"tb{ext}", testbench, language),
+        ],
+        "tb",
+    )
+    report = _judge(result)
+    if report.status == _FAIL:
+        return True
+    if report.status == _PASS:
+        return False
+    return None

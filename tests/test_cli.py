@@ -244,3 +244,70 @@ class TestQa:
         code, text = run_cli("qa", "reduce", str(tmp_path / "ghost.json"))
         assert code == 1
         assert "cannot load case" in text
+
+    def test_fuzz_with_formal_pass(self):
+        code, text = run_cli(
+            "qa", "fuzz", "--seed", "0", "--count", "3", "--formal"
+        )
+        assert code == 0
+        assert "formal:" in text
+        assert "proved=6" in text
+
+
+class TestFormal:
+    def test_prove_corpus(self):
+        code, text = run_cli("formal", "prove")
+        assert code == 0
+        assert "0 indecisive verdict(s)" in text
+        assert "corpus_formal_refuted_comb [verilog]: refuted" in text
+        assert "witness" in text
+
+    def test_prove_empty_corpus(self, tmp_path):
+        code, text = run_cli("formal", "prove", "--corpus", str(tmp_path))
+        assert code == 1
+        assert "no corpus cases" in text
+
+    def test_prove_generated_programs(self):
+        code, text = run_cli(
+            "formal", "prove", "--seed", "0", "--count", "4",
+            "--workers", "2",
+        )
+        assert code == 0
+        assert "proved=8" in text
+        assert "0 failure(s)" in text
+
+    def test_check_generated_programs(self):
+        code, text = run_cli("formal", "check", "--seed", "2", "--count", "3")
+        assert code == 0
+        assert "0 violation(s)" in text
+        assert "reset=proved x-freedom=proved" in text
+
+    def test_check_flags_contract_violation(self, tmp_path):
+        # a clocked case whose Verilog rendering loses its reset
+        from repro.qa import QaCase, QaSpec, node_name, save_case
+        from repro.qa.oracle import CaseMutation, case_sources
+        from repro.designs.mutations import functional
+        from repro.eda.toolchain import Language
+
+        tree = ["add", ["var", "y0"], ["var", "a0"]]
+        case = QaCase(
+            spec=QaSpec(
+                name="cli_no_reset", width=4, inputs=("a0",),
+                outputs=(("y0", tree),), clocked=True,
+            ),
+            mutations=(CaseMutation(Language.VERILOG, functional(
+                "drop the reset",
+                "y0 <= 4'd0;",
+                "",
+            )),),
+        )
+        path = save_case(case, tmp_path)
+        code, text = run_cli("formal", "check", str(path))
+        assert code == 1
+        assert "reset=refuted" in text
+        assert "violation(s)" in text
+
+    def test_check_missing_case_file(self, tmp_path):
+        code, text = run_cli("formal", "check", str(tmp_path / "ghost.json"))
+        assert code == 1
+        assert "cannot load case" in text

@@ -1,0 +1,505 @@
+"""The formal stack below the verdicts: CNF folding, dual-rail encoding,
+netlist extraction, the proof ladder, and the contract checks.
+
+The encoder's four-state semantics are checked *differentially against the
+simulation kernel's* :class:`repro.sim.values.Logic` — the one contract
+that keeps formal verdicts and simulated verdicts comparable at all.
+"""
+
+import random
+
+import pytest
+
+from repro.eda.toolchain import Language
+from repro.formal import (
+    FALSE,
+    TRUE,
+    Cnf,
+    ExtractionError,
+    FormalVerdict,
+    Netlist,
+    Rail,
+    check_program,
+    check_reset_contract,
+    check_source,
+    check_trees,
+    check_x_freedom,
+    const_rail,
+    encode_expr,
+    extract_netlist,
+    free_rail,
+    rail_from_model,
+    unknown_rail,
+)
+from repro.formal.sat import solve
+from repro.qa.grammar import evaluate, random_expr
+from repro.qa.oracle import QaCase, case_sources
+from repro.qa.spec import QaSpec, generate_spec
+from repro.sim.values import Logic
+
+
+def rail_bits(rail, model=None):
+    """Decode a rail (possibly via a SAT model) into an MSB-first bit string."""
+
+    def lit(literal):
+        if literal == TRUE:
+            return True
+        if literal == FALSE:
+            return False
+        return model[abs(literal)] == (literal > 0)
+
+    chars = []
+    for index in reversed(range(rail.width)):
+        if not lit(rail.knowns[index]):
+            chars.append("x")
+        else:
+            chars.append("1" if lit(rail.values[index]) else "0")
+    return "".join(chars)
+
+
+def logic_of(value: int | None, width: int) -> Logic:
+    if value is None:
+        return Logic.unknown(width)
+    return Logic.from_int(value, width)
+
+
+class TestCnfFolding:
+    def test_constants_fold_through_and(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        assert cnf.g_and(TRUE, a) == a
+        assert cnf.g_and(FALSE, a) == FALSE
+        assert cnf.g_and(a, a) == a
+        assert cnf.g_and(a, -a) == FALSE
+
+    def test_constants_fold_through_xor(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        assert cnf.g_xor(FALSE, a) == a
+        assert cnf.g_xor(TRUE, a) == -a
+        assert cnf.g_xor(a, a) == FALSE
+        assert cnf.g_xor(a, -a) == TRUE
+
+    def test_gates_are_hash_consed(self):
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        assert cnf.g_and(a, b) == cnf.g_and(b, a)
+        assert cnf.g_xor(a, b) == cnf.g_xor(b, a)
+        # polarity-normalized: xor(-a,-b) is the same gate as xor(a,b)
+        assert cnf.g_xor(-a, -b) == cnf.g_xor(a, b)
+        assert cnf.g_xor(-a, b) == -cnf.g_xor(a, b)
+
+    def test_mux_folds_on_constant_select(self):
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        assert cnf.g_mux(TRUE, a, b) == a
+        assert cnf.g_mux(FALSE, a, b) == b
+        assert cnf.g_mux(cnf.new_var(), a, a) == a
+
+    def test_gate_semantics_via_sat(self):
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        gate = cnf.g_and(a, b)
+        # force a=1, b=1 → gate must be 1 in every model
+        result = solve(cnf.num_vars, cnf.clauses + [(a,), (b,)])
+        assert result.sat
+        assert result.model[abs(gate)] == (gate > 0)
+        result = solve(cnf.num_vars, cnf.clauses + [(a,), (-b,), (gate,)])
+        assert result.unsat
+
+
+class TestEncoderVsKernel:
+    """Dual-rail encoding must match Logic's four-state semantics exactly."""
+
+    WIDTH = 4
+
+    def _check_op(self, op, kernel_fn, lhs, rhs):
+        cnf = Cnf()
+        env = {
+            "a": _rail_for(cnf, lhs, self.WIDTH),
+            "b": _rail_for(cnf, rhs, self.WIDTH),
+        }
+        rail = encode_expr(cnf, [op, ["var", "a"], ["var", "b"]],
+                           env, self.WIDTH)
+        assert rail.is_constant(), (op, lhs, rhs)
+        expected = kernel_fn(
+            logic_of(lhs, self.WIDTH), logic_of(rhs, self.WIDTH)
+        )
+        assert rail_bits(rail) == expected.to_bit_string(), (op, lhs, rhs)
+
+    def test_all_binary_ops_match_kernel_with_x(self):
+        rng = random.Random(5)
+        kernel = {
+            "and": Logic.__and__,
+            "or": Logic.__or__,
+            "xor": Logic.__xor__,
+            "add": Logic.add,
+            "sub": Logic.sub,
+        }
+        operands = [None, 0, 1, 5, 10, 15]
+        for op, fn in kernel.items():
+            for _ in range(60):
+                self._check_op(op, fn, rng.choice(operands),
+                               rng.choice(operands))
+
+    def test_controlling_values_mask_x(self):
+        # 0 and X = 0;  1 or X = 1 — bit-level masking the kernel performs
+        cnf = Cnf()
+        env = {
+            "a": const_rail(0, 4),
+            "b": unknown_rail(4),
+        }
+        rail = encode_expr(cnf, ["and", ["var", "a"], ["var", "b"]], env, 4)
+        assert rail_bits(rail) == "0000"
+        env = {"a": const_rail(15, 4), "b": unknown_rail(4)}
+        rail = encode_expr(cnf, ["or", ["var", "a"], ["var", "b"]], env, 4)
+        assert rail_bits(rail) == "1111"
+
+    def test_eq_with_known_differing_bit_is_definite(self):
+        # "10xx" vs "01xx": high bits differ and are known → eq is 0
+        cnf = Cnf()
+        a = Rail(values=(FALSE, FALSE, FALSE, TRUE),
+                 knowns=(FALSE, FALSE, TRUE, TRUE))
+        b = Rail(values=(FALSE, FALSE, TRUE, FALSE),
+                 knowns=(FALSE, FALSE, TRUE, TRUE))
+        tree = ["mux", "eq", ["var", "a"], ["var", "b"],
+                ["const", 1], ["const", 0]]
+        rail = encode_expr(cnf, tree, {"a": a, "b": b}, 4)
+        assert rail_bits(rail) == "0000"
+
+    def test_unknown_mux_condition_poisons_result(self):
+        # kernel approximates an X ternary condition as all-X
+        cnf = Cnf()
+        env = {"a": unknown_rail(4), "b": const_rail(3, 4)}
+        tree = ["mux", "eq", ["var", "a"], ["var", "b"],
+                ["const", 5], ["const", 5]]
+        rail = encode_expr(cnf, tree, env, 4)
+        assert rail_bits(rail) == "xxxx"
+
+    def test_random_trees_fold_to_evaluate(self):
+        rng = random.Random(17)
+        for _ in range(150):
+            tree = random_expr(rng, ("a", "b"), 4, budget=8)
+            inputs = {"a": rng.randrange(16), "b": rng.randrange(16)}
+            cnf = Cnf()
+            env = {
+                name: const_rail(value, 4)
+                for name, value in inputs.items()
+            }
+            rail = encode_expr(cnf, tree, env, 4)
+            assert rail.is_constant()
+            value, known = rail.constant_bits()
+            assert known == 15
+            assert value == evaluate(tree, inputs, 4)
+
+    def test_free_rail_round_trips_through_model(self):
+        cnf = Cnf()
+        rail = free_rail(cnf, 4)
+        # pin the rail to 0b1010 and read it back from the model
+        clauses = list(cnf.clauses)
+        for index, literal in enumerate(rail.values):
+            clauses.append((literal,) if (10 >> index) & 1 else (-literal,))
+        result = solve(cnf.num_vars, clauses)
+        assert result.sat
+        assert rail_from_model(rail, result.model) == 10
+
+
+def _rail_for(cnf, value, width):
+    return unknown_rail(width) if value is None else const_rail(value, width)
+
+
+class TestExtraction:
+    def test_round_trip_matches_reference_semantics(self):
+        rng = random.Random(0)
+        for seed in (0, 3, 11, 25):
+            spec = generate_spec(seed, 0)
+            sources = case_sources(QaCase(spec=spec))
+            model = spec.model()
+            names = [name for name, _ in spec.outputs]
+            for language in Language:
+                netlist = extract_netlist(spec, sources[language], language)
+                assert set(netlist.outputs) == set(names)
+                for _ in range(10):
+                    inputs = {
+                        name: rng.randrange(1 << spec.width)
+                        for name in spec.inputs
+                    }
+                    if spec.clocked:
+                        state = tuple(
+                            rng.randrange(1 << spec.width) for _ in names
+                        )
+                        env = dict(inputs)
+                        env.update(zip(names, state))
+                        _, golden = model.step(state, inputs)
+                    else:
+                        env = dict(inputs)
+                        golden = model.fn(dict(inputs))
+                    for name in names:
+                        got = evaluate(netlist.outputs[name], env, spec.width)
+                        assert got == golden[name] & ((1 << spec.width) - 1)
+
+    def test_dropped_semicolons_still_extract(self):
+        spec = generate_spec(4, 0)
+        source = case_sources(QaCase(spec=spec))[Language.VERILOG]
+        netlist = extract_netlist(
+            spec, source.replace(";", ""), Language.VERILOG
+        )
+        assert set(netlist.outputs) == {name for name, _ in spec.outputs}
+
+    def test_unknown_lines_are_ignored(self):
+        spec = _comb_spec()
+        source = case_sources(QaCase(spec=spec))[Language.VERILOG]
+        noisy = source.replace(
+            "endmodule", "    garbage line here\nendmodule"
+        )
+        assert extract_netlist(spec, noisy, Language.VERILOG).outputs
+
+    def test_duplicate_driver_is_an_error(self):
+        spec = _comb_spec()
+        source = case_sources(QaCase(spec=spec))[Language.VERILOG]
+        doubled = source.replace(
+            "endmodule", "    assign y0 = a0;\nendmodule"
+        )
+        with pytest.raises(ExtractionError, match="multiple drivers"):
+            extract_netlist(spec, doubled, Language.VERILOG)
+
+    def test_missing_output_driver_is_an_error(self):
+        spec = _comb_spec()
+        source = "\n".join(
+            line
+            for line in case_sources(QaCase(spec=spec))[
+                Language.VERILOG
+            ].splitlines()
+            if not line.strip().startswith("assign y0")
+        )
+        with pytest.raises(ExtractionError, match="no driver"):
+            extract_netlist(spec, source, Language.VERILOG)
+
+    def test_combinational_cycle_is_an_error(self):
+        spec = _comb_spec()
+        source = (
+            "assign n_loop = n_loop2;\n"
+            "assign n_loop2 = n_loop;\n"
+            "assign y0 = n_loop;\n"
+        )
+        with pytest.raises(ExtractionError, match="cycle"):
+            extract_netlist(spec, source, Language.VERILOG)
+
+    def test_missing_reset_is_omitted_not_fatal(self):
+        spec = _seq_spec()
+        source = case_sources(QaCase(spec=spec))[Language.VERILOG]
+        stripped = "\n".join(
+            line
+            for line in source.splitlines()
+            if "<= 4'd0;" not in line
+        )
+        netlist = extract_netlist(spec, stripped, Language.VERILOG)
+        assert "y0" not in netlist.resets
+        assert "y0" in netlist.outputs
+
+    def test_vhdl_register_names_map_back_to_ports(self):
+        spec = _seq_spec()
+        source = case_sources(QaCase(spec=spec))[Language.VHDL]
+        netlist = extract_netlist(spec, source, Language.VHDL)
+        assert netlist.resets == {"y0": 0}
+        assert netlist.outputs["y0"] == [
+            "add", ["var", "y0"], ["var", "a0"]
+        ]
+
+
+class TestProofLadder:
+    def test_structural_proof_for_clean_rendering(self):
+        spec = _comb_spec()
+        source = case_sources(QaCase(spec=spec))[Language.VERILOG]
+        result = check_source(spec, source, Language.VERILOG)
+        assert result.verdict is FormalVerdict.PROVED
+        assert result.method == "structural"
+        assert result.decisive
+
+    def test_sat_proof_for_rewritten_equivalent(self):
+        # double negation: structurally different, semantically identical
+        spec = _comb_spec()
+        netlist = Netlist(outputs={
+            "y0": ["not", ["not", ["add", ["var", "a0"], ["var", "a1"]]]]
+        })
+        result = check_trees(spec, netlist)
+        assert result.verdict is FormalVerdict.PROVED
+        assert result.method == "sat"
+
+    def test_comb_refutation_carries_replaying_witness(self):
+        spec = _comb_spec()
+        netlist = Netlist(outputs={
+            "y0": ["sub", ["var", "a0"], ["var", "a1"]]
+        })
+        result = check_trees(spec, netlist)
+        assert result.verdict is FormalVerdict.REFUTED
+        assert len(result.witness) == 1
+        assert result.mismatches
+        inputs = result.witness[0]
+        width = spec.width
+        expected = (inputs["a0"] + inputs["a1"]) & (1 << width) - 1
+        actual = (inputs["a0"] - inputs["a1"]) & (1 << width) - 1
+        assert result.mismatches[0].expected == expected
+        assert result.mismatches[0].actual == actual
+
+    def test_induction_proves_sequential_equivalence(self):
+        spec = _seq_spec()
+        netlist = Netlist(
+            outputs={
+                "y0": ["not", ["not", ["add", ["var", "y0"],
+                                       ["var", "a0"]]]]
+            },
+            resets={"y0": 0},
+        )
+        result = check_trees(spec, netlist)
+        assert result.verdict is FormalVerdict.PROVED
+        assert result.method == "induction"
+
+    def test_bmc_finds_reachable_divergence(self):
+        spec = _seq_spec()
+        netlist = Netlist(
+            outputs={"y0": ["and", ["var", "y0"], ["var", "a0"]]},
+            resets={"y0": 0},
+        )
+        result = check_trees(spec, netlist)
+        assert result.verdict is FormalVerdict.REFUTED
+        assert result.method == "bmc"
+        assert result.witness
+        assert result.depth == len(result.witness)
+
+    def test_unreachable_divergence_is_bounded(self):
+        # golden: y0 sticks at 0. candidate agrees on state 0 but would
+        # perpetuate state 1 — which is unreachable from reset, so BMC
+        # finds nothing and induction cannot close the gap.
+        spec = QaSpec(
+            name="formal_bounded", width=4, inputs=("a0",),
+            outputs=(("y0", ["const", 0]),), clocked=True,
+        )
+        netlist = Netlist(
+            outputs={
+                "y0": ["mux", "eq", ["var", "y0"], ["const", 1],
+                       ["const", 1], ["const", 0]]
+            },
+            resets={"y0": 0},
+        )
+        result = check_trees(spec, netlist, depth=6)
+        assert result.verdict is FormalVerdict.BOUNDED
+        assert result.depth == 6
+        assert not result.decisive
+
+    def test_differing_reset_is_a_reachable_refutation(self):
+        spec = _seq_spec()
+        netlist = Netlist(
+            outputs={"y0": ["add", ["var", "y0"], ["var", "a0"]]},
+            resets={"y0": 3},
+        )
+        result = check_trees(spec, netlist)
+        assert result.verdict is FormalVerdict.REFUTED
+
+    def test_unparseable_source_is_unsupported(self):
+        spec = _comb_spec()
+        result = check_source(
+            spec, "assign y0 = a0 * a1;", Language.VERILOG
+        )
+        assert result.verdict is FormalVerdict.UNSUPPORTED
+        assert "unsupported" in result.detail
+
+    def test_check_source_never_raises(self, monkeypatch):
+        import repro.formal.bmc as bmc
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic meltdown")
+
+        monkeypatch.setattr(bmc, "check_trees", boom)
+        spec = _comb_spec()
+        source = case_sources(QaCase(spec=spec))[Language.VERILOG]
+        result = check_source(spec, source, Language.VERILOG)
+        assert result.verdict is FormalVerdict.ERROR
+        assert "meltdown" in result.detail
+
+    def test_check_program_proves_clean_fuzz_programs(self):
+        payload = check_program(0, 0)
+        assert payload["verilog"] == FormalVerdict.PROVED.value
+        assert payload["vhdl"] == FormalVerdict.PROVED.value
+
+    def test_verdicts_are_deterministic(self):
+        spec = _comb_spec()
+        netlist = Netlist(outputs={
+            "y0": ["sub", ["var", "a0"], ["var", "a1"]]
+        })
+        first = check_trees(spec, netlist)
+        second = check_trees(spec, netlist)
+        assert first.witness == second.witness
+        assert first.stats == second.stats
+
+
+class TestContracts:
+    def test_clean_sequential_design_passes_both_contracts(self):
+        spec = _seq_spec()
+        source = case_sources(QaCase(spec=spec))[Language.VERILOG]
+        netlist = extract_netlist(spec, source, Language.VERILOG)
+        assert check_reset_contract(spec, netlist).verdict \
+            is FormalVerdict.PROVED
+        assert check_x_freedom(spec, netlist, depth=4).verdict \
+            is FormalVerdict.PROVED
+
+    def test_combinational_design_has_no_reset_obligations(self):
+        spec = _comb_spec()
+        netlist = Netlist(outputs=dict(spec.outputs))
+        assert check_reset_contract(spec, netlist).verdict \
+            is FormalVerdict.PROVED
+        assert check_x_freedom(spec, netlist).verdict \
+            is FormalVerdict.PROVED
+
+    def test_missing_reset_refutes_reset_contract(self):
+        spec = _seq_spec()
+        netlist = Netlist(
+            outputs={"y0": ["add", ["var", "y0"], ["var", "a0"]]}
+        )
+        result = check_reset_contract(spec, netlist)
+        assert result.verdict is FormalVerdict.REFUTED
+        assert "no reset" in result.detail
+
+    def test_nonzero_reset_refutes_reset_contract(self):
+        spec = _seq_spec()
+        netlist = Netlist(
+            outputs={"y0": ["add", ["var", "y0"], ["var", "a0"]]},
+            resets={"y0": 7},
+        )
+        result = check_reset_contract(spec, netlist)
+        assert result.verdict is FormalVerdict.REFUTED
+        assert "resets to 7" in result.detail
+
+    def test_unreset_register_refutes_x_freedom(self):
+        # the un-reset accumulator keeps folding its X state back in
+        spec = _seq_spec()
+        netlist = Netlist(
+            outputs={"y0": ["add", ["var", "y0"], ["var", "a0"]]}
+        )
+        result = check_x_freedom(spec, netlist, depth=3)
+        assert result.verdict is FormalVerdict.REFUTED
+
+    def test_overwriting_update_masks_missing_reset(self):
+        # y0' = a0 ignores the X state entirely: X-free from cycle 1 even
+        # though the register never resets — the two contracts are distinct
+        spec = _seq_spec()
+        netlist = Netlist(outputs={"y0": ["var", "a0"]})
+        assert check_reset_contract(spec, netlist).verdict \
+            is FormalVerdict.REFUTED
+        assert check_x_freedom(spec, netlist, depth=4).verdict \
+            is FormalVerdict.PROVED
+
+
+def _comb_spec() -> QaSpec:
+    return QaSpec(
+        name="formal_comb", width=4, inputs=("a0", "a1"),
+        outputs=(("y0", ["add", ["var", "a0"], ["var", "a1"]]),),
+    )
+
+
+def _seq_spec() -> QaSpec:
+    return QaSpec(
+        name="formal_seq", width=4, inputs=("a0",),
+        outputs=(("y0", ["add", ["var", "y0"], ["var", "a0"]]),),
+        clocked=True,
+    )

@@ -1,0 +1,186 @@
+"""The CDCL SAT core: fixtures, propagation, conflicts, determinism.
+
+The solver underwrites every formal verdict, so these tests pin down its
+contract directly at the CNF level: known-SAT/UNSAT formulas, unit
+propagation chains, conflict-driven learning on classic hard instances,
+budget exhaustion, and — because oracle witnesses must be byte-identical
+at any ``--workers`` count — bit-for-bit determinism of models and stats.
+"""
+
+import itertools
+import random
+
+from repro.formal.sat import Solver, solve
+
+
+def brute_force_sat(num_vars, clauses) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def check_model(model, clauses):
+    for clause in clauses:
+        assert any(model[abs(lit)] == (lit > 0) for lit in clause), clause
+
+
+class TestFixtures:
+    def test_empty_formula_is_sat(self):
+        result = solve(3, [])
+        assert result.sat
+        assert set(result.model) == {1, 2, 3}
+
+    def test_single_unit(self):
+        result = solve(1, [(1,)])
+        assert result.sat
+        assert result.model[1] is True
+
+    def test_contradictory_units(self):
+        assert solve(1, [(1,), (-1,)]).unsat
+
+    def test_empty_clause_is_unsat(self):
+        assert solve(2, [(1, 2), ()]).unsat
+
+    def test_simple_sat(self):
+        clauses = [(1, 2), (-1, 2), (1, -2)]
+        result = solve(2, clauses)
+        assert result.sat
+        check_model(result.model, clauses)
+
+    def test_simple_unsat(self):
+        # all four 2-var polarity combinations: no assignment survives
+        assert solve(2, [(1, 2), (-1, 2), (1, -2), (-1, -2)]).unsat
+
+    def test_tautology_is_dropped(self):
+        result = solve(2, [(1, -1), (2,)])
+        assert result.sat
+        assert result.model[2] is True
+
+    def test_duplicate_literals_deduplicated(self):
+        result = solve(1, [(1, 1, 1)])
+        assert result.sat
+        assert result.model[1] is True
+
+    def test_xor_chain_sat(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1, x1 = x3 — consistent
+        clauses = [
+            (1, 2), (-1, -2),
+            (2, 3), (-2, -3),
+            (1, -3), (-1, 3),
+        ]
+        result = solve(3, clauses)
+        assert result.sat
+        check_model(result.model, clauses)
+
+    def test_xor_cycle_unsat(self):
+        # x1 xor x2, x2 xor x3, x3 xor x1 — odd cycle, unsatisfiable
+        clauses = [
+            (1, 2), (-1, -2),
+            (2, 3), (-2, -3),
+            (3, 1), (-3, -1),
+        ]
+        assert solve(3, clauses).unsat
+
+
+class TestPropagation:
+    def test_unit_chain_propagates_without_decisions(self):
+        # 1 → 2 → 3 → 4 by implications from the unit (1,)
+        clauses = [(1,), (-1, 2), (-2, 3), (-3, 4)]
+        result = solve(4, clauses)
+        assert result.sat
+        assert all(result.model[v] for v in (1, 2, 3, 4))
+        assert result.stats.decisions == 0
+
+    def test_propagation_detects_conflict_at_level_zero(self):
+        result = solve(3, [(1,), (-1, 2), (-1, 3), (-2, -3)])
+        assert result.unsat
+        assert result.stats.decisions == 0
+
+    def test_watched_literals_skip_satisfied_clauses(self):
+        clauses = [(1,), (1, 2, 3), (1, -2, -3)]
+        result = solve(3, clauses)
+        assert result.sat
+        check_model(result.model, clauses)
+
+
+class TestConflicts:
+    def test_pigeonhole_3_2_unsat(self):
+        clauses = _pigeonhole(3, 2)
+        result = solve(3 * 2, clauses)
+        assert result.unsat
+        assert result.stats.conflicts > 0
+
+    def test_pigeonhole_5_4_unsat_with_learning(self):
+        clauses = _pigeonhole(5, 4)
+        result = solve(5 * 4, clauses)
+        assert result.unsat
+        assert result.stats.learned > 0
+
+    def test_conflict_budget_returns_unknown(self):
+        clauses = _pigeonhole(6, 5)
+        result = solve(6 * 5, clauses, max_conflicts=3)
+        assert result.status == "unknown"
+        assert result.model is None
+
+    def test_random_formulas_match_brute_force(self):
+        rng = random.Random(1234)
+        for _ in range(300):
+            num_vars = rng.randint(1, 8)
+            clauses = [
+                tuple(
+                    rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 4))
+                )
+                for _ in range(rng.randint(1, 24))
+            ]
+            result = solve(num_vars, clauses)
+            expected = brute_force_sat(num_vars, clauses)
+            assert result.sat == expected, (num_vars, clauses)
+            if result.sat:
+                check_model(result.model, clauses)
+
+
+class TestDeterminism:
+    def test_same_formula_same_model_and_stats(self):
+        rng = random.Random(99)
+        for _ in range(40):
+            num_vars = rng.randint(4, 12)
+            clauses = [
+                tuple(
+                    rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                    for _ in range(3)
+                )
+                for _ in range(4 * num_vars)
+            ]
+            first = solve(num_vars, clauses)
+            second = solve(num_vars, clauses)
+            assert first.status == second.status
+            assert first.model == second.model
+            assert first.stats == second.stats
+
+    def test_solver_instances_are_independent(self):
+        clauses = [(1, 2), (-1, 2)]
+        a = Solver(2, clauses).solve()
+        b = Solver(2, clauses).solve()
+        assert a.model == b.model
+
+
+def _pigeonhole(pigeons: int, holes: int) -> list[tuple[int, ...]]:
+    """PHP(p, h): p pigeons into h holes, UNSAT whenever p > h."""
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    clauses = [
+        tuple(var(p, h) for h in range(holes)) for p in range(pigeons)
+    ]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append((-var(p1, h), -var(p2, h)))
+    return clauses

@@ -5,9 +5,12 @@ ever filed keeps classifying exactly as recorded, in both languages, on
 every test run.
 """
 
+import time
+
 import pytest
 
-from repro.eda.toolchain import Toolchain
+from repro.eda.toolchain import Language, Toolchain
+from repro.formal import check_source
 from repro.qa.corpus import (
     DEFAULT_CORPUS_DIR,
     case_path,
@@ -16,7 +19,7 @@ from repro.qa.corpus import (
     replay_corpus,
     save_case,
 )
-from repro.qa.oracle import FailureClass, QaCase
+from repro.qa.oracle import FailureClass, FormalWitness, QaCase, case_sources
 from repro.qa.spec import QaSpec
 
 
@@ -83,3 +86,68 @@ class TestReplay:
         assert outcomes[0].expected is FailureClass.OK
         assert outcomes[0].matched
         assert "PASS" in outcomes[0].render()
+
+
+class TestFormalCorpus:
+    """The formally-refuted entries and their proof artifacts."""
+
+    def test_shipped_corpus_carries_witnesses(self):
+        cases = {c.case_name: c for c in load_corpus(DEFAULT_CORPUS_DIR)}
+        refuted = [
+            c for name, c in cases.items()
+            if name.startswith("corpus_formal_refuted")
+        ]
+        assert len(refuted) >= 2
+        languages = set()
+        for case in refuted:
+            assert case.witness is not None
+            assert case.witness.inputs
+            languages.add(case.witness.language)
+        # at least one witness per language frontend
+        assert languages == set(Language)
+
+    def test_witnesses_replay_as_failures(self):
+        toolchain = Toolchain(cache=True)
+        outcomes = replay_corpus(DEFAULT_CORPUS_DIR, toolchain=toolchain)
+        with_witness = [o for o in outcomes if o.witness_ok is not None]
+        assert len(with_witness) >= 2
+        for outcome in with_witness:
+            assert outcome.witness_ok is True
+            assert "witness reproduces" in outcome.render()
+
+    def test_tampered_witness_fails_the_replay(self, tmp_path):
+        source = next(
+            c for c in load_corpus(DEFAULT_CORPUS_DIR)
+            if c.case_name == "corpus_formal_refuted_comb"
+        )
+        # a stale witness: stimulus on which the defect is invisible.
+        # xor and or agree whenever the operands share no set bits
+        tampered = QaCase(
+            spec=source.spec,
+            mutations=source.mutations,
+            expected_class=source.expected_class,
+            witness=FormalWitness(
+                language=source.witness.language,
+                inputs=({"a0": 0, "a1": 0},),
+            ),
+        )
+        save_case(tampered, tmp_path)
+        outcomes = replay_corpus(tmp_path, toolchain=Toolchain(cache=True))
+        assert len(outcomes) == 1
+        assert outcomes[0].witness_ok is False
+        assert not outcomes[0].matched
+        assert "STALE" in outcomes[0].render()
+
+    def test_whole_corpus_is_formally_decisive_quickly(self):
+        """Acceptance: every corpus case gets a decisive verdict, fast."""
+        started = time.monotonic()
+        for case in load_corpus(DEFAULT_CORPUS_DIR):
+            sources = case_sources(case)
+            for language in Language:
+                result = check_source(
+                    case.spec, sources[language], language
+                )
+                assert result.decisive, (
+                    case.case_name, language, result.verdict, result.detail
+                )
+        assert time.monotonic() - started < 60

@@ -57,10 +57,10 @@ class TestEngineFailuresAreClassified:
 
         real = fuzz_module._fuzz_program
 
-        def flaky(seed, index):
+        def flaky(seed, index, formal=False):
             if index == 1:
                 raise RuntimeError("worker exploded")
-            return real(seed, index)
+            return real(seed, index, formal)
 
         monkeypatch.setattr(fuzz_module, "_fuzz_program", flaky)
         report = run_fuzz(0, 3)
@@ -85,3 +85,33 @@ class TestReportShape:
         ]
         assert report.class_counts == {"ok": 1, "crash": 1}
         assert report.throughput == 0.0  # no elapsed recorded
+
+
+class TestFormalCrossCheck:
+    def test_formal_campaign_proves_every_program(self):
+        report = run_fuzz(0, 4, formal=True)
+        assert report.formal
+        assert report.ok
+        assert report.formal_counts == {"proved": 8}  # 4 programs x 2 langs
+        assert report.formal_inconsistencies == []
+        assert "formal:" in report.render()
+
+    def test_formal_is_off_by_default(self, serial_report):
+        assert not serial_report.formal
+        assert serial_report.formal_counts == {}
+        assert "formal:" not in serial_report.render()
+
+    def test_inconsistency_fails_the_campaign(self):
+        report = FuzzReport(seed=0, count=1, workers=1, formal=True)
+        report.results = [
+            ProgramResult(
+                0, "a", FailureClass.OK, "", "", 0.1,
+                formal_verilog="proved", formal_vhdl="proved",
+                formal_inconsistencies=("verilog: proved but sim failed",),
+            ),
+        ]
+        assert not report.ok
+        assert report.formal_inconsistencies == [
+            "#0 a: verilog: proved but sim failed"
+        ]
+        assert "FORMAL INCONSISTENCY" in report.render()

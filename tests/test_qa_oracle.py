@@ -10,10 +10,12 @@ import pytest
 
 from repro.designs.mutations import MutationError, functional, syntax
 from repro.eda.toolchain import Language, Toolchain
+from repro.formal import FormalVerdict
 from repro.qa.oracle import (
     DIVERGENT_CLASSES,
     CaseMutation,
     FailureClass,
+    FormalWitness,
     QaCase,
     case_sources,
     run_oracle,
@@ -135,6 +137,98 @@ class TestInjectedDefects:
 
     def test_every_class_is_ok_or_divergent(self):
         assert set(DIVERGENT_CLASSES) == set(FailureClass) - {FailureClass.OK}
+
+
+class TestFormalVerdicts:
+    """The fourth verdict source: proofs cross-checked against sampling."""
+
+    def test_formal_is_off_by_default(self, toolchain):
+        verdict = run_oracle(QaCase(spec=comb_spec()), toolchain)
+        assert verdict.formal is None
+
+    def test_clean_design_proves_in_both_languages(self, toolchain):
+        verdict = run_oracle(
+            QaCase(spec=comb_spec()), toolchain, formal=True
+        )
+        assert verdict.formal is not None
+        for language in Language:
+            assert (
+                verdict.formal.result_for(language).verdict
+                is FormalVerdict.PROVED
+            )
+        assert verdict.formal.inconsistencies == ()
+
+    def test_mutated_design_refutes_consistently(self, toolchain):
+        case = QaCase(spec=comb_spec(), mutations=(verilog_add_to_sub(),))
+        verdict = run_oracle(case, toolchain, formal=True)
+        assert verdict.failure_class is FailureClass.VERILOG_MISMATCH
+        report = verdict.formal
+        assert report.verilog.verdict is FormalVerdict.REFUTED
+        assert report.verilog.witness
+        assert report.vhdl.verdict is FormalVerdict.PROVED
+        # refutation + simulated failure on the same side: consistent
+        assert report.inconsistencies == ()
+
+    def test_crash_class_survives_formal_pass(self, toolchain):
+        # regression: the engine-dead → crash degradation must not be
+        # masked by the formal pass raising on the oscillator source
+        oscillator = CaseMutation(Language.VERILOG, functional(
+            "zero-delay oscillation",
+            f"assign {A0} = a0;",
+            (f"assign {A0} = a0;\n"
+             "    reg osc_p, osc_q;\n"
+             "    initial begin osc_p = 1'b0; osc_q = 1'b0; end\n"
+             "    always @(osc_q) osc_p = ~osc_q;\n"
+             "    always @(osc_p) osc_q = osc_p;"),
+        ))
+        case = QaCase(spec=comb_spec(), mutations=(oscillator,))
+        verdict = run_oracle(case, toolchain, formal=True)
+        assert verdict.failure_class is FailureClass.CRASH
+        assert verdict.formal is not None
+
+    def test_formal_failure_never_raises(self, toolchain, monkeypatch):
+        # regression: a crashing prover degrades to an ERROR verdict and
+        # the oracle still classifies from simulation alone
+        import repro.formal
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("prover exploded")
+
+        monkeypatch.setattr(repro.formal, "check_source", boom)
+        verdict = run_oracle(
+            QaCase(spec=comb_spec()), toolchain, formal=True
+        )
+        assert verdict.failure_class is FailureClass.OK
+        for language in Language:
+            result = verdict.formal.result_for(language)
+            assert result.verdict is FormalVerdict.ERROR
+            assert "prover exploded" in result.detail
+
+    def test_proof_contradicting_simulation_is_flagged(self, toolchain,
+                                                       monkeypatch):
+        import repro.formal
+        from repro.formal import FormalResult
+
+        def always_proved(*args, **kwargs):
+            return FormalResult(
+                verdict=FormalVerdict.PROVED, method="structural"
+            )
+
+        monkeypatch.setattr(repro.formal, "check_source", always_proved)
+        case = QaCase(spec=comb_spec(), mutations=(verilog_add_to_sub(),))
+        verdict = run_oracle(case, toolchain, formal=True)
+        assert verdict.failure_class is FailureClass.VERILOG_MISMATCH
+        assert len(verdict.formal.inconsistencies) == 1
+        assert "verilog" in verdict.formal.inconsistencies[0]
+
+    def test_witness_round_trips_through_json(self):
+        witness = FormalWitness(
+            language=Language.VERILOG,
+            inputs=({"a0": 3, "a1": 9}, {"a0": 0, "a1": 15}),
+        )
+        case = QaCase(spec=comb_spec(), witness=witness)
+        reloaded = QaCase.from_json(json.loads(json.dumps(case.to_json())))
+        assert reloaded.witness == witness
 
 
 class TestCaseMechanics:
