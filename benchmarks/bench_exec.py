@@ -7,13 +7,19 @@ cores — on a single-core box the measurement is still printed, because the
 *differential* guarantee (identical records) is what
 ``tests/test_exec_differential.py`` enforces everywhere.
 
+Each test also records its measurements into ``BENCH_exec.json``
+(``BENCH_EXEC_JSON`` overrides the path), which ``repro bench check``
+diffs against the committed copy under ``benchmarks/baselines/``.
+
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_exec.py -s -q
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -35,6 +41,26 @@ def _usable_cores() -> int:
         return os.cpu_count() or 1
 
 
+def _record(section: str, values: dict) -> None:
+    """Merge one test's measurements into the BENCH_exec.json report.
+
+    The three tests run in any order (or alone), so the report is
+    read-merge-write rather than assembled in one place.
+    """
+    out = Path(os.environ.get("BENCH_EXEC_JSON", "BENCH_exec.json"))
+    report = {}
+    if out.exists():
+        try:
+            report = json.loads(out.read_text())
+        except ValueError:
+            report = {}
+    report[section] = {
+        key: round(value, 6) if isinstance(value, float) else value
+        for key, value in values.items()
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
 def _timed_sweep(bench_suite, **kwargs) -> float:
     runner = ExperimentRunner(suite=bench_suite, **kwargs)
     started = time.perf_counter()
@@ -54,6 +80,12 @@ def test_parallel_sweep_speedup(bench_suite):
         f"serial {serial:.2f}s, workers={PARALLEL_WORKERS} {parallel:.2f}s "
         f"-> {speedup:.2f}x (host has {cores} usable core(s))"
     )
+    _record("parallel", {
+        "serial_s": serial,
+        "parallel_s": parallel,
+        "speedup": speedup,
+        "workers": PARALLEL_WORKERS,
+    })
     if cores < PARALLEL_WORKERS:
         pytest.skip(
             f"parallel speedup needs >= {PARALLEL_WORKERS} cores; host has "
@@ -102,6 +134,12 @@ def test_warm_cache_simulate_speedup(bench_suite):
         f"-> {speedup:.1f}x "
         f"(cache hit rate {100 * toolchain.cache_stats.hit_rate:.1f}%)"
     )
+    _record("warm_cache", {
+        "cold_s": cold,
+        "warm_s": warm,
+        "speedup": speedup,
+        "hit_rate": toolchain.cache_stats.hit_rate,
+    })
     assert speedup >= WARM_CACHE_SPEEDUP_FLOOR, (
         f"warm simulate must be >= {WARM_CACHE_SPEEDUP_FLOOR}x faster than "
         f"cold, got {speedup:.2f}x"
@@ -121,6 +159,12 @@ def test_sweep_cache_effectiveness(bench_suite):
         f"{cached:.2f}s -> {uncached / cached:.2f}x; "
         f"hit rate {100 * hit_rate:.1f}%"
     )
+    _record("sweep_cache", {
+        "uncached_s": uncached,
+        "cached_s": cached,
+        "speedup": uncached / cached if cached else float("inf"),
+        "hit_rate": hit_rate,
+    })
     assert hit_rate > 0.2, (
         "a baseline+AIVRIL2 sweep re-judges identical sources; the cache "
         f"hit rate should be substantial, got {100 * hit_rate:.1f}%"

@@ -7,7 +7,16 @@ Commands:
 * ``run`` — run the AIVRIL2 pipeline on one problem with a simulated model;
 * ``sweep`` — run the paper's experiments and print Table 1/2 or Figure 3
   (``--trace PATH`` records a span trace of the whole sweep);
-* ``trace`` — summarize or validate a recorded trace file;
+* ``trace`` — summarize (optionally ``--by-agent``) or validate a recorded
+  trace file, extract its ``critical-path``, or emit folded stacks for
+  flamegraph tooling (``flame``);
+* ``obs`` — validate a metrics spool or export its merged snapshot as
+  Prometheus text or a JSON health document (the surface ``repro serve``
+  will mount as ``/metrics`` and ``/healthz``);
+* ``bench`` — perf-regression gate: diff fresh ``BENCH_*.json`` reports
+  against the committed baselines (``check``);
+* ``top`` — run a sweep / fuzz campaign / formal proving batch with a live
+  in-terminal dashboard subscribed to the event bus;
 * ``validate`` — check suite integrity (reference passes, mutations behave);
 * ``qa`` — differential fuzzing of the two language flows (``fuzz``,
   optionally with proof-based verdicts via ``--formal``), failing-case
@@ -136,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a JSONL span trace of the sweep to PATH "
              "(inspect with 'repro trace summarize PATH')",
     )
+    sweep.add_argument(
+        "--spool", default=None, metavar="PATH",
+        help="spool per-process metrics snapshots to PATH "
+             "(merge and render with 'repro obs export PATH')",
+    )
 
     trace = sub.add_parser(
         "trace", help="inspect a recorded sweep trace"
@@ -147,10 +161,114 @@ def build_parser() -> argparse.ArgumentParser:
              "latency, cache hit rate, token totals",
     )
     trace_summarize.add_argument("path")
+    trace_summarize.add_argument(
+        "--by-agent", action="store_true",
+        help="additionally attribute measured wall time to the paper's "
+             "code/review/verification agents, per configuration",
+    )
     trace_validate = trace_sub.add_parser(
         "validate", help="check every trace record against the schema"
     )
     trace_validate.add_argument("path")
+    trace_critical = trace_sub.add_parser(
+        "critical-path",
+        help="the longest wall-clock span chain with per-span self-time "
+             "attribution (self times sum to the root span's wall time)",
+    )
+    trace_critical.add_argument("path")
+    trace_flame = trace_sub.add_parser(
+        "flame",
+        help="emit folded stacks ('stack;path count' lines) for standard "
+             "flamegraph tooling",
+    )
+    trace_flame.add_argument("path")
+    trace_flame.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the folded stacks here instead of stdout",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="merge, validate, and export spooled metrics snapshots"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="aggregate a metrics spool across processes and render it",
+    )
+    obs_export.add_argument("path", help="spool file ('repro sweep --spool')")
+    obs_export.add_argument(
+        "--format", choices=["prometheus", "health"], default="prometheus",
+        help="prometheus text exposition (default) or a JSON health "
+             "document",
+    )
+    obs_validate = obs_sub.add_parser(
+        "validate", help="check every spool record against the schema"
+    )
+    obs_validate.add_argument("path")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark perf-regression gating"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="diff fresh BENCH_*.json reports against committed baselines "
+             "under a relative tolerance",
+    )
+    bench_check.add_argument(
+        "--baselines", default="benchmarks/baselines", metavar="DIR",
+        help="committed baseline directory (default: benchmarks/baselines)",
+    )
+    bench_check.add_argument(
+        "--fresh", default=".", metavar="DIR",
+        help="directory holding freshly generated BENCH_*.json reports "
+             "(default: current directory)",
+    )
+    bench_check.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed relative regression before a metric counts as "
+             "regressed (default: 0.35)",
+    )
+    bench_check.add_argument(
+        "--hard", action="append", default=None, metavar="TIER",
+        help="tier name (substring) whose regressions fail the gate; "
+             "repeatable (default: sim). Others only warn",
+    )
+    bench_check.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but never fail (for noisy shared runners)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="run a campaign with a live in-terminal dashboard (progress, "
+             "cache hit rate, failure classes)",
+    )
+    top_sub = top.add_subparsers(dest="top_command", required=True)
+    top_sweep = top_sub.add_parser("sweep", help="live view of a sweep")
+    top_sweep.add_argument("--limit", type=int, default=0)
+    top_sweep.add_argument("--workers", type=_worker_count, default=1)
+    top_sweep.add_argument("--no-cache", action="store_true")
+    top_sweep.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS"
+    )
+    top_sweep.add_argument("--trace", default=None, metavar="PATH")
+    top_sweep.add_argument("--spool", default=None, metavar="PATH")
+    top_fuzz = top_sub.add_parser("fuzz", help="live view of a qa fuzz run")
+    top_fuzz.add_argument("--seed", type=int, default=0)
+    top_fuzz.add_argument("--count", type=int, default=50)
+    top_fuzz.add_argument("--workers", type=_worker_count, default=1)
+    top_fuzz.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS"
+    )
+    top_fuzz.add_argument("--formal", action="store_true")
+    top_prove = top_sub.add_parser(
+        "prove", help="live view of generated-program formal proving"
+    )
+    top_prove.add_argument("--seed", type=int, default=0)
+    top_prove.add_argument("--count", type=int, default=16)
+    top_prove.add_argument("--depth", type=int, default=None)
+    top_prove.add_argument("--workers", type=_worker_count, default=1)
 
     validate = sub.add_parser("validate", help="check suite integrity")
     validate.add_argument("--limit", type=int, default=0)
@@ -195,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record a JSONL span trace of the campaign "
              "(inspect with 'repro trace summarize PATH')",
+    )
+    fuzz.add_argument(
+        "--spool", default=None, metavar="PATH",
+        help="spool metrics snapshots to PATH "
+             "(merge and render with 'repro obs export PATH')",
     )
 
     reduce = qa_sub.add_parser(
@@ -360,6 +483,7 @@ def _cmd_sweep(args, out) -> int:
         task_timeout=args.task_timeout,
         progress=progress,
         trace_path=args.trace,
+        spool_path=args.spool,
     )
     if args.artifact == "table2":
         results = runner.run_all(languages=(Language.VERILOG,))
@@ -377,6 +501,11 @@ def _cmd_sweep(args, out) -> int:
             f"trace written to {args.trace} "
             f"(inspect with 'repro trace summarize {args.trace}')\n"
         )
+    if args.spool:
+        sys.stderr.write(
+            f"metrics spool written to {args.spool} "
+            f"(render with 'repro obs export {args.spool}')\n"
+        )
     errors = sum(result.error_count for result in results)
     if errors:
         sys.stderr.write(
@@ -387,9 +516,35 @@ def _cmd_sweep(args, out) -> int:
 
 
 def _cmd_trace(args, out) -> int:
+    from repro.obs import (
+        critical_path_of_trace,
+        fold_trace,
+        read_trace,
+        render_agent_breakdown,
+        render_critical_path,
+        render_flame,
+        summarize_agents,
+    )
+
     try:
         if args.trace_command == "summarize":
             out.write(render_trace_summary(summarize_trace(args.path)) + "\n")
+            if args.by_agent:
+                breakdown = summarize_agents(read_trace(args.path))
+                out.write(render_agent_breakdown(breakdown) + "\n")
+            return 0
+        if args.trace_command == "critical-path":
+            steps = critical_path_of_trace(args.path)
+            out.write(render_critical_path(steps) + "\n")
+            return 0 if steps else 1
+        if args.trace_command == "flame":
+            text = render_flame(fold_trace(args.path))  # newline-terminated
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                out.write(f"folded stacks written to {args.output}\n")
+            else:
+                out.write(text)
             return 0
         count, errors = validate_trace(args.path)
         if errors:
@@ -400,6 +555,9 @@ def _cmd_trace(args, out) -> int:
             )
             return 1
         out.write(f"OK: {count} record(s), all schema-valid\n")
+        return 0
+    except BrokenPipeError:
+        # the downstream consumer (e.g. ``| head``) closed the pipe
         return 0
     except (OSError, ValueError) as exc:
         out.write(f"cannot read trace: {exc}\n")
@@ -428,7 +586,16 @@ def _cmd_validate(args, out) -> int:
 
 
 def _cmd_qa(args, out) -> int:
-    from repro.obs import configure_tracing, get_tracer, set_tracer
+    from repro.obs import (
+        NullSink,
+        Tracer,
+        configure_spool,
+        configure_tracing,
+        get_spool,
+        get_tracer,
+        set_spool,
+        set_tracer,
+    )
     from repro.qa.corpus import (
         DEFAULT_CORPUS_DIR,
         load_case,
@@ -440,10 +607,18 @@ def _cmd_qa(args, out) -> int:
 
     if args.qa_command == "fuzz":
         previous = get_tracer()
+        previous_spool = get_spool()
         if args.trace:
             # a fresh trace file per campaign, so one summary maps to one run
             open(args.trace, "w").close()
             configure_tracing(args.trace)
+        if args.spool:
+            # fuzz classification counters live in the campaign process, so
+            # spooling only needs a registry here (tracing may stay off)
+            open(args.spool, "w").close()
+            if not get_tracer().enabled:
+                set_tracer(Tracer(NullSink()))
+            configure_spool(args.spool)
         try:
             report = run_fuzz(
                 args.seed,
@@ -455,7 +630,9 @@ def _cmd_qa(args, out) -> int:
         finally:
             if args.trace:
                 get_tracer().flush_metrics()
+            if args.trace or args.spool:
                 set_tracer(previous)
+                set_spool(previous_spool)
         out.write(report.render() + "\n")
         if args.corpus and report.divergences:
             for case in report.divergences:
@@ -465,6 +642,11 @@ def _cmd_qa(args, out) -> int:
             sys.stderr.write(
                 f"trace written to {args.trace} "
                 f"(inspect with 'repro trace summarize {args.trace}')\n"
+            )
+        if args.spool:
+            sys.stderr.write(
+                f"metrics spool written to {args.spool} "
+                f"(render with 'repro obs export {args.spool}')\n"
             )
         return 0 if report.ok else 1
 
@@ -644,6 +826,139 @@ def _cmd_formal(args, out) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_obs(args, out) -> int:
+    from repro.obs import (
+        aggregate_spool,
+        render_health,
+        render_prometheus,
+        validate_spool,
+    )
+
+    try:
+        if args.obs_command == "validate":
+            count, errors = validate_spool(args.path)
+            if errors:
+                for error in errors:
+                    out.write(error + "\n")
+                out.write(
+                    f"INVALID: {len(errors)} problem(s) in {count} "
+                    f"record(s)\n"
+                )
+                return 1
+            out.write(f"OK: {count} snapshot(s), all schema-valid\n")
+            return 0
+        snapshot = aggregate_spool(args.path)
+    except BrokenPipeError:
+        # the downstream consumer (e.g. ``| head``) closed the pipe
+        return 0
+    except (OSError, ValueError) as exc:
+        out.write(f"cannot read spool: {exc}\n")
+        return 1
+    if args.format == "health":
+        out.write(render_health(snapshot) + "\n")
+    else:
+        out.write(render_prometheus(snapshot))
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.obs import DEFAULT_TOLERANCE, check_baselines
+
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    hard_tiers = () if args.warn_only else tuple(args.hard or ("sim",))
+    try:
+        report = check_baselines(
+            args.baselines,
+            args.fresh,
+            tolerance=tolerance,
+            hard_tiers=hard_tiers,
+        )
+    except (OSError, ValueError) as exc:
+        out.write(f"bench check: {exc}\n")
+        return 1
+    out.write(report.render() + "\n")
+    return 0 if report.ok else 1
+
+
+def _cmd_top(args, out) -> int:
+    from repro.obs import EventBus, LiveView
+
+    bus = EventBus()
+    view = LiveView(title=f"repro top {args.top_command}")
+    bus.subscribe(view)
+
+    if args.top_command == "sweep":
+        suite = build_suite()
+        if args.limit:
+            suite = suite.head(args.limit)
+        runner = ExperimentRunner(
+            suite=suite,
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            task_timeout=args.task_timeout,
+            trace_path=args.trace,
+            spool_path=args.spool,
+            bus=bus,
+        )
+        results = runner.run_all()
+        view.finish()
+        out.write("sweep: " + runner.metrics.summary() + "\n")
+        errors = sum(result.error_count for result in results)
+        return 0 if errors == 0 else 1
+
+    if args.top_command == "fuzz":
+        from repro.qa.fuzz import run_fuzz
+
+        report = run_fuzz(
+            args.seed,
+            args.count,
+            workers=args.workers,
+            task_timeout=args.task_timeout,
+            formal=args.formal,
+            bus=bus,
+        )
+        view.finish()
+        out.write(report.render() + "\n")
+        return 0 if report.ok else 1
+
+    # top prove: generated-program formal proving with a live dashboard
+    from repro.exec.engine import ExecutionEngine
+    from repro.exec.task import Task
+    from repro.formal import FormalVerdict, check_program
+
+    engine = ExecutionEngine(workers=args.workers, bus=bus)
+    tasks = [
+        Task(
+            index=index,
+            key=f"formal/s{args.seed}/p{index}",
+            fn=check_program,
+            args=(args.seed, index, args.depth),
+        )
+        for index in range(args.count)
+    ]
+    failures = 0
+    counts: dict[str, int] = {}
+    for outcome in engine.run(tasks):
+        if not outcome.ok:
+            failures += 1
+            continue
+        for verdict in (
+            outcome.value["verilog"], outcome.value["vhdl"]
+        ):
+            counts[verdict] = counts.get(verdict, 0) + 1
+            if verdict != FormalVerdict.PROVED.value:
+                failures += 1
+    view.finish()
+    out.write(
+        f"formal prove: seed={args.seed} count={args.count} — "
+        + (", ".join(f"{k}={v}" for k, v in sorted(counts.items())) or "none")
+        + f", {failures} failure(s)\n"
+    )
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -662,6 +977,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "validate": _cmd_validate,
         "qa": _cmd_qa,
         "formal": _cmd_formal,
+        "obs": _cmd_obs,
+        "bench": _cmd_bench,
+        "top": _cmd_top,
     }
     return handlers[args.command](args, out)
 

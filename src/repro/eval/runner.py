@@ -59,7 +59,18 @@ from repro.exec.progress import (
 from repro.exec.task import Task, TaskOutcome
 from repro.llm.profiles import CapabilityProfile, PROFILES
 from repro.llm.synthetic import SyntheticDesignLLM
-from repro.obs import EventBus, configure_tracing, get_tracer, set_tracer
+from repro.obs import (
+    EventBus,
+    NullSink,
+    Tracer,
+    configure_spool,
+    configure_tracing,
+    get_spool,
+    get_tracer,
+    set_spool,
+    set_tracer,
+    snapshot_now,
+)
 
 log = logging.getLogger(__name__)
 
@@ -207,6 +218,8 @@ class RunnerSettings:
     cache_size: int = 512
     #: when set, worker processes attach a JSONL tracer to this file
     trace_path: str | None = None
+    #: when set, worker processes spool registry snapshots to this file
+    spool_path: str | None = None
 
 
 @dataclass
@@ -351,6 +364,12 @@ def _init_worker(suite: Suite, settings: RunnerSettings) -> None:
     _CONTEXT = _TaskContext(suite, settings)
     # idempotent: under fork the inherited tracer already targets this path
     configure_tracing(settings.trace_path)
+    if settings.spool_path is not None:
+        # spooling needs a live registry even when span tracing is off;
+        # a NullSink tracer keeps counters without writing spans anywhere
+        if not get_tracer().enabled:
+            set_tracer(Tracer(NullSink()))
+        configure_spool(settings.spool_path)
 
 
 def _run_problem(
@@ -387,7 +406,13 @@ class ExperimentRunner:
       as tasks finish;
     * ``trace_path`` — when set, the sweep records a JSONL span trace to
       this file (see :mod:`repro.obs`); worker processes append to the
-      same file, and ``repro trace summarize`` reads it back.
+      same file, and ``repro trace summarize`` reads it back;
+    * ``spool_path`` — when set, every process spools periodic metrics
+      snapshots to this file; ``repro obs export`` merges and renders
+      them (see :mod:`repro.obs.live`);
+    * ``bus`` — optional externally owned :class:`~repro.obs.EventBus`;
+      subscribers attached before the run (e.g. ``repro top``'s
+      :class:`~repro.obs.LiveView`) observe the sweep live.
     """
 
     def __init__(
@@ -406,6 +431,8 @@ class ExperimentRunner:
         task_retries: int = 1,
         progress: Callable[[ProgressEvent, SweepMetrics], None] | None = None,
         trace_path: str | None = None,
+        spool_path: str | None = None,
+        bus: EventBus | None = None,
     ):
         self.suite = suite or build_suite()
         self.max_syntax_iterations = max_syntax_iterations
@@ -420,6 +447,8 @@ class ExperimentRunner:
         self.task_retries = task_retries
         self.progress = progress
         self.trace_path = str(trace_path) if trace_path else None
+        self.spool_path = str(spool_path) if spool_path else None
+        self.bus = bus
         #: metrics of the most recent sweep (populated by every run)
         self.metrics = SweepMetrics()
 
@@ -434,6 +463,7 @@ class ExperimentRunner:
             use_cache=self.use_cache,
             cache_size=self.cache_size,
             trace_path=self.trace_path,
+            spool_path=self.spool_path,
         )
 
     # ------------------------------------------------------------------
@@ -480,17 +510,25 @@ class ExperimentRunner:
         self.metrics = metrics
 
         previous = get_tracer()
+        previous_spool = get_spool()
         if self.trace_path is not None:
             # each sweep starts a fresh trace file, so one summary maps to
             # exactly one sweep
             open(self.trace_path, "w").close()
             configure_tracing(self.trace_path)
+        if self.spool_path is not None:
+            # likewise a fresh spool file per sweep; spooling needs a live
+            # registry in the parent too, even when span tracing is off
+            open(self.spool_path, "w").close()
+            if not get_tracer().enabled:
+                set_tracer(Tracer(NullSink()))
+            configure_spool(self.spool_path)
         tracer = get_tracer()
 
         # one stream, composed consumers: aggregation first, then payload
         # folding, then the trace recorder, then the user's renderer (which
         # therefore always sees fully-updated metrics)
-        bus = EventBus()
+        bus = self.bus if self.bus is not None else EventBus()
         attach_metrics(bus, metrics)
         bus.subscribe(lambda event: self._fold_payload(event, metrics))
         if tracer.enabled:
@@ -523,7 +561,9 @@ class ExperimentRunner:
                 outcomes = engine.run(tasks)
         finally:
             tracer.flush_metrics()
+            snapshot_now(force=True)
             set_tracer(previous)
+            set_spool(previous_spool)
 
         results = []
         cursor = 0

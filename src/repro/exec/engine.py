@@ -36,6 +36,7 @@ from collections import deque
 from typing import Callable, Iterable, Sequence
 
 from repro.obs import EventBus, get_tracer
+from repro.obs.live import snapshot_now
 from repro.exec.progress import (
     ENGINE_FINISH,
     ENGINE_START,
@@ -78,6 +79,9 @@ def _worker_main(worker_id, inbox, outbox, initializer, initargs):
     while True:
         item = inbox.get()
         if item is None:
+            # cooperative shutdown: flush a final cumulative snapshot so
+            # the spool's merged view equals this worker's full registry
+            snapshot_now(force=True)
             return
         index, fn, args = item
         started = _time.perf_counter()
@@ -92,6 +96,9 @@ def _worker_main(worker_id, inbox, outbox, initializer, initargs):
             outbox.put(
                 ("ok", index, value, _time.perf_counter() - started)
             )
+        # periodic live-telemetry snapshot (no-op without a spool); a
+        # worker hard-killed later loses at most the post-snapshot delta
+        snapshot_now()
 
 
 class _Worker:
@@ -247,6 +254,9 @@ class ExecutionEngine:
                 "engine finish: %d outcome(s), %d failed",
                 len(outcomes), failed,
             )
+        # the calling process's own final snapshot (covers the serial
+        # path's task metrics and the parent's engine-level metrics)
+        snapshot_now(force=True)
         return outcomes
 
     # ------------------------------------------------------------------
@@ -291,6 +301,7 @@ class ExecutionEngine:
                     key=task.key, attempts=1,
                     seconds=outcome.seconds, outcome=outcome,
                 ))
+            snapshot_now()  # periodic spool snapshot (no-op when disabled)
         return outcomes
 
     # ------------------------------------------------------------------

@@ -18,10 +18,60 @@ Public surface:
   validation against :data:`~repro.obs.schema.TRACE_RECORD_SCHEMA`;
 * :func:`~repro.obs.summary.summarize_trace` /
   :func:`~repro.obs.summary.render_trace_summary` — the Figure 3-style
-  aggregation behind ``repro trace summarize``.
+  aggregation behind ``repro trace summarize``;
+* :class:`~repro.obs.live.MetricsSpool` /
+  :func:`~repro.obs.live.aggregate_spool` — the cross-process metrics
+  spool and aggregator (``repro obs export`` / ``repro obs validate``);
+* :func:`~repro.obs.export.render_prometheus` /
+  :func:`~repro.obs.export.render_health` — Prometheus text and JSON
+  health exposition of a merged snapshot;
+* :func:`~repro.obs.analyze.critical_path` /
+  :func:`~repro.obs.analyze.fold_stacks` — span-tree analytics behind
+  ``repro trace critical-path`` and ``repro trace flame``;
+* :func:`~repro.obs.baseline.check_baselines` — the ``repro bench check``
+  perf-regression gate over committed ``BENCH_*.json`` baselines;
+* :class:`~repro.obs.top.LiveView` — the ``repro top`` live TTY dashboard
+  subscribed to the event bus.
 """
 
+from repro.obs.analyze import (
+    PathStep,
+    SpanNode,
+    build_span_forest,
+    critical_path,
+    critical_path_of_trace,
+    fold_stacks,
+    fold_trace,
+    render_critical_path,
+    render_flame,
+)
+from repro.obs.baseline import (
+    DEFAULT_TOLERANCE,
+    BenchCheckReport,
+    BenchDelta,
+    check_baselines,
+    compare_reports,
+)
 from repro.obs.bus import EventBus
+from repro.obs.export import (
+    prometheus_name,
+    render_health,
+    render_prometheus,
+)
+from repro.obs.live import (
+    SPOOL_FORMAT_VERSION,
+    MetricsSnapshot,
+    MetricsSpool,
+    aggregate_records,
+    aggregate_spool,
+    configure_spool,
+    get_spool,
+    read_spool,
+    set_spool,
+    snapshot_now,
+    validate_spool,
+    validate_spool_record,
+)
 from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_SECONDS_BUCKETS,
@@ -38,12 +88,15 @@ from repro.obs.schema import (
     validate_record,
     validate_trace,
 )
-from repro.obs.sink import JsonlSink, MemorySink
+from repro.obs.sink import JsonlSink, MemorySink, NullSink
 from repro.obs.summary import (
+    AgentBreakdown,
     ConfigTraceSummary,
     TraceSummary,
     read_trace,
+    render_agent_breakdown,
     render_trace_summary,
+    summarize_agents,
     summarize_records,
     summarize_trace,
 )
@@ -61,6 +114,7 @@ from repro.obs.trace import (
     get_tracer,
     set_tracer,
 )
+from repro.obs.top import LiveView
 
 __all__ = [
     "Tracer",
@@ -77,6 +131,7 @@ __all__ = [
     "configure_tracing",
     "JsonlSink",
     "MemorySink",
+    "NullSink",
     "EventBus",
     "MetricsRegistry",
     "NullRegistry",
@@ -96,4 +151,42 @@ __all__ = [
     "summarize_records",
     "summarize_trace",
     "render_trace_summary",
+    "AgentBreakdown",
+    "summarize_agents",
+    "render_agent_breakdown",
+    # live telemetry (repro.obs.live)
+    "MetricsSpool",
+    "MetricsSnapshot",
+    "SPOOL_FORMAT_VERSION",
+    "configure_spool",
+    "get_spool",
+    "set_spool",
+    "snapshot_now",
+    "read_spool",
+    "aggregate_records",
+    "aggregate_spool",
+    "validate_spool",
+    "validate_spool_record",
+    # exposition (repro.obs.export)
+    "render_prometheus",
+    "render_health",
+    "prometheus_name",
+    # trace analytics (repro.obs.analyze)
+    "SpanNode",
+    "PathStep",
+    "build_span_forest",
+    "critical_path",
+    "critical_path_of_trace",
+    "render_critical_path",
+    "fold_stacks",
+    "fold_trace",
+    "render_flame",
+    # perf-regression gate (repro.obs.baseline)
+    "BenchDelta",
+    "BenchCheckReport",
+    "DEFAULT_TOLERANCE",
+    "compare_reports",
+    "check_baselines",
+    # live TTY view (repro.obs.top)
+    "LiveView",
 ]

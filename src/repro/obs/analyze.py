@@ -1,0 +1,222 @@
+"""Trace analytics over span trees: critical path and flame output.
+
+The summarizer (:mod:`repro.obs.summary`) answers the paper's behavioral
+questions; this module answers the *performance* ones from the same JSONL
+trace:
+
+* :func:`critical_path` — the longest wall-clock chain from the root span
+  down. At each node the path follows the child with the largest wall
+  time; each step's **self time** is its wall time minus the wall time of
+  the next step on the path, so the self times telescope to exactly the
+  root span's wall time — nothing on the hot path is double-counted or
+  lost (``repro trace critical-path``).
+* :func:`fold_stacks` — folded-stack output (``root;child;leaf <µs>``),
+  one line per unique span-name stack with the **self** microseconds of
+  all spans sharing that stack (wall minus children, clamped at zero) —
+  directly consumable by standard flamegraph tooling
+  (``repro trace flame``).
+
+Both work on any trace the tracer wrote, serial or multi-process: worker
+spans carry parent ids pointing into the parent process's open spans, so
+the file reassembles into one tree. Spans whose parent never closed (a
+crashed worker) become extra roots and are still accounted for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.summary import read_trace
+
+
+@dataclass
+class SpanNode:
+    """One span plus its children, ordered by start time."""
+
+    record: dict
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.record["name"]
+
+    @property
+    def span_id(self) -> str:
+        return self.record["span_id"]
+
+    @property
+    def wall(self) -> float:
+        return float(self.record["wall_seconds"])
+
+
+def build_span_forest(records: list[dict]) -> list[SpanNode]:
+    """Reassemble span records into root trees (file order broken ties).
+
+    Roots are spans with no parent *in the file* — the sweep root, plus
+    any orphans whose parent never closed. Children are ordered by
+    ``(start, pid, seq)`` so the forest is deterministic for a given file.
+    """
+    nodes: dict[str, SpanNode] = {}
+    order: list[SpanNode] = []
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        node = SpanNode(record=record)
+        nodes[node.span_id] = node
+        order.append(node)
+    roots: list[SpanNode] = []
+    for node in order:
+        parent = nodes.get(node.record.get("parent_id") or "")
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    def sort_key(node: SpanNode):
+        return (
+            node.record.get("start", 0.0),
+            node.record.get("pid", 0),
+            node.record.get("seq", 0),
+        )
+    for node in order:
+        node.children.sort(key=sort_key)
+    roots.sort(key=sort_key)
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# critical path
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PathStep:
+    """One span on the critical path."""
+
+    name: str
+    span_id: str
+    pid: int
+    wall_seconds: float
+    #: wall time not handed down to the next step on the path — the
+    #: telescoping attribution (sums to the root wall across the path)
+    self_seconds: float
+    #: wall time minus *all* children (the span's own work)
+    own_seconds: float
+    attrs: dict
+
+
+def _own_seconds(node: SpanNode) -> float:
+    return max(node.wall - sum(child.wall for child in node.children), 0.0)
+
+
+def critical_path(records: list[dict]) -> list[PathStep]:
+    """The longest wall-clock chain of the trace's largest root tree.
+
+    Empty when the trace holds no spans. At each node the path descends
+    into the child with the greatest wall time (earliest start breaking
+    ties), so the result is the chain a latency fix has to shorten.
+    """
+    roots = build_span_forest(records)
+    if not roots:
+        return []
+    root = max(roots, key=lambda node: node.wall)
+    steps: list[PathStep] = []
+    node = root
+    while True:
+        hottest = max(
+            node.children, key=lambda child: child.wall, default=None
+        )
+        handed_down = hottest.wall if hottest is not None else 0.0
+        steps.append(PathStep(
+            name=node.name,
+            span_id=node.span_id,
+            pid=node.record.get("pid", 0),
+            wall_seconds=node.wall,
+            self_seconds=max(node.wall - handed_down, 0.0),
+            own_seconds=_own_seconds(node),
+            attrs=dict(node.record.get("attrs", {})),
+        ))
+        if hottest is None:
+            return steps
+        node = hottest
+
+
+def render_critical_path(steps: list[PathStep]) -> str:
+    """Human-readable critical-path report."""
+    if not steps:
+        return "critical path: trace holds no spans"
+    total = steps[0].wall_seconds
+    lines = [
+        f"critical path: {len(steps)} span(s), "
+        f"root wall {total:.4f}s (self times sum to the root wall)"
+    ]
+    header = (
+        f"  {'span':<36} {'wall s':>10} {'self s':>10} "
+        f"{'self %':>7}  {'pid':>6}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for depth, step in enumerate(steps):
+        label = ("  " * min(depth, 8)) + step.name
+        pct = 100.0 * step.self_seconds / total if total else 0.0
+        lines.append(
+            f"  {label:<36} {step.wall_seconds:>10.4f} "
+            f"{step.self_seconds:>10.4f} {pct:>6.1f}%  {step.pid:>6}"
+        )
+        hint = _step_hint(step)
+        if hint:
+            lines.append(f"  {'':<36} {hint}")
+    return "\n".join(lines)
+
+
+def _step_hint(step: PathStep) -> str:
+    """A short provenance hint from the span's semantic attributes."""
+    attrs = step.attrs
+    for key in ("key", "problem", "case", "seed"):
+        if key in attrs:
+            return f"↳ {key}={attrs[key]}"
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# flame output
+# ---------------------------------------------------------------------------
+
+
+def fold_stacks(records: list[dict]) -> dict[str, int]:
+    """Folded stacks → self-time microseconds, for flamegraph tooling.
+
+    Stacks are span *names* joined with ``;`` from the root down; spans
+    sharing a name-stack accumulate. Values are integer microseconds of
+    self time (wall minus children, clamped at zero), so the flame graph's
+    column widths are wall-clock attribution, not call counts.
+    """
+    folded: dict[str, int] = {}
+
+    def visit(node: SpanNode, prefix: str) -> None:
+        stack = f"{prefix};{node.name}" if prefix else node.name
+        micros = int(round(_own_seconds(node) * 1e6))
+        if micros:
+            folded[stack] = folded.get(stack, 0) + micros
+        for child in node.children:
+            visit(child, stack)
+
+    for root in build_span_forest(records):
+        visit(root, "")
+    return folded
+
+
+def render_flame(folded: dict[str, int]) -> str:
+    """One ``stack value`` line per folded stack, deepest-last sorted."""
+    return "\n".join(
+        f"{stack} {value}" for stack, value in sorted(folded.items())
+    ) + ("\n" if folded else "")
+
+
+def critical_path_of_trace(path) -> list[PathStep]:
+    """Read one trace file and compute its critical path."""
+    return critical_path(read_trace(path))
+
+
+def fold_trace(path) -> dict[str, int]:
+    """Read one trace file and fold its stacks."""
+    return fold_stacks(read_trace(path))

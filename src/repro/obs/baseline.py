@@ -1,0 +1,281 @@
+"""Perf-regression gate: compare fresh ``BENCH_*.json`` against baselines.
+
+The benchmarks write machine-readable reports (``BENCH_sim.json`` from
+:mod:`benchmarks.bench_micro`, ``BENCH_exec.json`` from
+:mod:`benchmarks.bench_exec`); committed copies live under
+``benchmarks/baselines/``. ``repro bench check`` diffs fresh reports
+against the committed trajectory under a configurable relative tolerance,
+so a perf regression fails a PR *before* it merges instead of surfacing as
+a mystery slowdown later.
+
+Metric direction is inferred from the leaf key name: ``*_ms``/``*_s``/
+``*seconds`` are lower-is-better, ``*speedup``/``*throughput``/
+``*hit_rate`` are higher-is-better, anything else (e.g. the recorded
+``floor``) is informational. Ratio metrics (speedups, hit rates) are the
+load-bearing ones across machines; absolute timings still participate but
+tiers can be demoted to warn-only on noisy shared runners (CI hard-fails
+only the ``sim`` tier by default).
+
+Absolute timings face one more confounder: the fresh run and the baseline
+run rarely share a host (or a load level), which scales *every* timing in
+a tier by the same factor — unlike a code regression, which moves one or
+a few leaves against the rest. When a tier has at least
+:data:`MIN_DRIFT_SAMPLE` timing leaves, their median worse-ratio is taken
+as host drift and divided out before the tolerance check, so a uniformly
+slower box passes while a single 2x-slower leaf still fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from glob import glob
+
+#: default allowed relative regression before a delta counts as regressed
+DEFAULT_TOLERANCE = 0.35
+
+#: minimum lower-is-better leaves in a tier before the median worse-ratio
+#: is trusted as host drift — with fewer, one real regression would shift
+#: its own reference and normalize itself away
+MIN_DRIFT_SAMPLE = 3
+
+LOWER_IS_BETTER_SUFFIXES = ("_ms", "_s", "seconds")
+HIGHER_IS_BETTER_SUFFIXES = ("speedup", "throughput", "hit_rate")
+
+DIRECTION_LOWER = "lower"
+DIRECTION_HIGHER = "higher"
+DIRECTION_INFO = "info"
+
+
+def metric_direction(key: str) -> str:
+    """Which way a benchmark leaf named ``key`` is supposed to move."""
+    lowered = key.lower()
+    if lowered.endswith(HIGHER_IS_BETTER_SUFFIXES):
+        return DIRECTION_HIGHER
+    if lowered.endswith(LOWER_IS_BETTER_SUFFIXES):
+        return DIRECTION_LOWER
+    return DIRECTION_INFO
+
+
+@dataclass
+class BenchDelta:
+    """One compared benchmark leaf."""
+
+    tier: str  # e.g. "sim" (from BENCH_sim.json)
+    name: str  # dotted path inside the report, e.g. "verilog.compiled_ms"
+    direction: str
+    baseline: float
+    fresh: float
+    #: fresh/baseline for lower-is-better, baseline/fresh for higher —
+    #: > 1 always means "worse", so one tolerance reads both directions;
+    #: timings are additionally divided by the tier's host ``drift``
+    ratio: float
+    regressed: bool
+    improved: bool
+    #: the tier's median timing worse-ratio divided out of ``ratio``
+    #: (1.0 for ratio/info metrics and for tiers too small to estimate)
+    drift: float = 1.0
+
+    def describe(self) -> str:
+        arrow = {
+            DIRECTION_LOWER: "↓ better", DIRECTION_HIGHER: "↑ better",
+        }.get(self.direction, "info")
+        state = (
+            "REGRESSED" if self.regressed
+            else "improved" if self.improved else "ok"
+        )
+        return (
+            f"{self.tier}/{self.name} [{arrow}]: baseline {self.baseline:g} "
+            f"→ fresh {self.fresh:g} (x{self.ratio:.2f} worse-ratio) {state}"
+        )
+
+
+@dataclass
+class BenchCheckReport:
+    """Everything one ``repro bench check`` run decided."""
+
+    tolerance: float
+    deltas: list[BenchDelta] = field(default_factory=list)
+    missing_fresh: list[str] = field(default_factory=list)  # tiers w/o fresh
+    missing_leaves: list[str] = field(default_factory=list)
+    extra_leaves: list[str] = field(default_factory=list)
+    #: tier names whose regressions fail the gate (others only warn)
+    hard_tiers: tuple[str, ...] = ()
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def hard_failures(self) -> list[BenchDelta]:
+        return [
+            d for d in self.regressions
+            if any(pattern in d.tier for pattern in self.hard_tiers)
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.hard_failures
+
+    def render(self) -> str:
+        lines = [
+            f"bench check: {len(self.deltas)} metric(s), "
+            f"tolerance {100 * self.tolerance:.0f}%, "
+            f"hard tiers: {', '.join(self.hard_tiers) or 'none'}"
+        ]
+        drifts = {d.tier: d.drift for d in self.deltas if d.drift != 1.0}
+        for tier, drift in sorted(drifts.items()):
+            lines.append(
+                f"  ~ tier {tier}: timings normalized by x{drift:.2f} "
+                f"host drift (median of the tier's timing ratios)"
+            )
+        for delta in self.deltas:
+            marker = "!" if delta.regressed else " "
+            lines.append(f"  {marker} {delta.describe()}")
+        for tier in self.missing_fresh:
+            lines.append(
+                f"  ? tier {tier}: no fresh report found (skipped)"
+            )
+        for leaf in self.missing_leaves:
+            lines.append(f"  ? {leaf}: in baseline but not in fresh report")
+        for leaf in self.extra_leaves:
+            lines.append(f"  + {leaf}: new metric (no baseline yet)")
+        regressions = self.regressions
+        hard = self.hard_failures
+        lines.append(
+            f"bench check: {len(regressions)} regression(s), "
+            f"{len(hard)} gate failure(s) "
+            f"({'FAIL' if hard else 'PASS'})"
+        )
+        return "\n".join(lines)
+
+
+def _walk(report: dict, prefix: str = ""):
+    """Yield ``(dotted_name, leaf_key, value)`` for every numeric leaf."""
+    for key, value in sorted(report.items()):
+        name = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from _walk(value, name)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield name, key, float(value)
+
+
+def compare_reports(
+    tier: str,
+    baseline: dict,
+    fresh: dict,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[list[BenchDelta], list[str], list[str]]:
+    """Compare two benchmark reports of one tier.
+
+    Returns ``(deltas, missing_leaves, extra_leaves)``.
+    """
+    baseline_leaves = {name: (key, value) for name, key, value in _walk(baseline)}
+    fresh_leaves = {name: value for name, _, value in _walk(fresh)}
+    deltas: list[BenchDelta] = []
+    missing = [
+        f"{tier}/{name}" for name in baseline_leaves if name not in fresh_leaves
+    ]
+    extra = [
+        f"{tier}/{name}" for name in fresh_leaves if name not in baseline_leaves
+    ]
+    raw: list[tuple[str, str, float, float, float]] = []
+    for name, (key, base_value) in baseline_leaves.items():
+        if name not in fresh_leaves:
+            continue
+        fresh_value = fresh_leaves[name]
+        direction = metric_direction(key)
+        if direction == DIRECTION_LOWER:
+            ratio = fresh_value / base_value if base_value else float("inf")
+        elif direction == DIRECTION_HIGHER:
+            ratio = base_value / fresh_value if fresh_value else float("inf")
+        else:
+            ratio = 1.0
+        raw.append((name, direction, base_value, fresh_value, ratio))
+    drift = _host_drift([r[4] for r in raw if r[1] == DIRECTION_LOWER])
+    for name, direction, base_value, fresh_value, ratio in raw:
+        leaf_drift = drift if direction == DIRECTION_LOWER else 1.0
+        ratio /= leaf_drift
+        regressed = direction != DIRECTION_INFO and ratio > 1.0 + tolerance
+        improved = direction != DIRECTION_INFO and ratio < 1.0 / (1.0 + tolerance)
+        deltas.append(BenchDelta(
+            tier=tier,
+            name=name,
+            direction=direction,
+            baseline=base_value,
+            fresh=fresh_value,
+            ratio=ratio,
+            regressed=regressed,
+            improved=improved,
+            drift=leaf_drift,
+        ))
+    return deltas, missing, extra
+
+
+def _host_drift(timing_ratios: list[float]) -> float:
+    """Median timing worse-ratio of a tier, or 1.0 when unestimable."""
+    finite = sorted(r for r in timing_ratios if 0 < r < float("inf"))
+    if len(finite) < MIN_DRIFT_SAMPLE:
+        return 1.0
+    mid = len(finite) // 2
+    if len(finite) % 2:
+        return finite[mid]
+    return (finite[mid - 1] + finite[mid]) / 2.0
+
+
+def tier_name(path: str) -> str:
+    """``.../BENCH_sim.json`` → ``sim``."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def load_report(path) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict):
+        raise ValueError(f"{path}: benchmark report must be a JSON object")
+    return report
+
+
+def check_baselines(
+    baseline_dir,
+    fresh_dir,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    hard_tiers: tuple[str, ...] = ("sim",),
+) -> BenchCheckReport:
+    """Diff every ``BENCH_*.json`` baseline against its fresh counterpart.
+
+    Baselines with no fresh report are recorded (and warned about) but do
+    not fail the gate — a job may legitimately regenerate only one tier.
+    An empty baseline directory raises ``ValueError``: a gate with nothing
+    to compare is a misconfiguration, not a pass.
+    """
+    baseline_paths = sorted(
+        glob(os.path.join(os.fspath(baseline_dir), "BENCH_*.json"))
+    )
+    if not baseline_paths:
+        raise ValueError(
+            f"no BENCH_*.json baselines found in {baseline_dir}"
+        )
+    report = BenchCheckReport(tolerance=tolerance, hard_tiers=hard_tiers)
+    for baseline_path in baseline_paths:
+        tier = tier_name(baseline_path)
+        fresh_path = os.path.join(
+            os.fspath(fresh_dir), os.path.basename(baseline_path)
+        )
+        if not os.path.exists(fresh_path):
+            report.missing_fresh.append(tier)
+            continue
+        deltas, missing, extra = compare_reports(
+            tier,
+            load_report(baseline_path),
+            load_report(fresh_path),
+            tolerance=tolerance,
+        )
+        report.deltas.extend(deltas)
+        report.missing_leaves.extend(missing)
+        report.extra_leaves.extend(extra)
+    return report

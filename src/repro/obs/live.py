@@ -1,0 +1,368 @@
+"""Live telemetry: the cross-process metrics spool and its aggregator.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` is per-process and
+in-memory — it dies with the run and is invisible from outside. This module
+makes it durable and mergeable:
+
+* :class:`MetricsSpool` — each process periodically writes a **snapshot**
+  of its whole registry as one JSONL line to a shared O_APPEND spool file
+  (the same single-``os.write`` fork-safety design as
+  :class:`~repro.obs.sink.JsonlSink`). Snapshots are *cumulative*: a later
+  snapshot from the same pid supersedes the earlier ones.
+* :func:`aggregate_records` / :func:`aggregate_spool` — merge the latest
+  snapshot of every process into one coherent
+  :class:`MetricsSnapshot`: counters add, gauges keep the newest write,
+  and fixed-bucket histograms add element-wise (they are mergeable by
+  construction — see :mod:`repro.obs.metrics`).
+
+The execution engine snapshots after every task and force-snapshots on
+shutdown (see :mod:`repro.exec.engine`), so the spool's merged view equals
+the in-process aggregates exactly once a run finishes; mid-run it trails by
+at most one task per worker. A worker hard-killed mid-task loses only the
+delta since its last snapshot.
+
+Like the tracer, the **current spool** is module-level state
+(:func:`configure_spool` / :func:`get_spool` / :func:`set_spool`) so
+instrumented code can call :func:`snapshot_now` without plumbing a spool
+through every signature; with no spool configured it is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.sink import JsonlSink
+from repro.obs.trace import get_tracer
+
+#: bumped when the snapshot layout changes; written into every record
+SPOOL_FORMAT_VERSION = 1
+
+#: the one record type a spool file contains
+SNAPSHOT_TYPE = "metrics-snapshot"
+
+
+class MetricsSpool:
+    """Appends registry snapshots to a shared, fork-safe JSONL file.
+
+    ``min_interval`` throttles periodic snapshots per process (monotonic
+    seconds); ``force=True`` bypasses it — shutdown paths use that so the
+    final cumulative snapshot is never dropped. Sequence numbers restart
+    per pid (a forked child is a new writer), and the descriptor reopens
+    per pid via :class:`~repro.obs.sink.JsonlSink`.
+    """
+
+    def __init__(self, path, *, min_interval: float = 0.0):
+        self._sink = JsonlSink(path)
+        self.path = self._sink.path
+        self.min_interval = float(min_interval)
+        self._pid: int | None = None
+        self._seq = 0
+        self._last = -math.inf
+
+    def snapshot(self, registry, *, force: bool = False) -> bool:
+        """Write one cumulative snapshot of ``registry``; True if written."""
+        pid = os.getpid()
+        if self._pid != pid:
+            # forked child: fresh writer identity, no inherited throttle
+            self._pid = pid
+            self._seq = 0
+            self._last = -math.inf
+        now = time.monotonic()
+        if not force and now - self._last < self.min_interval:
+            return False
+        self._sink.write_record({
+            "type": SNAPSHOT_TYPE,
+            "version": SPOOL_FORMAT_VERSION,
+            "pid": pid,
+            "seq": self._seq,
+            "time": time.time(),
+            "metrics": registry.to_records(),
+        })
+        self._seq += 1
+        self._last = now
+        return True
+
+    def close(self) -> None:
+        self._sink.close()
+
+
+# ---------------------------------------------------------------------------
+# module-level current spool (mirrors the current-tracer pattern)
+# ---------------------------------------------------------------------------
+
+_spool: MetricsSpool | None = None
+
+
+def get_spool() -> MetricsSpool | None:
+    """The process-wide current spool, or ``None`` (spooling disabled)."""
+    return _spool
+
+
+def set_spool(spool: MetricsSpool | None) -> MetricsSpool | None:
+    """Install ``spool`` as current (``None`` disables spooling)."""
+    global _spool
+    _spool = spool
+    return _spool
+
+
+def configure_spool(path, *, min_interval: float = 0.0) -> MetricsSpool | None:
+    """Install (or reuse) a spool writing to ``path``.
+
+    ``None`` leaves the current spool untouched, so callers can pass an
+    optional spool-path straight through. Re-configuring with the current
+    spool's path returns it unchanged (idempotent — safe from worker
+    initializers under both ``fork`` and ``spawn``).
+    """
+    if path is None:
+        return get_spool()
+    path = os.fspath(path)
+    current = get_spool()
+    if current is not None and current.path == path:
+        return current
+    return set_spool(MetricsSpool(path, min_interval=min_interval))
+
+
+def snapshot_now(*, force: bool = False) -> bool:
+    """Snapshot the current tracer's registry to the current spool.
+
+    A no-op (returns ``False``) when no spool is configured; the engine
+    calls this unconditionally from its task lifecycle.
+    """
+    spool = get_spool()
+    if spool is None:
+        return False
+    return spool.snapshot(get_tracer().metrics, force=force)
+
+
+# ---------------------------------------------------------------------------
+# reading + validation
+# ---------------------------------------------------------------------------
+
+
+def read_spool(path) -> list[dict]:
+    """All records of a spool file, in file order."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                records.append(json.loads(text))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: line {lineno} is not valid JSON: {exc}"
+                ) from exc
+    return records
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_spool_record(record) -> list[str]:
+    """Problems with one spool record; empty means valid.
+
+    Delegates per-metric layout checks to the trace schema's ``metric``
+    validator so the two formats cannot drift apart.
+    """
+    from repro.obs.schema import validate_record
+
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    errors: list[str] = []
+    if record.get("type") != SNAPSHOT_TYPE:
+        errors.append(f"type must be {SNAPSHOT_TYPE!r}")
+    version = record.get("version")
+    if not (isinstance(version, int) and version >= 1):
+        errors.append("version must be a positive integer")
+    if not isinstance(record.get("pid"), int):
+        errors.append("pid must be an int")
+    seq = record.get("seq")
+    if not (isinstance(seq, int) and seq >= 0):
+        errors.append("seq must be a non-negative int")
+    if not _is_number(record.get("time")):
+        errors.append("time must be a number")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, list):
+        errors.append("metrics must be a list")
+        return errors
+    for index, metric in enumerate(metrics):
+        if not isinstance(metric, dict):
+            errors.append(f"metrics[{index}] is not an object")
+            continue
+        # the trace validator expects the envelope fields on each metric
+        probe = {
+            "type": "metric",
+            "pid": record.get("pid", 0),
+            "time": record.get("time", 0.0),
+            **metric,
+        }
+        if not isinstance(probe.get("pid"), int):
+            probe["pid"] = 0
+        if not _is_number(probe.get("time")):
+            probe["time"] = 0.0
+        errors.extend(
+            f"metrics[{index}]: {problem}"
+            for problem in validate_record(probe)
+        )
+    return errors
+
+
+def validate_spool(path) -> tuple[int, list[str]]:
+    """Validate every line of a spool file → ``(record_count, errors)``."""
+    errors: list[str] = []
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.endswith("\n"):
+                errors.append(f"line {lineno}: truncated (no trailing newline)")
+            text = line.strip()
+            if not text:
+                errors.append(f"line {lineno}: blank line")
+                continue
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: invalid JSON ({exc})")
+                continue
+            count += 1
+            for problem in validate_spool_record(record):
+                errors.append(f"line {lineno}: {problem}")
+    if count == 0 and not errors:
+        errors.append("spool contains no records")
+    return count, errors
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MetricsSnapshot:
+    """One coherent cross-process view of every metric.
+
+    ``metrics`` maps metric name → merged record in the same layout the
+    registry's ``to_record`` produces, so everything that can render a
+    registry dump can render a merged snapshot.
+    """
+
+    path: str = ""
+    metrics: dict[str, dict] = field(default_factory=dict)
+    pids: list[int] = field(default_factory=list)
+    snapshot_count: int = 0
+    earliest: float = 0.0
+    latest: float = 0.0
+
+    def counter(self, name: str) -> float:
+        """Merged value of a counter (0 when absent)."""
+        record = self.metrics.get(name)
+        return record["value"] if record else 0
+
+
+def merge_metric_records(into: dict, record: dict, *, time_key: float) -> dict:
+    """Fold ``record`` into the accumulated ``into`` record (same name).
+
+    ``time_key`` orders gauge writes: the merged gauge keeps the value from
+    the latest snapshot. Counter values add; histograms add element-wise
+    (their fixed bounds must agree). Kind or bucket disagreements raise
+    ``ValueError`` — they mean two processes registered the same name
+    incompatibly, which the per-process registry already forbids.
+    """
+    if into["kind"] != record["kind"]:
+        raise ValueError(
+            f"metric {record['name']!r} is a {into['kind']} in one process "
+            f"and a {record['kind']} in another"
+        )
+    if record["kind"] == "counter":
+        into["value"] += record["value"]
+    elif record["kind"] == "gauge":
+        if time_key >= into["_gauge_time"]:
+            into["value"] = record["value"]
+            into["_gauge_time"] = time_key
+    else:  # histogram
+        if into["buckets"] != record["buckets"]:
+            raise ValueError(
+                f"histogram {record['name']!r} has buckets "
+                f"{into['buckets']} in one process and "
+                f"{record['buckets']} in another"
+            )
+        into["counts"] = [
+            a + b for a, b in zip(into["counts"], record["counts"])
+        ]
+        into["sum"] += record["sum"]
+        # min/max sidecars are 0.0 placeholders on an empty histogram;
+        # only populated sides participate in the merge
+        if record["count"]:
+            if into["count"]:
+                into["min"] = min(into["min"], record["min"])
+                into["max"] = max(into["max"], record["max"])
+            else:
+                into["min"] = record["min"]
+                into["max"] = record["max"]
+        into["count"] += record["count"]
+    return into
+
+
+def aggregate_records(records: list[dict], *, path: str = "") -> MetricsSnapshot:
+    """Merge spool records into one :class:`MetricsSnapshot`.
+
+    Snapshots are cumulative per process, so only the **latest** snapshot
+    of each pid (highest ``seq``, then latest ``time``) contributes; the
+    survivors merge element-wise. Unknown record types are ignored so the
+    aggregator stays forward-compatible.
+    """
+    latest: dict[int, dict] = {}
+    snapshot_count = 0
+    for record in records:
+        if not isinstance(record, dict) or record.get("type") != SNAPSHOT_TYPE:
+            continue
+        snapshot_count += 1
+        pid = record["pid"]
+        current = latest.get(pid)
+        if current is None or (
+            (record["seq"], record["time"])
+            >= (current["seq"], current["time"])
+        ):
+            latest[pid] = record
+
+    snapshot = MetricsSnapshot(path=path, snapshot_count=snapshot_count)
+    if not latest:
+        return snapshot
+    snapshot.pids = sorted(latest)
+    times = [record["time"] for record in latest.values()]
+    snapshot.earliest = min(times)
+    snapshot.latest = max(times)
+
+    merged: dict[str, dict] = {}
+    # deterministic fold order: by pid, so gauge ties resolve stably
+    for pid in snapshot.pids:
+        record = latest[pid]
+        for metric in record["metrics"]:
+            name = metric["name"]
+            if name not in merged:
+                copied = dict(metric)
+                if copied["kind"] == "histogram":
+                    copied["counts"] = list(copied["counts"])
+                    copied["buckets"] = list(copied["buckets"])
+                elif copied["kind"] == "gauge":
+                    copied["_gauge_time"] = record["time"]
+                merged[name] = copied
+            else:
+                merge_metric_records(
+                    merged[name], metric, time_key=record["time"]
+                )
+    for metric in merged.values():
+        metric.pop("_gauge_time", None)
+    snapshot.metrics = dict(sorted(merged.items()))
+    return snapshot
+
+
+def aggregate_spool(path) -> MetricsSnapshot:
+    """Read and merge one spool file."""
+    return aggregate_records(read_spool(path), path=str(path))

@@ -32,39 +32,50 @@ DEFAULT_COUNT_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0)
 
 
 class Counter:
-    """Monotonically increasing count (cache hits, tokens, runs)."""
+    """Monotonically increasing count (cache hits, tokens, runs).
+
+    Updates and snapshots are serialized by a per-metric lock, so
+    concurrent threads never lose an increment and ``to_record`` always
+    sees a complete update.
+    """
 
     kind = "counter"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_record(self) -> dict:
-        return {"kind": self.kind, "name": self.name, "value": self.value}
+        with self._lock:
+            return {"kind": self.kind, "name": self.name, "value": self.value}
 
 
 class Gauge:
     """Last-write-wins instantaneous value (pool size, queue depth)."""
 
     kind = "gauge"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def to_record(self) -> dict:
-        return {"kind": self.kind, "name": self.name, "value": self.value}
+        with self._lock:
+            return {"kind": self.kind, "name": self.name, "value": self.value}
 
 
 class Histogram:
@@ -76,7 +87,9 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "bounds", "counts", "total", "count", "min", "max")
+    __slots__ = (
+        "name", "bounds", "counts", "total", "count", "min", "max", "_lock",
+    )
 
     def __init__(self, name: str, buckets=DEFAULT_SECONDS_BUCKETS):
         bounds = tuple(float(b) for b in buckets)
@@ -93,16 +106,19 @@ class Histogram:
         self.count = 0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.total += value
-        self.count += 1
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        bucket = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.total += value
+            self.count += 1
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -133,16 +149,17 @@ class Histogram:
         return self.max  # pragma: no cover - loop always returns
 
     def to_record(self) -> dict:
-        return {
-            "kind": self.kind,
-            "name": self.name,
-            "buckets": list(self.bounds),
-            "counts": list(self.counts),
-            "sum": self.total,
-            "count": self.count,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-        }
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "name": self.name,
+                "buckets": list(self.bounds),
+                "counts": list(self.counts),
+                "sum": self.total,
+                "count": self.count,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+            }
 
 
 class MetricsRegistry:

@@ -65,6 +65,24 @@ class JsonlSink:
         self._pid = None
 
 
+class NullSink:
+    """Discards every record.
+
+    Backs a real :class:`~repro.obs.trace.Tracer` whose *registry* is
+    wanted but whose span stream is not — e.g. a sweep running with the
+    metrics spool enabled but span tracing off still needs live counters
+    to snapshot.
+    """
+
+    __slots__ = ()
+
+    def write_record(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
 class MemorySink:
     """Collects records in memory (tests); enforces JSON serializability."""
 

@@ -30,6 +30,19 @@ TASK_SPAN = "task.problem"
 COMPILE_SPAN = "toolchain.compile"
 SIMULATE_SPAN = "toolchain.simulate"
 
+#: the paper's three-agent pipeline, mapped from span names: the code
+#: agent writes RTL (initial generation and the no-loop baseline), the
+#: review agent drives the syntax loop, the verification agent drives the
+#: functional loop. Only the top-level loop spans count — their nested
+#: ``*.iteration`` children are already inside that wall time.
+AGENT_SPAN_MAP = {
+    "pipeline.generate": "code",
+    "pipeline.baseline": "code",
+    "loop.syntax": "review",
+    "loop.functional": "verification",
+}
+AGENTS = ("code", "review", "verification")
+
 
 def read_trace(path) -> list[dict]:
     """All records of a JSONL trace file, in file order."""
@@ -236,6 +249,103 @@ def summarize_records(records: list[dict], *, path: str = "") -> TraceSummary:
 def summarize_trace(path) -> TraceSummary:
     """Read and aggregate one trace file."""
     return summarize_records(read_trace(path), path=str(path))
+
+
+# ---------------------------------------------------------------------------
+# --by-agent: wall time attributed to the paper's three pipeline agents
+
+
+@dataclass
+class AgentBreakdown:
+    """Wall seconds per agent role, total and per configuration."""
+
+    seconds: dict = field(
+        default_factory=lambda: {agent: 0.0 for agent in AGENTS}
+    )
+    spans: dict = field(
+        default_factory=lambda: {agent: 0 for agent in AGENTS}
+    )
+    #: config key (``model/language``) → {agent: seconds}
+    configs: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+
+def _enclosing_config(record: dict, spans: dict) -> str:
+    """Walk parent ids up to the ``task.problem`` span's model/language."""
+    seen: set[str] = set()
+    current = record
+    while current is not None:
+        if current.get("name") == TASK_SPAN:
+            attrs = current.get("attrs", {})
+            return (
+                f"{attrs.get('model', '?')}/{attrs.get('language', '?')}"
+            )
+        parent_id = current.get("parent_id")
+        if not parent_id or parent_id in seen:
+            break
+        seen.add(parent_id)
+        current = spans.get(parent_id)
+    return "?"
+
+
+def summarize_agents(records: list[dict]) -> AgentBreakdown:
+    """Attribute span wall time to code/review/verification agents.
+
+    The paper's Figure 3 decomposes loop latency by pipeline stage; this
+    is the measured (not modeled) equivalent, reconstructed purely from
+    the trace: each agent-owning span's wall time, attributed to the
+    configuration of the ``task.problem`` span enclosing it.
+    """
+    spans = {
+        r["span_id"]: r
+        for r in records
+        if r.get("type") == "span" and r.get("span_id")
+    }
+    breakdown = AgentBreakdown()
+    for record in spans.values():
+        agent = AGENT_SPAN_MAP.get(record.get("name"))
+        if agent is None:
+            continue
+        wall = float(record.get("wall_seconds", 0.0))
+        breakdown.seconds[agent] += wall
+        breakdown.spans[agent] += 1
+        config = _enclosing_config(record, spans)
+        per_config = breakdown.configs.setdefault(
+            config, {a: 0.0 for a in AGENTS}
+        )
+        per_config[agent] += wall
+    return breakdown
+
+
+def render_agent_breakdown(breakdown: AgentBreakdown) -> str:
+    """The ``repro trace summarize --by-agent`` section."""
+    total = breakdown.total_seconds
+    lines = ["  agent breakdown (measured wall seconds):"]
+    for agent in AGENTS:
+        seconds = breakdown.seconds[agent]
+        share = 100.0 * seconds / total if total else 0.0
+        lines.append(
+            f"    {agent:<13} {seconds:>9.3f}s  {share:>5.1f}%  "
+            f"({breakdown.spans[agent]} span(s))"
+        )
+    if breakdown.configs:
+        header = (
+            f"    {'config':<28} "
+            + " ".join(f"{agent:>13}" for agent in AGENTS)
+        )
+        lines.append(header)
+        for config in sorted(breakdown.configs):
+            per_config = breakdown.configs[config]
+            lines.append(
+                f"    {config:<28} "
+                + " ".join(
+                    f"{per_config[agent]:>12.3f}s" for agent in AGENTS
+                )
+            )
+    return "\n".join(lines)
 
 
 def render_trace_summary(summary: TraceSummary) -> str:

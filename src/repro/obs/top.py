@@ -1,0 +1,190 @@
+"""``repro top``: a live TTY view of a running campaign.
+
+:class:`LiveView` is an :class:`~repro.obs.bus.EventBus` subscriber — the
+same stream sweep metrics, trace recording, and ``--progress`` lines
+consume — that maintains a small in-terminal dashboard: overall progress,
+per-configuration task counts, toolchain-cache hit rate, and failure
+classes, refreshed in place with ANSI cursor movement (plain throttled
+lines when the stream is not a TTY).
+
+It understands the payloads the three campaign types ship on their
+``task-done`` outcomes without importing them (duck typing keeps
+``repro.obs`` dependency-free):
+
+* sweep tasks carry a record with pass/fail judgments and a cache delta;
+* ``qa fuzz`` tasks carry a dict with a ``class`` failure classification;
+* ``formal prove`` tasks carry per-language verdict strings.
+
+Keys like ``model/language/problem`` group into per-config rows on the
+first two path segments.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+#: terminal refresh cadence; events between refreshes still fold
+DEFAULT_INTERVAL = 0.25
+
+_FINAL_KINDS = ("task-done", "task-error")
+
+
+@dataclass
+class _ConfigRow:
+    done: int = 0
+    ok: int = 0
+    failed: int = 0
+
+
+@dataclass
+class LiveView:
+    """Fold progress events; render an in-place TTY dashboard."""
+
+    stream: object = None
+    interval: float = DEFAULT_INTERVAL
+    title: str = "repro top"
+    now: object = time.monotonic
+
+    total: int = 0
+    done: int = 0
+    errors: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    configs: dict = field(default_factory=dict)
+    classes: dict = field(default_factory=dict)
+    started_at: float = 0.0
+    _last_render: float = field(default=-1e9, repr=False)
+    _last_lines: int = field(default=0, repr=False)
+
+    def __post_init__(self):
+        if self.stream is None:
+            self.stream = sys.stderr
+        self.started_at = self.now()
+
+    # -- event folding --------------------------------------------------
+
+    def __call__(self, event) -> None:
+        """EventBus subscriber entry point."""
+        self.fold(event)
+        if event.kind == "engine-finish":
+            self.render(force=True)
+        else:
+            self.render()
+
+    def fold(self, event) -> None:
+        kind = event.kind
+        if kind == "engine-start":
+            self.total = max(self.total, event.total)
+            return
+        if kind == "engine-finish":
+            self.done = max(self.done, event.done)
+            return
+        if kind == "task-retry":
+            self.retries += 1
+            return
+        if kind not in _FINAL_KINDS:
+            return
+        self.done = event.done
+        self.total = max(self.total, event.total)
+        row = self._row(event.key)
+        row.done += 1
+        if kind == "task-error":
+            self.errors += 1
+            row.failed += 1
+            self._classify("task-" + (event.outcome.status
+                                      if event.outcome else "error"))
+            return
+        row.ok += 1
+        self._fold_payload(event.outcome.value if event.outcome else None)
+
+    def _row(self, key: str) -> _ConfigRow:
+        config = "/".join(key.split("/")[:2]) if key else "?"
+        row = self.configs.get(config)
+        if row is None:
+            row = self.configs[config] = _ConfigRow()
+        return row
+
+    def _classify(self, label: str) -> None:
+        self.classes[label] = self.classes.get(label, 0) + 1
+
+    def _fold_payload(self, payload) -> None:
+        """Duck-typed fold of the three campaign payload shapes."""
+        if payload is None:
+            return
+        if isinstance(payload, dict):
+            # qa fuzz: {"class": ..., ...} / formal prove: verdict strings
+            failure = payload.get("class")
+            if failure is not None:
+                self._classify(str(failure))
+            for key in ("verilog", "vhdl"):
+                verdict = payload.get(key)
+                if isinstance(verdict, str) and "sha" not in key:
+                    self._classify(f"{key}:{verdict}")
+            return
+        delta = getattr(payload, "cache_delta", None)
+        if delta is not None:
+            self.cache_hits += getattr(delta, "hits", 0)
+            self.cache_misses += getattr(delta, "misses", 0)
+        record = getattr(payload, "record", None)
+        if record is not None:
+            ok = getattr(record, "aivril_functional_ok", None)
+            if ok is not None:
+                self._classify("functional-pass" if ok else "functional-fail")
+
+    # -- rendering ------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def render_text(self) -> str:
+        elapsed = max(self.now() - self.started_at, 0.0)
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        width = 28
+        filled = int(width * self.done / self.total) if self.total else 0
+        bar = "#" * filled + "-" * (width - filled)
+        lines = [
+            f"{self.title} — {self.done}/{self.total} tasks "
+            f"[{bar}] {elapsed:.1f}s ({rate:.1f}/s)",
+            f"  errors {self.errors}, retries {self.retries}"
+            + (
+                f", cache {100 * self.cache_hit_rate:.0f}% hit"
+                if self.cache_hits + self.cache_misses else ""
+            ),
+        ]
+        for config in sorted(self.configs):
+            row = self.configs[config]
+            lines.append(
+                f"  {config:<28} {row.done:>5} done  "
+                f"{row.ok:>4} ok  {row.failed:>4} failed"
+            )
+        if self.classes:
+            classes = ", ".join(
+                f"{label}={count}"
+                for label, count in sorted(self.classes.items())
+            )
+            lines.append(f"  classes: {classes}")
+        return "\n".join(lines)
+
+    def render(self, *, force: bool = False) -> None:
+        now = self.now()
+        if not force and now - self._last_render < self.interval:
+            return
+        self._last_render = now
+        text = self.render_text()
+        if getattr(self.stream, "isatty", lambda: False)():
+            # move to the top of the previous frame and repaint in place
+            prefix = f"\x1b[{self._last_lines}F\x1b[J" if self._last_lines else ""
+            self.stream.write(prefix + text + "\n")
+            self._last_lines = text.count("\n") + 1
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Final repaint — call after the engine returns."""
+        self.render(force=True)

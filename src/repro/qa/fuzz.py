@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from repro.eda.toolchain import Toolchain
 from repro.exec.engine import ExecutionEngine
 from repro.exec.task import Task
-from repro.obs import get_tracer
+from repro.obs import get_tracer, snapshot_now
 from repro.qa.oracle import FailureClass, QaCase, run_oracle
 from repro.qa.spec import generate_spec
 
@@ -175,11 +175,15 @@ def run_fuzz(
     task_timeout: float | None = None,
     progress=None,
     formal: bool = False,
+    bus=None,
 ) -> FuzzReport:
     """Run one campaign; the report is identical at any ``workers`` value.
 
     ``formal=True`` adds the proof-based verdict to every program and makes
     the campaign fail on any proof-vs-simulation inconsistency.
+    ``bus`` forwards engine progress to an externally owned
+    :class:`~repro.obs.EventBus` (``repro top fuzz`` subscribes its
+    :class:`~repro.obs.LiveView` there).
     """
     tracer = get_tracer()
     with tracer.span(
@@ -187,7 +191,7 @@ def run_fuzz(
     ) as span:
         started = _time.perf_counter()
         engine = ExecutionEngine(
-            workers=workers, timeout=task_timeout, progress=progress
+            workers=workers, timeout=task_timeout, progress=progress, bus=bus
         )
         tasks = [
             Task(
@@ -258,4 +262,7 @@ def run_fuzz(
             divergences=len(report.divergences),
             throughput=round(report.throughput, 2),
         )
-        return report
+    # the classification counters above land after the engine's own final
+    # snapshot, so the campaign flushes one more for the spool (when any)
+    snapshot_now(force=True)
+    return report

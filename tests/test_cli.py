@@ -311,3 +311,190 @@ class TestFormal:
         code, text = run_cli("formal", "check", str(tmp_path / "ghost.json"))
         assert code == 1
         assert "cannot load case" in text
+
+
+class TestObsCommands:
+    """The live-telemetry surface: spool, export, analytics, gate, top."""
+
+    def record_sweep(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        spool = tmp_path / "spool.jsonl"
+        code, _ = run_cli(
+            "sweep", "--artifact", "table2", "--limit", "4",
+            "--workers", "2", "--trace", str(trace), "--spool", str(spool),
+        )
+        assert code == 0
+        return trace, spool
+
+    def test_obs_validate_ok(self, tmp_path):
+        _, spool = self.record_sweep(tmp_path)
+        code, text = run_cli("obs", "validate", str(spool))
+        assert code == 0
+        assert "all schema-valid" in text
+
+    def test_obs_validate_flags_corruption(self, tmp_path):
+        _, spool = self.record_sweep(tmp_path)
+        with open(spool, "a") as handle:
+            handle.write('{"type": "metrics-snapshot"\n')
+        code, text = run_cli("obs", "validate", str(spool))
+        assert code == 1
+        assert "INVALID" in text
+
+    def test_obs_export_prometheus(self, tmp_path):
+        _, spool = self.record_sweep(tmp_path)
+        code, text = run_cli("obs", "export", str(spool))
+        assert code == 0
+        assert "# TYPE repro_pipeline_runs counter" in text
+        assert "repro_pipeline_runs 12" in text
+        assert '_bucket{le="+Inf"}' in text
+
+    def test_obs_export_health(self, tmp_path):
+        import json
+
+        _, spool = self.record_sweep(tmp_path)
+        code, text = run_cli("obs", "export", "--format", "health",
+                             str(spool))
+        assert code == 0
+        health = json.loads(text)
+        assert health["status"] == "ok"
+        assert health["metrics"]["pipeline.runs"]["value"] == 12
+
+    def test_obs_export_missing_file(self, tmp_path):
+        code, text = run_cli("obs", "export", str(tmp_path / "ghost"))
+        assert code == 1
+        assert "cannot read spool" in text
+
+    def test_trace_critical_path(self, tmp_path):
+        trace, _ = self.record_sweep(tmp_path)
+        code, text = run_cli("trace", "critical-path", str(trace))
+        assert code == 0
+        assert "sweep.run" in text
+        assert "self times sum to the root wall" in text
+
+    def test_trace_flame_to_file(self, tmp_path):
+        trace, _ = self.record_sweep(tmp_path)
+        folded = tmp_path / "folded.txt"
+        code, text = run_cli(
+            "trace", "flame", str(trace), "-o", str(folded)
+        )
+        assert code == 0
+        lines = folded.read_text().splitlines()
+        assert lines
+        assert any(line.startswith("sweep.run;engine.run") for line in lines)
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert stack and int(value) >= 0
+
+    def test_trace_summarize_by_agent(self, tmp_path):
+        trace, _ = self.record_sweep(tmp_path)
+        code, text = run_cli(
+            "trace", "summarize", "--by-agent", str(trace)
+        )
+        assert code == 0
+        assert "agent breakdown" in text
+        for agent in ("code", "review", "verification"):
+            assert agent in text
+
+    def test_qa_fuzz_spool(self, tmp_path):
+        spool = tmp_path / "fuzz.spool.jsonl"
+        code, _ = run_cli(
+            "qa", "fuzz", "--seed", "1", "--count", "3",
+            "--spool", str(spool),
+        )
+        assert code == 0
+        code, text = run_cli("obs", "export", str(spool))
+        assert code == 0
+        assert "repro_qa_fuzz_programs 3" in text
+
+
+class TestBenchCheck:
+    def seed_reports(self, tmp_path, *, slowdown=1.0):
+        import json
+
+        report = {"verilog": {"compiled_ms": 4.0, "speedup": 2.0}}
+        base = tmp_path / "baselines"
+        fresh = tmp_path / "fresh"
+        base.mkdir()
+        fresh.mkdir()
+        (base / "BENCH_sim.json").write_text(json.dumps(report))
+        report = json.loads(json.dumps(report))
+        report["verilog"]["compiled_ms"] *= slowdown
+        (fresh / "BENCH_sim.json").write_text(json.dumps(report))
+        return base, fresh
+
+    def test_unchanged_baseline_passes(self, tmp_path):
+        base, fresh = self.seed_reports(tmp_path)
+        code, text = run_cli(
+            "bench", "check", "--baselines", str(base), "--fresh",
+            str(fresh),
+        )
+        assert code == 0
+        assert "(PASS)" in text
+
+    def test_injected_slowdown_fails(self, tmp_path):
+        base, fresh = self.seed_reports(tmp_path, slowdown=2.0)
+        code, text = run_cli(
+            "bench", "check", "--baselines", str(base), "--fresh",
+            str(fresh),
+        )
+        assert code == 1
+        assert "REGRESSED" in text
+        assert "(FAIL)" in text
+
+    def test_warn_only_downgrades_failure(self, tmp_path):
+        base, fresh = self.seed_reports(tmp_path, slowdown=2.0)
+        code, text = run_cli(
+            "bench", "check", "--baselines", str(base), "--fresh",
+            str(fresh), "--warn-only",
+        )
+        assert code == 0
+        assert "REGRESSED" in text
+        assert "(PASS)" in text
+
+    def test_missing_baseline_dir_errors(self, tmp_path):
+        code, text = run_cli(
+            "bench", "check", "--baselines", str(tmp_path / "none"),
+            "--fresh", str(tmp_path),
+        )
+        assert code == 1
+        assert "no BENCH_" in text
+
+    def test_repo_baselines_match_themselves(self):
+        code, text = run_cli(
+            "bench", "check", "--fresh", "benchmarks/baselines",
+        )
+        assert code == 0
+        assert "(PASS)" in text
+
+
+class TestTop:
+    def test_top_fuzz_renders_dashboard(self, capsys):
+        code, text = run_cli(
+            "top", "fuzz", "--seed", "1", "--count", "3"
+        )
+        assert code == 0
+        assert "qa fuzz: seed=1" in text
+        dashboard = capsys.readouterr().err
+        assert "repro top fuzz" in dashboard
+        assert "3/3 tasks" in dashboard
+
+    def test_top_sweep_renders_dashboard(self, capsys, tmp_path):
+        spool = tmp_path / "spool.jsonl"
+        code, text = run_cli(
+            "top", "sweep", "--limit", "2", "--spool", str(spool)
+        )
+        assert code == 0
+        assert "sweep:" in text
+        dashboard = capsys.readouterr().err
+        assert "repro top sweep" in dashboard
+        assert spool.exists()
+
+    def test_top_prove_renders_dashboard(self, capsys):
+        code, text = run_cli(
+            "top", "prove", "--seed", "0", "--count", "2"
+        )
+        assert code == 0
+        assert "formal prove: seed=0 count=2" in text
+        assert "proved=" in text
+        dashboard = capsys.readouterr().err
+        assert "repro top prove" in dashboard

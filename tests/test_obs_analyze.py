@@ -1,0 +1,166 @@
+"""Tests for trace analytics: span forest, critical path, folded stacks."""
+
+import pytest
+
+from repro.obs import (
+    build_span_forest,
+    critical_path,
+    critical_path_of_trace,
+    fold_stacks,
+    fold_trace,
+    render_critical_path,
+    render_flame,
+)
+
+
+def span(name, span_id, parent_id=None, *, wall=1.0, start=0.0, pid=1,
+         seq=0, attrs=None, status="ok"):
+    return {
+        "type": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "pid": pid,
+        "seq": seq,
+        "start": start,
+        "end": start + wall,
+        "wall_seconds": wall,
+        "cpu_seconds": wall,
+        "attrs": attrs or {},
+        "status": status,
+    }
+
+
+def linear_trace():
+    """root(10) -> mid(6) -> leaf(2), plus a sibling(3) under root."""
+    return [
+        span("root", "a", wall=10.0, start=0.0),
+        span("mid", "b", "a", wall=6.0, start=1.0),
+        span("sibling", "c", "a", wall=3.0, start=7.5),
+        span("leaf", "d", "b", wall=2.0, start=2.0),
+    ]
+
+
+class TestBuildSpanForest:
+    def test_links_children_and_finds_roots(self):
+        roots = build_span_forest(linear_trace())
+        assert [r.name for r in roots] == ["root"]
+        (root,) = roots
+        assert [c.name for c in root.children] == ["mid", "sibling"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_orphans_become_roots(self):
+        records = [
+            span("root", "a", wall=5.0),
+            # parent "ghost" never closed (crashed worker): orphan root
+            span("stray", "b", "ghost", wall=1.0),
+        ]
+        roots = build_span_forest(records)
+        assert sorted(r.name for r in roots) == ["root", "stray"]
+
+    def test_children_ordered_by_start(self):
+        records = [
+            span("root", "a", wall=9.0),
+            span("late", "b", "a", wall=1.0, start=5.0, seq=1),
+            span("early", "c", "a", wall=1.0, start=1.0, seq=2),
+        ]
+        (root,) = build_span_forest(records)
+        assert [c.name for c in root.children] == ["early", "late"]
+
+    def test_non_span_records_ignored(self):
+        records = [span("root", "a"), {"type": "event", "name": "x"}]
+        assert len(build_span_forest(records)) == 1
+
+
+class TestCriticalPath:
+    def test_follows_hottest_child(self):
+        steps = critical_path(linear_trace())
+        assert [s.name for s in steps] == ["root", "mid", "leaf"]
+
+    def test_self_times_sum_to_root_wall(self):
+        """The ISSUE's acceptance criterion, on a known tree."""
+        steps = critical_path(linear_trace())
+        assert sum(s.self_seconds for s in steps) == pytest.approx(
+            steps[0].wall_seconds, abs=1e-12
+        )
+        # telescoping attribution: root hands 6 down, keeps 4; mid hands
+        # 2 down, keeps 4; the leaf keeps its whole 2
+        assert [s.self_seconds for s in steps] == [4.0, 4.0, 2.0]
+
+    def test_own_seconds_subtracts_all_children(self):
+        steps = critical_path(linear_trace())
+        # root's own work excludes BOTH children (6 + 3), not just the
+        # hottest one the path descends into
+        assert steps[0].own_seconds == pytest.approx(1.0)
+
+    def test_picks_largest_root_tree(self):
+        records = [
+            span("small", "a", wall=1.0),
+            span("big", "b", wall=5.0),
+        ]
+        steps = critical_path(records)
+        assert steps[0].name == "big"
+
+    def test_empty_trace(self):
+        assert critical_path([]) == []
+        assert "no spans" in render_critical_path([])
+
+    def test_render_mentions_every_step(self):
+        text = render_critical_path(critical_path(linear_trace()))
+        for name in ("root", "mid", "leaf"):
+            assert name in text
+        assert "self times sum to the root wall" in text
+
+    def test_render_shows_attr_hints(self):
+        records = [
+            span("task.problem", "a", wall=2.0,
+                 attrs={"key": "gpt-4o/verilog/gates_and"}),
+        ]
+        text = render_critical_path(critical_path(records))
+        assert "gpt-4o/verilog/gates_and" in text
+
+
+class TestFoldStacks:
+    def test_folds_by_name_stack_with_self_microseconds(self):
+        folded = fold_stacks(linear_trace())
+        assert folded == {
+            "root": 1_000_000,  # 10 - (6 + 3)
+            "root;mid": 4_000_000,  # 6 - 2
+            "root;mid;leaf": 2_000_000,
+            "root;sibling": 3_000_000,
+        }
+
+    def test_same_stack_accumulates(self):
+        records = [
+            span("root", "a", wall=10.0),
+            span("work", "b", "a", wall=2.0, seq=1),
+            span("work", "c", "a", wall=3.0, seq=2, start=3.0),
+        ]
+        folded = fold_stacks(records)
+        assert folded["root;work"] == 5_000_000
+
+    def test_total_folded_equals_total_root_wall(self):
+        folded = fold_stacks(linear_trace())
+        assert sum(folded.values()) == 10_000_000
+
+    def test_render_flame_is_sorted_lines(self):
+        text = render_flame(fold_stacks(linear_trace()))
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        assert "root;mid;leaf 2000000" in lines
+
+    def test_render_flame_empty(self):
+        assert render_flame({}) == ""
+
+
+class TestFileEntrypoints:
+    def test_round_trip_through_a_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in linear_trace())
+        )
+        steps = critical_path_of_trace(path)
+        assert [s.name for s in steps] == ["root", "mid", "leaf"]
+        assert fold_trace(path) == fold_stacks(linear_trace())

@@ -1,0 +1,339 @@
+"""Tests for the live-telemetry layer: metrics spool + aggregator.
+
+Covers the fork-safe spool writer, spool validation, the cross-process
+merge semantics (counters add, gauges latest-win, histograms add
+element-wise), the ISSUE's merge edge cases (overflow buckets, disjoint
+name sets, mid-observation snapshots), and the end-to-end equivalence
+guarantee: a workers=4 sweep's aggregated spool equals the live
+``SweepMetrics`` and the trace summarizer exactly.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    aggregate_records,
+    aggregate_spool,
+    configure_spool,
+    get_spool,
+    read_spool,
+    set_spool,
+    snapshot_now,
+    validate_spool,
+    validate_spool_record,
+)
+from repro.obs.live import SNAPSHOT_TYPE, MetricsSpool, merge_metric_records
+
+
+def make_registry(counter=0, gauge=None, observations=()):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("hits").inc(counter)
+    if gauge is not None:
+        registry.gauge("depth").set(gauge)
+    for value in observations:
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(value)
+    return registry
+
+
+def snapshot_record(registry, *, pid, seq=0, time=1000.0):
+    """A spool record built by hand, for deterministic merge tests."""
+    return {
+        "type": SNAPSHOT_TYPE,
+        "version": 1,
+        "pid": pid,
+        "seq": seq,
+        "time": time,
+        "metrics": registry.to_records(),
+    }
+
+
+class TestMetricsSpool:
+    def test_writes_one_valid_json_line_per_snapshot(self, tmp_path):
+        path = tmp_path / "spool.jsonl"
+        spool = MetricsSpool(path)
+        registry = make_registry(counter=3, gauge=7, observations=[0.5])
+        assert spool.snapshot(registry) is True
+        assert spool.snapshot(registry) is True
+        records = read_spool(path)
+        assert len(records) == 2
+        assert [r["seq"] for r in records] == [0, 1]
+        for record in records:
+            assert record["type"] == SNAPSHOT_TYPE
+            assert validate_spool_record(record) == []
+        names = {m["name"] for m in records[0]["metrics"]}
+        assert names == {"hits", "depth", "lat"}
+
+    def test_min_interval_throttles_but_force_bypasses(self, tmp_path):
+        spool = MetricsSpool(tmp_path / "s.jsonl", min_interval=3600.0)
+        registry = make_registry(counter=1)
+        assert spool.snapshot(registry) is True
+        assert spool.snapshot(registry) is False
+        assert spool.snapshot(registry, force=True) is True
+        assert len(read_spool(spool.path)) == 2
+
+    def test_fork_resets_writer_identity(self, tmp_path, monkeypatch):
+        spool = MetricsSpool(tmp_path / "s.jsonl", min_interval=3600.0)
+        registry = make_registry(counter=1)
+        assert spool.snapshot(registry) is True
+        # simulate a fork: a new pid must restart seq and drop the throttle
+        monkeypatch.setattr("repro.obs.live.os.getpid", lambda: 1 << 30)
+        assert spool.snapshot(registry) is True
+        records = read_spool(spool.path)
+        assert [r["seq"] for r in records] == [0, 0]
+        assert records[0]["pid"] != records[1]["pid"]
+
+
+class TestCurrentSpool:
+    def test_configure_is_idempotent_per_path(self, tmp_path):
+        previous = get_spool()
+        try:
+            first = configure_spool(tmp_path / "s.jsonl")
+            again = configure_spool(tmp_path / "s.jsonl")
+            assert again is first
+            # None leaves the current spool untouched (pass-through arg)
+            assert configure_spool(None) is first
+            other = configure_spool(tmp_path / "other.jsonl")
+            assert other is not first
+        finally:
+            set_spool(previous)
+
+    def test_snapshot_now_is_noop_without_spool(self):
+        previous = set_spool(None)
+        try:
+            assert snapshot_now(force=True) is False
+        finally:
+            set_spool(previous)
+
+
+class TestValidateSpool:
+    def test_valid_file(self, tmp_path):
+        spool = MetricsSpool(tmp_path / "s.jsonl")
+        spool.snapshot(make_registry(counter=2, observations=[0.1, 5.0]))
+        count, errors = validate_spool(spool.path)
+        assert count == 1
+        assert errors == []
+
+    def test_rejects_bad_records(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"type": "wrong"}) + "\n"
+            + "not json\n"
+            + json.dumps({
+                "type": SNAPSHOT_TYPE, "version": 1, "pid": 1, "seq": 0,
+                "time": 1.0, "metrics": [{"kind": "counter"}],
+            }) + "\n"
+            + json.dumps({"type": SNAPSHOT_TYPE}),  # truncated: no newline
+        )
+        count, errors = validate_spool(path)
+        assert count == 3  # the unparseable line does not count
+        text = "\n".join(errors)
+        assert "type must be" in text
+        assert "invalid JSON" in text
+        assert "metrics[0]" in text
+        assert "truncated" in text
+
+    def test_empty_spool_is_invalid(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        count, errors = validate_spool(path)
+        assert count == 0
+        assert any("no records" in e for e in errors)
+
+
+class TestAggregation:
+    def test_counters_add_across_pids(self):
+        records = [
+            snapshot_record(make_registry(counter=3), pid=1),
+            snapshot_record(make_registry(counter=4), pid=2),
+        ]
+        snapshot = aggregate_records(records)
+        assert snapshot.counter("hits") == 7
+        assert snapshot.pids == [1, 2]
+        assert snapshot.snapshot_count == 2
+
+    def test_later_snapshot_of_same_pid_supersedes(self):
+        records = [
+            snapshot_record(make_registry(counter=3), pid=1, seq=0),
+            snapshot_record(make_registry(counter=10), pid=1, seq=1),
+            snapshot_record(make_registry(counter=5), pid=2, seq=0),
+        ]
+        snapshot = aggregate_records(records)
+        # cumulative semantics: pid 1 contributes 10, not 13
+        assert snapshot.counter("hits") == 15
+
+    def test_gauge_latest_write_wins_across_pids(self):
+        records = [
+            snapshot_record(make_registry(gauge=111), pid=1, time=2000.0),
+            snapshot_record(make_registry(gauge=222), pid=2, time=1000.0),
+        ]
+        snapshot = aggregate_records(records)
+        assert snapshot.metrics["depth"]["value"] == 111
+        assert "_gauge_time" not in snapshot.metrics["depth"]
+
+    def test_histograms_add_elementwise(self):
+        records = [
+            snapshot_record(make_registry(observations=[0.5, 1.5]), pid=1),
+            snapshot_record(make_registry(observations=[0.25]), pid=2),
+        ]
+        merged = aggregate_records(records).metrics["lat"]
+        assert merged["counts"] == [2, 1, 0]
+        assert merged["count"] == 3
+        assert merged["sum"] == pytest.approx(2.25)
+        assert merged["min"] == 0.25
+        assert merged["max"] == 1.5
+
+    def test_overflow_bucket_accumulates(self):
+        # values beyond the last bound land in the implicit overflow
+        # bucket; the merged overflow count must be the exact sum
+        records = [
+            snapshot_record(make_registry(observations=[9.0, 8.0]), pid=1),
+            snapshot_record(make_registry(observations=[7.0]), pid=2),
+        ]
+        merged = aggregate_records(records).metrics["lat"]
+        assert merged["counts"] == [0, 0, 3]
+        assert merged["max"] == 9.0
+
+    def test_disjoint_metric_name_sets_union(self):
+        left = MetricsRegistry()
+        left.counter("only.left").inc(2)
+        right = MetricsRegistry()
+        right.counter("only.right").inc(5)
+        right.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        snapshot = aggregate_records([
+            snapshot_record(left, pid=1),
+            snapshot_record(right, pid=2),
+        ])
+        assert snapshot.counter("only.left") == 2
+        assert snapshot.counter("only.right") == 5
+        assert list(snapshot.metrics) == sorted(snapshot.metrics)
+
+    def test_empty_histogram_side_does_not_poison_min_max(self):
+        # to_record writes min/max as 0.0 placeholders when count == 0;
+        # merging such a side must not drag min/max toward zero
+        empty = MetricsRegistry()
+        empty.histogram("lat", buckets=(1.0, 2.0))
+        records = [
+            snapshot_record(empty, pid=1),
+            snapshot_record(make_registry(observations=[1.7]), pid=2),
+        ]
+        merged = aggregate_records(records).metrics["lat"]
+        assert merged["count"] == 1
+        assert merged["min"] == 1.7
+        assert merged["max"] == 1.7
+
+    def test_mid_observation_snapshot_merges_consistently(self):
+        # a snapshot taken while another thread hammers the histogram must
+        # still be internally consistent (locked to_record) and mergeable
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+        stop = threading.Event()
+
+        def hammer():
+            value = 0
+            while not stop.is_set():
+                histogram.observe((value % 30) / 10.0)
+                value += 1
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            mid_records = [registry.to_records() for _ in range(50)]
+        finally:
+            stop.set()
+            thread.join()
+        records = [
+            snapshot_record(make_registry(observations=[0.5]), pid=1)
+        ]
+        for seq, metrics in enumerate(mid_records):
+            record = snapshot_record(registry, pid=2, seq=seq)
+            record["metrics"] = metrics
+            records.append(record)
+        for metrics in mid_records:
+            (histo,) = metrics
+            assert sum(histo["counts"]) == histo["count"]
+        merged = aggregate_records(records).metrics["lat"]
+        # latest pid-2 snapshot + the single pid-1 observation
+        assert merged["count"] == mid_records[-1][0]["count"] + 1
+        assert sum(merged["counts"]) == merged["count"]
+
+    def test_kind_mismatch_raises(self):
+        counter = {"kind": "counter", "name": "m", "value": 1}
+        gauge = {"kind": "gauge", "name": "m", "value": 1}
+        with pytest.raises(ValueError, match="in one process"):
+            merge_metric_records(dict(counter), gauge, time_key=0.0)
+
+    def test_bucket_mismatch_raises(self):
+        def histo(buckets):
+            return {
+                "kind": "histogram", "name": "h", "buckets": buckets,
+                "counts": [0] * (len(buckets) + 1), "sum": 0.0,
+                "count": 0, "min": 0.0, "max": 0.0,
+            }
+        with pytest.raises(ValueError, match="buckets"):
+            merge_metric_records(
+                histo([1.0, 2.0]), histo([1.0, 3.0]), time_key=0.0
+            )
+
+    def test_empty_spool_aggregates_to_empty_snapshot(self):
+        snapshot = aggregate_records([])
+        assert snapshot.metrics == {}
+        assert snapshot.pids == []
+        assert snapshot.counter("anything") == 0
+
+
+class TestSweepEquivalence:
+    """The ISSUE's acceptance criterion: spool == live SweepMetrics."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_aggregated_spool_equals_sweep_metrics(self, tmp_path, workers):
+        from repro.eval.runner import ExperimentRunner
+        from repro.evalsuite.suite import build_suite
+        from repro.obs import summarize_trace
+
+        trace = tmp_path / "sweep.trace.jsonl"
+        spool = tmp_path / "sweep.spool.jsonl"
+        runner = ExperimentRunner(
+            suite=build_suite().head(2),
+            workers=workers,
+            trace_path=str(trace),
+            spool_path=str(spool),
+        )
+        runner.run_all()
+        live = runner.metrics
+        merged = aggregate_spool(spool)
+        summary = summarize_trace(trace)
+
+        assert merged.counter("cache.hit") == live.cache_hits
+        assert merged.counter("cache.miss") == live.cache_misses
+        assert merged.counter("pipeline.runs") == live.ok
+        # and the trace summarizer reconstructs the same numbers
+        assert summary.cache_hits == live.cache_hits
+        assert summary.cache_misses == live.cache_misses
+        assert summary.tasks_ok == live.ok
+        count, errors = validate_spool(spool)
+        assert errors == []
+        assert count >= 1
+
+    def test_fuzz_campaign_spools_class_counters(self, tmp_path):
+        from repro.obs import NullSink, Tracer, get_tracer, set_tracer
+        from repro.qa.fuzz import run_fuzz
+
+        spool = tmp_path / "fuzz.spool.jsonl"
+        previous_tracer = get_tracer()
+        previous_spool = set_spool(None)
+        try:
+            set_tracer(Tracer(NullSink()))
+            configure_spool(spool)
+            report = run_fuzz(3, 4, workers=1)
+        finally:
+            set_tracer(previous_tracer)
+            set_spool(previous_spool)
+        merged = aggregate_spool(spool)
+        assert merged.counter("qa.fuzz.programs") == len(report.results)
+        assert merged.counter("qa.fuzz.divergences") == len(
+            report.divergences
+        )

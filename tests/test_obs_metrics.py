@@ -162,3 +162,78 @@ class TestNullRegistry:
         assert NULL_METRIC.value == 0
         assert NULL_METRIC.count == 0
         assert NULL_METRIC.quantile(0.5) == 0.0
+
+
+class TestThreadSafety:
+    """Concurrent updates must never lose writes or tear records."""
+
+    THREADS = 8
+    OPS = 2_000
+
+    def _hammer(self, work):
+        import threading
+
+        threads = [
+            threading.Thread(target=work, args=(t,))
+            for t in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_increments_are_exact(self):
+        counter = Counter("c")
+        self._hammer(lambda t: [counter.inc() for _ in range(self.OPS)])
+        assert counter.value == self.THREADS * self.OPS
+
+    def test_float_counter_increments_are_exact(self):
+        counter = Counter("c")
+        self._hammer(
+            lambda t: [counter.inc(0.5) for _ in range(self.OPS)]
+        )
+        assert counter.value == pytest.approx(self.THREADS * self.OPS / 2)
+
+    def test_gauge_keeps_one_written_value(self):
+        gauge = Gauge("g")
+        self._hammer(lambda t: [gauge.set(t) for _ in range(self.OPS)])
+        assert gauge.value in range(self.THREADS)
+
+    def test_histogram_observations_are_exact_and_consistent(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        self._hammer(
+            lambda t: [
+                histogram.observe(t % 5) for _ in range(self.OPS)
+            ]
+        )
+        total = self.THREADS * self.OPS
+        assert histogram.count == total
+        assert sum(histogram.counts) == total
+        expected_sum = sum(
+            (t % 5) * self.OPS for t in range(self.THREADS)
+        )
+        assert histogram.total == pytest.approx(expected_sum)
+        assert histogram.min == 0.0
+        assert histogram.max == 4.0
+
+    def test_to_record_is_internally_consistent_under_writes(self):
+        import threading
+
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        stop = threading.Event()
+
+        def writer():
+            value = 0
+            while not stop.is_set():
+                histogram.observe((value % 3) * 1.0)
+                value += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                record = histogram.to_record()
+                assert sum(record["counts"]) == record["count"]
+        finally:
+            stop.set()
+            thread.join()

@@ -215,3 +215,79 @@ class TestSummarizeDegenerateInputs:
         assert config.errors == 1
         assert config.runs == 0
         assert config.mean_syntax_iterations == 0.0
+
+
+class TestAgentBreakdown:
+    """--by-agent: wall time attributed to code/review/verification."""
+
+    @staticmethod
+    def span(name, span_id, parent_id=None, *, wall=1.0, attrs=None):
+        return {
+            "type": "span", "name": name, "span_id": span_id,
+            "parent_id": parent_id, "pid": 1, "seq": 0, "start": 0.0,
+            "end": wall, "wall_seconds": wall, "cpu_seconds": wall,
+            "attrs": attrs or {}, "status": "ok",
+        }
+
+    def agent_trace(self):
+        task_attrs = {"model": "gpt-4o", "language": "verilog"}
+        return [
+            self.span("task.problem", "t1", attrs=task_attrs),
+            self.span("pipeline.run", "p1", "t1", wall=0.9),
+            self.span("pipeline.generate", "g1", "p1", wall=0.2),
+            self.span("loop.syntax", "s1", "p1", wall=0.3),
+            # nested iteration must NOT be double counted
+            self.span("loop.syntax.iteration", "si1", "s1", wall=0.25),
+            self.span("loop.functional", "f1", "p1", wall=0.4),
+            self.span("pipeline.baseline", "b1", "t1", wall=0.1),
+        ]
+
+    def test_maps_spans_to_agents_via_ancestor_walk(self):
+        from repro.obs import summarize_agents
+
+        breakdown = summarize_agents(self.agent_trace())
+        assert breakdown.seconds["code"] == pytest.approx(0.3)  # gen + base
+        assert breakdown.seconds["review"] == pytest.approx(0.3)
+        assert breakdown.seconds["verification"] == pytest.approx(0.4)
+        assert breakdown.spans == {
+            "code": 2, "review": 1, "verification": 1,
+        }
+        assert breakdown.configs == {
+            "gpt-4o/verilog": {
+                "code": pytest.approx(0.3),
+                "review": pytest.approx(0.3),
+                "verification": pytest.approx(0.4),
+            }
+        }
+        assert breakdown.total_seconds == pytest.approx(1.0)
+
+    def test_orphan_agent_span_attributes_to_unknown_config(self):
+        from repro.obs import summarize_agents
+
+        records = [self.span("loop.syntax", "s1", "ghost", wall=0.5)]
+        breakdown = summarize_agents(records)
+        assert breakdown.configs == {"?": {
+            "code": 0.0, "review": 0.5, "verification": 0.0,
+        }}
+
+    def test_render_lists_agents_and_configs(self):
+        from repro.obs import render_agent_breakdown, summarize_agents
+
+        text = render_agent_breakdown(summarize_agents(self.agent_trace()))
+        assert "agent breakdown" in text
+        assert "code" in text and "review" in text
+        assert "verification" in text
+        assert "gpt-4o/verilog" in text
+        assert "40.0%" in text  # verification share of the total
+
+    def test_real_trace_attributes_all_agent_spans(self, tmp_path):
+        from repro.obs import read_trace, summarize_agents
+
+        runner, _, _ = traced_sweep(tmp_path, workers=1)
+        breakdown = summarize_agents(read_trace(runner.trace_path))
+        # every config in the sweep got all three agents attributed
+        assert breakdown.configs
+        assert "?" not in breakdown.configs
+        for per_config in breakdown.configs.values():
+            assert per_config["code"] > 0.0
+        assert breakdown.total_seconds > 0.0

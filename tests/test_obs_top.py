@@ -1,0 +1,138 @@
+"""Tests for the ``repro top`` live dashboard (event folding + rendering)."""
+
+import io
+from types import SimpleNamespace
+
+from repro.exec.progress import ProgressEvent
+from repro.obs import LiveView
+
+
+def make_view(**kwargs):
+    clock = {"now": 0.0}
+
+    def now():
+        return clock["now"]
+
+    stream = io.StringIO()
+    view = LiveView(stream=stream, now=now, **kwargs)
+    return view, stream, clock
+
+
+def done_event(key, done=1, total=4, value=None):
+    outcome = SimpleNamespace(status="ok", value=value)
+    return ProgressEvent(
+        kind="task-done", done=done, total=total, key=key, outcome=outcome
+    )
+
+
+class TestFolding:
+    def test_engine_start_sets_total(self):
+        view, _, _ = make_view()
+        view.fold(ProgressEvent(kind="engine-start", total=12))
+        assert view.total == 12
+
+    def test_task_done_updates_rows(self):
+        view, _, _ = make_view()
+        view.fold(done_event("gpt-4o/verilog/gates_and", done=1))
+        view.fold(done_event("gpt-4o/verilog/gates_or", done=2))
+        view.fold(done_event("gpt-4o/vhdl/gates_and", done=3))
+        assert view.done == 3
+        assert view.configs["gpt-4o/verilog"].done == 2
+        assert view.configs["gpt-4o/vhdl"].done == 1
+
+    def test_task_error_counts_failure(self):
+        view, _, _ = make_view()
+        outcome = SimpleNamespace(status="timeout", value=None)
+        view.fold(ProgressEvent(
+            kind="task-error", done=1, total=2, key="a/b/c",
+            outcome=outcome,
+        ))
+        assert view.errors == 1
+        assert view.configs["a/b"].failed == 1
+        assert view.classes == {"task-timeout": 1}
+
+    def test_retry_counts(self):
+        view, _, _ = make_view()
+        view.fold(ProgressEvent(kind="task-retry", key="a/b/c"))
+        assert view.retries == 1
+
+    def test_fuzz_payload_classifies(self):
+        view, _, _ = make_view()
+        view.fold(done_event("qa/s0/p0", value={"class": "ok"}))
+        view.fold(done_event("qa/s0/p1", value={"class": "sim_mismatch"}))
+        assert view.classes == {"ok": 1, "sim_mismatch": 1}
+
+    def test_formal_payload_classifies_verdicts(self):
+        view, _, _ = make_view()
+        view.fold(done_event("formal/s0/p0", value={
+            "verilog": "proved", "vhdl": "refuted",
+        }))
+        assert view.classes == {
+            "verilog:proved": 1, "vhdl:refuted": 1,
+        }
+
+    def test_sweep_payload_folds_cache_and_functional(self):
+        view, _, _ = make_view()
+        payload = SimpleNamespace(
+            cache_delta=SimpleNamespace(hits=3, misses=1),
+            record=SimpleNamespace(aivril_functional_ok=True),
+        )
+        view.fold(done_event("m/l/p", value=payload))
+        assert view.cache_hits == 3
+        assert view.cache_misses == 1
+        assert view.cache_hit_rate == 0.75
+        assert view.classes == {"functional-pass": 1}
+
+
+class TestRendering:
+    def test_render_text_contains_progress_and_rows(self):
+        view, _, _ = make_view(title="repro top sweep")
+        view.fold(ProgressEvent(kind="engine-start", total=4))
+        view.fold(done_event("gpt-4o/verilog/gates_and"))
+        text = view.render_text()
+        assert "repro top sweep" in text
+        assert "1/4 tasks" in text
+        assert "gpt-4o/verilog" in text
+
+    def test_render_throttles_by_interval(self):
+        view, stream, clock = make_view(interval=1.0)
+        view(done_event("a/b/c", done=1))
+        first = stream.getvalue()
+        assert first  # first render always fires
+        view(done_event("a/b/d", done=2))
+        assert stream.getvalue() == first  # throttled
+        clock["now"] = 2.0
+        view(done_event("a/b/e", done=3))
+        assert len(stream.getvalue()) > len(first)
+
+    def test_engine_finish_forces_render(self):
+        view, stream, _ = make_view(interval=1000.0)
+        view(done_event("a/b/c", done=1))
+        before = stream.getvalue()
+        view(ProgressEvent(kind="engine-finish", done=1, total=1))
+        assert len(stream.getvalue()) > len(before)
+
+    def test_non_tty_stream_gets_plain_lines(self):
+        view, stream, _ = make_view()
+        view.render(force=True)
+        assert "\x1b[" not in stream.getvalue()
+
+    def test_classes_line_renders(self):
+        view, _, _ = make_view()
+        view.fold(done_event("qa/s0/p0", value={"class": "crash"}))
+        assert "classes: crash=1" in view.render_text()
+
+
+class TestBusIntegration:
+    def test_live_view_subscribes_to_a_fuzz_campaign(self):
+        from repro.obs import EventBus
+        from repro.qa.fuzz import run_fuzz
+
+        bus = EventBus()
+        view, stream, clock = make_view(title="repro top fuzz")
+        bus.subscribe(view)
+        report = run_fuzz(1, 3, workers=1, bus=bus)
+        view.finish()
+        assert view.done == 3
+        assert sum(view.classes.values()) == len(report.results)
+        assert "repro top fuzz" in stream.getvalue()
