@@ -3,10 +3,13 @@
 These track the cost of the pieces everything else is built on — useful for
 spotting regressions when extending the language subsets.
 
-``test_sim_tier_speedup`` additionally writes ``BENCH_sim.json`` (compiled
-vs interpreter timings for both languages) and gates on the closure
-compiler staying measurably faster than the interpreter floor; CI uploads
-the JSON as an artifact.
+``test_sim_tier_speedup`` additionally writes ``BENCH_sim.json`` (best-of-20
+timings for all three simulation tiers — interpreter, closure, levelized —
+in both languages) and gates on the closure tier staying measurably faster
+than the interpreter and the levelized tier staying measurably faster than
+the closure tier on the combinational designs; CI uploads the JSON as an
+artifact. The report defaults to ``benchmarks/BENCH_sim.json`` (next to
+this file, not the CWD); ``BENCH_SIM_JSON`` overrides the path.
 """
 
 import json
@@ -108,6 +111,97 @@ end architecture;
 """
 
 
+COMB_V = """
+module comb(input [15:0] a, input [15:0] b, output [15:0] y);
+    wire [15:0] t0 = a ^ b;
+    wire [15:0] t1 = t0 + a;
+    wire [15:0] t2 = t1 & 16'hBEEF;
+    wire [15:0] t3 = (t2 << 1) ^ t1;
+    wire [15:0] t4 = t3 | (t0 >> 2);
+    wire [15:0] t5 = t4 + t2;
+    wire [15:0] t6 = t5 ^ 16'h5A5A;
+    wire [15:0] t7 = (t6 & t3) + t4;
+    wire [15:0] t8 = t7 ^ (t5 << 3);
+    wire [15:0] t9 = t8 + t6;
+    wire [15:0] t10 = (t9 >> 1) ^ t7;
+    wire [15:0] t11 = t10 + t8;
+    assign y = t11 ^ t9;
+endmodule
+"""
+
+TB_COMB_V = """
+module tb;
+    reg [15:0] a, b; reg [15:0] acc; wire [15:0] y;
+    comb dut(.a(a), .b(b), .y(y));
+    initial begin
+        a = 16'h0001; b = 16'h1234; acc = 0;
+        repeat (200) begin
+            #1 a = a + 16'h2357;
+            acc = acc ^ y;
+        end
+        if (acc == 16'haf00) $display("All tests passed successfully!");
+        $finish;
+    end
+endmodule
+"""
+
+COMB_VHD = """
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity comb is
+    port (a : in unsigned(15 downto 0);
+          b : in unsigned(15 downto 0);
+          y : out unsigned(15 downto 0));
+end entity;
+architecture rtl of comb is
+    signal t0, t1, t2, t3, t4, t5 : unsigned(15 downto 0);
+    signal t6, t7, t8, t9, t10, t11 : unsigned(15 downto 0);
+begin
+    t0 <= a xor b;
+    t1 <= t0 + a;
+    t2 <= t1 and x"BEEF";
+    t3 <= shift_left(t2, 1) xor t1;
+    t4 <= t3 or shift_right(t0, 2);
+    t5 <= t4 + t2;
+    t6 <= t5 xor x"5A5A";
+    t7 <= (t6 and t3) + t4;
+    t8 <= t7 xor shift_left(t5, 3);
+    t9 <= t8 + t6;
+    t10 <= shift_right(t9, 1) xor t7;
+    t11 <= t10 + t8;
+    y <= t11 xor t9;
+end architecture;
+"""
+
+TB_COMB_VHD = """
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity tb is end entity;
+architecture sim of tb is
+    signal a : unsigned(15 downto 0) := x"0001";
+    signal b : unsigned(15 downto 0) := x"1234";
+    signal y : unsigned(15 downto 0);
+    signal acc : unsigned(15 downto 0) := (others => '0');
+begin
+    dut: entity work.comb port map (a => a, b => b, y => y);
+    stim: process begin
+        for i in 0 to 199 loop
+            wait for 1 ns;
+            a <= a + x"2357";
+            acc <= acc xor y;
+        end loop;
+        wait for 1 ns;
+        if acc = x"af00" then
+            report "All tests passed successfully!";
+        end if;
+        wait;
+    end process;
+end architecture;
+"""
+
+
 def test_parse_verilog_module(benchmark):
     unit, collector = benchmark(parse_verilog, COUNTER_V)
     assert not collector.has_errors
@@ -145,17 +239,28 @@ def test_build_defect_plan(benchmark, full_suite):
     assert len(plans) == 156
 
 
-def _best_ms(files, top, *, interp, reps=20):
+#: env flags that select a simulation tier; _best_ms owns all of them for
+#: the duration of a measurement so ambient settings can't skew a tier
+_TIER_FLAGS = ("REPRO_SIM_INTERP", "REPRO_SIM_NO_LEVEL", "REPRO_SIM_NO_TWOSTATE")
+
+#: flag values that pin each measured tier
+_TIERS = {
+    "interp": {"REPRO_SIM_INTERP": "1"},
+    "closure": {"REPRO_SIM_NO_LEVEL": "1"},
+    "levelized": {},
+}
+
+
+def _best_ms(files, top, *, tier, reps=20):
     """Best-of-*reps* wall time of one simulate() call, in milliseconds.
 
     A fresh Toolchain per tier keeps result caching out of the picture; one
     warm-up call absorbs the parse/analysis memo fill so the measurement is
     the elaborate+simulate cost the sweeps actually pay per run.
     """
-    previous = os.environ.pop("REPRO_SIM_INTERP", None)
+    previous = {flag: os.environ.pop(flag, None) for flag in _TIER_FLAGS}
     try:
-        if interp:
-            os.environ["REPRO_SIM_INTERP"] = "1"
+        os.environ.update(_TIERS[tier])
         toolchain = Toolchain()
         result = toolchain.simulate(files, top)
         assert result.ok, result.log
@@ -169,53 +274,83 @@ def _best_ms(files, top, *, interp, reps=20):
             best = min(best, time.perf_counter() - started)
         return best * 1000.0
     finally:
-        if previous is None:
-            os.environ.pop("REPRO_SIM_INTERP", None)
-        else:
-            os.environ["REPRO_SIM_INTERP"] = previous
+        for flag, value in previous.items():
+            if value is None:
+                os.environ.pop(flag, None)
+            else:
+                os.environ[flag] = value
 
 
-#: compiled must beat the interpreter by at least this factor. Measured
-#: speedups are ~2.3x (Verilog) and ~2.9x (VHDL); the gate sits well below
+#: the closure tier must beat the interpreter by at least this factor on
+#: every design. Measured speedups are ~2.2-2.9x; the gate sits well below
 #: to absorb CI-runner jitter while still catching a tier that silently
 #: stopped engaging (speedup would collapse to ~1.0).
 SIM_TIER_SPEEDUP_FLOOR = 1.3
 
+#: the levelized two-state tier must beat the closure tier by at least this
+#: factor on the combinational designs (where cones dominate; the clocked
+#: counter is testbench-bound and levelized ≈ closure there). Measured
+#: level_speedups on the comb designs are ~50-60x, so 1.5x only trips when
+#: cone formation breaks outright.
+SIM_LEVEL_SPEEDUP_FLOOR = 1.5
+
 
 def test_sim_tier_speedup():
-    """The closure compiler beats the interpreter; record BENCH_sim.json."""
+    """Each tier beats the one below it; record BENCH_sim.json."""
     cases = {
         "verilog": ([HdlFile("c.v", COUNTER_V + TB_V, Language.VERILOG)], "tb"),
         "vhdl": (
             [HdlFile("c.vhd", COUNTER_VHD + TB_VHD, Language.VHDL)],
             "tb",
         ),
+        "verilog_comb": (
+            [HdlFile("c.v", COMB_V + TB_COMB_V, Language.VERILOG)],
+            "tb",
+        ),
+        "vhdl_comb": (
+            [HdlFile("c.vhd", COMB_VHD + TB_COMB_VHD, Language.VHDL)],
+            "tb",
+        ),
     }
     report = {}
     for name, (files, top) in cases.items():
-        interp_ms = _best_ms(files, top, interp=True)
-        compiled_ms = _best_ms(files, top, interp=False)
+        interp_ms = _best_ms(files, top, tier="interp")
+        compiled_ms = _best_ms(files, top, tier="closure")
+        levelized_ms = _best_ms(files, top, tier="levelized")
         report[name] = {
             "interp_ms": round(interp_ms, 3),
             "compiled_ms": round(compiled_ms, 3),
+            "levelized_ms": round(levelized_ms, 3),
             "speedup": round(interp_ms / compiled_ms, 2),
+            "level_speedup": round(compiled_ms / levelized_ms, 2),
         }
     report["floor"] = SIM_TIER_SPEEDUP_FLOOR
-    out = Path(os.environ.get("BENCH_SIM_JSON", "BENCH_sim.json"))
+    report["level_floor"] = SIM_LEVEL_SPEEDUP_FLOOR
+    default = Path(__file__).resolve().parent / "BENCH_sim.json"
+    out = Path(os.environ.get("BENCH_SIM_JSON", default))
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nsim tier speedups ({out}):")
     for name in cases:
         entry = report[name]
         print(
             f"  {name}: interp {entry['interp_ms']:.2f} ms, "
-            f"compiled {entry['compiled_ms']:.2f} ms "
-            f"({entry['speedup']:.2f}x)"
+            f"closure {entry['compiled_ms']:.2f} ms "
+            f"({entry['speedup']:.2f}x), "
+            f"levelized {entry['levelized_ms']:.2f} ms "
+            f"({entry['level_speedup']:.2f}x over closure)"
         )
     for name in cases:
         assert report[name]["speedup"] >= SIM_TIER_SPEEDUP_FLOOR, (
-            f"{name}: compiled tier only {report[name]['speedup']}x faster "
+            f"{name}: closure tier only {report[name]['speedup']}x faster "
             f"than the interpreter (floor {SIM_TIER_SPEEDUP_FLOOR}x) — "
             "did the closure compiler stop engaging?"
+        )
+    for name in ("verilog_comb", "vhdl_comb"):
+        assert report[name]["level_speedup"] >= SIM_LEVEL_SPEEDUP_FLOOR, (
+            f"{name}: levelized tier only {report[name]['level_speedup']}x "
+            f"faster than the closure tier "
+            f"(floor {SIM_LEVEL_SPEEDUP_FLOOR}x) — did cone formation "
+            "stop engaging?"
         )
 
 

@@ -530,6 +530,10 @@ class Toolchain:
         except SimulationError as exc:
             runtime_error = str(exc)
             stats = simulator.stats
+        metrics = get_tracer().metrics
+        metrics.counter("sim.activations").inc(stats.process_activations)
+        metrics.counter("sim.delta_cycles").inc(stats.delta_cycles)
+        metrics.counter("sim.cone_calls").inc(stats.cone_calls)
         wall = _time.perf_counter() - started
         modeled = (
             compile_result.tool_seconds

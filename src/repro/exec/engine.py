@@ -80,8 +80,11 @@ def _worker_main(worker_id, inbox, outbox, initializer, initargs):
         item = inbox.get()
         if item is None:
             # cooperative shutdown: flush a final cumulative snapshot so
-            # the spool's merged view equals this worker's full registry
+            # the spool's merged view equals this worker's full registry,
+            # and write the registry into the trace as metric records so
+            # summarize sees per-worker counters too
             snapshot_now(force=True)
+            get_tracer().flush_metrics()
             return
         index, fn, args = item
         started = _time.perf_counter()

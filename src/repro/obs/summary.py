@@ -121,6 +121,9 @@ class TraceSummary:
     simulate_count: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    sim_activations: int = 0
+    sim_delta_cycles: int = 0
+    sim_cone_calls: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     stage_seconds: dict = field(
@@ -179,6 +182,24 @@ def summarize_records(records: list[dict], *, path: str = "") -> TraceSummary:
             summary.cache_hits += 1
         elif cache == "miss":
             summary.cache_misses += 1
+
+    # -- scheduler counters: metric records are cumulative snapshots, so
+    # keep the last value per (process, counter) and sum across processes
+    sim_last: dict[tuple[int, str], float] = {}
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        name = record.get("name", "")
+        if name.startswith("sim."):
+            sim_last[(record.get("pid", 0), name)] = record.get("value", 0)
+    for attr, metric in (
+        ("sim_activations", "sim.activations"),
+        ("sim_delta_cycles", "sim.delta_cycles"),
+        ("sim_cone_calls", "sim.cone_calls"),
+    ):
+        setattr(summary, attr, int(sum(
+            value for (_, name), value in sim_last.items() if name == metric
+        )))
 
     # -- per-config aggregates from task spans --------------------------
     grouped: dict[tuple[str, str], list[dict]] = {}
@@ -364,6 +385,9 @@ def render_trace_summary(summary: TraceSummary) -> str:
         f"{summary.simulate_count} simulation(s); "
         f"cache {summary.cache_hits} hit / {summary.cache_misses} miss "
         f"({100.0 * summary.cache_hit_rate:.1f}% hit rate)",
+        f"  simulator: {summary.sim_activations} activation(s), "
+        f"{summary.sim_delta_cycles} delta cycle(s), "
+        f"{summary.sim_cone_calls} cone call(s)",
         f"  llm tokens: {summary.prompt_tokens} prompt + "
         f"{summary.completion_tokens} completion (pipeline runs)",
         "  modeled stage seconds: " + ", ".join(

@@ -19,6 +19,17 @@ The contract with the interpreters is strict observational equivalence:
   interpreter on any compile-time surprise);
 * ``REPRO_SIM_INTERP=1`` disables the tier globally, which is how the
   differential tests drive both engines over the same designs.
+
+On top of the closure tier sits the *levelized* tier (:mod:`.level` +
+:mod:`.twostate`): static combinational cones are topologically sorted at
+elaboration and emitted as straight-line generated Python, with a two-state
+masked-int fast path while no X/Z is live on the cone's inputs. Its escape
+hatches follow the same convention:
+
+* ``REPRO_SIM_NO_LEVEL=1`` disables cone formation (closure tier only);
+* ``REPRO_SIM_NO_TWOSTATE=1`` keeps cones but forces their four-state
+  closure bodies (for isolating the int fast path);
+* ``REPRO_SIM_INTERP=1`` still wins over everything.
 """
 
 from __future__ import annotations
@@ -29,3 +40,13 @@ import os
 def interpreter_forced() -> bool:
     """True when ``REPRO_SIM_INTERP`` requests the pure interpreter tier."""
     return os.environ.get("REPRO_SIM_INTERP", "0") not in ("", "0")
+
+
+def level_disabled() -> bool:
+    """True when ``REPRO_SIM_NO_LEVEL`` turns off the levelized cone tier."""
+    return os.environ.get("REPRO_SIM_NO_LEVEL", "0") not in ("", "0")
+
+
+def twostate_disabled() -> bool:
+    """True when ``REPRO_SIM_NO_TWOSTATE`` forces four-state cone bodies."""
+    return os.environ.get("REPRO_SIM_NO_TWOSTATE", "0") not in ("", "0")

@@ -90,6 +90,10 @@ class VerilogElaborator:
         self.design = Design()
         self.rng = _Lcg()
         self._instance_stack: list[str] = []
+        #: cone-eligible processes nominated for the levelized tier, plus the
+        #: signals written by everything else (the sole-driver fence)
+        self._cone_members: list = []
+        self._external_writes: set[Signal] = set()
 
     # ------------------------------------------------------------------
     # entry point
@@ -109,6 +113,7 @@ class VerilogElaborator:
             return None
         if self.collector.has_errors:
             return None
+        self._install_cones()
         return self.design
 
     # ------------------------------------------------------------------
@@ -242,6 +247,40 @@ class VerilogElaborator:
         return factory
 
     # ------------------------------------------------------------------
+    # levelized tier
+    # ------------------------------------------------------------------
+
+    def _install_cones(self) -> None:
+        from repro.sim import compile as simcompile
+
+        if not self._cone_members:
+            return
+        if simcompile.interpreter_forced() or simcompile.level_disabled():
+            return
+        from repro.sim.compile import level as _level
+
+        try:
+            _level.install_cones(
+                self.design,
+                self._cone_members,
+                self._external_writes,
+                twostate=not simcompile.twostate_disabled(),
+            )
+        except Exception:
+            pass  # any surprise leaves the closure tier untouched
+
+    def _note_external_lvalue(self, target: ast.LValue, scope: _Scope) -> None:
+        """Record an lvalue written outside the cone tier (sole-driver fence)."""
+        if isinstance(target, ast.Concat):
+            for part in target.parts:
+                self._note_external_lvalue(part, scope)
+            return
+        name = target.name if isinstance(target, ast.Identifier) else target.target
+        resolved = scope.resolve(name)
+        if isinstance(resolved, Signal):
+            self._external_writes.add(resolved)
+
+    # ------------------------------------------------------------------
     # items
     # ------------------------------------------------------------------
 
@@ -270,6 +309,7 @@ class VerilogElaborator:
             self.design.add_process(
                 Process(f"{scope.prefix}initial@{_line(self, item)}", factory)
             )
+            self._external_writes |= _written_signals(item.body, scope)
         elif isinstance(item, ast.Instantiation):
             self._instantiate(item, scope)
         else:
@@ -304,7 +344,20 @@ class VerilogElaborator:
                 return body()
 
         name = f"{scope.prefix}assign@{_line(self, target)}"
-        self.design.add_process(Process(name, factory))
+        process = Process(name, factory)
+        self.design.add_process(process)
+
+        from repro.sim.compile import level as _level
+
+        member = self._compiled(
+            lambda: _level.verilog_assign_member(
+                process, target, value, scope, self, read_signals
+            )
+        )
+        if member is not None:
+            self._cone_members.append(member)
+        else:
+            self._note_external_lvalue(target, scope)
 
     def _always_block(self, block: ast.AlwaysBlock, scope: _Scope) -> None:
         sens = block.sensitivity
@@ -333,6 +386,7 @@ class VerilogElaborator:
                     return run()
 
             self.design.add_process(Process(name, factory))
+            self._external_writes |= _written_signals(block.body, scope)
             return
 
         if sens.star:
@@ -373,7 +427,30 @@ class VerilogElaborator:
 
                 return run()
 
-        self.design.add_process(Process(name, factory))
+        process = Process(name, factory)
+        self.design.add_process(process)
+
+        writes = _written_signals(block.body, scope)
+        raw_reads = self._read_set_stmt_raw(block.body, scope)
+        member = None
+        # cone-eligible only when every read is statically covered: @(*) by
+        # construction, explicit lists only if all-ANY and ⊇ the read set
+        covered = sens.star or (
+            not edge_triggered
+            and {e.signal for e in entries} >= (raw_reads - writes)
+        )
+        if covered and writes:
+            from repro.sim.compile import level as _level
+
+            member = self._compiled(
+                lambda: _level.verilog_always_member(
+                    process, block.body, scope, self, raw_reads, writes
+                )
+            )
+        if member is not None:
+            self._cone_members.append(member)
+        else:
+            self._external_writes |= writes
 
     def _sens_signal(self, expr: ast.Expression, scope: _Scope) -> Signal | None:
         if isinstance(expr, ast.Identifier):
@@ -492,9 +569,22 @@ class VerilogElaborator:
 
                 return body()
 
-        self.design.add_process(
-            Process(f"{scope.prefix}{inst.instance}.in.{child_signal.name}", factory)
+        process = Process(
+            f"{scope.prefix}{inst.instance}.in.{child_signal.name}", factory
         )
+        self.design.add_process(process)
+
+        from repro.sim.compile import level as _level
+
+        member = self._compiled(
+            lambda: _level.verilog_wire_input_member(
+                process, expr, child_signal, scope, self, reads
+            )
+        )
+        if member is not None:
+            self._cone_members.append(member)
+        else:
+            self._external_writes.add(child_signal)
 
     def _wire_output(
         self,
@@ -528,9 +618,22 @@ class VerilogElaborator:
 
                 return body()
 
-        self.design.add_process(
-            Process(f"{scope.prefix}{inst.instance}.out.{child_signal.name}", factory)
+        process = Process(
+            f"{scope.prefix}{inst.instance}.out.{child_signal.name}", factory
         )
+        self.design.add_process(process)
+
+        from repro.sim.compile import level as _level
+
+        member = self._compiled(
+            lambda: _level.verilog_wire_output_member(
+                process, expr, child_signal, scope, self
+            )
+        )
+        if member is not None:
+            self._cone_members.append(member)
+        else:
+            self._note_external_lvalue(expr, scope)
 
     # ------------------------------------------------------------------
     # read sets
@@ -592,6 +695,12 @@ class VerilogElaborator:
 
     def _read_set_stmt(self, stmt: ast.Statement, scope: _Scope) -> set[Signal]:
         """All signals read anywhere in a statement — the @(*) sensitivity."""
+        # loop induction variables written inside the block are not real
+        # sensitivity sources; removing them avoids self-triggering loops.
+        return self._read_set_stmt_raw(stmt, scope) - _written_signals(stmt, scope)
+
+    def _read_set_stmt_raw(self, stmt: ast.Statement, scope: _Scope) -> set[Signal]:
+        """All signals read anywhere in a statement, written ones included."""
         reads: set[Signal] = set()
 
         def walk(node: ast.Statement) -> None:
@@ -631,10 +740,7 @@ class VerilogElaborator:
                     self._collect_reads(arg, scope, reads)
 
         walk(stmt)
-        # loop induction variables written inside the block are not real
-        # sensitivity sources; removing them avoids self-triggering loops.
-        writes = _written_signals(stmt, scope)
-        return reads - writes
+        return reads
 
     # ------------------------------------------------------------------
 

@@ -126,6 +126,10 @@ class VhdlElaborator:
         self.collector = collector
         self.design = Design()
         self._depth = 0
+        #: cone-eligible processes nominated for the levelized tier, plus the
+        #: signals written by everything else (the sole-driver fence)
+        self._cone_members: list = []
+        self._external_writes: set[Signal] = set()
 
     # ------------------------------------------------------------------
 
@@ -143,6 +147,7 @@ class VhdlElaborator:
             return None
         if self.collector.has_errors:
             return None
+        self._install_cones()
         return self.design
 
     # ------------------------------------------------------------------
@@ -176,6 +181,39 @@ class VhdlElaborator:
             del self.collector.diagnostics[mark:]
             factory = None
         return factory
+
+    # ------------------------------------------------------------------
+    # levelized tier
+    # ------------------------------------------------------------------
+
+    def _install_cones(self) -> None:
+        from repro.sim import compile as simcompile
+
+        if not self._cone_members:
+            return
+        if simcompile.interpreter_forced() or simcompile.level_disabled():
+            return
+        from repro.sim.compile import level as _level
+
+        try:
+            _level.install_cones(
+                self.design,
+                self._cone_members,
+                self._external_writes,
+                twostate=not simcompile.twostate_disabled(),
+            )
+        except Exception:
+            pass  # any surprise leaves the closure tier untouched
+
+    def _note_external_target(self, target, scope: _VScope) -> None:
+        """Record a target written outside the cone tier (sole-driver fence)."""
+        try:
+            name = _target_name(target)
+        except Exception:
+            return
+        signal = scope.signals.get(name)
+        if signal is not None:
+            self._external_writes.add(signal)
 
     def _elaborate_entity(
         self, name: str, prefix: str, generic_overrides: dict[str, Logic]
@@ -337,6 +375,7 @@ class VhdlElaborator:
 
             name = f"{scope.prefix}cassign@{self._line(statement)}"
             self.design.add_process(Process(name, delayed_factory))
+            self._external_writes.add(target_signal)
             return
 
         factory = self._compiled(
@@ -361,7 +400,20 @@ class VhdlElaborator:
                 return body()
 
         name = f"{scope.prefix}cassign@{self._line(statement)}"
-        self.design.add_process(Process(name, factory))
+        process = Process(name, factory)
+        self.design.add_process(process)
+
+        from repro.sim.compile import level as _level
+
+        member = self._compiled(
+            lambda: _level.vhdl_concurrent_member(
+                process, statement, scope, self, reads, target_width
+            )
+        )
+        if member is not None:
+            self._cone_members.append(member)
+        else:
+            self._note_external_target(target, scope)
 
     def _conditional_assign(self, statement: ast.ConditionalAssign, scope: _VScope):
         reads: set[Signal] = set()
@@ -400,7 +452,20 @@ class VhdlElaborator:
                 return body()
 
         name = f"{scope.prefix}condassign@{self._line(statement)}"
-        self.design.add_process(Process(name, factory))
+        process_obj = Process(name, factory)
+        self.design.add_process(process_obj)
+
+        from repro.sim.compile import level as _level
+
+        member = self._compiled(
+            lambda: _level.vhdl_conditional_member(
+                process_obj, statement, scope, self, reads, width
+            )
+        )
+        if member is not None:
+            self._cone_members.append(member)
+        else:
+            self._note_external_target(statement.target, scope)
 
     def _selected_assign(self, statement: ast.SelectedAssign, scope: _VScope):
         reads: set[Signal] = set()
@@ -421,6 +486,9 @@ class VhdlElaborator:
         if factory is not None:
             name = f"{scope.prefix}selassign@{self._line(statement)}"
             self.design.add_process(Process(name, factory))
+            # selected assigns may skip the write (no others arm): not
+            # idempotent under cone over-evaluation, so never a member
+            self._note_external_target(statement.target, scope)
             return
 
         def factory(sim, st=statement, scope=scope, reads=reads, width=width):
@@ -453,6 +521,7 @@ class VhdlElaborator:
 
         name = f"{scope.prefix}selassign@{self._line(statement)}"
         self.design.add_process(Process(name, factory))
+        self._note_external_target(statement.target, scope)
 
     # ------------------------------------------------------------------
     # processes
@@ -477,6 +546,9 @@ class VhdlElaborator:
                 sens_signals.append(signal)
         watched = _edge_watched_signals(process.body, scope)
         label = process.label or f"proc@{self._line(process)}"
+        # processes carry variables, edge memory, and waits — never cone
+        # members, so everything they assign fences off the levelized tier
+        self._external_writes |= _seq_written_signals(process.body, scope)
 
         from repro.sim.compile import vhdl as _cvh
 
@@ -723,9 +795,22 @@ class VhdlElaborator:
 
                 return body()
 
-        self.design.add_process(
-            Process(f"{scope.prefix}{inst.label}.in.{child_signal.name}", factory)
+        process = Process(
+            f"{scope.prefix}{inst.label}.in.{child_signal.name}", factory
         )
+        self.design.add_process(process)
+
+        from repro.sim.compile import level as _level
+
+        member = self._compiled(
+            lambda: _level.vhdl_wire_input_member(
+                process, expr, child_signal, scope, self, reads
+            )
+        )
+        if member is not None:
+            self._cone_members.append(member)
+        else:
+            self._external_writes.add(child_signal)
 
     def _wire_output(self, expr, child_signal: Signal, scope: _VScope, inst) -> None:
         if not isinstance(expr, (ast.Name, ast.Indexed, ast.Sliced)):
@@ -753,9 +838,22 @@ class VhdlElaborator:
 
                 return body()
 
-        self.design.add_process(
-            Process(f"{scope.prefix}{inst.label}.out.{child_signal.name}", factory)
+        process = Process(
+            f"{scope.prefix}{inst.label}.out.{child_signal.name}", factory
         )
+        self.design.add_process(process)
+
+        from repro.sim.compile import level as _level
+
+        member = self._compiled(
+            lambda: _level.vhdl_wire_output_member(
+                process, expr, child_signal, scope, self
+            )
+        )
+        if member is not None:
+            self._cone_members.append(member)
+        else:
+            self._note_external_target(expr, scope)
 
     # ------------------------------------------------------------------
     # targets
@@ -1282,6 +1380,39 @@ def _collect_reads_seq(statement, scope: _VScope, out: set[Signal]) -> None:
             _collect_reads_seq(inner, scope, out)
     elif isinstance(statement, ast.AssertStatement):
         _collect_reads(statement.condition, scope, out)
+
+
+def _seq_written_signals(body: tuple, scope: _VScope) -> set[Signal]:
+    """Signals assigned anywhere in a sequential body (over-approximate).
+
+    Used as the levelized tier's sole-driver fence: a process variable
+    shadowing a signal name still counts the signal, which only shrinks
+    cone coverage, never correctness.
+    """
+    writes: set[Signal] = set()
+
+    def note(target) -> None:
+        if isinstance(target, (ast.Name, ast.Indexed, ast.Sliced)):
+            signal = scope.signals.get(target.name)
+            if signal is not None:
+                writes.add(signal)
+
+    def walk(statements: tuple) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.SignalAssign):
+                note(statement.target)
+            elif isinstance(statement, ast.IfStatement):
+                for _condition, arm_body in statement.arms:
+                    walk(arm_body)
+                walk(statement.else_body)
+            elif isinstance(statement, ast.CaseStatement):
+                for alternative in statement.alternatives:
+                    walk(alternative.body)
+            elif isinstance(statement, (ast.ForLoop, ast.WhileLoop)):
+                walk(statement.body)
+
+    walk(body)
+    return writes
 
 
 def _edge_watched_signals(body: tuple, scope: _VScope) -> set[Signal]:

@@ -33,7 +33,7 @@ class Edge(enum.Enum):
 class Signal:
     """A named storage element. Value updates flow through the kernel only."""
 
-    __slots__ = ("name", "width", "_value", "waiters", "trace")
+    __slots__ = ("name", "width", "_value", "waiters", "trace", "cones")
 
     def __init__(self, name: str, width: int, initial: Logic | None = None):
         self.name = name
@@ -46,6 +46,9 @@ class Signal:
         self.waiters: dict["Process", "Sensitivity | list[Sensitivity]"] = {}
         #: optional list of (time, value) pairs appended by the kernel when tracing
         self.trace: list[tuple[int, Logic]] | None = None
+        #: levelized cones reading this signal (tuple; empty outside the
+        #: levelized tier) — the kernel re-queues them on every value change
+        self.cones: tuple["Cone", ...] = ()
 
     @property
     def value(self) -> Logic:
@@ -107,13 +110,47 @@ class Process:
         return f"Process({self.name})"
 
 
+class Cone:
+    """A levelized combinational cone: one straight-line settle function.
+
+    The levelized tier replaces a group of purely combinational processes
+    (continuous assigns, ``@(*)`` blocks, port wirings) with a single Cone.
+    The kernel queues the cone whenever any of its input signals changes and
+    runs ``fn(sim)`` — one call instead of N waiter wake-ups. ``make(sim)``
+    builds that callable at run start so one elaborated design can be
+    simulated repeatedly with fresh per-run state (VHDL eval contexts).
+    """
+
+    __slots__ = ("name", "make", "inputs", "fn", "queued")
+
+    def __init__(self, name: str, make: Callable, inputs: tuple[Signal, ...]):
+        self.name = name
+        self.make = make
+        self.inputs = inputs
+        self.fn: Callable | None = None
+        #: True while the cone sits in the kernel's active queue — collapses
+        #: multiple same-delta input changes into one evaluation
+        self.queued = False
+
+    def start(self, kernel) -> None:
+        self.fn = self.make(kernel)
+        self.queued = True  # run() appends it to the active queue next
+
+    def __repr__(self) -> str:
+        return f"Cone({self.name})"
+
+
 @dataclass
 class Design:
     """A fully elaborated design: flat signals and processes, ready to simulate."""
 
     name: str = "design"
     signals: dict[str, Signal] = field(default_factory=dict)
+    #: execution slots: mostly :class:`Process`, but the levelized tier
+    #: replaces coned members with their shared :class:`Cone` in place
     processes: list[Process] = field(default_factory=list)
+    #: the distinct cones installed by the levelized tier (for stats/tests)
+    cones: list[Cone] = field(default_factory=list)
 
     def add_signal(self, signal: Signal) -> Signal:
         if signal.name in self.signals:
@@ -145,6 +182,7 @@ class Design:
         for process in other.processes:
             process.name = prefix + process.name
             self.add_process(process)
+        self.cones.extend(other.cones)
 
 
 def sensitivities(

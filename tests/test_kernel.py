@@ -254,6 +254,40 @@ class TestGuards:
         with pytest.raises(SimulationError, match="step activation limit"):
             Simulator(design).run()
 
+    def test_custom_step_activation_limit(self):
+        """The ctor parameter shadows the class default per instance."""
+        design = make_design()
+        s = design.new_signal("s", 1, Logic.from_int(0, 1))
+
+        def oscillator(sim):
+            def body():
+                while True:
+                    sim.write_signal(s, ~s.value)
+                    yield WaitChange.on(s)
+
+            return body()
+
+        def kicker(sim):
+            def body():
+                sim.write_signal(s, Logic.from_int(1, 1))
+                return
+                yield
+
+            return body()
+
+        design.add_process(Process("o1", oscillator))
+        design.add_process(Process("o2", oscillator))
+        design.add_process(Process("k", kicker))
+        simulator = Simulator(design, step_activation_limit=500)
+        with pytest.raises(
+            SimulationError, match=r"step activation limit \(500\)"
+        ):
+            simulator.run()
+        # the tightened limit caught the loop well before the default would
+        assert simulator.stats.process_activations < 2_000
+        # instance tuning must not leak into the class default
+        assert Simulator.STEP_ACTIVATION_LIMIT == 100_000
+
     def test_empty_wait_marks_process_done(self):
         design = make_design()
 

@@ -194,6 +194,29 @@ class TestRenderTraceSummary:
         text = render_trace_summary(summarize_records([]))
         assert "0" in text
 
+    def test_scheduler_counters_surface_in_summary(self):
+        # metric records are cumulative snapshots: the last one per process
+        # wins, and processes sum
+        def metric(pid, time, name, value):
+            return {
+                "type": "metric", "pid": pid, "time": time,
+                "kind": "counter", "name": name, "value": value,
+            }
+
+        records = [
+            metric(1, 1.0, "sim.activations", 10),
+            metric(1, 2.0, "sim.activations", 25),
+            metric(2, 1.0, "sim.activations", 5),
+            metric(1, 2.0, "sim.delta_cycles", 40),
+            metric(1, 2.0, "sim.cone_calls", 7),
+        ]
+        summary = summarize_records(records)
+        assert summary.sim_activations == 30
+        assert summary.sim_delta_cycles == 40
+        assert summary.sim_cone_calls == 7
+        text = render_trace_summary(summary)
+        assert "simulator: 30 activation(s), 40 delta cycle(s), 7 cone call(s)" in text
+
 
 class TestSummarizeDegenerateInputs:
     def test_no_records(self):

@@ -1,20 +1,26 @@
-"""Engine equivalence: compiled closures vs the pure interpreter.
+"""Engine equivalence: all three simulation tiers must agree.
 
-The closure compiler (``repro.sim.compile``) must be observationally
-identical to the generator interpreters it accelerates. These tests drive
-the same sources through both tiers — the compiled default and the
-``REPRO_SIM_INTERP=1`` escape hatch — and require identical results:
+The closure compiler (``repro.sim.compile``) and the levelized cone tier
+(``repro.sim.compile.level``) must be observationally identical to the
+generator interpreters they accelerate. These tests drive the same sources
+through all three tiers — the levelized default, the closure-only tier
+(``REPRO_SIM_NO_LEVEL=1``), and the pure interpreter
+(``REPRO_SIM_INTERP=1``) — and require identical results:
 
 * a Hypothesis property over ``repro.qa.spec.generate_spec`` programs,
   comparing the full simulation observables in both languages;
-* a replay of the seed corpus under the interpreter tier (the recorded
-  verdicts were produced with the compiled tier);
-* a small fuzz campaign judged by both engines, comparing every verdict
-  and source hash.
+* a directed forced-X stimulus that drives X onto a cone input
+  mid-simulation, exercising the two-state→four-state fallback and the
+  recovery back to the fast path;
+* a replay of the seed corpus under the interpreter and closure tiers
+  (the recorded verdicts were produced with the full compiled stack);
+* a small fuzz campaign judged by all three engines, comparing every
+  verdict and source hash.
 
-The comparisons include the rendered log, which embeds the kernel's
-statistics block — so process activations, signal updates, and delta
-cycles must match too, not just the printed output.
+The compared observables are the printed output, the rendered log (which
+embeds the reported end time), the end time, the clean-finish flag, and
+any runtime error — kernel statistics intentionally differ across tiers
+(cone calls replace waiter wakeups) and are not part of the contract.
 """
 
 from __future__ import annotations
@@ -32,19 +38,37 @@ from repro.qa.fuzz import run_fuzz
 from repro.qa.oracle import QaCase, case_sources
 from repro.qa.spec import generate_spec
 
+_TIER_FLAGS = ("REPRO_SIM_INTERP", "REPRO_SIM_NO_LEVEL")
+
 
 @contextmanager
-def interpreter_tier():
-    """Force the pure-interpreter tier for the duration of the block."""
-    previous = os.environ.get("REPRO_SIM_INTERP")
-    os.environ["REPRO_SIM_INTERP"] = "1"
+def _tier(**flags):
+    """Pin the simulation tier for the duration of the block."""
+    previous = {flag: os.environ.pop(flag, None) for flag in _TIER_FLAGS}
+    os.environ.update(flags)
     try:
         yield
     finally:
-        if previous is None:
-            os.environ.pop("REPRO_SIM_INTERP", None)
-        else:
-            os.environ["REPRO_SIM_INTERP"] = previous
+        for flag, value in previous.items():
+            if value is None:
+                os.environ.pop(flag, None)
+            else:
+                os.environ[flag] = value
+
+
+def interpreter_tier():
+    """Force the pure-interpreter tier for the duration of the block."""
+    return _tier(REPRO_SIM_INTERP="1")
+
+
+def closure_tier():
+    """Force the closure tier (levelized cones disabled)."""
+    return _tier(REPRO_SIM_NO_LEVEL="1")
+
+
+def levelized_tier():
+    """Force the levelized default even if ambient flags disable it."""
+    return _tier()
 
 
 def _observables(result):
@@ -58,11 +82,27 @@ def _observables(result):
     )
 
 
-def _simulate_both_tiers(files, top):
-    compiled = Toolchain().simulate(files, top)
-    with interpreter_tier():
-        interpreted = Toolchain().simulate(files, top)
-    return compiled, interpreted
+def _simulate_all_tiers(files, top):
+    """One SimResult per tier, keyed by tier name."""
+    results = {}
+    for name, tier in (
+        ("levelized", levelized_tier),
+        ("closure", closure_tier),
+        ("interp", interpreter_tier),
+    ):
+        with tier():
+            results[name] = Toolchain().simulate(files, top)
+    return results
+
+
+def _assert_tiers_agree(files, top, context):
+    results = _simulate_all_tiers(files, top)
+    reference = _observables(results["levelized"])
+    for name in ("closure", "interp"):
+        assert _observables(results[name]) == reference, (
+            f"{context}: levelized vs {name} divergence"
+        )
+    return results["levelized"]
 
 
 def _spec_files(spec, language):
@@ -83,37 +123,119 @@ def _spec_files(spec, language):
 )
 @settings(deadline=None)
 def test_generated_specs_identical_across_tiers(seed, index):
-    """Any generated program simulates identically on both tiers."""
+    """Any generated program simulates identically on all three tiers."""
     spec = generate_spec(seed, index)
     for language in Language:
         files = _spec_files(spec, language)
-        compiled, interpreted = _simulate_both_tiers(files, "tb")
-        assert _observables(compiled) == _observables(interpreted), (
-            f"{language.value} divergence for spec {spec.name} "
-            f"(seed={seed}, index={index})"
+        _assert_tiers_agree(
+            files, "tb",
+            f"{language.value} spec {spec.name} (seed={seed}, index={index})",
         )
 
 
-def test_corpus_verdicts_hold_under_interpreter():
-    """The seed corpus replays clean with the compiler disabled.
+X_FALLBACK_V = """
+module xmod(input [7:0] a, input [7:0] b, output [7:0] y);
+    wire [7:0] t = a ^ b;
+    assign y = t + a;
+endmodule
+module tb;
+    reg [7:0] a, b; wire [7:0] y;
+    xmod dut(.a(a), .b(b), .y(y));
+    initial begin
+        a = 8'd3; b = 8'd5;
+        #1 $display("known y=%b", y);
+        a = 8'bxxxx0011;
+        #1 $display("x-phase y=%b", y);
+        a = 8'd7;
+        #1 $display("recovered y=%b", y);
+        $finish;
+    end
+endmodule
+"""
 
-    The recorded failure classes were produced by the compiled tier; the
-    interpreter must classify every case the same way, including the
+X_FALLBACK_VHD = """
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity xmod is
+    port (a : in unsigned(7 downto 0); b : in unsigned(7 downto 0);
+          y : out unsigned(7 downto 0));
+end entity;
+architecture rtl of xmod is
+    signal t : unsigned(7 downto 0);
+begin
+    t <= a xor b;
+    y <= t + a;
+end architecture;
+entity tb is end entity;
+architecture sim of tb is
+    signal a : unsigned(7 downto 0) := x"03";
+    signal b : unsigned(7 downto 0) := x"05";
+    signal y : unsigned(7 downto 0);
+begin
+    dut: entity work.xmod port map (a => a, b => b, y => y);
+    stim: process begin
+        wait for 1 ns;
+        assert y = x"09" report "bad known-phase y" severity error;
+        a <= "XXXX0011";
+        wait for 1 ns;
+        assert not (y = x"09") report "x-phase y unexpectedly known"
+            severity error;
+        a <= x"07";
+        wait for 1 ns;
+        assert y = x"09" report "bad recovered y" severity error;
+        report "All tests passed successfully!";
+        wait;
+    end process;
+end architecture;
+"""
+
+
+def test_forced_x_fallback_identical_across_tiers():
+    """X on a cone input mid-run demotes to four-state on every tier alike.
+
+    The stimulus drives a known value (two-state fast path), then X bits
+    (aggregated xmask test fails, the cone falls back to its Logic-based
+    closure bodies for that evaluation), then a known value again (the
+    fast path resumes). All three tiers must print the same x-propagated
+    bits and the same recovery.
+    """
+    files = [HdlFile("x.v", X_FALLBACK_V, Language.VERILOG)]
+    result = _assert_tiers_agree(files, "tb", "verilog forced-X")
+    assert any("x-phase" in line and "x" in line.split("=")[-1]
+               for line in result.output_lines), result.output_lines
+    assert "recovered y=00001001" in "\n".join(result.output_lines)
+
+    files = [HdlFile("x.vhd", X_FALLBACK_VHD, Language.VHDL)]
+    result = _assert_tiers_agree(files, "tb", "vhdl forced-X")
+    assert result.ok, result.log
+    assert any("All tests passed" in line for line in result.output_lines)
+
+
+def test_corpus_verdicts_hold_under_every_tier():
+    """The seed corpus replays clean on the interpreter and closure tiers.
+
+    The recorded failure classes were produced by the full compiled stack;
+    the demoted tiers must classify every case the same way, including the
     defect-injected entries that exercise crash and mismatch paths.
     """
-    with interpreter_tier():
-        outcomes = replay_corpus(DEFAULT_CORPUS_DIR)
-    assert outcomes, "seed corpus is empty"
-    mismatched = [o for o in outcomes if not o.matched]
-    assert not mismatched, "\n".join(
-        f"{o.name}: expected {o.expected.value}, got {o.actual.value}"
-        for o in mismatched
-    )
+    for tier in (interpreter_tier, closure_tier, levelized_tier):
+        with tier():
+            outcomes = replay_corpus(DEFAULT_CORPUS_DIR)
+        assert outcomes, "seed corpus is empty"
+        mismatched = [o for o in outcomes if not o.matched]
+        assert not mismatched, f"{tier.__name__}:\n" + "\n".join(
+            f"{o.name}: expected {o.expected.value}, got {o.actual.value}"
+            for o in mismatched
+        )
 
 
 def test_fuzz_verdicts_identical_across_tiers():
-    """A fuzz campaign produces identical verdicts on both tiers."""
-    report_compiled = run_fuzz(seed=20260806, count=6)
+    """A fuzz campaign produces identical verdicts on all three tiers."""
+    with levelized_tier():
+        report_levelized = run_fuzz(seed=20260806, count=6)
+    with closure_tier():
+        report_closure = run_fuzz(seed=20260806, count=6)
     with interpreter_tier():
         report_interp = run_fuzz(seed=20260806, count=6)
 
@@ -123,5 +245,7 @@ def test_fuzz_verdicts_identical_across_tiers():
             for r in report.results
         ]
 
-    assert digest(report_compiled) == digest(report_interp)
-    assert report_compiled.class_counts == report_interp.class_counts
+    assert digest(report_levelized) == digest(report_closure)
+    assert digest(report_levelized) == digest(report_interp)
+    assert report_levelized.class_counts == report_interp.class_counts
+    assert report_levelized.class_counts == report_closure.class_counts
