@@ -117,6 +117,103 @@ V_OSCILLATOR = CaseMutation(Language.VERILOG, functional(
      "    always @(osc_p) osc_q = osc_p;"),
 ))
 
+# ---------------------------------------------------------------------------
+# Widened-grammar probes: every failure class again, this time through the
+# ops added to the grammar (shifts, sra, slt, cat/slice, reductions). The
+# anchors target the rendered lowered idiom of each language, so these
+# entries also pin the lowering contract of repro.qa.render.lower_tree.
+# ---------------------------------------------------------------------------
+
+SRA_TREE = ["sra", ["var", "a0"], ["var", "a1"]]
+SRA = node_name(SRA_TREE)
+V_SRA_LOGICAL = CaseMutation(Language.VERILOG, functional(
+    "Verilog arithmetic right shift becomes logical",
+    f"assign {SRA} = $signed({A0}) >>> {A1};",
+    f"assign {SRA} = {A0} >> {A1};",
+))
+
+SHL_TREE = ["shl", ["var", "a0"], ["var", "a1"]]
+SHL = node_name(SHL_TREE)
+VH_SHL_RIGHT = CaseMutation(Language.VHDL, functional(
+    "VHDL shift_left becomes shift_right",
+    f"{SHL} <= shift_left({A0}, to_integer({A1}));",
+    f"{SHL} <= shift_right({A0}, to_integer({A1}));",
+))
+
+# slt lowers (in both languages) to an unsigned lt over operands XORed with
+# the sign constant; zeroing that constant in both renderings turns slt back
+# into lt everywhere — the languages agree, the reference model does not
+SLT_TREE = ["mux", "slt", ["var", "a0"], ["var", "a1"],
+            ["var", "a0"], ["var", "a1"]]
+SIGN_CONST = node_name(["const", 8])
+V_SIGN_ZERO = CaseMutation(Language.VERILOG, functional(
+    "Verilog slt sign-flip constant zeroed",
+    f"assign {SIGN_CONST} = 4'd8;",
+    f"assign {SIGN_CONST} = 4'd0;",
+))
+VH_SIGN_ZERO = CaseMutation(Language.VHDL, functional(
+    "VHDL slt sign-flip constant zeroed",
+    f"{SIGN_CONST} <= to_unsigned(8, 4);",
+    f"{SIGN_CONST} <= to_unsigned(0, 4);",
+))
+
+# cross: each language breaks a *different* shift feeding one concat, so
+# the failing stimulus sets differ (one tracks a0, the other a1) and every
+# edge of the differential triangle disagrees
+CROSS_HIGH = ["shl", ["var", "a0"], ["const", 1]]
+CROSS_LOW = ["shr", ["var", "a1"], ["const", 1]]
+CROSS_TREE = ["cat", CROSS_HIGH, CROSS_LOW]
+C1 = node_name(["const", 1])
+CROSS_SHL = node_name(CROSS_HIGH)
+CROSS_SHR = node_name(CROSS_LOW)
+V_CROSS_SHL = CaseMutation(Language.VERILOG, functional(
+    "Verilog left shift becomes right",
+    f"assign {CROSS_SHL} = {A0} << {C1};",
+    f"assign {CROSS_SHL} = {A0} >> {C1};",
+))
+VH_CROSS_SHR = CaseMutation(Language.VHDL, functional(
+    "VHDL right shift becomes left",
+    f"{CROSS_SHR} <= shift_right({A1}, to_integer({C1}));",
+    f"{CROSS_SHR} <= shift_left({A1}, to_integer({C1}));",
+))
+
+SLICE_TREE = ["slice", ["var", "a0"], 3, 1]
+SLICE = node_name(SLICE_TREE)
+V_SLICE_SYNTAX = CaseMutation(Language.VERILOG, syntax(
+    "Verilog slice assignment loses its semicolon",
+    f"assign y0 = {SLICE};",
+    f"assign y0 = {SLICE}",
+))
+
+REDX_TREE = ["redxor", ["var", "a0"]]
+REDX = node_name(REDX_TREE)
+V_RED_OSC = CaseMutation(Language.VERILOG, functional(
+    "Verilog zero-delay oscillation behind a reduction",
+    f"assign {REDX} = ^{A0};",
+    (f"assign {REDX} = ^{A0};\n"
+     "    reg osc_p, osc_q;\n"
+     "    initial begin osc_p = 1'b0; osc_q = 1'b0; end\n"
+     "    always @(osc_q) osc_p = ~osc_q;\n"
+     "    always @(osc_p) osc_q = osc_p;"),
+))
+
+WIDENED_OK = QaSpec(
+    name="corpus_widened_ok_fsm", width=4, inputs=("a0", "a1"),
+    clocked=True,
+    outputs=(
+        # two cross-fed registers: an FSM-shaped design through sra/cat
+        ("y0", ["sra", ["cat", ["var", "a0"], ["var", "y1"]],
+                ["const", 1]]),
+        ("y1", ["add", ["var", "y0"], ["redxor", ["var", "a1"]]]),
+    ),
+)
+
+
+def widened(name: str, tree) -> QaSpec:
+    return QaSpec(
+        name=name, width=4, inputs=("a0", "a1"), outputs=(("y0", tree),),
+    )
+
 
 def comb(name: str) -> QaSpec:
     return QaSpec(
@@ -155,6 +252,35 @@ CASES = [
     QaCase(spec=SEQ_FORMAL, mutations=(VH_ACC_AND,),
            note="formally refuted: accumulator add degraded to and in "
                 "VHDL; the stored witness must keep failing in simulation"),
+    # widened-grammar entries: one per failure class, all through new ops
+    QaCase(spec=WIDENED_OK,
+           note="clean FSM-shaped design through sra/cat/redxor: both "
+                "flows must agree"),
+    QaCase(spec=widened("corpus_widened_verilog_mismatch", SRA_TREE),
+           mutations=(V_SRA_LOGICAL,),
+           note="Verilog-only defect: >>> degraded to >> drops the sign "
+                "fill"),
+    QaCase(spec=widened("corpus_widened_vhdl_mismatch", SHL_TREE),
+           mutations=(VH_SHL_RIGHT,),
+           note="VHDL-only defect: shift_left degraded to shift_right"),
+    QaCase(spec=widened("corpus_widened_both_mismatch", SLT_TREE),
+           mutations=(V_SIGN_ZERO, VH_SIGN_ZERO),
+           note="identical defect in both renderings: slt collapses to "
+                "unsigned lt everywhere, languages agree, model disagrees"),
+    QaCase(spec=widened("corpus_widened_cross_mismatch", CROSS_TREE),
+           mutations=(V_CROSS_SHL, VH_CROSS_SHR),
+           note="different shift defects per language behind one concat: "
+                "every edge of the triangle disagrees"),
+    QaCase(spec=widened("corpus_widened_compile_divergence", SLICE_TREE),
+           mutations=(V_SLICE_SYNTAX,),
+           note="Verilog rejects the slice rendering, VHDL accepts"),
+    QaCase(spec=widened("corpus_widened_compile_reject", SLICE_TREE),
+           mutations=(V_SLICE_SYNTAX, VH_SYNTAX),
+           note="both frontends reject the widened design"),
+    QaCase(spec=widened("corpus_widened_crash_oscillation", REDX_TREE),
+           mutations=(V_RED_OSC,),
+           note="zero-delay loop behind a reduction trips the delta-cycle "
+                "limit"),
 ]
 
 

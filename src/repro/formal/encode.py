@@ -13,6 +13,12 @@ rails follow Verilog four-state semantics exactly as
   result (``Logic._arith`` / ``Logic._compare``);
 * ``eq`` — a known-differing bit anywhere yields a definite 0 even with Xs
   elsewhere; otherwise any X makes the comparison unknown;
+* ``shl``/``shr``/``sra`` — an X anywhere in the shift amount poisons the
+  whole result, while X bits in the shifted value travel with it (``sra``
+  fills with the original sign bit's rails);
+* ``cat``/``slice`` — pure bit routing, X bits ride along;
+* ``redand``/``redor`` — a known controlling bit beats any X; ``redxor``
+  is poisoned by any X; ``slt`` poisons like ``lt``;
 * ``mux`` — a known condition selects one branch; an unknown condition
   yields all-X, matching the kernel's pessimistic approximation of the
   IEEE branch merge (the encoder must never claim a bit is known where the
@@ -30,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.formal.cnf import FALSE, TRUE, Cnf
-from repro.qa.grammar import BINARY_OPS, Expr
+from repro.qa.grammar import BINARY_OPS, Expr, cat_split, slice_bounds
 
 
 @dataclass(frozen=True)
@@ -182,6 +188,106 @@ def _less_bit(cnf: Cnf, a: Rail, b: Rail) -> tuple[int, int]:
     return less, _all_known(cnf, a, b)
 
 
+def _barrel_shift(cnf: Cnf, a: Rail, amount: Rail, *, kind: str) -> Rail:
+    """Logarithmic shifter for ``shl``/``shr``/``sra``.
+
+    X semantics follow :class:`~repro.sim.values.Logic` exactly: an X
+    anywhere in the *amount* makes every output bit X, while X bits in the
+    shifted value travel with it (the fill is a known 0 for logical
+    shifts, and the original sign bit's rails — value *and* known — for
+    ``sra``). Stages compose, so amounts at or beyond the width flush to
+    pure fill exactly like ``Logic.shl``/``shr``/``ashr``.
+    """
+    width = a.width
+    if kind == "sra":
+        fill_value, fill_known = a.values[-1], a.knowns[-1]
+    else:
+        fill_value, fill_known = FALSE, TRUE
+    values, knowns = list(a.values), list(a.knowns)
+    for stage in range(amount.width):
+        shift = 1 << stage
+        select = amount.values[stage]
+        staged_v, staged_k = [], []
+        for index in range(width):
+            source = index - shift if kind == "shl" else index + shift
+            if 0 <= source < width:
+                sv, sk = values[source], knowns[source]
+            else:
+                sv, sk = fill_value, fill_known
+            staged_v.append(cnf.g_mux(select, sv, values[index]))
+            staged_k.append(cnf.g_mux(select, sk, knowns[index]))
+        values, knowns = staged_v, staged_k
+    amount_known = cnf.g_and_many(list(amount.knowns))
+    return Rail(
+        tuple(values),
+        tuple(cnf.g_and(amount_known, known) for known in knowns),
+    )
+
+
+def _concat_rail(a: Rail, b: Rail) -> Rail:
+    """Width-preserving ``cat``: low bits of ``b`` under low bits of ``a``."""
+    high, low = cat_split(a.width)
+    return Rail(
+        values=b.values[:low] + a.values[:high],
+        knowns=b.knowns[:low] + a.knowns[:high],
+    )
+
+
+def _slice_rail(a: Rail, msb: int, lsb: int) -> Rail:
+    """Clamped slice, zero-extended back to the design width."""
+    width = a.width
+    bounds = slice_bounds(msb, lsb, width)
+    if bounds is None:
+        return const_rail(0, width)
+    msb, lsb = bounds
+    taken = msb - lsb + 1
+    values = a.values[lsb:msb + 1] + (FALSE,) * (width - taken)
+    knowns = a.knowns[lsb:msb + 1] + (TRUE,) * (width - taken)
+    return Rail(values, knowns)
+
+
+def _reduce_rail(cnf: Cnf, a: Rail, kind: str) -> Rail:
+    """Unary reductions, zero-extended; X rules match ``Logic.reduce_*``:
+    a known controlling bit (0 for and, 1 for or) beats any X, xor is
+    poisoned by any X."""
+    all_known = cnf.g_and_many(list(a.knowns))
+    if kind == "redand":
+        value = cnf.g_and_many(list(a.values))
+        known_zero = cnf.g_or_many([
+            cnf.g_and(k, -v) for v, k in zip(a.values, a.knowns)
+        ])
+        known = cnf.g_or(known_zero, all_known)
+    elif kind == "redor":
+        value = cnf.g_or_many(list(a.values))
+        known_one = cnf.g_or_many([
+            cnf.g_and(k, v) for v, k in zip(a.values, a.knowns)
+        ])
+        known = cnf.g_or(known_one, all_known)
+    else:
+        value = FALSE
+        for bit in a.values:
+            value = cnf.g_xor(value, bit)
+        known = all_known
+    width = a.width
+    return Rail(
+        (value,) + (FALSE,) * (width - 1),
+        (known,) + (TRUE,) * (width - 1),
+    )
+
+
+def _signed_less_bit(cnf: Cnf, a: Rail, b: Rail) -> tuple[int, int]:
+    """``(value, known)`` of signed ``a < b``; any X poisons the result.
+
+    Two's-complement compare via the classic MSB flip: adding the sign
+    bias turns signed order into unsigned order, and flipping only the
+    MSB rails keeps the known rails (and hence the poisoning rule)
+    identical to ``Logic.lt_signed``.
+    """
+    flipped_a = Rail(a.values[:-1] + (-a.values[-1],), a.knowns)
+    flipped_b = Rail(b.values[:-1] + (-b.values[-1],), b.knowns)
+    return _less_bit(cnf, flipped_a, flipped_b)
+
+
 def _merge_mux(
     cnf: Cnf, cond_value: int, cond_known: int, t: Rail, f: Rail
 ) -> Rail:
@@ -210,7 +316,13 @@ def encode_expr(
             values=tuple(-literal for literal in operand.values),
             knowns=operand.knowns,
         )
-    if kind in BINARY_OPS:
+    if kind in ("redand", "redor", "redxor"):
+        operand = encode_expr(cnf, tree[1], env, width)
+        return _reduce_rail(cnf, operand, kind)
+    if kind == "slice":
+        operand = encode_expr(cnf, tree[1], env, width)
+        return _slice_rail(operand, tree[2], tree[3])
+    if kind in BINARY_OPS or kind in ("shl", "shr", "sra", "cat"):
         lhs = encode_expr(cnf, tree[1], env, width)
         rhs = encode_expr(cnf, tree[2], env, width)
         if kind == "and":
@@ -219,6 +331,10 @@ def encode_expr(
             return _bitwise_or(cnf, lhs, rhs)
         if kind == "xor":
             return _bitwise_xor(cnf, lhs, rhs)
+        if kind in ("shl", "shr", "sra"):
+            return _barrel_shift(cnf, lhs, rhs, kind=kind)
+        if kind == "cat":
+            return _concat_rail(lhs, rhs)
         return _ripple(cnf, lhs, rhs, subtract=(kind == "sub"))
     if kind == "mux":
         _, op, cmp_l, cmp_r, if_true, if_false = tree
@@ -226,6 +342,8 @@ def encode_expr(
         right = encode_expr(cnf, cmp_r, env, width)
         if op == "eq":
             cond_value, cond_known = _equal_bit(cnf, left, right)
+        elif op == "slt":
+            cond_value, cond_known = _signed_less_bit(cnf, left, right)
         else:
             cond_value, cond_known = _less_bit(cnf, left, right)
         taken = encode_expr(cnf, if_true, env, width)

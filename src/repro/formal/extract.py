@@ -29,7 +29,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.eda.toolchain import Language
-from repro.qa.grammar import BINARY_OPS, Expr, validate_expr
+from repro.qa.grammar import Expr, _child_slots, validate_expr
 from repro.qa.spec import QaSpec
 
 
@@ -63,8 +63,15 @@ _V_ASSIGN = re.compile(r"^assign\s+(\w+)\s*=\s*(.+?)\s*;?$")
 _NBA = re.compile(r"^(\w+)\s*<=\s*(.+?)\s*;?$")
 _V_CONST = re.compile(r"^(\d+)'d(\d+)$")
 _V_NOT = re.compile(r"^~(\w+)$")
+_V_RED = re.compile(r"^([&|^])\s*(\w+)$")
 _V_MUX = re.compile(r"^\((\w+)\s*(==|<)\s*(\w+)\)\s*\?\s*(\w+)\s*:\s*(\w+)$")
 _V_BINOP = re.compile(r"^(\w+)\s*(&|\||\^|\+|-)\s*(\w+)$")
+_V_SHIFT = re.compile(r"^(\w+)\s*(<<|>>)\s*(\w+)$")
+_V_SRA = re.compile(r"^\$signed\((\w+)\)\s*>>>\s*(\w+)$")
+_V_PART = re.compile(r"^(\w+)\[(\d+):(\d+)\]$")
+_V_CAT = re.compile(
+    r"^\{\s*(\w+)\[(\d+):(\d+)\]\s*,\s*(\w+)\[(\d+):(\d+)\]\s*\}$"
+)
 _NAME = re.compile(r"^(\w+)$")
 
 _VH_INPUT = re.compile(r"^unsigned\((\w+)\)$")
@@ -75,31 +82,88 @@ _VH_BITS = re.compile(r'^"([01]+)"$')
 _VH_NOT = re.compile(r"^not\s+(\w+)$")
 _VH_MUX = re.compile(r"^(\w+)\s+when\s+(\w+)\s*(=|<)\s*(\w+)\s+else\s+(\w+)$")
 _VH_BINOP = re.compile(r"^(\w+)\s+(and|or|xor)\s+(\w+)$|^(\w+)\s*(\+|-)\s*(\w+)$")
+_VH_SHIFT = re.compile(
+    r"^shift_(left|right)\((\w+)\s*,\s*to_integer\((\w+)\)\)$"
+)
+_VH_SLICE = re.compile(
+    r"^resize\((\w+)\((\d+)\s+downto\s+(\d+)\)\s*,\s*(\d+)\)$"
+)
+_VH_CAT = re.compile(
+    r"^(\w+)\((\d+)\s+downto\s+(\d+)\)\s*&\s*(\w+)\((\d+)\s+downto\s+(\d+)\)$"
+)
 
 
-def _parse_verilog_rhs(text: str) -> Expr:
+def _check_select(msb: int, lsb: int, width: int, text: str) -> None:
+    """Reject selects the frontends would read X from (or reject)."""
+    if msb < lsb or msb >= width:
+        raise ExtractionError(f"out-of-range select: {text!r}")
+
+
+def _cat_composite(
+    a: str, am: int, al: int, b: str, bm: int, bl: int
+) -> Expr:
+    """Concatenation as pure grammar ops: ``(a[am:al] << |b|) | b[bm:bl]``.
+
+    Exact under masking *and* under X: slices copy bit rails, the
+    constant-amount shift fills with known zeros, and or-ing a known zero
+    is the identity on both rails — so the composite reproduces the
+    frontends' concat semantics bit for bit, including high-bit truncation
+    when the part widths exceed the design width.
+    """
+    low_width = bm - bl + 1
+    return [
+        "or",
+        ["shl", ["slice", ["ref", a], am, al], ["const", low_width]],
+        ["slice", ["ref", b], bm, bl],
+    ]
+
+
+def _parse_verilog_rhs(text: str, width: int) -> Expr:
     match = _V_CONST.match(text)
     if match:
         return ["const", int(match.group(2))]
     match = _V_NOT.match(text)
     if match:
         return ["not", ["ref", match.group(1)]]
+    match = _V_RED.match(text)
+    if match:
+        op = {"&": "redand", "|": "redor", "^": "redxor"}[match.group(1)]
+        return [op, ["ref", match.group(2)]]
     match = _V_MUX.match(text)
     if match:
         left, op, right, taken, other = match.groups()
         return ["mux", _V_CMPS[op], ["ref", left], ["ref", right],
                 ["ref", taken], ["ref", other]]
+    match = _V_SRA.match(text)
+    if match:
+        return ["sra", ["ref", match.group(1)], ["ref", match.group(2)]]
     match = _V_BINOP.match(text)
     if match:
         lhs, op, rhs = match.groups()
         return [_V_OPS[op], ["ref", lhs], ["ref", rhs]]
+    match = _V_SHIFT.match(text)
+    if match:
+        lhs, op, rhs = match.groups()
+        return ["shl" if op == "<<" else "shr",
+                ["ref", lhs], ["ref", rhs]]
+    match = _V_CAT.match(text)
+    if match:
+        a, am, al, b, bm, bl = match.groups()
+        _check_select(int(am), int(al), width, text)
+        _check_select(int(bm), int(bl), width, text)
+        return _cat_composite(a, int(am), int(al), b, int(bm), int(bl))
+    match = _V_PART.match(text)
+    if match:
+        msb, lsb = int(match.group(2)), int(match.group(3))
+        _check_select(msb, lsb, width, text)
+        return ["slice", ["ref", match.group(1)], msb, lsb]
     match = _NAME.match(text)
     if match and not text.isdigit():
         return ["ref", text]
     raise ExtractionError(f"unsupported Verilog expression: {text!r}")
 
 
-def _parse_vhdl_rhs(text: str) -> Expr:
+def _parse_vhdl_rhs(text: str, width: int) -> Expr:
     match = _VH_CONST.match(text)
     if match:
         return ["const", int(match.group(1))]
@@ -115,6 +179,32 @@ def _parse_vhdl_rhs(text: str) -> Expr:
         taken, left, op, right, other = match.groups()
         return ["mux", _VH_CMPS[op], ["ref", left], ["ref", right],
                 ["ref", taken], ["ref", other]]
+    match = _VH_SHIFT.match(text)
+    if match:
+        direction, lhs, rhs = match.groups()
+        return ["shl" if direction == "left" else "shr",
+                ["ref", lhs], ["ref", rhs]]
+    match = _VH_SLICE.match(text)
+    if match:
+        name, msb, lsb, resized = (int(g) if g.isdigit() else g
+                                   for g in match.groups())
+        _check_select(msb, lsb, width, text)
+        if resized != width:
+            # the renderer always resizes a slice back to the design
+            # width; any other target cannot drive the node signal
+            raise ExtractionError(f"slice resized off-width: {text!r}")
+        return ["slice", ["ref", name], msb, lsb]
+    match = _VH_CAT.match(text)
+    if match:
+        a, am, al, b, bm, bl = match.groups()
+        am, al, bm, bl = int(am), int(al), int(bm), int(bl)
+        _check_select(am, al, width, text)
+        _check_select(bm, bl, width, text)
+        if (am - al + 1) + (bm - bl + 1) != width:
+            # VHDL assignments are width-strict: a concat whose parts do
+            # not sum to the design width cannot elaborate
+            raise ExtractionError(f"concat off-width: {text!r}")
+        return _cat_composite(a, am, al, b, bm, bl)
     match = _VH_BINOP.match(text)
     if match:
         lhs, op, rhs = (
@@ -150,7 +240,7 @@ def _define(table: dict[str, Expr], name: str, tree: Expr) -> None:
     table[name] = tree
 
 
-def _scan_verilog(source: str):
+def _scan_verilog(source: str, width: int):
     defs: dict[str, Expr] = {}
     updates: dict[str, Expr] = {}
     resets: dict[str, str] = {}
@@ -164,7 +254,7 @@ def _scan_verilog(source: str):
             match = _V_ASSIGN.match(line)
             if match:
                 _define(defs, match.group(1),
-                        _parse_verilog_rhs(match.group(2)))
+                        _parse_verilog_rhs(match.group(2), width))
             continue
         if line.startswith("if (rst)"):
             region = "reset"
@@ -182,11 +272,11 @@ def _scan_verilog(source: str):
                             f"multiple resets for register {name!r}")
                     resets[name] = rhs
                 else:
-                    _define(updates, name, _parse_verilog_rhs(rhs))
+                    _define(updates, name, _parse_verilog_rhs(rhs, width))
     return defs, updates, resets
 
 
-def _scan_vhdl(source: str):
+def _scan_vhdl(source: str, width: int):
     defs: dict[str, Expr] = {}
     updates: dict[str, Expr] = {}
     resets: dict[str, str] = {}
@@ -200,7 +290,7 @@ def _scan_vhdl(source: str):
             match = _NBA.match(line)
             if match:
                 _define(defs, match.group(1),
-                        _parse_vhdl_rhs(match.group(2)))
+                        _parse_vhdl_rhs(match.group(2), width))
             continue
         if line.startswith("if rst"):
             region = "reset"
@@ -218,7 +308,7 @@ def _scan_vhdl(source: str):
                             f"multiple resets for register {name!r}")
                     resets[name] = rhs
                 else:
-                    _define(updates, name, _parse_vhdl_rhs(rhs))
+                    _define(updates, name, _parse_vhdl_rhs(rhs, width))
     return defs, updates, resets
 
 
@@ -233,7 +323,7 @@ def extract_netlist(
     refutes.
     """
     scan = _scan_verilog if language is Language.VERILOG else _scan_vhdl
-    defs, updates, reset_texts = scan(source)
+    defs, updates, reset_texts = scan(source, spec.width)
     output_names = [name for name, _ in spec.outputs]
     mask = (1 << spec.width) - 1
 
@@ -270,12 +360,10 @@ def extract_netlist(
             return resolve_ref(tree[1])
         if tree[0] == "const":
             return ["const", tree[1] & mask]
-        if tree[0] == "not":
-            return ["not", inline(tree[1])]
-        if tree[0] in BINARY_OPS:
-            return [tree[0], inline(tree[1]), inline(tree[2])]
-        return ["mux", tree[1], inline(tree[2]), inline(tree[3]),
-                inline(tree[4]), inline(tree[5])]
+        node = list(tree)
+        for slot in _child_slots(tree):
+            node[slot] = inline(tree[slot])
+        return node
 
     outputs: dict[str, Expr] = {}
     resets: dict[str, int] = {}

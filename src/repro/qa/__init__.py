@@ -30,7 +30,14 @@ from repro.qa.corpus import (
     save_case,
 )
 from repro.qa.fuzz import FuzzReport, ProgramResult, run_fuzz
-from repro.qa.grammar import count_nodes, evaluate, random_expr
+from repro.qa.grammar import (
+    ALL_OP_KINDS,
+    complexity,
+    count_nodes,
+    evaluate,
+    op_kinds,
+    random_expr,
+)
 from repro.qa.oracle import (
     DIVERGENT_CLASSES,
     CaseMutation,
@@ -45,10 +52,24 @@ from repro.qa.oracle import (
     run_oracle,
 )
 from repro.qa.reduce import ReductionResult, reduce_case
-from repro.qa.render import node_name, render, render_verilog, render_vhdl
-from repro.qa.spec import QaSpec, generate_spec
+from repro.qa.render import (
+    lower_tree,
+    lowered_outputs,
+    node_name,
+    render,
+    render_verilog,
+    render_vhdl,
+)
+from repro.qa.spec import (
+    SPEC_SHAPES,
+    QaSpec,
+    generate_spec,
+    spec_op_kinds,
+    spec_shape,
+)
 
 __all__ = [
+    "ALL_OP_KINDS",
     "DEFAULT_CORPUS_DIR",
     "DIVERGENT_CLASSES",
     "CaseMutation",
@@ -63,13 +84,18 @@ __all__ = [
     "QaSpec",
     "ReductionResult",
     "ReplayOutcome",
+    "SPEC_SHAPES",
     "case_sources",
+    "complexity",
     "count_nodes",
     "evaluate",
     "generate_spec",
     "load_case",
     "load_corpus",
+    "lower_tree",
+    "lowered_outputs",
     "node_name",
+    "op_kinds",
     "random_expr",
     "reduce_case",
     "render",
@@ -80,4 +106,6 @@ __all__ = [
     "run_fuzz",
     "run_oracle",
     "save_case",
+    "spec_op_kinds",
+    "spec_shape",
 ]

@@ -25,7 +25,7 @@ from repro.exec.engine import ExecutionEngine
 from repro.exec.task import Task
 from repro.obs import get_tracer, snapshot_now
 from repro.qa.oracle import FailureClass, QaCase, run_oracle
-from repro.qa.spec import generate_spec
+from repro.qa.spec import generate_spec, spec_op_kinds, spec_shape
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,9 @@ class ProgramResult:
     formal_verilog: str = ""
     formal_vhdl: str = ""
     formal_inconsistencies: tuple[str, ...] = ()
+    # grammar telemetry: which op kinds the program used and its shape
+    ops: tuple[str, ...] = ()
+    shape: str = ""
 
 
 @dataclass
@@ -75,6 +78,30 @@ class FuzzReport:
         return counts
 
     @property
+    def shape_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            if result.shape:
+                counts[result.shape] = counts.get(result.shape, 0) + 1
+        return counts
+
+    @property
+    def op_class_counts(self) -> dict[str, dict[str, int]]:
+        """Per-op-kind verdict histogram: op kind -> failure class -> n.
+
+        The same histogram is pushed through the metrics spool as
+        ``qa.fuzz.op.<kind>.<class>`` counters, which is what the nightly
+        deep campaign exports.
+        """
+        table: dict[str, dict[str, int]] = {}
+        for result in self.results:
+            for op in result.ops:
+                per_op = table.setdefault(op, {})
+                key = result.failure_class.value
+                per_op[key] = per_op.get(key, 0) + 1
+        return table
+
+    @property
     def formal_inconsistencies(self) -> list[str]:
         """Proof-vs-simulation contradictions across the whole campaign."""
         findings: list[str] = []
@@ -87,7 +114,14 @@ class FuzzReport:
 
     @property
     def ok(self) -> bool:
-        return not self.divergences and not self.formal_inconsistencies
+        # an ``unsupported`` proof on a *generated* (unmutated) spec means
+        # the encoder/extractor lost closure over the grammar — the whole
+        # point of the proof ladder — so a formal campaign fails on it
+        return (
+            not self.divergences
+            and not self.formal_inconsistencies
+            and not (self.formal and self.formal_counts.get("unsupported"))
+        )
 
     @property
     def throughput(self) -> float:
@@ -107,6 +141,12 @@ class FuzzReport:
             "  classes: "
             + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
         )
+        shapes = self.shape_counts
+        if shapes:
+            lines.append(
+                "  shapes: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(shapes.items()))
+            )
         if self.formal:
             formal_counts = self.formal_counts
             lines.append(
@@ -157,6 +197,8 @@ def _fuzz_program(seed: int, index: int, formal: bool = False) -> dict:
         "seconds": _time.perf_counter() - started,
         "verilog_status": verdict.verilog.status,
         "vhdl_status": verdict.vhdl.status,
+        "ops": sorted(spec_op_kinds(spec)),
+        "shape": spec_shape(spec),
     }
     if verdict.formal is not None:
         payload["formal_verilog"] = verdict.formal.verilog.verdict.value
@@ -221,6 +263,8 @@ def run_fuzz(
                     formal_inconsistencies=tuple(
                         payload.get("formal_inconsistencies", ())
                     ),
+                    ops=tuple(payload.get("ops", ())),
+                    shape=payload.get("shape", ""),
                 )
             else:
                 # the task itself died (raised / timed out / took its worker
@@ -234,12 +278,21 @@ def run_fuzz(
                     vhdl_sha="",
                     seconds=outcome.seconds,
                     error=f"task {outcome.status}: {outcome.error}".strip(),
+                    ops=tuple(sorted(spec_op_kinds(spec))),
+                    shape=spec_shape(spec),
                 )
             report.results.append(result)
             tracer.metrics.counter("qa.fuzz.programs").inc()
             tracer.metrics.counter(
                 f"qa.fuzz.class.{result.failure_class.value}"
             ).inc()
+            tracer.metrics.counter(
+                f"qa.fuzz.shape.{result.shape}"
+            ).inc()
+            for op in result.ops:
+                tracer.metrics.counter(
+                    f"qa.fuzz.op.{op}.{result.failure_class.value}"
+                ).inc()
             tracer.metrics.histogram("qa.program.seconds").observe(
                 result.seconds
             )

@@ -7,29 +7,91 @@ persisted, replayed, and shrunk without a custom parser:
   value of an output register);
 * ``["const", value]`` — an unsigned literal (masked to the design width);
 * ``["not", e]`` — bitwise complement;
-* ``["and"|"or"|"xor"|"add"|"sub", lhs, rhs]`` — bitwise / modular ops;
-* ``["mux", "eq"|"lt", cl, cr, t, f]`` — ``t`` when the comparison of
-  ``cl``/``cr`` holds, else ``f``.
+* ``["and"|"or"|"xor"|"add"|"sub", lhs, rhs]`` — bitwise / modular ops
+  (modular ``sub`` is also exact two's-complement signed subtraction: the
+  result bits are identical under either reading);
+* ``["shl"|"shr"|"sra", value, amount]`` — logical shifts and arithmetic
+  (sign-filling) right shift; the full ``amount`` operand counts, so a
+  shift by ``>= width`` flushes to 0 (or to the sign fill for ``sra``);
+* ``["cat", hi, lo]`` — concatenation of the low ``width - width//2`` bits
+  of ``hi`` above the low ``width//2`` bits of ``lo`` (the result is still
+  ``width`` bits wide, keeping the grammar single-width);
+* ``["slice", e, msb, lsb]`` — bit-slice ``e[msb:lsb]`` zero-extended to
+  the design width; bounds are clamped to the width so a reduced design
+  keeps the same meaning in every layer (``lsb >= width`` reads 0);
+* ``["redand"|"redor"|"redxor", e]`` — unary reductions to a 1-bit result,
+  zero-extended to the design width;
+* ``["mux", "eq"|"lt"|"slt", cl, cr, t, f]`` — ``t`` when the comparison
+  of ``cl``/``cr`` holds, else ``f``; ``lt`` is unsigned, ``slt`` compares
+  two's-complement signed values.
 
-Every operator has the same meaning in three places — the Python evaluator
-below, the Verilog rendering, and the VHDL rendering (:mod:`repro.qa.render`)
-— which is exactly the property the differential oracle checks end to end
-through the frontends and the shared simulation kernel. The grammar is
-deliberately closed over ops :class:`repro.sim.values.Logic` implements with
-plain two-state semantics, so the reference model needs no X modeling:
-generated designs reset to known values and are driven with known inputs.
+Every operator has the same meaning in four places — the Python evaluator
+below, the Verilog rendering, the VHDL rendering (:mod:`repro.qa.render`),
+and the dual-rail formal encoder (:mod:`repro.formal.encode`) — which is
+exactly the property the differential oracle and the proof ladder check
+end to end through the frontends and the shared simulation kernel. The
+grammar is deliberately closed over ops :class:`repro.sim.values.Logic`
+implements with plain two-state semantics, so the reference model needs no
+X modeling: generated designs reset to known values and are driven with
+known inputs.
 """
 
 from __future__ import annotations
 
 import random
 
-#: binary operators usable as inner nodes
+#: legacy bitwise / modular binary operators
 BINARY_OPS = ("and", "or", "xor", "add", "sub")
+#: shift operators: ["op", value, amount]
+SHIFT_OPS = ("shl", "shr", "sra")
+#: unary reduction operators: ["op", e] -> 1-bit result, zero-extended
+REDUCE_OPS = ("redand", "redor", "redxor")
 #: comparison operators usable inside a mux condition
-COMPARE_OPS = ("eq", "lt")
+COMPARE_OPS = ("eq", "lt", "slt")
+
+#: every op kind the generator can emit (mux split per comparison); the
+#: saturation test in the suite holds generate_spec to this list.
+ALL_OP_KINDS = (
+    ("var", "const", "not")
+    + BINARY_OPS
+    + SHIFT_OPS
+    + ("cat", "slice")
+    + REDUCE_OPS
+    + tuple(f"mux-{op}" for op in COMPARE_OPS)
+)
+
+#: weight of each op kind in the reducer's termination measure: rewrites
+#: that keep the node count constant must strictly lower the summed weight,
+#: so "toward the legacy core" is a well-founded direction (sra is heaviest
+#: because it shrinks to shr before shr shrinks to a legacy op).
+OP_WEIGHT = {
+    "shl": 1, "shr": 1, "cat": 1, "slice": 1,
+    "redand": 1, "redor": 1, "redxor": 1,
+    "sra": 2,
+}
 
 Expr = list  # nested ["op", ...] lists; see module docstring
+
+
+def to_signed(value: int, width: int) -> int:
+    """Read a masked unsigned value as two's-complement signed."""
+    value &= (1 << width) - 1
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def cat_split(width: int) -> tuple[int, int]:
+    """(high, low) field widths of a ``cat`` node at ``width`` bits."""
+    low = width // 2
+    return width - low, low
+
+
+def slice_bounds(msb: int, lsb: int, width: int) -> tuple[int, int] | None:
+    """Clamp slice bounds to the width; ``None`` when the slice reads 0."""
+    if lsb >= width:
+        return None
+    return min(msb, width - 1), lsb
 
 
 def evaluate(tree: Expr, env: dict[str, int], width: int) -> int:
@@ -42,21 +104,51 @@ def evaluate(tree: Expr, env: dict[str, int], width: int) -> int:
         return tree[1] & mask
     if kind == "not":
         return evaluate(tree[1], env, width) ^ mask
-    if kind in BINARY_OPS:
+    if kind in REDUCE_OPS:
+        value = evaluate(tree[1], env, width)
+        if kind == "redand":
+            return 1 if value == mask else 0
+        if kind == "redor":
+            return 1 if value else 0
+        return bin(value).count("1") & 1
+    if kind == "slice":
+        value = evaluate(tree[1], env, width)
+        bounds = slice_bounds(tree[2], tree[3], width)
+        if bounds is None:
+            return 0
+        msb, lsb = bounds
+        return (value >> lsb) & ((1 << (msb - lsb + 1)) - 1)
+    if kind in BINARY_OPS or kind in SHIFT_OPS or kind == "cat":
         lhs = evaluate(tree[1], env, width)
         rhs = evaluate(tree[2], env, width)
-        return {
-            "and": lhs & rhs,
-            "or": lhs | rhs,
-            "xor": lhs ^ rhs,
-            "add": (lhs + rhs) & mask,
-            "sub": (lhs - rhs) & mask,
-        }[kind]
+        if kind in BINARY_OPS:
+            return {
+                "and": lhs & rhs,
+                "or": lhs | rhs,
+                "xor": lhs ^ rhs,
+                "add": (lhs + rhs) & mask,
+                "sub": (lhs - rhs) & mask,
+            }[kind]
+        if kind == "shl":
+            return (lhs << rhs) & mask if rhs < width else 0
+        if kind == "shr":
+            return lhs >> rhs
+        if kind == "sra":
+            # Python's >> on negative ints is arithmetic with an infinite
+            # sign extension, so no clamp of the amount is needed.
+            return (to_signed(lhs, width) >> rhs) & mask
+        high, low = cat_split(width)
+        return ((lhs & ((1 << high) - 1)) << low) | (rhs & ((1 << low) - 1))
     if kind == "mux":
         _, op, cmp_l, cmp_r, if_true, if_false = tree
         left = evaluate(cmp_l, env, width)
         right = evaluate(cmp_r, env, width)
-        taken = left == right if op == "eq" else left < right
+        if op == "eq":
+            taken = left == right
+        elif op == "lt":
+            taken = left < right
+        else:
+            taken = to_signed(left, width) < to_signed(right, width)
         return evaluate(if_true if taken else if_false, env, width)
     raise ValueError(f"unknown expression node {kind!r}")
 
@@ -66,29 +158,49 @@ def children(tree: Expr) -> list[Expr]:
     kind = tree[0]
     if kind in ("var", "const"):
         return []
-    if kind == "not":
-        return [tree[1]]
-    if kind in BINARY_OPS:
-        return [tree[1], tree[2]]
-    if kind == "mux":
-        return [tree[2], tree[3], tree[4], tree[5]]
-    raise ValueError(f"unknown expression node {kind!r}")
+    return [tree[slot] for slot in _child_slots(tree)]
 
 
 def _child_slots(tree: Expr) -> list[int]:
     """Tuple indexes of the expression children inside the node list."""
     kind = tree[0]
-    if kind == "not":
+    if kind in ("var", "const"):
+        return []
+    if kind == "not" or kind in REDUCE_OPS or kind == "slice":
         return [1]
-    if kind in BINARY_OPS:
+    if kind in BINARY_OPS or kind in SHIFT_OPS or kind == "cat":
         return [1, 2]
     if kind == "mux":
         return [2, 3, 4, 5]
-    return []
+    raise ValueError(f"unknown expression node {kind!r}")
 
 
 def count_nodes(tree: Expr) -> int:
     return 1 + sum(count_nodes(child) for child in children(tree))
+
+
+def complexity(tree: Expr) -> int:
+    """Summed :data:`OP_WEIGHT` over the tree (mux counts its comparison).
+
+    Together with :func:`count_nodes` (and a count of not-yet-``const-0``
+    leaves as the final tiebreaker) this forms the reducer's lexicographic
+    termination measure: hoists strictly shrink the node count, op rewrites
+    keep it and strictly shrink the weight, leaf collapses keep both and
+    shrink the leaf count — every component bounded below by zero.
+    """
+    weight = OP_WEIGHT.get(tree[0], 0)
+    if tree[0] == "mux" and tree[1] == "slt":
+        weight += 1
+    return weight + sum(complexity(child) for child in children(tree))
+
+
+def op_kinds(tree: Expr) -> set[str]:
+    """The set of op kinds in a tree (mux reported as ``mux-<cmp>``)."""
+    kind = tree[0]
+    kinds = {f"mux-{tree[1]}"} if kind == "mux" else {kind}
+    for child in children(tree):
+        kinds |= op_kinds(child)
+    return kinds
 
 
 def variables(tree: Expr) -> set[str]:
@@ -110,23 +222,53 @@ def substitute(tree: Expr, name: str, value: int) -> Expr:
     return node
 
 
+#: same-arity rewrites of new ops toward the legacy core; each strictly
+#: lowers OP_WEIGHT at constant node count (sra steps down through shr).
+_OP_REWRITES = {
+    "sra": "shr",
+    "shl": "or",
+    "shr": "and",
+    "cat": "xor",
+}
+
+
 def pruned(tree: Expr):
-    """Yield every strictly smaller tree one shrink step away.
+    """Yield every smaller tree one class-agnostic shrink step away.
 
     Shrink steps, at every position in the tree: replace a node with one of
-    its expression children (hoist) or with ``["const", 0]``. The reducer
-    walks these candidates greedily; each accepted step strictly decreases
-    the node count, so reduction terminates.
+    its expression children (hoist), with ``["const", 0]``, or — for the
+    widened ops — rewrite it toward the legacy core (``sra``→``shr``,
+    shifts/``cat``→bitwise, reductions→``not``, ``slt``→``lt``). The
+    reducer walks these candidates greedily; each accepted step strictly
+    decreases the ``(node count, complexity)`` measure, so reduction
+    terminates even though op rewrites keep the node count constant.
     """
-    if tree[0] != "const" or tree[1] != 0:
+    kind = tree[0]
+    if kind != "const" or tree[1] != 0:
         yield ["const", 0]
     for child in children(tree):
         yield child
+    if kind in _OP_REWRITES:
+        yield [_OP_REWRITES[kind]] + [list(tree[slot]) for slot in (1, 2)]
+    elif kind in REDUCE_OPS:
+        yield ["not", list(tree[1])]
+    elif kind == "slice":
+        yield ["not", list(tree[1])]
+    elif kind == "mux" and tree[1] == "slt":
+        yield ["mux", "lt"] + [list(tree[slot]) for slot in (2, 3, 4, 5)]
     for slot in _child_slots(tree):
         for smaller in pruned(tree[slot]):
             node = list(tree)
             node[slot] = smaller
             yield node
+
+
+#: generator draw pool: legacy ops keep their historical weight, each new
+#: op enters once so widened trees stay dominated by the cheap core.
+_GROW_KINDS = (
+    ("not",) + BINARY_OPS * 2 + ("mux",)
+    + SHIFT_OPS + ("cat", "slice") + REDUCE_OPS
+)
 
 
 def _grow(rng: random.Random, names: list[str], width: int, budget: int) -> Expr:
@@ -136,9 +278,13 @@ def _grow(rng: random.Random, names: list[str], width: int, budget: int) -> Expr
         if names and rng.random() < 0.7:
             return ["var", rng.choice(names)]
         return ["const", rng.randrange(mask + 1)]
-    kind = rng.choice(("not",) + BINARY_OPS * 2 + ("mux",))
-    if kind == "not":
-        return ["not", _grow(rng, names, width, budget - 1)]
+    kind = rng.choice(_GROW_KINDS)
+    if kind == "not" or kind in REDUCE_OPS:
+        return [kind, _grow(rng, names, width, budget - 1)]
+    if kind == "slice":
+        lsb = rng.randrange(width)
+        msb = rng.randrange(lsb, width)
+        return ["slice", _grow(rng, names, width, budget - 1), msb, lsb]
     if kind == "mux":
         split = max((budget - 2) // 4, 1)
         return [
@@ -187,10 +333,19 @@ def validate_expr(tree, names: set[str]) -> None:
         if len(tree) != 2 or not isinstance(tree[1], int) or tree[1] < 0:
             raise ValueError(f"bad const node {tree!r}")
         return
-    if kind == "not":
+    if kind == "not" or kind in REDUCE_OPS:
         if len(tree) != 2:
-            raise ValueError(f"bad not node {tree!r}")
-    elif kind in BINARY_OPS:
+            raise ValueError(f"bad {kind} node {tree!r}")
+    elif kind == "slice":
+        if (
+            len(tree) != 4
+            or not isinstance(tree[2], int)
+            or not isinstance(tree[3], int)
+            or tree[3] < 0
+            or tree[2] < tree[3]
+        ):
+            raise ValueError(f"bad slice node {tree!r}")
+    elif kind in BINARY_OPS or kind in SHIFT_OPS or kind == "cat":
         if len(tree) != 3:
             raise ValueError(f"bad {kind} node {tree!r}")
     elif kind == "mux":

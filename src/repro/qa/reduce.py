@@ -7,8 +7,10 @@ other end demonstrates the identical defect:
 
 * declock — turn a registered design combinational;
 * drop output ports (and the now-unreferenced parts of the interface);
-* prune expression nodes (hoist a child over its parent, or collapse a
-  subtree to ``0``) via :func:`repro.qa.grammar.pruned`;
+* prune expression nodes (hoist a child over its parent, collapse a
+  subtree to ``0``, or rewrite a widened op toward the legacy core —
+  ``sra``→``shr``, shifts/``cat``→bitwise, reductions/slices→``not``,
+  ``slt``→``lt``) via :func:`repro.qa.grammar.pruned`;
 * drop or zero unused inputs;
 * shrink the data width.
 
@@ -19,8 +21,12 @@ simply rejected. Content-hash node naming (:mod:`repro.qa.render`) makes
 anchors survive every shrink that does not touch the mutated node itself,
 which is what lets reduction dig a small reproducer out of a large program.
 
-Every accepted step strictly shrinks ``(clocked, ports, nodes, width)``, so
-the search terminates; ``max_checks`` additionally caps the oracle budget.
+Every accepted step strictly shrinks the lexicographic measure ``(clocked,
+ports, nodes, op complexity, non-zero leaves, referenced inputs, width)`` —
+op rewrites keep the node count but strictly lower
+:func:`~repro.qa.grammar.complexity`, and leaf collapses to ``["const", 0]``
+keep both but lower the leaf component — so the search terminates;
+``max_checks`` additionally caps the oracle budget.
 """
 
 from __future__ import annotations

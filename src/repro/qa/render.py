@@ -27,13 +27,22 @@ import json
 
 from repro.eda.toolchain import Language
 from repro.evalsuite.hdl_helpers import v_clocked_always, v_module, vh_clocked_process, vh_entity
-from repro.qa.grammar import BINARY_OPS, Expr, children
+from repro.qa.grammar import (
+    BINARY_OPS,
+    Expr,
+    _child_slots,
+    cat_split,
+    children,
+    slice_bounds,
+)
 from repro.qa.spec import QaSpec
 
-_V_OP = {"and": "&", "or": "|", "xor": "^", "add": "+", "sub": "-"}
+_V_OP = {"and": "&", "or": "|", "xor": "^", "add": "+", "sub": "-",
+         "shl": "<<", "shr": ">>"}
 _VH_OP = {"and": "and", "or": "or", "xor": "xor", "add": "+", "sub": "-"}
 _V_CMP = {"eq": "==", "lt": "<"}
 _VH_CMP = {"eq": "=", "lt": "<"}
+_V_RED = {"redand": "&", "redor": "|", "redxor": "^"}
 
 
 def node_name(tree: Expr) -> str:
@@ -42,7 +51,87 @@ def node_name(tree: Expr) -> str:
     return "n_" + hashlib.sha256(key.encode()).hexdigest()[:10]
 
 
-def _walk(spec: QaSpec) -> list[Expr]:
+def lower_tree(tree: Expr, width: int, language: Language) -> Expr:
+    """Rewrite a tree into the ops a language's rendering emits natively.
+
+    Semantics-preserving by construction: every rewrite is expressed in the
+    grammar itself, so the reference evaluator proves each one (and the
+    formal encoder sees only the rendered idiom via extraction). Both
+    languages lower
+
+    * signed compares — neither frontend gives ``<`` signed semantics, so
+      ``slt`` becomes an unsigned ``lt`` over MSB-flipped operands;
+    * out-of-range slices — clamped to the width (an out-of-range Verilog
+      part-select would read X), matching :func:`grammar.evaluate`.
+
+    VHDL additionally lowers what ``numeric_std`` (as our frontend
+    implements it) cannot express directly:
+
+    * ``sra`` — ``shift_right`` is always logical, so the sign fill is
+      rebuilt as ``shr(a, b) | ~(shr(mask, b))`` under an MSB test;
+    * reductions — there are no unary reduction operators: ``redand`` /
+      ``redor`` become equality tests, ``redxor`` an XOR fold of 1-bit
+      slices.
+    """
+    mask = (1 << width) - 1
+    sign = 1 << (width - 1)
+    node = list(tree)
+    for slot in _child_slots(tree):
+        node[slot] = lower_tree(tree[slot], width, language)
+    kind = node[0]
+    if kind == "mux" and node[1] == "slt":
+        return [
+            "mux", "lt",
+            ["xor", node[2], ["const", sign]],
+            ["xor", node[3], ["const", sign]],
+            node[4], node[5],
+        ]
+    if kind == "slice":
+        bounds = slice_bounds(node[2], node[3], width)
+        if bounds is None:
+            return ["const", 0]
+        node[2], node[3] = bounds
+        return node
+    if language is Language.VERILOG:
+        return node
+    if kind == "sra":
+        value, amount = node[1], node[2]
+        shifted = ["shr", value, amount]
+        fill = ["not", ["shr", ["const", mask], amount]]
+        return [
+            "mux", "lt", value, ["const", sign],
+            shifted, ["or", shifted, fill],
+        ]
+    if kind == "redand":
+        return ["mux", "eq", node[1], ["const", mask],
+                ["const", 1], ["const", 0]]
+    if kind == "redor":
+        return ["mux", "eq", node[1], ["const", 0],
+                ["const", 0], ["const", 1]]
+    if kind == "redxor":
+        acc = ["slice", node[1], 0, 0]
+        for bit in range(1, width):
+            acc = ["xor", acc, ["slice", node[1], bit, bit]]
+        return acc
+    return node
+
+
+def lowered_outputs(
+    spec: QaSpec, language: Language
+) -> tuple[tuple[str, Expr], ...]:
+    """The spec's output trees as rendered for ``language``.
+
+    Mutation anchors target rendered assignments, so corpus seeding and
+    tests compute :func:`node_name` over these lowered trees (identical to
+    the spec's own trees whenever no lowering applies).
+    """
+    return tuple(
+        (name, lower_tree(tree, spec.width, language))
+        for name, tree in spec.outputs
+    )
+
+
+def _walk(outputs) -> list[Expr]:
     """Unique subtrees in deterministic post-order, each exactly once."""
     seen: set[str] = set()
     ordered: list[Expr] = []
@@ -55,7 +144,7 @@ def _walk(spec: QaSpec) -> list[Expr]:
             seen.add(name)
             ordered.append(tree)
 
-    for _, tree in spec.outputs:
+    for _, tree in outputs:
         visit(tree)
     return ordered
 
@@ -77,6 +166,33 @@ def _rhs(tree: Expr, spec: QaSpec, language: Language) -> str:
     if kind == "not":
         operand = node_name(tree[1])
         return f"~{operand}" if verilog else f"not {operand}"
+    if kind in _V_RED:
+        # Verilog-only after lowering: unary reduction, zero-extended by
+        # the assignment to the full-width node signal.
+        return f"{_V_RED[kind]}{node_name(tree[1])}"
+    if kind == "slice":
+        operand = node_name(tree[1])
+        msb, lsb = tree[2], tree[3]
+        if verilog:
+            return f"{operand}[{msb}:{lsb}]"
+        return f"resize({operand}({msb} downto {lsb}), {spec.width})"
+    if kind in ("shl", "shr"):
+        lhs, rhs = node_name(tree[1]), node_name(tree[2])
+        if verilog:
+            return f"{lhs} {_V_OP[kind]} {rhs}"
+        func = "shift_left" if kind == "shl" else "shift_right"
+        return f"{func}({lhs}, to_integer({rhs}))"
+    if kind == "sra":
+        # Verilog-only after lowering: $signed flips the shift to the
+        # arithmetic >>> without changing the operand bits.
+        lhs, rhs = node_name(tree[1]), node_name(tree[2])
+        return f"$signed({lhs}) >>> {rhs}"
+    if kind == "cat":
+        lhs, rhs = node_name(tree[1]), node_name(tree[2])
+        high, low = cat_split(spec.width)
+        if verilog:
+            return f"{{{lhs}[{high - 1}:0], {rhs}[{low - 1}:0]}}"
+        return f"{lhs}({high - 1} downto 0) & {rhs}({low - 1} downto 0)"
     if kind in BINARY_OPS:
         lhs, rhs = node_name(tree[1]), node_name(tree[2])
         op = _V_OP[kind] if verilog else _VH_OP[kind]
@@ -93,17 +209,18 @@ def _rhs(tree: Expr, spec: QaSpec, language: Language) -> str:
 
 def render_verilog(spec: QaSpec) -> str:
     width = spec.width
+    outputs = lowered_outputs(spec, Language.VERILOG)
     lines: list[str] = []
-    for tree in _walk(spec):
+    for tree in _walk(outputs):
         lines.append(f"    wire [{width - 1}:0] {node_name(tree)};")
-    for tree in _walk(spec):
+    for tree in _walk(outputs):
         lines.append(
             f"    assign {node_name(tree)} = "
             f"{_rhs(tree, spec, Language.VERILOG)};"
         )
     if spec.clocked:
         updates = "\n".join(
-            f"{name} <= {node_name(tree)};" for name, tree in spec.outputs
+            f"{name} <= {node_name(tree)};" for name, tree in outputs
         )
         resets = "\n".join(
             f"{name} <= {width}'d0;" for name, _ in spec.outputs
@@ -111,7 +228,7 @@ def render_verilog(spec: QaSpec) -> str:
         lines.append(v_clocked_always(updates, reset_body=resets))
         reg_outputs = {name for name, _ in spec.outputs}
     else:
-        for name, tree in spec.outputs:
+        for name, tree in outputs:
             lines.append(f"    assign {name} = {node_name(tree)};")
         reg_outputs = set()
     return v_module(
@@ -121,9 +238,10 @@ def render_verilog(spec: QaSpec) -> str:
 
 def render_vhdl(spec: QaSpec) -> str:
     width = spec.width
+    outputs = lowered_outputs(spec, Language.VHDL)
     decls: list[str] = []
     body: list[str] = []
-    for tree in _walk(spec):
+    for tree in _walk(outputs):
         decls.append(
             f"    signal {node_name(tree)} : unsigned({width - 1} downto 0);"
         )
@@ -132,13 +250,13 @@ def render_vhdl(spec: QaSpec) -> str:
             decls.append(
                 f"    signal r_{name} : unsigned({width - 1} downto 0);"
             )
-    for tree in _walk(spec):
+    for tree in _walk(outputs):
         body.append(
             f"    {node_name(tree)} <= {_rhs(tree, spec, Language.VHDL)};"
         )
     if spec.clocked:
         updates = "\n".join(
-            f"r_{name} <= {node_name(tree)};" for name, tree in spec.outputs
+            f"r_{name} <= {node_name(tree)};" for name, tree in outputs
         )
         resets = "\n".join(
             f"r_{name} <= (others => '0');" for name, _ in spec.outputs
@@ -147,7 +265,7 @@ def render_vhdl(spec: QaSpec) -> str:
         for name, _ in spec.outputs:
             body.append(f"    {name} <= std_logic_vector(r_{name});")
     else:
-        for name, tree in spec.outputs:
+        for name, tree in outputs:
             body.append(f"    {name} <= std_logic_vector({node_name(tree)});")
     return vh_entity(spec.design_spec(), "\n".join(decls), "\n".join(body))
 

@@ -29,6 +29,7 @@ from repro.qa.grammar import (
     Expr,
     count_nodes,
     evaluate,
+    op_kinds,
     random_expr,
     validate_expr,
     variables,
@@ -42,6 +43,20 @@ MAX_WIDTH = 6
 MAX_INPUTS = 3
 MAX_OUTPUTS = 2
 MAX_EXPR_NODES = 12
+
+#: the four generated design shapes, in draw order (weights in
+#: :func:`generate_spec`): pure combinational, independent registers,
+#: cross-feeding registers (FSM-like next-state functions), and a small
+#: synchronous memory (guarded cell updates plus a mux-chain read port).
+SPEC_SHAPES = ("comb", "reg", "fsm", "mem")
+MAX_FSM_OUTPUTS = 3
+MAX_MEM_DEPTH = 4
+MAX_MEM_DATA_NODES = 4
+#: loosest per-spec bounds across every shape, for suite-integrity checks:
+#: a memory spec carries up to MAX_MEM_DEPTH cells plus one read port, and
+#: its read mux chain / FSM coupling wrappers exceed MAX_EXPR_NODES alone.
+MAX_SPEC_OUTPUTS = MAX_MEM_DEPTH + 1
+MAX_SPEC_NODES = 48
 
 
 @dataclass(frozen=True)
@@ -169,28 +184,132 @@ def rng_for(seed: int, index: int) -> random.Random:
     return random.Random(int.from_bytes(digest[:8], "big"))
 
 
+def _plain_outputs(rng, inputs, width, clocked):
+    """Legacy comb/reg bodies: one free expression per output."""
+    out_count = rng.randint(1, MAX_OUTPUTS)
+    out_names = [f"y{i}" for i in range(out_count)]
+    readable = list(inputs) + (out_names if clocked else [])
+    return tuple(
+        (
+            name,
+            random_expr(rng, readable, width, rng.randint(3, MAX_EXPR_NODES)),
+        )
+        for name in out_names
+    )
+
+
+def _fsm_outputs(rng, inputs, width):
+    """Cross-feeding registers: every next-state reads another register."""
+    out_count = rng.randint(2, MAX_FSM_OUTPUTS)
+    out_names = [f"y{i}" for i in range(out_count)]
+    readable = list(inputs) + out_names
+    outputs = []
+    for pos, name in enumerate(out_names):
+        tree = random_expr(
+            rng, readable, width, rng.randint(3, MAX_EXPR_NODES)
+        )
+        peers = set(out_names) - {name}
+        if not (variables(tree) & peers):
+            feed = out_names[(pos + 1) % out_count]
+            tree = [rng.choice(("add", "xor", "or")), ["var", feed], tree]
+        outputs.append((name, tree))
+    return tuple(outputs)
+
+
+def _mem_outputs(rng, inputs, width):
+    """A synchronous memory: guarded cell writes plus a mux-chain read.
+
+    Cell ``m<i>`` holds its value unless the address input selects it, in
+    which case it captures a small data expression; the read port ``y0``
+    registers the addressed cell. Both the write guard and the read chain
+    are ordinary grammar muxes, so every layer (evaluator, renderers,
+    reducer, formal encoder) handles memories with zero special cases.
+    """
+    # MAX_MEM_DEPTH == 2**MIN_WIDTH, so every cell index is addressable
+    # at any generated width.
+    depth = rng.randint(2, MAX_MEM_DEPTH)
+    addr = inputs[0]
+    cells = [f"m{i}" for i in range(depth)]
+    readable = list(inputs) + cells + ["y0"]
+    outputs = []
+    for i, cell in enumerate(cells):
+        payload = random_expr(
+            rng, readable, width, rng.randint(1, MAX_MEM_DATA_NODES)
+        )
+        outputs.append((
+            cell,
+            ["mux", "eq", ["var", addr], ["const", i], payload,
+             ["var", cell]],
+        ))
+    read = ["var", cells[-1]]
+    for i in reversed(range(depth - 1)):
+        read = ["mux", "eq", ["var", addr], ["const", i],
+                ["var", cells[i]], read]
+    outputs.append(("y0", read))
+    return tuple(outputs)
+
+
 def generate_spec(seed: int, index: int) -> QaSpec:
     """Program ``index`` of fuzz seed ``seed`` — a pure function of both."""
     rng = rng_for(seed, index)
     width = rng.randint(MIN_WIDTH, MAX_WIDTH)
-    inputs = tuple(f"a{i}" for i in range(rng.randint(1, MAX_INPUTS)))
-    clocked = rng.random() < 0.5
-    out_count = rng.randint(1, MAX_OUTPUTS)
-    out_names = [f"y{i}" for i in range(out_count)]
-    readable = list(inputs) + (out_names if clocked else [])
-    outputs = tuple(
-        (
-            name,
-            random_expr(
-                rng, readable, width, rng.randint(3, MAX_EXPR_NODES)
-            ),
-        )
-        for name in out_names
-    )
+    shape = rng.choices(SPEC_SHAPES, weights=(35, 30, 20, 15))[0]
+    low = 2 if shape == "mem" else 1
+    inputs = tuple(f"a{i}" for i in range(rng.randint(low, MAX_INPUTS)))
+    if shape == "comb":
+        outputs = _plain_outputs(rng, inputs, width, clocked=False)
+    elif shape == "reg":
+        outputs = _plain_outputs(rng, inputs, width, clocked=True)
+    elif shape == "fsm":
+        outputs = _fsm_outputs(rng, inputs, width)
+    else:
+        outputs = _mem_outputs(rng, inputs, width)
     return QaSpec(
         name=f"qa_s{seed}_p{index}",
         width=width,
         inputs=inputs,
         outputs=outputs,
-        clocked=clocked,
+        clocked=shape != "comb",
     )
+
+
+def _is_cell_update(name: str, tree: Expr) -> bool:
+    """Does ``tree`` look like a guarded self-update of register ``name``?"""
+    return (
+        tree[0] == "mux"
+        and tree[1] == "eq"
+        and isinstance(tree[3], list)
+        and tree[3][0] == "const"
+        and tree[5] == ["var", name]
+    )
+
+
+def spec_shape(spec: QaSpec) -> str:
+    """Classify a spec into one of :data:`SPEC_SHAPES`, structurally.
+
+    ``mem`` means at least two registers are guarded self-updates (the
+    memory-cell idiom), ``fsm`` means some register's next state reads a
+    *different* register, ``reg`` is any other clocked design, and
+    everything unclocked is ``comb``. Purely structural, so hand-written
+    and reduced specs classify the same way as generated ones.
+    """
+    if not spec.clocked:
+        return "comb"
+    cells = sum(
+        1 for name, tree in spec.outputs if _is_cell_update(name, tree)
+    )
+    if cells >= 2:
+        return "mem"
+    names = {name for name, _ in spec.outputs}
+    for name, tree in spec.outputs:
+        if variables(tree) & (names - {name}):
+            return "fsm"
+    return "reg"
+
+
+def spec_op_kinds(spec: QaSpec) -> set[str]:
+    """Every grammar op kind appearing in the spec's output trees."""
+    kinds: set[str] = set()
+    for _, tree in spec.outputs:
+        kinds |= op_kinds(tree)
+    return kinds

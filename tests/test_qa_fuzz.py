@@ -49,6 +49,25 @@ class TestCampaign:
         assert serial_report.throughput > 0
         assert all(r.seconds >= 0 for r in serial_report.results)
 
+    def test_grammar_telemetry_rides_along(self, serial_report):
+        from repro.qa.grammar import ALL_OP_KINDS
+        from repro.qa.spec import SPEC_SHAPES
+
+        for result in serial_report.results:
+            assert result.shape in SPEC_SHAPES
+            assert result.ops
+            assert set(result.ops) <= set(ALL_OP_KINDS)
+        assert sum(serial_report.shape_counts.values()) == COUNT
+        assert "shapes:" in serial_report.render()
+        # the per-op histogram tallies each program once per op it used
+        table = serial_report.op_class_counts
+        assert table
+        for op, per_class in table.items():
+            assert op in ALL_OP_KINDS
+            assert sum(per_class.values()) == sum(
+                1 for r in serial_report.results if op in r.ops
+            )
+
 
 class TestEngineFailuresAreClassified:
     def test_dead_task_becomes_a_crash_divergence(self, monkeypatch):
@@ -115,3 +134,18 @@ class TestFormalCrossCheck:
             "#0 a: verilog: proved but sim failed"
         ]
         assert "FORMAL INCONSISTENCY" in report.render()
+
+    def test_unsupported_proof_fails_a_formal_campaign(self):
+        # unsupported on a *generated* spec means the encoder/extractor
+        # lost closure over the grammar — a formal campaign must fail
+        report = FuzzReport(seed=0, count=1, workers=1, formal=True)
+        report.results = [
+            ProgramResult(
+                0, "a", FailureClass.OK, "", "", 0.1,
+                formal_verilog="unsupported", formal_vhdl="proved",
+            ),
+        ]
+        assert not report.ok
+        sampling_only = FuzzReport(seed=0, count=1, workers=1, formal=False)
+        sampling_only.results = list(report.results)
+        assert sampling_only.ok  # without --formal the verdicts are inert

@@ -8,13 +8,15 @@ from hypothesis import given, strategies as st
 from repro.eda.toolchain import Language
 from repro.qa.render import node_name, render, render_verilog, render_vhdl
 from repro.qa.spec import (
-    MAX_EXPR_NODES,
     MAX_INPUTS,
-    MAX_OUTPUTS,
+    MAX_SPEC_NODES,
+    MAX_SPEC_OUTPUTS,
     MAX_WIDTH,
     MIN_WIDTH,
+    SPEC_SHAPES,
     QaSpec,
     generate_spec,
+    spec_shape,
 )
 
 SEEDS = st.integers(0, 10_000)
@@ -34,11 +36,12 @@ class TestGeneration:
         spec = generate_spec(seed, index)
         assert MIN_WIDTH <= spec.width <= MAX_WIDTH
         assert 1 <= len(spec.inputs) <= MAX_INPUTS
-        assert 1 <= len(spec.outputs) <= MAX_OUTPUTS
+        assert 1 <= len(spec.outputs) <= MAX_SPEC_OUTPUTS
         for _, tree in spec.outputs:
             pass  # validated by QaSpec.__post_init__
-        assert spec.node_count <= MAX_OUTPUTS * MAX_EXPR_NODES
+        assert spec.node_count <= MAX_SPEC_NODES
         assert spec.name == f"qa_s{seed}_p{index}"
+        assert spec_shape(spec) in SPEC_SHAPES
 
     def test_neighbouring_programs_differ(self):
         canonicals = {generate_spec(0, i).canonical() for i in range(20)}

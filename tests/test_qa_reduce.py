@@ -1,9 +1,18 @@
 """Reducer acceptance: big failing cases shrink to minimal reproducers."""
 
+import random
+
 import pytest
 
 from repro.designs.mutations import functional
 from repro.eda.toolchain import Language, Toolchain
+from repro.qa.grammar import (
+    complexity,
+    count_nodes,
+    pruned,
+    random_expr,
+    validate_expr,
+)
 from repro.qa.oracle import CaseMutation, FailureClass, QaCase, run_oracle
 from repro.qa.reduce import reduce_case
 from repro.qa.render import node_name
@@ -72,3 +81,100 @@ class TestReduction:
         assert result.oracle_runs <= 5
         # partial progress is still a valid case of the same class
         assert result.failure_class is FailureClass.VERILOG_MISMATCH
+
+
+class TestWidenedOpShrinking:
+    """Every widened op has a shrink step, and shrinking terminates."""
+
+    NAMES = ["a0", "a1"]
+    LEAF_A = ["var", "a0"]
+    LEAF_B = ["var", "a1"]
+
+    def test_each_new_op_rewrites_toward_the_legacy_core(self):
+        cases = [
+            (["sra", self.LEAF_A, self.LEAF_B],
+             ["shr", self.LEAF_A, self.LEAF_B]),
+            (["shl", self.LEAF_A, self.LEAF_B],
+             ["or", self.LEAF_A, self.LEAF_B]),
+            (["shr", self.LEAF_A, self.LEAF_B],
+             ["and", self.LEAF_A, self.LEAF_B]),
+            (["cat", self.LEAF_A, self.LEAF_B],
+             ["xor", self.LEAF_A, self.LEAF_B]),
+            (["redand", self.LEAF_A], ["not", self.LEAF_A]),
+            (["redor", self.LEAF_A], ["not", self.LEAF_A]),
+            (["redxor", self.LEAF_A], ["not", self.LEAF_A]),
+            (["slice", self.LEAF_A, 2, 1], ["not", self.LEAF_A]),
+            (["mux", "slt", self.LEAF_A, self.LEAF_B,
+              ["const", 1], ["const", 0]],
+             ["mux", "lt", self.LEAF_A, self.LEAF_B,
+              ["const", 1], ["const", 0]]),
+        ]
+        for tree, expected in cases:
+            assert expected in list(pruned(tree)), tree
+
+    @staticmethod
+    def _measure(tree):
+        # lexicographic shrink measure: node count, then op complexity,
+        # then how many nodes are not yet the ["const", 0] fixpoint —
+        # leaf collapses keep the first two components but lower the third
+        def live(node):
+            return int(node != ["const", 0]) + sum(
+                live(node[slot])
+                for slot in range(len(node))
+                if isinstance(node[slot], list)
+            )
+
+        return count_nodes(tree), complexity(tree), live(tree)
+
+    def test_every_candidate_strictly_shrinks_the_measure(self):
+        rng = random.Random(23)
+        for _ in range(200):
+            tree = random_expr(rng, self.NAMES, 6, 10)
+            before = self._measure(tree)
+            for candidate in pruned(tree):
+                validate_expr(candidate, set(self.NAMES))
+                assert self._measure(candidate) < before, (tree, candidate)
+
+    def test_greedy_shrink_chains_terminate(self):
+        # follow the first pruned candidate until the fixpoint; the
+        # strictly-decreasing measure bounds the chain length
+        rng = random.Random(7)
+        for _ in range(50):
+            tree = random_expr(rng, self.NAMES, 6, 12)
+            nodes = count_nodes(tree)
+            bound = nodes * (complexity(tree) + 1) * (nodes + 1) + 1
+            steps = 0
+            while True:
+                candidates = list(pruned(tree))
+                if not candidates:
+                    break
+                tree = candidates[0]
+                steps += 1
+                assert steps <= bound, "shrink chain failed to terminate"
+            assert tree == ["const", 0]
+
+    def test_reduces_a_case_built_from_widened_ops(self):
+        # the defect subtree is wrapped in new ops; reduction must dig it
+        # out by rewriting them away while the failure class is preserved
+        spec = QaSpec(
+            name="qa_widened", width=6, inputs=("a0", "a1", "a2"),
+            outputs=(
+                ("y0", ["cat", ["not", DEEP_ADD],
+                        ["sra", ["var", "a2"], ["const", 1]]]),
+                ("y1", ["redxor", ["shl", ["var", "a2"], ["var", "a0"]]]),
+            ),
+        )
+        mutation = CaseMutation(Language.VERILOG, functional(
+            "deep add becomes sub",
+            f"assign {ADD} = {A0} + {A1};",
+            f"assign {ADD} = {A0} - {A1};",
+        ))
+        result = reduce_case(
+            QaCase(spec=spec, mutations=(mutation,)), max_checks=200
+        )
+        assert result.failure_class is FailureClass.VERILOG_MISMATCH
+        reduced = result.reduced.spec
+        assert reduced.node_count <= 5
+        assert reduced.width == MIN_WIDTH
+        verdict = run_oracle(result.reduced, Toolchain(cache=True))
+        assert verdict.failure_class is FailureClass.VERILOG_MISMATCH

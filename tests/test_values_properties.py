@@ -4,11 +4,18 @@ On fully-known vectors every operator must agree with the obvious masked
 integer computation — the simulation kernel is only trustworthy if its value
 algebra is. A second group pins the IEEE 1364 X-propagation edge cases:
 dominant values (``0 & x``, ``1 | x``) stay known, everything else taints.
-Example budgets come from the profiles in ``conftest.py``.
+A third group closes the loop with the QA grammar: on known vectors,
+:func:`repro.qa.grammar.evaluate` of every widened op (shifts, ``sra``,
+``slt``, ``cat``, ``slice``, reductions) must agree with the ``Logic``
+computation the simulators actually run, including the edges the renderers
+must get right — signed extremes, shift amounts at and beyond the width,
+and slices clamped down to nothing. Example budgets come from the profiles
+in ``conftest.py``.
 """
 
 from hypothesis import given, strategies as st
 
+from repro.qa.grammar import cat_split, evaluate, slice_bounds, to_signed
 from repro.sim.values import Logic, logic
 
 WIDTHS = st.integers(min_value=1, max_value=16)
@@ -109,6 +116,106 @@ class TestKnownVectorsMatchInts:
         la = Logic.from_int(a, width)
         assert Logic.from_string(la.to_bit_string()) == la
         assert logic(a, width) == la
+
+
+@st.composite
+def grammar_pair(draw):
+    """Grammar-range width plus two operand values (``MIN_WIDTH`` is 2)."""
+    width = draw(st.integers(2, 8))
+    a = draw(st.integers(0, (1 << width) - 1))
+    b = draw(st.integers(0, (1 << width) - 1))
+    return width, a, b
+
+
+class TestGrammarMatchesLogic:
+    """``qa.grammar.evaluate`` vs the ``Logic`` algebra, op by op.
+
+    The grammar is only a trustworthy reference model if each of its ops
+    means the same thing as the kernel value the rendered HDL computes.
+    """
+
+    @given(grammar_pair())
+    def test_shl_including_overshoot(self, triple):
+        width, a, shift = triple
+        la, amount = Logic.from_int(a, width), Logic.from_int(shift, width)
+        got = evaluate(["shl", ["var", "a"], ["var", "b"]],
+                       {"a": a, "b": shift}, width)
+        assert got == la.shl(amount).to_int()
+        # the >= width edge flushes to zero on both sides
+        big = (1 << width) - 1  # always >= width for width >= 1
+        assert evaluate(["shl", ["var", "a"], ["const", big]],
+                        {"a": a}, width) == 0
+        assert la.shl(Logic.from_int(big, width)).to_int() == 0
+
+    @given(grammar_pair())
+    def test_shr_including_overshoot(self, triple):
+        width, a, shift = triple
+        la, amount = Logic.from_int(a, width), Logic.from_int(shift, width)
+        got = evaluate(["shr", ["var", "a"], ["var", "b"]],
+                       {"a": a, "b": shift}, width)
+        assert got == la.shr(amount).to_int()
+
+    @given(grammar_pair())
+    def test_sra_matches_ashr_at_signed_edges(self, triple):
+        width, a, shift = triple
+        la, amount = Logic.from_int(a, width), Logic.from_int(shift, width)
+        got = evaluate(["sra", ["var", "a"], ["var", "b"]],
+                       {"a": a, "b": shift}, width)
+        assert got == la.ashr(amount).to_int()
+        # most-negative and minus-one are the classic sign-fill edges
+        for edge in (1 << (width - 1), (1 << width) - 1):
+            ledge = Logic.from_int(edge, width)
+            assert evaluate(["sra", ["var", "a"], ["var", "b"]],
+                            {"a": edge, "b": shift}, width) \
+                == ledge.ashr(amount).to_int()
+
+    @given(grammar_pair())
+    def test_slt_matches_lt_signed(self, triple):
+        width, a, b = triple
+        la, lb = Logic.from_int(a, width), Logic.from_int(b, width)
+        tree = ["mux", "slt", ["var", "a"], ["var", "b"],
+                ["const", 1], ["const", 0]]
+        assert evaluate(tree, {"a": a, "b": b}, width) \
+            == la.lt_signed(lb).to_int()
+        assert to_signed(a, width) == la.to_signed()
+
+    @given(grammar_pair())
+    def test_cat_matches_concat_of_slices(self, triple):
+        width, a, b = triple
+        high, low = cat_split(width)
+        la, lb = Logic.from_int(a, width), Logic.from_int(b, width)
+        expected = la.slice(high - 1, 0).concat(lb.slice(low - 1, 0)) \
+            if low else la.slice(high - 1, 0)
+        got = evaluate(["cat", ["var", "a"], ["var", "b"]],
+                       {"a": a, "b": b}, width)
+        assert got == expected.to_int()
+        assert expected.width == width
+
+    @given(grammar_pair(), st.integers(0, 9), st.integers(0, 9))
+    def test_slice_matches_clamped_part_select(self, triple, msb, lsb):
+        width, a, _ = triple
+        if msb < lsb:
+            msb, lsb = lsb, msb
+        la = Logic.from_int(a, width)
+        got = evaluate(["slice", ["var", "a"], msb, lsb], {"a": a}, width)
+        bounds = slice_bounds(msb, lsb, width)
+        if bounds is None:
+            assert got == 0  # zero-width slice: lsb beyond the vector
+        else:
+            cm, cl = bounds
+            assert got == la.slice(cm, cl).resize(width).to_int()
+
+    @given(grammar_pair())
+    def test_reductions_match(self, triple):
+        width, a, _ = triple
+        la = Logic.from_int(a, width)
+        for kind, method in (
+            ("redand", la.reduce_and),
+            ("redor", la.reduce_or),
+            ("redxor", la.reduce_xor),
+        ):
+            assert evaluate([kind, ["var", "a"]], {"a": a}, width) \
+                == method().to_int()
 
 
 class TestXPropagation:
