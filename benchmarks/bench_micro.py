@@ -4,19 +4,23 @@ These track the cost of the pieces everything else is built on — useful for
 spotting regressions when extending the language subsets.
 
 ``test_sim_tier_speedup`` additionally writes ``BENCH_sim.json`` (best-of-20
-timings for all three simulation tiers — interpreter, closure, levelized —
-in both languages) and gates on the closure tier staying measurably faster
-than the interpreter and the levelized tier staying measurably faster than
-the closure tier on the combinational designs; CI uploads the JSON as an
-artifact. The report defaults to ``benchmarks/BENCH_sim.json`` (next to
-this file, not the CWD); ``BENCH_SIM_JSON`` overrides the path.
+timings for all four simulation tiers — interpreter, closure, levelized,
+batch — in both languages) and gates on each tier staying measurably faster
+than the one below it: closure over interpreter, levelized over closure on
+the combinational designs, and batch over levelized on the 512-vector
+generated-testbench designs; CI uploads the JSON as an artifact. The report
+defaults to ``benchmarks/BENCH_sim.json`` (next to this file, not the CWD);
+``BENCH_SIM_JSON`` overrides the path but must stay inside ``benchmarks/``.
 """
 
 import json
 import os
+import random
 import time
 from pathlib import Path
 
+from repro.designs.model import CombModel, DesignSpec, PortSpec
+from repro.designs.tbgen import make_testbench
 from repro.eda.toolchain import HdlFile, Language, Toolchain
 from repro.evalsuite.suite import build_suite
 from repro.llm.profiles import CLAUDE_35_SONNET
@@ -202,6 +206,62 @@ end architecture;
 """
 
 
+#: the comb chain again, but as ``top_module`` with a generated 512-vector
+#: testbench so the batch tier's bundle recognizer engages
+BATCH_COMB_V = COMB_V.replace("module comb(", "module top_module(")
+
+BATCH_COMB_VHD = COMB_VHD.replace("entity comb is", "entity top_module is").replace(
+    "architecture rtl of comb is", "architecture rtl of top_module is"
+)
+
+_BATCH_MASK = (1 << 16) - 1
+
+
+def _chain(vector):
+    """Python mirror of the 12-stage comb chain (mod 2**16)."""
+    a, b = vector["a"], vector["b"]
+    t0 = a ^ b
+    t1 = (t0 + a) & _BATCH_MASK
+    t2 = t1 & 0xBEEF
+    t3 = ((t2 << 1) ^ t1) & _BATCH_MASK
+    t4 = t3 | (t0 >> 2)
+    t5 = (t4 + t2) & _BATCH_MASK
+    t6 = t5 ^ 0x5A5A
+    t7 = ((t6 & t3) + t4) & _BATCH_MASK
+    t8 = (t7 ^ (t5 << 3)) & _BATCH_MASK
+    t9 = (t8 + t6) & _BATCH_MASK
+    t10 = (t9 >> 1) ^ t7
+    t11 = (t10 + t8) & _BATCH_MASK
+    return {"y": t11 ^ t9}
+
+
+def _batch_files(language):
+    """DUT + generated 512-vector testbench for the batch micro-benchmark."""
+    spec = DesignSpec(
+        name="batchcomb",
+        ports=(
+            PortSpec("a", 16, "in"),
+            PortSpec("b", 16, "in"),
+            PortSpec("y", 16, "out"),
+        ),
+        clocked=False,
+    )
+    rng = random.Random(20260809)
+    vectors = [
+        {"a": rng.getrandbits(16), "b": rng.getrandbits(16)}
+        for _ in range(512)
+    ]
+    tb = make_testbench(
+        spec, CombModel(_chain), language, "batchcomb", vectors=vectors
+    )
+    dut = BATCH_COMB_V if language is Language.VERILOG else BATCH_COMB_VHD
+    ext = language.file_extension
+    return [
+        HdlFile(f"top_module{ext}", dut, language),
+        HdlFile(f"tb{ext}", tb, language),
+    ]
+
+
 def test_parse_verilog_module(benchmark):
     unit, collector = benchmark(parse_verilog, COUNTER_V)
     assert not collector.has_errors
@@ -241,13 +301,21 @@ def test_build_defect_plan(benchmark, full_suite):
 
 #: env flags that select a simulation tier; _best_ms owns all of them for
 #: the duration of a measurement so ambient settings can't skew a tier
-_TIER_FLAGS = ("REPRO_SIM_INTERP", "REPRO_SIM_NO_LEVEL", "REPRO_SIM_NO_TWOSTATE")
+_TIER_FLAGS = (
+    "REPRO_SIM_INTERP",
+    "REPRO_SIM_NO_LEVEL",
+    "REPRO_SIM_NO_TWOSTATE",
+    "REPRO_SIM_NO_BATCH",
+    "REPRO_SIM_NO_NUMPY",
+)
 
-#: flag values that pin each measured tier
+#: flag values that pin each measured tier. The three event-driven tiers
+#: disable the batch recognizer so generated testbenches measure the kernel.
 _TIERS = {
-    "interp": {"REPRO_SIM_INTERP": "1"},
-    "closure": {"REPRO_SIM_NO_LEVEL": "1"},
-    "levelized": {},
+    "interp": {"REPRO_SIM_INTERP": "1", "REPRO_SIM_NO_BATCH": "1"},
+    "closure": {"REPRO_SIM_NO_LEVEL": "1", "REPRO_SIM_NO_BATCH": "1"},
+    "levelized": {"REPRO_SIM_NO_BATCH": "1"},
+    "batch": {},
 }
 
 
@@ -294,6 +362,30 @@ SIM_TIER_SPEEDUP_FLOOR = 1.3
 #: cone formation breaks outright.
 SIM_LEVEL_SPEEDUP_FLOOR = 1.5
 
+#: the batch tier must beat the levelized tier by at least this factor on
+#: the 512-vector generated-testbench designs. Measured batch_speedups are
+#: ~20-35x (the vectorized program replaces the whole event kernel and the
+#: compile memo amortises testbench elaboration), so 5x only trips when the
+#: bundle recognizer or the vector compiler stops engaging.
+SIM_BATCH_SPEEDUP_FLOOR = 5.0
+
+
+def _report_path():
+    """Resolve the BENCH_sim.json output path, refusing escapes.
+
+    The report must land inside ``benchmarks/`` so a stray ``BENCH_SIM_JSON``
+    (or a CWD-relative override) can't scatter tracked-looking artifacts
+    around the repo root again.
+    """
+    bench_dir = Path(__file__).resolve().parent
+    default = bench_dir / "BENCH_sim.json"
+    out = Path(os.environ.get("BENCH_SIM_JSON", default)).resolve()
+    if bench_dir not in out.parents:
+        raise RuntimeError(
+            f"BENCH_SIM_JSON must point inside {bench_dir}, got {out}"
+        )
+    return out
+
 
 def test_sim_tier_speedup():
     """Each tier beats the one below it; record BENCH_sim.json."""
@@ -312,6 +404,10 @@ def test_sim_tier_speedup():
             "tb",
         ),
     }
+    batch_cases = {
+        "verilog_batch": (_batch_files(Language.VERILOG), "tb"),
+        "vhdl_batch": (_batch_files(Language.VHDL), "tb"),
+    }
     report = {}
     for name, (files, top) in cases.items():
         interp_ms = _best_ms(files, top, tier="interp")
@@ -324,10 +420,25 @@ def test_sim_tier_speedup():
             "speedup": round(interp_ms / compiled_ms, 2),
             "level_speedup": round(compiled_ms / levelized_ms, 2),
         }
-    report["floor"] = SIM_TIER_SPEEDUP_FLOOR
-    report["level_floor"] = SIM_LEVEL_SPEEDUP_FLOOR
-    default = Path(__file__).resolve().parent / "BENCH_sim.json"
-    out = Path(os.environ.get("BENCH_SIM_JSON", default))
+    for name, (files, top) in batch_cases.items():
+        levelized_ms = _best_ms(files, top, tier="levelized")
+        batch_ms = _best_ms(files, top, tier="batch")
+        report[name] = {
+            "levelized_ms": round(levelized_ms, 3),
+            "batch_ms": round(batch_ms, 3),
+            "batch_speedup": round(levelized_ms / batch_ms, 2),
+        }
+    # absolute minimums enforced by ``repro bench check`` (bare keys apply
+    # everywhere, dotted names to one leaf — the level floor only holds on
+    # the comb designs); relative drift gating alone would let speedups
+    # ratchet down one tolerance-width per baseline refresh
+    report["floors"] = {
+        "speedup": SIM_TIER_SPEEDUP_FLOOR,
+        "verilog_comb.level_speedup": SIM_LEVEL_SPEEDUP_FLOOR,
+        "vhdl_comb.level_speedup": SIM_LEVEL_SPEEDUP_FLOOR,
+        "batch_speedup": SIM_BATCH_SPEEDUP_FLOOR,
+    }
+    out = _report_path()
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nsim tier speedups ({out}):")
     for name in cases:
@@ -338,6 +449,13 @@ def test_sim_tier_speedup():
             f"({entry['speedup']:.2f}x), "
             f"levelized {entry['levelized_ms']:.2f} ms "
             f"({entry['level_speedup']:.2f}x over closure)"
+        )
+    for name in batch_cases:
+        entry = report[name]
+        print(
+            f"  {name}: levelized {entry['levelized_ms']:.2f} ms, "
+            f"batch {entry['batch_ms']:.2f} ms "
+            f"({entry['batch_speedup']:.2f}x over levelized)"
         )
     for name in cases:
         assert report[name]["speedup"] >= SIM_TIER_SPEEDUP_FLOOR, (
@@ -351,6 +469,13 @@ def test_sim_tier_speedup():
             f"faster than the closure tier "
             f"(floor {SIM_LEVEL_SPEEDUP_FLOOR}x) — did cone formation "
             "stop engaging?"
+        )
+    for name in batch_cases:
+        assert report[name]["batch_speedup"] >= SIM_BATCH_SPEEDUP_FLOOR, (
+            f"{name}: batch tier only {report[name]['batch_speedup']}x "
+            f"faster than the levelized tier "
+            f"(floor {SIM_BATCH_SPEEDUP_FLOOR}x) — did the bundle "
+            "recognizer or the vector compiler stop engaging?"
         )
 
 

@@ -11,6 +11,9 @@ languages, so a functional defect is detected identically in each flow.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
+
 from repro.designs.model import (
     CombModel,
     DesignSpec,
@@ -22,6 +25,45 @@ from repro.eda.toolchain import Language
 
 PASS_MESSAGE = "All tests passed successfully!"
 TB_NAME = "tb"
+
+
+@dataclass(frozen=True)
+class StimulusBundle:
+    """The structured stimulus behind one generated testbench.
+
+    Every :func:`make_testbench` call registers the (stimulus, expectations)
+    pair it rendered, keyed by the exact testbench text, so the batch
+    simulation tier (:mod:`repro.sim.batch`) can evaluate the vectors
+    directly instead of re-parsing and event-simulating the testbench. The
+    text key makes the lookup sound: byte-identical text is byte-identical
+    stimulus.
+    """
+
+    spec: DesignSpec
+    language: Language
+    clocked: bool
+    stimulus: tuple[dict[str, int], ...]
+    expected: tuple[dict[str, int], ...]
+    reset_outputs: dict[str, int] | None
+
+
+#: rendered testbench text → bundle; bounded so long fuzz campaigns cannot
+#: grow it without limit (eviction only costs a kernel-tier simulation)
+_BUNDLES: OrderedDict[str, StimulusBundle] = OrderedDict()
+_BUNDLE_LIMIT = 256
+
+
+def _register_bundle(text: str, bundle: StimulusBundle) -> str:
+    _BUNDLES[text] = bundle
+    _BUNDLES.move_to_end(text)
+    while len(_BUNDLES) > _BUNDLE_LIMIT:
+        _BUNDLES.popitem(last=False)
+    return text
+
+
+def stimulus_bundle(text: str) -> StimulusBundle | None:
+    """The bundle for a rendered testbench text, if one was registered."""
+    return _BUNDLES.get(text)
 
 #: settle time between driving combinational inputs and checking outputs (ns)
 SETTLE_NS = 5
@@ -60,7 +102,9 @@ def make_testbench(
     ablation (the VeriAssist failure mode the paper discusses), never by the
     golden suite. ``vectors`` *replaces* the default stimulus entirely — the
     formal layer uses it to replay a counterexample witness as the only test
-    cases, so the simulator re-judges exactly the proof's inputs.
+    cases, so the simulator re-judges exactly the proof's inputs; when given,
+    ``extra_vectors`` is ignored (witness replay must not be diluted by the
+    problem's directed cycles).
     """
     if spec.clocked:
         if not isinstance(model, SeqModel):
@@ -69,28 +113,54 @@ def make_testbench(
             stimulus = list(vectors)
         else:
             stimulus = seq_stimulus(spec, pid, random_cycles=random_cycles)
-        if extra_vectors:
-            stimulus = list(extra_vectors) + stimulus
+            if extra_vectors:
+                stimulus = list(extra_vectors) + stimulus
         if max_cases is not None:
             stimulus = stimulus[:max_cases]
         expected = model.run(spec, stimulus)
         if language is Language.VERILOG:
-            return _verilog_seq_tb(spec, stimulus, expected, reset_outputs)
-        return _vhdl_seq_tb(spec, stimulus, expected, reset_outputs)
+            text = _verilog_seq_tb(spec, stimulus, expected, reset_outputs)
+        else:
+            text = _vhdl_seq_tb(spec, stimulus, expected, reset_outputs)
+        return _register_bundle(
+            text,
+            StimulusBundle(
+                spec=spec,
+                language=language,
+                clocked=True,
+                stimulus=tuple(dict(v) for v in stimulus),
+                expected=tuple(dict(e) for e in expected),
+                reset_outputs=(
+                    dict(reset_outputs) if reset_outputs is not None else None
+                ),
+            ),
+        )
     if not isinstance(model, CombModel):
         raise TypeError(f"{pid}: combinational design requires a CombModel")
     if vectors is not None:
         vectors = list(vectors)
     else:
         vectors = comb_vectors(spec, pid)
-    if extra_vectors:
-        vectors = vectors + list(extra_vectors)
+        if extra_vectors:
+            vectors = vectors + list(extra_vectors)
     if max_cases is not None:
         vectors = vectors[:max_cases]
     expectations = [model.evaluate(spec, v) for v in vectors]
     if language is Language.VERILOG:
-        return _verilog_comb_tb(spec, vectors, expectations)
-    return _vhdl_comb_tb(spec, vectors, expectations)
+        text = _verilog_comb_tb(spec, vectors, expectations)
+    else:
+        text = _vhdl_comb_tb(spec, vectors, expectations)
+    return _register_bundle(
+        text,
+        StimulusBundle(
+            spec=spec,
+            language=language,
+            clocked=False,
+            stimulus=tuple(dict(v) for v in vectors),
+            expected=tuple(dict(e) for e in expectations),
+            reset_outputs=None,
+        ),
+    )
 
 
 # --------------------------------------------------------------------------

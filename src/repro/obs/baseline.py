@@ -23,6 +23,17 @@ a few leaves against the rest. When a tier has at least
 :data:`MIN_DRIFT_SAMPLE` timing leaves, their median worse-ratio is taken
 as host drift and divided out before the tolerance check, so a uniformly
 slower box passes while a single 2x-slower leaf still fails.
+
+Relative gating alone can ratchet downward: a 35% speedup loss per PR
+compounds silently as each merge refreshes the baseline. A report may
+therefore carry a top-level ``"floors"`` object mapping leaf key names
+(``"batch_speedup"``, applied to every leaf with that key) or dotted leaf
+names (``"verilog_comb.level_speedup"``, applied to that one leaf) to
+absolute minimums. Floors are read from the *baseline* report (the
+committed contract), stripped from both reports before leaf comparison,
+and enforced without tolerance or drift normalization — a higher-is-better
+leaf whose fresh value sits below its floor is regressed no matter what
+the baseline value was.
 """
 
 from __future__ import annotations
@@ -76,18 +87,24 @@ class BenchDelta:
     #: the tier's median timing worse-ratio divided out of ``ratio``
     #: (1.0 for ratio/info metrics and for tiers too small to estimate)
     drift: float = 1.0
+    #: absolute minimum from the baseline's ``floors`` object, if any —
+    #: fresh values below it regress regardless of tolerance or drift
+    floor: float | None = None
 
     def describe(self) -> str:
         arrow = {
             DIRECTION_LOWER: "↓ better", DIRECTION_HIGHER: "↑ better",
         }.get(self.direction, "info")
         state = (
-            "REGRESSED" if self.regressed
+            "BELOW FLOOR" if self.floor is not None and self.fresh < self.floor
+            else "REGRESSED" if self.regressed
             else "improved" if self.improved else "ok"
         )
+        suffix = f" [floor {self.floor:g}]" if self.floor is not None else ""
         return (
             f"{self.tier}/{self.name} [{arrow}]: baseline {self.baseline:g} "
-            f"→ fresh {self.fresh:g} (x{self.ratio:.2f} worse-ratio) {state}"
+            f"→ fresh {self.fresh:g} (x{self.ratio:.2f} worse-ratio) "
+            f"{state}{suffix}"
         )
 
 
@@ -172,6 +189,12 @@ def compare_reports(
 
     Returns ``(deltas, missing_leaves, extra_leaves)``.
     """
+    baseline = dict(baseline)
+    fresh = dict(fresh)
+    floors = baseline.pop("floors", None)
+    fresh.pop("floors", None)
+    if not isinstance(floors, dict):
+        floors = {}
     baseline_leaves = {name: (key, value) for name, key, value in _walk(baseline)}
     fresh_leaves = {name: value for name, _, value in _walk(fresh)}
     deltas: list[BenchDelta] = []
@@ -181,7 +204,7 @@ def compare_reports(
     extra = [
         f"{tier}/{name}" for name in fresh_leaves if name not in baseline_leaves
     ]
-    raw: list[tuple[str, str, float, float, float]] = []
+    raw: list[tuple[str, str, str, float, float, float]] = []
     for name, (key, base_value) in baseline_leaves.items():
         if name not in fresh_leaves:
             continue
@@ -193,12 +216,20 @@ def compare_reports(
             ratio = base_value / fresh_value if fresh_value else float("inf")
         else:
             ratio = 1.0
-        raw.append((name, direction, base_value, fresh_value, ratio))
-    drift = _host_drift([r[4] for r in raw if r[1] == DIRECTION_LOWER])
-    for name, direction, base_value, fresh_value, ratio in raw:
+        raw.append((name, key, direction, base_value, fresh_value, ratio))
+    drift = _host_drift([r[5] for r in raw if r[2] == DIRECTION_LOWER])
+    for name, key, direction, base_value, fresh_value, ratio in raw:
         leaf_drift = drift if direction == DIRECTION_LOWER else 1.0
         ratio /= leaf_drift
-        regressed = direction != DIRECTION_INFO and ratio > 1.0 + tolerance
+        floor = None
+        if direction == DIRECTION_HIGHER:
+            floor = floors.get(name, floors.get(key))
+        if not isinstance(floor, (int, float)) or isinstance(floor, bool):
+            floor = None
+        below_floor = floor is not None and fresh_value < floor
+        regressed = below_floor or (
+            direction != DIRECTION_INFO and ratio > 1.0 + tolerance
+        )
         improved = direction != DIRECTION_INFO and ratio < 1.0 / (1.0 + tolerance)
         deltas.append(BenchDelta(
             tier=tier,
@@ -210,6 +241,7 @@ def compare_reports(
             regressed=regressed,
             improved=improved,
             drift=leaf_drift,
+            floor=floor,
         ))
     return deltas, missing, extra
 

@@ -124,6 +124,9 @@ class TraceSummary:
     sim_activations: int = 0
     sim_delta_cycles: int = 0
     sim_cone_calls: int = 0
+    sim_batch_calls: int = 0
+    sim_batch_vectors: int = 0
+    sim_batch_demotions: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     stage_seconds: dict = field(
@@ -196,6 +199,9 @@ def summarize_records(records: list[dict], *, path: str = "") -> TraceSummary:
         ("sim_activations", "sim.activations"),
         ("sim_delta_cycles", "sim.delta_cycles"),
         ("sim_cone_calls", "sim.cone_calls"),
+        ("sim_batch_calls", "sim.batch_calls"),
+        ("sim_batch_vectors", "sim.batch_vectors"),
+        ("sim_batch_demotions", "sim.batch_demotions"),
     ):
         setattr(summary, attr, int(sum(
             value for (_, name), value in sim_last.items() if name == metric
@@ -388,6 +394,9 @@ def render_trace_summary(summary: TraceSummary) -> str:
         f"  simulator: {summary.sim_activations} activation(s), "
         f"{summary.sim_delta_cycles} delta cycle(s), "
         f"{summary.sim_cone_calls} cone call(s)",
+        f"  batch tier: {summary.sim_batch_calls} call(s), "
+        f"{summary.sim_batch_vectors} vector(s), "
+        f"{summary.sim_batch_demotions} demotion(s)",
         f"  llm tokens: {summary.prompt_tokens} prompt + "
         f"{summary.completion_tokens} completion (pipeline runs)",
         "  modeled stage seconds: " + ", ".join(

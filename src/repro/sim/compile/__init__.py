@@ -30,6 +30,14 @@ hatches follow the same convention:
 * ``REPRO_SIM_NO_TWOSTATE=1`` keeps cones but forces their four-state
   closure bodies (for isolating the int fast path);
 * ``REPRO_SIM_INTERP=1`` still wins over everything.
+
+The fourth tier (:mod:`repro.sim.batch` + :mod:`.vector`) re-lowers cone
+emits across the stimulus axis — numpy ``uint64`` lanes when numpy is
+importable, a masked-int list loop otherwise — and has two more hatches:
+
+* ``REPRO_SIM_NO_BATCH=1`` disables batched stimulus evaluation entirely;
+* ``REPRO_SIM_NO_NUMPY=1`` keeps batching but forces the pure-Python list
+  fallback (the same path taken when numpy is not installed).
 """
 
 from __future__ import annotations
@@ -50,3 +58,13 @@ def level_disabled() -> bool:
 def twostate_disabled() -> bool:
     """True when ``REPRO_SIM_NO_TWOSTATE`` forces four-state cone bodies."""
     return os.environ.get("REPRO_SIM_NO_TWOSTATE", "0") not in ("", "0")
+
+
+def batch_disabled() -> bool:
+    """True when ``REPRO_SIM_NO_BATCH`` turns off the batch stimulus tier."""
+    return os.environ.get("REPRO_SIM_NO_BATCH", "0") not in ("", "0")
+
+
+def numpy_disabled() -> bool:
+    """True when ``REPRO_SIM_NO_NUMPY`` forces the list-mode batch fallback."""
+    return os.environ.get("REPRO_SIM_NO_NUMPY", "0") not in ("", "0")

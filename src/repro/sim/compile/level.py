@@ -183,7 +183,11 @@ def _build_cone(members, inputs, twostate_on: bool) -> Cone | None:
     name = f"cone:{members[0].name}"
     if len(members) > 1:
         name += f"+{len(members) - 1}"
-    return Cone(name, make, S)
+    cone = Cone(name, make, S)
+    # keep the topo-ordered member tuple so the batch tier can re-lower the
+    # same emits into vector bodies (ignored by the event kernel)
+    cone.recipe = tuple(members)
+    return cone
 
 
 # -- partitioning --------------------------------------------------------------
@@ -381,6 +385,205 @@ def verilog_wire_output_member(process, target, child, scope, elab):
     return ConeMember(
         process.name, process, frozenset((child,)), writes, bind, emit
     )
+
+
+# -- synchronous-update recognizers (batch tier) --------------------------------
+#
+# The batch tier advances clocked designs one edge at a time without the
+# event kernel, which requires knowing exactly what a ``posedge clk`` process
+# does. These recognizers accept only the canonical synchronous-reset
+# register-bank shape (the one tbgen-verified designs and the QA renderers
+# produce) and record a :class:`~repro.sim.runtime.SyncUpdate`; anything else
+# returns None and the design simply stays ineligible for batching.
+
+
+def _eval_const_source(src: str) -> int | None:
+    """Evaluate an emitted expression that read no signals (a constant)."""
+    try:
+        value = eval(src, {"__builtins__": {}}, {})  # noqa: S307 - our codegen
+    except Exception:
+        return None
+    return value if isinstance(value, int) else None
+
+
+def verilog_sync_update(process, entries, body, scope):
+    """Recognize ``always @(posedge clk) if (rst) <consts> else <nbas>``."""
+    from repro.sim.compile import twostate as ts
+    from repro.sim.runtime import Edge, SyncReg, SyncUpdate
+    from repro.verilog import ast as vast
+
+    if len(entries) != 1 or entries[0].edge is not Edge.POS:
+        return None
+    clock = entries[0].signal
+
+    def nba_list(stmt):
+        """Flatten to [(target Signal, value expr)], or None on any surprise."""
+        out = []
+        stack = [stmt]
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, vast.Block):
+                stack[0:0] = list(node.statements)
+            elif isinstance(node, vast.Assign):
+                if node.blocking or not isinstance(node.target, vast.Identifier):
+                    return None
+                target = scope.resolve(node.target.name)
+                if not isinstance(target, Signal):
+                    return None
+                if target.width > ts.MAX_EMIT_WIDTH:
+                    return None
+                out.append((target, node.value))
+            elif isinstance(node, vast.NullStatement):
+                pass
+            else:
+                return None
+        return out
+
+    node = body
+    while isinstance(node, vast.Block) and len(node.statements) == 1:
+        node = node.statements[0]
+    if not isinstance(node, vast.If) or node.else_branch is None:
+        return None
+    if not isinstance(node.condition, vast.Identifier):
+        return None
+    reset = scope.resolve(node.condition.name)
+    if not isinstance(reset, Signal):
+        return None
+    then_assigns = nba_list(node.then_branch)
+    else_assigns = nba_list(node.else_branch)
+    if not then_assigns or not else_assigns:
+        return None
+    resets: dict[Signal, int] = {}
+    for target, value in then_assigns:
+        emitted = ts.verilog_expr(value, scope, target.width, {})
+        if emitted is None:
+            return None
+        const = _eval_const_source(emitted[0])
+        if const is None:
+            return None
+        resets[target] = const & ((1 << target.width) - 1)
+    regs = []
+    seen: set[Signal] = set()
+    for target, value in else_assigns:
+        if target in seen or target not in resets:
+            return None
+        seen.add(target)
+
+        def emit(names, value=value, scope=scope, ctxw=target.width):
+            return ts.verilog_expr(value, scope, ctxw, names)
+
+        regs.append(SyncReg(target, resets[target], emit))
+    if seen != set(resets):
+        return None
+    return SyncUpdate(process, clock, reset, tuple(regs))
+
+
+def vhdl_sync_update(process, proc_ast, scope, resolve):
+    """Recognize ``process(clk) if rising_edge(clk) then if rst = '1' ...``."""
+    from repro.sim.compile import twostate as ts
+    from repro.sim.runtime import SyncReg, SyncUpdate
+    from repro.vhdl import ast as vast
+
+    def rising_edge_clk(cond):
+        if isinstance(cond, vast.Indexed) and cond.name == "rising_edge":
+            arg = cond.index
+        elif (
+            isinstance(cond, vast.Call)
+            and cond.name == "rising_edge"
+            and len(cond.args) == 1
+        ):
+            arg = cond.args[0]
+        else:
+            return None
+        return arg.name if isinstance(arg, vast.Name) else None
+
+    def assign_list(stmts):
+        """Flatten to [(target Signal, value expr)], or None on any surprise."""
+        out = []
+        for stmt in stmts:
+            if isinstance(stmt, vast.NullStatement):
+                continue
+            if not isinstance(stmt, vast.SignalAssign) or stmt.after is not None:
+                return None
+            if not isinstance(stmt.target, vast.Name):
+                return None
+            target = resolve(stmt.target.name)
+            if not isinstance(target, Signal):
+                return None
+            if target.width > ts.MAX_EMIT_WIDTH:
+                return None
+            out.append((target, stmt.value))
+        return out
+
+    def reset_const(value, width):
+        if isinstance(value, vast.Aggregate) and not value.elements:
+            if isinstance(value.others, vast.CharLiteral):
+                if value.others.value == "0":
+                    return 0
+                if value.others.value == "1":
+                    return (1 << width) - 1
+            return None
+        emitted = ts.vhdl_expr(value, scope, width, {})
+        if emitted is None:
+            return None
+        const = _eval_const_source(emitted[0])
+        if const is None:
+            return None
+        return const & ((1 << width) - 1)
+
+    if proc_ast.declarations or len(proc_ast.body) != 1:
+        return None
+    outer = proc_ast.body[0]
+    if not isinstance(outer, vast.IfStatement):
+        return None
+    if outer.else_body or len(outer.arms) != 1:
+        return None
+    cond, body = outer.arms[0]
+    clk_name = rising_edge_clk(cond)
+    if clk_name is None or tuple(proc_ast.sensitivity) != (clk_name,):
+        return None
+    clock = resolve(clk_name)
+    if not isinstance(clock, Signal):
+        return None
+    if len(body) != 1 or not isinstance(body[0], vast.IfStatement):
+        return None
+    inner = body[0]
+    if len(inner.arms) != 1:
+        return None
+    rcond, rbody = inner.arms[0]
+    if not (isinstance(rcond, vast.Binary) and rcond.op == "="):
+        return None
+    if not isinstance(rcond.lhs, vast.Name):
+        return None
+    if not (isinstance(rcond.rhs, vast.CharLiteral) and rcond.rhs.value == "1"):
+        return None
+    reset = resolve(rcond.lhs.name)
+    if not isinstance(reset, Signal):
+        return None
+    then_assigns = assign_list(rbody)
+    else_assigns = assign_list(inner.else_body)
+    if not then_assigns or not else_assigns:
+        return None
+    resets: dict[Signal, int] = {}
+    for target, value in then_assigns:
+        const = reset_const(value, target.width)
+        if const is None:
+            return None
+        resets[target] = const
+    regs = []
+    seen: set[Signal] = set()
+    for target, value in else_assigns:
+        if target in seen or target not in resets:
+            return None
+        seen.add(target)
+
+        def emit(names, value=value, scope=scope, width=target.width):
+            return ts.vhdl_expr(value, scope, width, names)
+
+        regs.append(SyncReg(target, resets[target], emit))
+    if seen != set(resets):
+        return None
+    return SyncUpdate(process, clock, reset, tuple(regs))
 
 
 def _verilog_impure_expr(expr) -> bool:

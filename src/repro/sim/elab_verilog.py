@@ -451,6 +451,16 @@ class VerilogElaborator:
             self._cone_members.append(member)
         else:
             self._external_writes |= writes
+            if edge_triggered:
+                from repro.sim.compile import level as _level
+
+                update = self._compiled(
+                    lambda: _level.verilog_sync_update(
+                        process, entries, block.body, scope
+                    )
+                )
+                if update is not None:
+                    self.design.sync_updates.append(update)
 
     def _sens_signal(self, expr: ast.Expression, scope: _Scope) -> Signal | None:
         if isinstance(expr, ast.Identifier):

@@ -558,7 +558,7 @@ class VhdlElaborator:
             )
         )
         if factory is not None:
-            self.design.add_process(Process(f"{scope.prefix}{label}", factory))
+            self._add_process_with_sync(process, scope, label, factory)
             return
 
         def factory(sim, process=process, scope=scope,
@@ -592,7 +592,28 @@ class VhdlElaborator:
 
             return snapshotting(run())
 
-        self.design.add_process(Process(f"{scope.prefix}{label}", factory))
+        self._add_process_with_sync(process, scope, label, factory)
+
+    def _add_process_with_sync(
+        self, process: ast.ProcessStatement, scope: _VScope, label: str, factory
+    ) -> None:
+        """Register the process, recognizing synchronous register banks.
+
+        The batch tier (:mod:`repro.sim.batch`) needs the kernel
+        :class:`Process` identity to pair each recognized register bank with
+        its process, so recognition happens here where the object is in hand.
+        """
+        proc_obj = Process(f"{scope.prefix}{label}", factory)
+        self.design.add_process(proc_obj)
+        from repro.sim.compile import level as _level
+
+        update = self._compiled(
+            lambda: _level.vhdl_sync_update(
+                proc_obj, process, scope, scope.signals.get
+            )
+        )
+        if update is not None:
+            self.design.sync_updates.append(update)
 
     def _exec_body(self, body: tuple, ctx: _EvalCtx):
         for statement in body:

@@ -78,6 +78,9 @@ class SimStats:
     signal_updates: int = 0
     delta_cycles: int = 0
     cone_calls: int = 0
+    batch_calls: int = 0
+    batch_vectors: int = 0
+    batch_demotions: int = 0
     finished_cleanly: bool = False
 
 

@@ -121,7 +121,7 @@ class Cone:
     simulated repeatedly with fresh per-run state (VHDL eval contexts).
     """
 
-    __slots__ = ("name", "make", "inputs", "fn", "queued")
+    __slots__ = ("name", "make", "inputs", "fn", "queued", "recipe")
 
     def __init__(self, name: str, make: Callable, inputs: tuple[Signal, ...]):
         self.name = name
@@ -131,6 +131,9 @@ class Cone:
         #: True while the cone sits in the kernel's active queue — collapses
         #: multiple same-delta input changes into one evaluation
         self.queued = False
+        #: the ordered ConeMember tuple this cone was built from, kept so the
+        #: batch tier can re-lower the same members into vector bodies
+        self.recipe: tuple | None = None
 
     def start(self, kernel) -> None:
         self.fn = self.make(kernel)
@@ -138,6 +141,37 @@ class Cone:
 
     def __repr__(self) -> str:
         return f"Cone({self.name})"
+
+
+@dataclass(frozen=True)
+class SyncReg:
+    """One register of a recognized synchronous update.
+
+    ``emit(names)`` lowers the register's next-value expression to a Python
+    source string over the variable names in *names* (the same contract as
+    :class:`~repro.sim.compile.level.ConeMember.emit`); ``reset_bits`` is the
+    constant the register takes while reset is asserted.
+    """
+
+    target: Signal
+    reset_bits: int
+    emit: Callable
+
+
+@dataclass(frozen=True)
+class SyncUpdate:
+    """A recognized ``posedge clk`` / ``rising_edge(clk)`` register bank.
+
+    Recorded by the elaborators alongside the interpreted/compiled process so
+    the batch tier can advance all registers one clock edge at a time without
+    running the event kernel. Purely advisory: the process in
+    ``Design.processes`` remains the source of truth for the event tiers.
+    """
+
+    process: Process
+    clock: Signal
+    reset: Signal | None
+    regs: tuple[SyncReg, ...]
 
 
 @dataclass
@@ -151,6 +185,8 @@ class Design:
     processes: list[Process] = field(default_factory=list)
     #: the distinct cones installed by the levelized tier (for stats/tests)
     cones: list[Cone] = field(default_factory=list)
+    #: synchronous register banks recognized for the batch tier
+    sync_updates: list[SyncUpdate] = field(default_factory=list)
 
     def add_signal(self, signal: Signal) -> Signal:
         if signal.name in self.signals:
@@ -183,6 +219,7 @@ class Design:
             process.name = prefix + process.name
             self.add_process(process)
         self.cones.extend(other.cones)
+        self.sync_updates.extend(other.sync_updates)
 
 
 def sensitivities(

@@ -131,6 +131,67 @@ class TestCompareReports:
         assert extra == ["sim/vhdl.new_metric_ms"]
 
 
+class TestFloors:
+    """Absolute minimums from the baseline's ``floors`` object."""
+
+    def test_floors_object_is_stripped_not_compared(self):
+        base = json.loads(json.dumps(SIM_REPORT))
+        base["floors"] = {"speedup": 1.3}
+        fresh = json.loads(json.dumps(SIM_REPORT))
+        fresh["floors"] = {"speedup": 99.0}
+        deltas, missing, extra = compare_reports("sim", base, fresh)
+        assert not any(d.name.startswith("floors") for d in deltas)
+        assert missing == [] and extra == []
+
+    def test_below_floor_regresses_despite_matching_baseline(self):
+        # relative gating alone ratchets: once a bad value is committed,
+        # an identical fresh run passes — the floor still catches it
+        base = json.loads(json.dumps(SIM_REPORT))
+        base["verilog"]["speedup"] = 1.0
+        base["floors"] = {"speedup": 1.3}
+        fresh = json.loads(json.dumps(base))
+        deltas, _, _ = compare_reports("sim", base, fresh)
+        (delta,) = [d for d in deltas if d.regressed]
+        assert delta.name == "verilog.speedup"
+        assert delta.floor == 1.3
+        assert "BELOW FLOOR" in delta.describe()
+
+    def test_dotted_floor_scopes_to_one_leaf(self):
+        base = json.loads(json.dumps(SIM_REPORT))
+        base["verilog"]["speedup"] = 1.0
+        base["vhdl"]["speedup"] = 1.0
+        base["floors"] = {"verilog.speedup": 1.2}
+        fresh = json.loads(json.dumps(base))
+        deltas, _, _ = compare_reports("sim", base, fresh)
+        assert {d.name for d in deltas if d.regressed} == {"verilog.speedup"}
+
+    def test_floors_read_from_baseline_not_fresh(self):
+        fresh = json.loads(json.dumps(SIM_REPORT))
+        fresh["floors"] = {"speedup": 99.0}
+        deltas, _, _ = compare_reports("sim", SIM_REPORT, fresh)
+        assert all(not d.regressed for d in deltas)
+
+    def test_floor_ignores_lower_is_better_leaves(self):
+        base = json.loads(json.dumps(SIM_REPORT))
+        base["floors"] = {"compiled_ms": 99.0}
+        fresh = json.loads(json.dumps(base))
+        deltas, _, _ = compare_reports("sim", base, fresh)
+        assert all(not d.regressed for d in deltas)
+
+    def test_batch_floor_fails_gate_within_relative_tolerance(self, tmp_path):
+        """The ISSUE's acceptance criterion: batch_speedup ≥ 5.0 gated."""
+        base = {
+            "verilog_batch": {"batch_speedup": 5.5},
+            "floors": {"batch_speedup": 5.0},
+        }
+        fresh = {"verilog_batch": {"batch_speedup": 4.5}}  # -18% < tolerance
+        write_report(tmp_path / "base", "sim", base)
+        write_report(tmp_path / "fresh", "sim", fresh)
+        report = check_baselines(tmp_path / "base", tmp_path / "fresh")
+        assert not report.ok
+        assert "BELOW FLOOR" in report.render()
+
+
 class TestCheckBaselines:
     def test_unchanged_baseline_passes(self, tmp_path):
         write_report(tmp_path / "base", "sim", SIM_REPORT)
@@ -201,6 +262,25 @@ class TestCheckBaselines:
         assert lenient.ok
 
 
+class TestReportPathGuard:
+    """``bench_micro`` must not write reports outside ``benchmarks/``."""
+
+    def test_escape_via_env_override_is_refused(self, monkeypatch, tmp_path):
+        from benchmarks.bench_micro import _report_path
+
+        monkeypatch.setenv("BENCH_SIM_JSON", str(tmp_path / "BENCH_sim.json"))
+        with pytest.raises(RuntimeError, match="BENCH_SIM_JSON"):
+            _report_path()
+
+    def test_default_path_is_inside_benchmarks(self, monkeypatch):
+        from benchmarks.bench_micro import _report_path
+
+        monkeypatch.delenv("BENCH_SIM_JSON", raising=False)
+        out = _report_path()
+        assert out.name == "BENCH_sim.json"
+        assert out.parent.name == "benchmarks"
+
+
 class TestTierName:
     def test_strips_prefix_and_extension(self):
         assert tier_name("/x/y/BENCH_sim.json") == "sim"
@@ -226,3 +306,20 @@ class TestCommittedBaselines:
         for path in paths:
             report = load_report(path)
             assert report  # non-empty object
+
+    def test_sim_baseline_satisfies_its_own_floors(self):
+        # a baseline refresh must never commit a below-floor run — the
+        # batch tier's 5x contract in particular
+        from pathlib import Path
+
+        from repro.obs.baseline import load_report
+
+        path = Path(__file__).resolve().parents[1] / (
+            "benchmarks/baselines/BENCH_sim.json"
+        )
+        report = load_report(path)
+        deltas, _, _ = compare_reports("sim", report, report)
+        assert all(not d.regressed for d in deltas)
+        assert sorted(
+            d.name for d in deltas if d.floor == 5.0
+        ) == ["verilog_batch.batch_speedup", "vhdl_batch.batch_speedup"]

@@ -217,6 +217,27 @@ class TestRenderTraceSummary:
         text = render_trace_summary(summary)
         assert "simulator: 30 activation(s), 40 delta cycle(s), 7 cone call(s)" in text
 
+    def test_batch_counters_surface_in_summary(self):
+        def metric(pid, time, name, value):
+            return {
+                "type": "metric", "pid": pid, "time": time,
+                "kind": "counter", "name": name, "value": value,
+            }
+
+        records = [
+            metric(1, 1.0, "sim.batch_calls", 2),
+            metric(1, 2.0, "sim.batch_calls", 3),
+            metric(2, 1.0, "sim.batch_vectors", 1024),
+            metric(1, 1.0, "sim.batch_vectors", 512),
+            metric(1, 1.0, "sim.batch_demotions", 1),
+        ]
+        summary = summarize_records(records)
+        assert summary.sim_batch_calls == 3
+        assert summary.sim_batch_vectors == 1536
+        assert summary.sim_batch_demotions == 1
+        text = render_trace_summary(summary)
+        assert "batch tier: 3 call(s), 1536 vector(s), 1 demotion(s)" in text
+
 
 class TestSummarizeDegenerateInputs:
     def test_no_records(self):

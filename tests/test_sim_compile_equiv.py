@@ -1,10 +1,12 @@
-"""Engine equivalence: all three simulation tiers must agree.
+"""Engine equivalence: all four simulation tiers must agree.
 
-The closure compiler (``repro.sim.compile``) and the levelized cone tier
-(``repro.sim.compile.level``) must be observationally identical to the
-generator interpreters they accelerate. These tests drive the same sources
-through all three tiers — the levelized default, the closure-only tier
-(``REPRO_SIM_NO_LEVEL=1``), and the pure interpreter
+The closure compiler (``repro.sim.compile``), the levelized cone tier
+(``repro.sim.compile.level``), and the vectorized batch tier
+(``repro.sim.batch``) must be observationally identical to the generator
+interpreters they accelerate. These tests drive the same sources through
+all tiers — the batch default (plus its ``REPRO_SIM_NO_NUMPY=1`` list
+fallback), the levelized event kernel (``REPRO_SIM_NO_BATCH=1``), the
+closure-only tier (``REPRO_SIM_NO_LEVEL=1``), and the pure interpreter
 (``REPRO_SIM_INTERP=1``) — and require identical results:
 
 * a Hypothesis property over ``repro.qa.spec.generate_spec`` programs,
@@ -38,7 +40,12 @@ from repro.qa.fuzz import run_fuzz
 from repro.qa.oracle import QaCase, case_sources
 from repro.qa.spec import generate_spec
 
-_TIER_FLAGS = ("REPRO_SIM_INTERP", "REPRO_SIM_NO_LEVEL")
+_TIER_FLAGS = (
+    "REPRO_SIM_INTERP",
+    "REPRO_SIM_NO_LEVEL",
+    "REPRO_SIM_NO_BATCH",
+    "REPRO_SIM_NO_NUMPY",
+)
 
 
 @contextmanager
@@ -58,17 +65,27 @@ def _tier(**flags):
 
 def interpreter_tier():
     """Force the pure-interpreter tier for the duration of the block."""
-    return _tier(REPRO_SIM_INTERP="1")
+    return _tier(REPRO_SIM_INTERP="1", REPRO_SIM_NO_BATCH="1")
 
 
 def closure_tier():
     """Force the closure tier (levelized cones disabled)."""
-    return _tier(REPRO_SIM_NO_LEVEL="1")
+    return _tier(REPRO_SIM_NO_LEVEL="1", REPRO_SIM_NO_BATCH="1")
 
 
 def levelized_tier():
-    """Force the levelized default even if ambient flags disable it."""
+    """Force the levelized event kernel with the batch recognizer off."""
+    return _tier(REPRO_SIM_NO_BATCH="1")
+
+
+def batch_tier():
+    """The default stack: batch recognizer on, numpy lanes when present."""
     return _tier()
+
+
+def batch_list_tier():
+    """The batch tier forced onto its pure-Python masked-int fallback."""
+    return _tier(REPRO_SIM_NO_NUMPY="1")
 
 
 def _observables(result):
@@ -89,6 +106,8 @@ def _simulate_all_tiers(files, top):
         ("levelized", levelized_tier),
         ("closure", closure_tier),
         ("interp", interpreter_tier),
+        ("batch", batch_tier),
+        ("batch_list", batch_list_tier),
     ):
         with tier():
             results[name] = Toolchain().simulate(files, top)
@@ -98,7 +117,7 @@ def _simulate_all_tiers(files, top):
 def _assert_tiers_agree(files, top, context):
     results = _simulate_all_tiers(files, top)
     reference = _observables(results["levelized"])
-    for name in ("closure", "interp"):
+    for name in ("closure", "interp", "batch", "batch_list"):
         assert _observables(results[name]) == reference, (
             f"{context}: levelized vs {name} divergence"
         )
@@ -123,7 +142,7 @@ def _spec_files(spec, language):
 )
 @settings(deadline=None)
 def test_generated_specs_identical_across_tiers(seed, index):
-    """Any generated program simulates identically on all three tiers."""
+    """Any generated program simulates identically on every tier."""
     spec = generate_spec(seed, index)
     for language in Language:
         files = _spec_files(spec, language)
@@ -219,7 +238,13 @@ def test_corpus_verdicts_hold_under_every_tier():
     the demoted tiers must classify every case the same way, including the
     defect-injected entries that exercise crash and mismatch paths.
     """
-    for tier in (interpreter_tier, closure_tier, levelized_tier):
+    for tier in (
+        interpreter_tier,
+        closure_tier,
+        levelized_tier,
+        batch_tier,
+        batch_list_tier,
+    ):
         with tier():
             outcomes = replay_corpus(DEFAULT_CORPUS_DIR)
         assert outcomes, "seed corpus is empty"
@@ -231,13 +256,15 @@ def test_corpus_verdicts_hold_under_every_tier():
 
 
 def test_fuzz_verdicts_identical_across_tiers():
-    """A fuzz campaign produces identical verdicts on all three tiers."""
+    """A fuzz campaign produces identical verdicts on every tier."""
     with levelized_tier():
         report_levelized = run_fuzz(seed=20260806, count=6)
     with closure_tier():
         report_closure = run_fuzz(seed=20260806, count=6)
     with interpreter_tier():
         report_interp = run_fuzz(seed=20260806, count=6)
+    with batch_tier():
+        report_batch = run_fuzz(seed=20260806, count=6)
 
     def digest(report):
         return [
@@ -247,5 +274,7 @@ def test_fuzz_verdicts_identical_across_tiers():
 
     assert digest(report_levelized) == digest(report_closure)
     assert digest(report_levelized) == digest(report_interp)
+    assert digest(report_levelized) == digest(report_batch)
     assert report_levelized.class_counts == report_interp.class_counts
     assert report_levelized.class_counts == report_closure.class_counts
+    assert report_levelized.class_counts == report_batch.class_counts
